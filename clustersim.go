@@ -1,0 +1,154 @@
+// Package clustersim reproduces "A Software-Hardware Hybrid Steering
+// Mechanism for Clustered Microarchitectures" (Cai, Codina, González &
+// González, IPPS/IPDPS 2008) as a self-contained Go library: a cycle-level
+// clustered out-of-order processor simulator, the compiler-side steering
+// passes (virtual-cluster partitioning with chains, RHOP, SPDI/OB), the
+// runtime steering policies (OP, one-cluster, static-follow, VC mapping),
+// a synthetic SPEC CPU2000-like workload suite, and a benchmark harness
+// that regenerates every table and figure of the paper's evaluation.
+//
+// # Quick start
+//
+//	sp := clustersim.WorkloadByName("gzip-1")
+//	res := clustersim.Run(sp, clustersim.SetupVC(2, 2), clustersim.RunOptions{NumUops: 100_000})
+//	fmt.Printf("IPC %.2f, %d copies\n", res.Metrics.IPC(), res.Metrics.Copies)
+//
+// The five steering configurations of the paper's Table 3 are built with
+// SetupOP, SetupOneCluster, SetupOB, SetupRHOP and SetupVC; Run executes
+// one (workload, configuration) pair and RunMatrix fans a whole experiment
+// across CPU cores. The experiment harness lives behind Fig5, Fig6, Fig7,
+// Table1 and the Ablation* functions; `cmd/steerbench` drives them all.
+package clustersim
+
+import (
+	"clustersim/internal/experiments"
+	"clustersim/internal/pipeline"
+	"clustersim/internal/prog"
+	"clustersim/internal/sim"
+	"clustersim/internal/steer"
+	"clustersim/internal/trace"
+	"clustersim/internal/workload"
+)
+
+// MachineConfig is the simulated machine's parameter set (paper Table 2).
+type MachineConfig = pipeline.Config
+
+// DefaultMachine returns the paper's machine with the given cluster count
+// (2 for the base experiments, 4 for the scalability study).
+func DefaultMachine(clusters int) MachineConfig { return pipeline.DefaultConfig(clusters) }
+
+// Metrics is the outcome of one simulation (cycles, IPC, copies,
+// allocation stalls, per-cluster breakdowns, memory and branch statistics).
+type Metrics = pipeline.Metrics
+
+// Setup is one steering configuration: a compiler annotation pass paired
+// with a runtime steering policy.
+type Setup = sim.Setup
+
+// RunOptions sizes a simulation run.
+type RunOptions = sim.RunOptions
+
+// Result is one simulation outcome.
+type Result = sim.Result
+
+// Workload is one weighted simulation point of the synthetic suite.
+type Workload = workload.Simpoint
+
+// Program is the static program representation consumed by the compiler
+// passes and the trace expander; build custom workloads with NewProgram.
+type Program = prog.Program
+
+// ProgramBuilder assembles custom static programs.
+type ProgramBuilder = prog.Builder
+
+// NewProgram starts building a custom program.
+func NewProgram(name string) *ProgramBuilder { return prog.NewBuilder(name) }
+
+// Trace is an expanded dynamic micro-op stream.
+type Trace = trace.Trace
+
+// ExpandTrace expands a program into a dynamic trace of n micro-ops using
+// the given seed; the same (program, seed) always yields the same trace.
+func ExpandTrace(p *Program, n int, seed int64) *Trace {
+	return trace.Expand(p, trace.Options{NumUops: n, Seed: seed})
+}
+
+// SetupOP returns the hardware-only occupancy-aware baseline (the paper's
+// OP configuration).
+func SetupOP(clusters int) Setup { return sim.SetupOP(clusters) }
+
+// SetupOneCluster steers every micro-op to cluster 0.
+func SetupOneCluster(clusters int) Setup { return sim.SetupOneCluster(clusters) }
+
+// SetupOB returns the SPDI operation-based software-only configuration.
+func SetupOB(clusters int) Setup { return sim.SetupOB(clusters) }
+
+// SetupRHOP returns the RHOP software-only configuration.
+func SetupRHOP(clusters int) Setup { return sim.SetupRHOP(clusters) }
+
+// SetupVC returns the paper's hybrid virtual-cluster configuration with
+// numVC virtual clusters on a machine with `clusters` physical clusters.
+func SetupVC(numVC, clusters int) Setup { return sim.SetupVC(numVC, clusters) }
+
+// SetupVCChain is SetupVC with an explicit chain-length cap.
+func SetupVCChain(numVC, clusters, maxChainLen int) Setup {
+	return sim.SetupVCChain(numVC, clusters, maxChainLen)
+}
+
+// Run executes one (workload, setup) simulation.
+func Run(w *Workload, setup Setup, opt RunOptions) *Result { return sim.RunOne(w, setup, opt) }
+
+// RunMatrix executes every (workload × setup) pair across a worker pool;
+// results are indexed [workload][setup]. Parallelism ≤ 0 uses all cores.
+func RunMatrix(ws []*Workload, setups []Setup, opt RunOptions, parallelism int) [][]*Result {
+	return sim.RunMatrix(ws, setups, opt, parallelism)
+}
+
+// Workloads returns the full synthetic CPU2000 suite: 26 SPECint and 14
+// SPECfp weighted simulation points.
+func Workloads() []*Workload { return workload.Suite() }
+
+// IntWorkloads returns the SPECint points; FPWorkloads the SPECfp points.
+func IntWorkloads() []*Workload { return workload.IntSuite() }
+
+// FPWorkloads returns the SPECfp simulation points.
+func FPWorkloads() []*Workload { return workload.FPSuite() }
+
+// QuickWorkloads returns eight representative points for smoke runs.
+func QuickWorkloads() []*Workload { return workload.QuickSuite() }
+
+// WorkloadByName returns a suite member by figure label ("gzip-1", "mcf"),
+// or nil.
+func WorkloadByName(name string) *Workload { return workload.ByName(name) }
+
+// CustomWorkload wraps a hand-built program as a runnable workload.
+func CustomWorkload(p *Program, seed int64) *Workload {
+	return &Workload{Name: p.Name, Bench: p.Name, Weight: 1, Program: p, Seed: seed}
+}
+
+// ExperimentOptions sizes the paper-experiment harness.
+type ExperimentOptions = experiments.Options
+
+// Fig5 regenerates Figure 5 (2-cluster slowdowns vs OP).
+func Fig5(opt ExperimentOptions) (*experiments.Fig5Result, error) { return experiments.Fig5(opt) }
+
+// Fig6 regenerates Figure 6 (copy-reduction / balance scatters).
+func Fig6(opt ExperimentOptions) (*experiments.Fig6Result, error) { return experiments.Fig6(opt) }
+
+// Fig7 regenerates Figure 7 (4-cluster scalability).
+func Fig7(opt ExperimentOptions) (*experiments.Fig7Result, error) { return experiments.Fig7(opt) }
+
+// Table1 measures the steering-complexity comparison (paper Table 1).
+func Table1(opt ExperimentOptions) (*experiments.Table1Result, error) {
+	return experiments.Table1(opt)
+}
+
+// Table2 renders the architectural parameters (paper Table 2).
+func Table2() string { return experiments.Table2() }
+
+// Table3 renders the evaluated configurations (paper Table 3).
+func Table3() string { return experiments.Table3() }
+
+// Policy is a runtime steering policy; custom policies may be plugged into
+// a Setup.
+type Policy = steer.Policy

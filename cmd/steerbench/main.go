@@ -1,0 +1,189 @@
+// Command steerbench regenerates the paper's tables and figures on the
+// simulated substrate and prints the reports.
+//
+// Usage:
+//
+//	steerbench                   # everything, full suite
+//	steerbench -exp fig5         # one experiment
+//	steerbench -quick -uops 20000
+//	steerbench -out results.txt
+//
+// Experiments: table1 table2 table3 fig5 fig6 fig7 ablation all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"clustersim"
+	"clustersim/internal/experiments"
+)
+
+func main() {
+	var (
+		exp    = flag.String("exp", "all", "experiment: table1|table2|table3|fig5|fig6|fig7|policyspace|ablation|all")
+		uops   = flag.Int("uops", 120_000, "dynamic micro-ops per simulation point")
+		quick  = flag.Bool("quick", false, "use the reduced 8-point suite")
+		par    = flag.Int("parallel", 0, "concurrent simulations (0 = all cores)")
+		out    = flag.String("out", "", "also write the report to this file")
+		csvDir = flag.String("csvdir", "", "write per-figure CSV files into this directory")
+	)
+	flag.Parse()
+
+	writeCSV := func(name, content string) {
+		if *csvDir == "" {
+			return
+		}
+		path := *csvDir + "/" + name
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "writing %s: %v\n", path, err)
+			os.Exit(1)
+		}
+	}
+
+	opt := clustersim.ExperimentOptions{NumUops: *uops, Quick: *quick, Parallelism: *par}
+	var sink io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		sink = io.MultiWriter(os.Stdout, f)
+	}
+
+	run := func(name string, fn func() (string, error)) {
+		if *exp != "all" && *exp != name {
+			return
+		}
+		start := time.Now()
+		text, err := fn()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Fprintln(sink, text)
+		fmt.Fprintf(sink, "[%s completed in %v]\n\n", name, time.Since(start).Round(time.Millisecond))
+	}
+
+	run("table2", func() (string, error) { return clustersim.Table2(), nil })
+	run("table3", func() (string, error) { return clustersim.Table3(), nil })
+	run("table1", func() (string, error) {
+		r, err := clustersim.Table1(opt)
+		if err != nil {
+			return "", err
+		}
+		return r.Render(), nil
+	})
+	run("fig5", func() (string, error) {
+		r, err := clustersim.Fig5(opt)
+		if err != nil {
+			return "", err
+		}
+		writeCSV("fig5.csv", r.CSV())
+		return r.Render(), nil
+	})
+	run("fig6", func() (string, error) {
+		r, err := clustersim.Fig6(opt)
+		if err != nil {
+			return "", err
+		}
+		writeCSV("fig6.csv", r.CSV())
+		return r.Render(), nil
+	})
+	run("fig7", func() (string, error) {
+		r, err := clustersim.Fig7(opt)
+		if err != nil {
+			return "", err
+		}
+		writeCSV("fig7.csv", r.CSV())
+		return r.Render(), nil
+	})
+	run("policyspace", func() (string, error) {
+		r, err := experiments.PolicySpace(opt)
+		if err != nil {
+			return "", err
+		}
+		return r.Render(), nil
+	})
+	run("ablation", func() (string, error) {
+		var b strings.Builder
+		chain, err := experiments.AblationChainLen(opt)
+		if err != nil {
+			return "", err
+		}
+		b.WriteString(chain.Render())
+		b.WriteByte('\n')
+		nvc, err := experiments.AblationNumVC(opt)
+		if err != nil {
+			return "", err
+		}
+		b.WriteString(nvc.Render())
+		b.WriteByte('\n')
+		lats, err := experiments.AblationLinkLatency(opt)
+		if err != nil {
+			return "", err
+		}
+		for _, r := range lats {
+			b.WriteString(r.Render())
+			b.WriteByte('\n')
+		}
+		iqs, err := experiments.AblationIQSize(opt)
+		if err != nil {
+			return "", err
+		}
+		for _, r := range iqs {
+			b.WriteString(r.Render())
+			b.WriteByte('\n')
+		}
+		scopes, err := experiments.AblationRegionScope(opt)
+		if err != nil {
+			return "", err
+		}
+		for _, r := range scopes {
+			b.WriteString(r.Render())
+			b.WriteByte('\n')
+		}
+		sos, err := experiments.AblationStallOverSteer(opt)
+		if err != nil {
+			return "", err
+		}
+		b.WriteString(sos.Render())
+		b.WriteByte('\n')
+		cbw, err := experiments.AblationCopyBandwidth(opt)
+		if err != nil {
+			return "", err
+		}
+		for _, r := range cbw {
+			b.WriteString(r.Render())
+			b.WriteByte('\n')
+		}
+		vcc, err := experiments.AblationVCComm(opt)
+		if err != nil {
+			return "", err
+		}
+		for _, r := range vcc {
+			b.WriteString(r.Render())
+			b.WriteByte('\n')
+		}
+		topo, err := experiments.AblationTopology(opt)
+		if err != nil {
+			return "", err
+		}
+		for _, r := range topo {
+			b.WriteString(r.Render())
+			b.WriteByte('\n')
+		}
+		pf, err := experiments.AblationPrefetch(opt)
+		if err != nil {
+			return "", err
+		}
+		b.WriteString(pf.Render())
+		return b.String(), nil
+	})
+}

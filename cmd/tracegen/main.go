@@ -1,0 +1,223 @@
+// Command tracegen inspects the synthetic workloads: it dumps a workload's
+// static program, its compiler regions with annotations (after a chosen
+// pass), or a window of its dynamic trace.
+//
+// Usage:
+//
+//	tracegen -workload mcf -show program
+//	tracegen -workload gzip-1 -show regions -pass vc -vcs 2
+//	tracegen -workload swim -show trace -n 50
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"clustersim"
+	"clustersim/internal/ddg"
+	"clustersim/internal/partition"
+	"clustersim/internal/prog"
+	"clustersim/internal/trace"
+)
+
+func main() {
+	var (
+		name = flag.String("workload", "gzip-1", "simulation point name")
+		show = flag.String("show", "program", "what to dump: program|regions|trace|stats")
+		pass = flag.String("pass", "vc", "compiler pass for -show regions: vc|ob|rhop|none")
+		vcs  = flag.Int("vcs", 2, "virtual clusters / physical clusters for the pass")
+		n    = flag.Int("n", 40, "dynamic micro-ops to dump for -show trace")
+		save = flag.String("save", "", "expand the annotated trace and save it to this file")
+		load = flag.String("load", "", "load a saved trace instead of generating (with -show trace)")
+	)
+	flag.Parse()
+
+	if *load != "" {
+		f, err := os.Open(*load)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		tr, err := trace.Load(f)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("loaded trace %s: %d micro-ops\n", tr.Name, len(tr.Uops))
+		limit := *n
+		if limit > len(tr.Uops) {
+			limit = len(tr.Uops)
+		}
+		for i := 0; i < limit; i++ {
+			u := &tr.Uops[i]
+			fmt.Printf("  %4d pc=%-4d %-40s %s\n", i, u.PC, opString(u.Static), annString(u.Static))
+		}
+		return
+	}
+
+	w := clustersim.WorkloadByName(*name)
+	if w == nil {
+		fmt.Fprintf(os.Stderr, "unknown workload %q\n", *name)
+		os.Exit(1)
+	}
+	p := w.Program.Clone()
+
+	if *save != "" {
+		annotate(p, *pass, *vcs)
+		tr := trace.Expand(p, trace.Options{NumUops: *n, Seed: w.Seed})
+		f, err := os.Create(*save)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := trace.Save(f, tr); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("saved %d micro-ops of %s to %s\n", len(tr.Uops), tr.Name, *save)
+		return
+	}
+
+	switch *show {
+	case "program":
+		dumpProgram(p)
+	case "regions":
+		annotate(p, *pass, *vcs)
+		dumpRegions(p)
+	case "trace":
+		annotate(p, *pass, *vcs)
+		dumpTrace(p, w.Seed, *n)
+	case "stats":
+		dumpStats(p)
+	case "ddg":
+		annotate(p, *pass, *vcs)
+		dumpDDG(p, *pass)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown -show %q\n", *show)
+		os.Exit(1)
+	}
+}
+
+// dumpDDG prints each region's dependence graph in Graphviz DOT form,
+// colored by the chosen pass's annotations.
+func dumpDDG(p *prog.Program, pass string) {
+	regions := prog.FormRegions(p, prog.RegionOptions{})
+	for ri, r := range regions {
+		g := ddg.Build(r)
+		fmt.Println(ddg.Dot(g, ddg.DotOptions{
+			Title:        fmt.Sprintf("%s_region%d", p.Name, ri),
+			ShowVC:       pass == "vc",
+			ShowStatic:   pass == "ob" || pass == "rhop",
+			MarkCritical: true,
+		}))
+	}
+}
+
+func annotate(p *prog.Program, pass string, k int) {
+	opts := partition.Options{NumVC: k, NumClusters: k}
+	switch pass {
+	case "vc":
+		partition.AnnotateVC(p, opts)
+	case "ob":
+		partition.AnnotateOB(p, opts)
+	case "rhop":
+		partition.AnnotateRHOP(p, opts)
+	case "none":
+	default:
+		fmt.Fprintf(os.Stderr, "unknown -pass %q\n", pass)
+		os.Exit(1)
+	}
+}
+
+func opString(op *prog.StaticOp) string {
+	s := fmt.Sprintf("%-6s %s <- %s, %s", op.Opcode, op.Dst, op.Src1, op.Src2)
+	if op.IsMem() {
+		s += fmt.Sprintf("  [%s stream=%d ws=%dKB]", op.Mem.Pattern, op.Mem.Stream, op.Mem.WorkingSet>>10)
+	}
+	if op.Opcode.IsBranch() {
+		s += fmt.Sprintf("  [p=%.2f bias=%.2f]", op.TakenProb, op.Bias)
+	}
+	return s
+}
+
+func annString(op *prog.StaticOp) string {
+	switch {
+	case op.Ann.VC >= 0 && op.Ann.Leader:
+		return fmt.Sprintf("vc=%d LEADER", op.Ann.VC)
+	case op.Ann.VC >= 0:
+		return fmt.Sprintf("vc=%d", op.Ann.VC)
+	case op.Ann.Static >= 0:
+		return fmt.Sprintf("cluster=%d", op.Ann.Static)
+	}
+	return ""
+}
+
+func dumpProgram(p *prog.Program) {
+	fmt.Printf("program %s: %d blocks, %d static ops\n", p.Name, len(p.Blocks), p.NumStaticOps())
+	for _, b := range p.Blocks {
+		fmt.Printf("\nblock b%d:\n", b.ID)
+		for i := range b.Ops {
+			fmt.Printf("  %2d: %s\n", i, opString(&b.Ops[i]))
+		}
+		for _, e := range b.Succs {
+			fmt.Printf("  -> b%d (p=%.2f)\n", e.To, e.Prob)
+		}
+	}
+}
+
+func dumpRegions(p *prog.Program) {
+	regions := prog.FormRegions(p, prog.RegionOptions{})
+	fmt.Printf("program %s: %d regions\n", p.Name, len(regions))
+	for ri, r := range regions {
+		fmt.Printf("\nregion %d (%d ops):\n", ri, r.NumOps())
+		r.ForEachOp(func(idx int, op *prog.StaticOp) {
+			fmt.Printf("  %3d: %-40s %s\n", idx, opString(op), annString(op))
+		})
+		st := partition.CollectChainStats(r)
+		if st.Chains > 0 {
+			fmt.Printf("  chains=%d meanLen=%.1f maxLen=%d\n", st.Chains, st.MeanLen, st.MaxLen)
+		}
+	}
+}
+
+func dumpTrace(p *prog.Program, seed int64, n int) {
+	tr := trace.Expand(p, trace.Options{NumUops: n, Seed: seed})
+	fmt.Printf("trace %s: first %d micro-ops (seed %d)\n", tr.Name, n, seed)
+	for i := range tr.Uops {
+		u := &tr.Uops[i]
+		extra := ""
+		if u.IsMem() {
+			extra = fmt.Sprintf(" addr=%#x", u.Addr)
+		}
+		if u.IsBranch() {
+			extra = fmt.Sprintf(" taken=%v", u.Taken)
+		}
+		fmt.Printf("  %4d pc=%-4d %-40s %s%s\n", i, u.PC, opString(u.Static), annString(u.Static), extra)
+	}
+}
+
+func dumpStats(p *prog.Program) {
+	tr := trace.Expand(p, trace.Options{NumUops: 50_000, Seed: 1})
+	classCount := map[string]int{}
+	branches, taken := 0, 0
+	for i := range tr.Uops {
+		u := &tr.Uops[i]
+		classCount[u.Static.Opcode.Class().String()]++
+		if u.IsBranch() {
+			branches++
+			if u.Taken {
+				taken++
+			}
+		}
+	}
+	fmt.Printf("dynamic mix of %s over 50000 uops:\n", p.Name)
+	for class, n := range classCount {
+		fmt.Printf("  %-8s %5.1f%%\n", class, float64(n)/500)
+	}
+	if branches > 0 {
+		fmt.Printf("  branch taken rate: %.1f%%\n", float64(taken)/float64(branches)*100)
+	}
+}

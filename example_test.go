@@ -1,0 +1,72 @@
+package clustersim_test
+
+import (
+	"fmt"
+
+	"clustersim"
+	"clustersim/internal/prog"
+	"clustersim/internal/uarch"
+)
+
+// ExampleRun simulates one suite workload under the hybrid virtual-cluster
+// steering and reports whether it completed.
+func ExampleRun() {
+	w := clustersim.WorkloadByName("crafty")
+	res := clustersim.Run(w, clustersim.SetupVC(2, 2), clustersim.RunOptions{NumUops: 5000})
+	if res.Err != nil {
+		fmt.Println("error:", res.Err)
+		return
+	}
+	fmt.Printf("committed %d micro-ops on %d clusters\n",
+		res.Metrics.Uops, len(res.Metrics.PerCluster))
+	fmt.Printf("dependence checks used by VC steering: %d\n", res.Complexity.DependenceChecks)
+	// Output:
+	// committed 5000 micro-ops on 2 clusters
+	// dependence checks used by VC steering: 0
+}
+
+// ExampleNewProgram builds a custom two-op kernel and runs it under the
+// hardware-only baseline.
+func ExampleNewProgram() {
+	b := clustersim.NewProgram("axpy")
+	b.FP(uarch.OpFMul, uarch.FPReg(1), uarch.FPReg(1), uarch.FPReg(0))
+	b.Load(uarch.FPReg(2), uarch.IntReg(15), prog.MemRef{
+		Pattern: prog.MemStride, Stream: 0, StrideBytes: 8, WorkingSet: 1 << 14,
+	})
+	b.FP(uarch.OpFAdd, uarch.FPReg(1), uarch.FPReg(1), uarch.FPReg(2))
+	p := b.MustBuild()
+
+	w := clustersim.CustomWorkload(p, 1)
+	res := clustersim.Run(w, clustersim.SetupOP(2), clustersim.RunOptions{NumUops: 3000})
+	fmt.Printf("completed: %v, uops: %d\n", res.Err == nil, res.Metrics.Uops)
+	// Output:
+	// completed: true, uops: 3000
+}
+
+// ExampleExpandTrace shows deterministic trace expansion.
+func ExampleExpandTrace() {
+	b := clustersim.NewProgram("tiny")
+	b.Int(uarch.OpAdd, uarch.IntReg(1), uarch.IntReg(1), uarch.IntReg(1))
+	p := b.MustBuild()
+
+	t1 := clustersim.ExpandTrace(p, 100, 42)
+	t2 := clustersim.ExpandTrace(p, 100, 42)
+	fmt.Println(len(t1.Uops) == len(t2.Uops), len(t1.Uops))
+	// Output:
+	// true 100
+}
+
+// ExampleWorkloads lists the composition of the synthetic CPU2000 suite.
+func ExampleWorkloads() {
+	ints, fps := 0, 0
+	for _, w := range clustersim.Workloads() {
+		if w.FP {
+			fps++
+		} else {
+			ints++
+		}
+	}
+	fmt.Printf("%d SPECint + %d SPECfp simulation points\n", ints, fps)
+	// Output:
+	// 26 SPECint + 14 SPECfp simulation points
+}

@@ -1,0 +1,50 @@
+// Quickstart: simulate one SPEC-like workload under the paper's hybrid
+// virtual-cluster steering and print the headline metrics.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"clustersim"
+)
+
+func main() {
+	// Pick a workload from the synthetic CPU2000 suite.
+	w := clustersim.WorkloadByName("gzip-1")
+	if w == nil {
+		log.Fatal("workload not found")
+	}
+
+	// VC(2→2): the compiler partitions each region's dependence graph into
+	// two virtual clusters and marks chain leaders; at run time the
+	// hardware maps virtual clusters onto the two physical clusters using
+	// only workload counters and a two-entry mapping table.
+	setup := clustersim.SetupVC(2, 2)
+
+	res := clustersim.Run(w, setup, clustersim.RunOptions{NumUops: 100_000})
+	if res.Err != nil {
+		log.Fatal(res.Err)
+	}
+
+	m := res.Metrics
+	fmt.Printf("workload      %s\n", w.Name)
+	fmt.Printf("configuration %s\n", setup.Label)
+	fmt.Printf("cycles        %d\n", m.Cycles)
+	fmt.Printf("IPC           %.2f\n", m.IPC())
+	fmt.Printf("copies        %d (%.1f per kuop)\n", m.Copies, m.CopiesPerKuop())
+	fmt.Printf("alloc stalls  %d cycles\n", m.AllocStallCycles)
+	fmt.Printf("mispredicts   %.1f%%\n", m.MispredictRate()*100)
+	for i, pc := range m.PerCluster {
+		fmt.Printf("cluster %d     %d micro-ops dispatched, %d copies exported\n",
+			i, pc.Dispatched, pc.CopiesInserted)
+	}
+
+	// The steering hardware the hybrid scheme actually needs (paper
+	// Table 1): counters and a tiny mapping table — no dependence checks,
+	// no vote unit.
+	cx := res.Complexity
+	fmt.Printf("\nsteering logic activity: %d mapping-table reads, %d writes, "+
+		"%d dependence checks (must be 0), %d vote ops (must be 0)\n",
+		cx.MapReads, cx.MapWrites, cx.DependenceChecks, cx.VoteOps)
+}

@@ -1,0 +1,55 @@
+// steering_compare reproduces the paper's core comparison (Figure 5's
+// methodology) on a chosen set of workloads: all five Table 3 steering
+// configurations on the 2-cluster machine, slowdowns relative to the
+// hardware-only OP baseline.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"clustersim"
+)
+
+func main() {
+	workloads := clustersim.QuickWorkloads()
+	setups := []clustersim.Setup{
+		clustersim.SetupOP(2),
+		clustersim.SetupOneCluster(2),
+		clustersim.SetupOB(2),
+		clustersim.SetupRHOP(2),
+		clustersim.SetupVC(2, 2),
+	}
+
+	results := clustersim.RunMatrix(workloads, setups, clustersim.RunOptions{NumUops: 60_000}, 0)
+
+	fmt.Printf("%-10s %8s", "workload", "OP IPC")
+	for _, s := range setups[1:] {
+		fmt.Printf("%14s", s.Label)
+	}
+	fmt.Println()
+	sums := make([]float64, len(setups))
+	for i, w := range workloads {
+		base := results[i][0]
+		if base.Err != nil {
+			log.Fatalf("%s/OP: %v", w.Name, base.Err)
+		}
+		fmt.Printf("%-10s %8.2f", w.Name, base.Metrics.IPC())
+		for j := 1; j < len(setups); j++ {
+			r := results[i][j]
+			if r.Err != nil {
+				log.Fatalf("%s/%s: %v", w.Name, setups[j].Label, r.Err)
+			}
+			slow := (float64(r.Metrics.Cycles)/float64(base.Metrics.Cycles) - 1) * 100
+			sums[j] += slow
+			fmt.Printf("%+13.2f%%", slow)
+		}
+		fmt.Println()
+	}
+	fmt.Printf("%-10s %8s", "AVG", "")
+	for j := 1; j < len(setups); j++ {
+		fmt.Printf("%+13.2f%%", sums[j]/float64(len(workloads)))
+	}
+	fmt.Println()
+	fmt.Println("\npaper averages: one-cluster 12.19%, OB 6.50%, RHOP 5.40%, VC 2.62%")
+}

@@ -1,0 +1,177 @@
+package cache
+
+import "fmt"
+
+// LSQ is the unified load/store queue shared by all clusters (paper §2:
+// "The Load/Store Queue and the data cache are unified and accessed by
+// clusters through dedicated buses"). Loads and stores reserve a slot at
+// dispatch, addresses arrive after address generation in the owning
+// cluster, and entries drain at commit.
+//
+// Memory disambiguation is conservative: a load may access memory only
+// when every older store's address is known; an exact-address match with
+// data forwards from the store (store-to-load forwarding), otherwise the
+// load reads the cache.
+type LSQ struct {
+	cap     int
+	entries []lsqEntry // program order (ascending seq)
+
+	// ForwardHits counts successful store-to-load forwards.
+	ForwardHits uint64
+}
+
+type lsqEntry struct {
+	seq       int64
+	isStore   bool
+	addr      uint64
+	addrKnown bool
+	dataReady bool // stores only: data operand produced
+}
+
+// NewLSQ builds an LSQ with the given capacity.
+func NewLSQ(capacity int) *LSQ {
+	if capacity <= 0 {
+		panic(fmt.Sprintf("cache: LSQ capacity %d", capacity))
+	}
+	return &LSQ{cap: capacity}
+}
+
+// Len returns the live entry count; Cap the capacity.
+func (q *LSQ) Len() int { return len(q.entries) }
+
+// Cap returns the configured capacity.
+func (q *LSQ) Cap() int { return q.cap }
+
+// Full reports whether allocation would fail.
+func (q *LSQ) Full() bool { return len(q.entries) >= q.cap }
+
+// Allocate reserves a slot for the memory op with the given sequence
+// number at dispatch. Sequence numbers must arrive in increasing order.
+func (q *LSQ) Allocate(seq int64, isStore bool) bool {
+	if q.Full() {
+		return false
+	}
+	if n := len(q.entries); n > 0 && q.entries[n-1].seq >= seq {
+		panic(fmt.Sprintf("cache: LSQ allocation out of order: %d after %d", seq, q.entries[n-1].seq))
+	}
+	q.entries = append(q.entries, lsqEntry{seq: seq, isStore: isStore})
+	return true
+}
+
+func (q *LSQ) find(seq int64) *lsqEntry {
+	// Binary search by seq.
+	lo, hi := 0, len(q.entries)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if q.entries[mid].seq < seq {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(q.entries) && q.entries[lo].seq == seq {
+		return &q.entries[lo]
+	}
+	return nil
+}
+
+// SetAddress records the op's effective address after address generation.
+func (q *LSQ) SetAddress(seq int64, addr uint64) {
+	e := q.find(seq)
+	if e == nil {
+		panic(fmt.Sprintf("cache: SetAddress for unknown LSQ entry %d", seq))
+	}
+	e.addr = addr
+	e.addrKnown = true
+}
+
+// SetStoreData marks the store's data operand as produced.
+func (q *LSQ) SetStoreData(seq int64) {
+	e := q.find(seq)
+	if e == nil || !e.isStore {
+		panic(fmt.Sprintf("cache: SetStoreData for non-store LSQ entry %d", seq))
+	}
+	e.dataReady = true
+}
+
+// LoadStatus classifies a load's disambiguation state.
+type LoadStatus int
+
+const (
+	// LoadBlocked: an older store's address is unknown; retry later.
+	LoadBlocked LoadStatus = iota
+	// LoadForward: an older same-address store with ready data forwards.
+	LoadForward
+	// LoadWaitData: an older same-address store exists but its data is not
+	// produced yet; retry later.
+	LoadWaitData
+	// LoadAccess: no conflict; the load may read the cache.
+	LoadAccess
+)
+
+// String names the status.
+func (s LoadStatus) String() string {
+	switch s {
+	case LoadBlocked:
+		return "blocked"
+	case LoadForward:
+		return "forward"
+	case LoadWaitData:
+		return "wait-data"
+	case LoadAccess:
+		return "access"
+	}
+	return fmt.Sprintf("status(%d)", int(s))
+}
+
+// ProbeLoad evaluates disambiguation for the load with the given seq and
+// address. The youngest older same-address store wins; forwarding counts
+// only when this returns LoadForward.
+func (q *LSQ) ProbeLoad(seq int64, addr uint64) LoadStatus {
+	var match *lsqEntry
+	for i := range q.entries {
+		e := &q.entries[i]
+		if e.seq >= seq {
+			break
+		}
+		if !e.isStore {
+			continue
+		}
+		if !e.addrKnown {
+			return LoadBlocked
+		}
+		if e.addr == addr {
+			match = e
+		}
+	}
+	if match == nil {
+		return LoadAccess
+	}
+	if match.dataReady {
+		q.ForwardHits++
+		return LoadForward
+	}
+	return LoadWaitData
+}
+
+// Release drops the entry at commit. Entries must be released in program
+// order (the ROB guarantees this).
+func (q *LSQ) Release(seq int64) {
+	if len(q.entries) == 0 || q.entries[0].seq != seq {
+		panic(fmt.Sprintf("cache: LSQ release out of order: head=%v want %d", q.headSeq(), seq))
+	}
+	q.entries = q.entries[1:]
+}
+
+func (q *LSQ) headSeq() int64 {
+	if len(q.entries) == 0 {
+		return -1
+	}
+	return q.entries[0].seq
+}
+
+// Reset clears all entries (between runs).
+func (q *LSQ) Reset() {
+	q.entries = q.entries[:0]
+	q.ForwardHits = 0
+}

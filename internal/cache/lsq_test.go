@@ -1,0 +1,132 @@
+package cache
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestLSQAllocateRelease(t *testing.T) {
+	q := NewLSQ(4)
+	for i := int64(0); i < 4; i++ {
+		if !q.Allocate(i, i%2 == 0) {
+			t.Fatalf("allocation %d refused below capacity", i)
+		}
+	}
+	if q.Allocate(4, false) {
+		t.Fatal("allocation above capacity accepted")
+	}
+	if !q.Full() {
+		t.Error("Full() = false at capacity")
+	}
+	q.Release(0)
+	if q.Len() != 3 {
+		t.Errorf("Len = %d after release, want 3", q.Len())
+	}
+	if !q.Allocate(4, false) {
+		t.Fatal("allocation refused after release")
+	}
+}
+
+func TestLSQReleaseOutOfOrderPanics(t *testing.T) {
+	q := NewLSQ(4)
+	q.Allocate(0, false)
+	q.Allocate(1, false)
+	defer func() {
+		if recover() == nil {
+			t.Error("out-of-order release should panic")
+		}
+	}()
+	q.Release(1)
+}
+
+func TestLoadBlockedByUnknownStoreAddress(t *testing.T) {
+	q := NewLSQ(8)
+	q.Allocate(1, true)  // store, address unknown
+	q.Allocate(2, false) // load
+	q.SetAddress(2, 0x100)
+	if got := q.ProbeLoad(2, 0x100); got != LoadBlocked {
+		t.Errorf("ProbeLoad = %v, want blocked (older store address unknown)", got)
+	}
+}
+
+func TestStoreToLoadForwarding(t *testing.T) {
+	q := NewLSQ(8)
+	q.Allocate(1, true)
+	q.Allocate(2, false)
+	q.SetAddress(1, 0x100)
+	if got := q.ProbeLoad(2, 0x100); got != LoadWaitData {
+		t.Errorf("ProbeLoad = %v, want wait-data (store data not produced)", got)
+	}
+	q.SetStoreData(1)
+	if got := q.ProbeLoad(2, 0x100); got != LoadForward {
+		t.Errorf("ProbeLoad = %v, want forward", got)
+	}
+	if q.ForwardHits != 1 {
+		t.Errorf("ForwardHits = %d, want 1", q.ForwardHits)
+	}
+}
+
+func TestLoadAccessWhenNoConflict(t *testing.T) {
+	q := NewLSQ(8)
+	q.Allocate(1, true)
+	q.Allocate(2, false)
+	q.SetAddress(1, 0x200) // different address
+	if got := q.ProbeLoad(2, 0x100); got != LoadAccess {
+		t.Errorf("ProbeLoad = %v, want access", got)
+	}
+}
+
+func TestYoungestOlderStoreWins(t *testing.T) {
+	q := NewLSQ(8)
+	q.Allocate(1, true)
+	q.Allocate(2, true)
+	q.Allocate(3, false)
+	q.SetAddress(1, 0x100)
+	q.SetStoreData(1)
+	q.SetAddress(2, 0x100) // younger store, same address, data NOT ready
+	if got := q.ProbeLoad(3, 0x100); got != LoadWaitData {
+		t.Errorf("ProbeLoad = %v, want wait-data (youngest matching store lacks data)", got)
+	}
+}
+
+func TestYoungerStoresDoNotAffectLoad(t *testing.T) {
+	q := NewLSQ(8)
+	q.Allocate(1, false)
+	q.Allocate(2, true) // younger than the load
+	if got := q.ProbeLoad(1, 0x100); got != LoadAccess {
+		t.Errorf("ProbeLoad = %v, want access (younger store is irrelevant)", got)
+	}
+}
+
+// Property: with all store addresses known and no address match, loads are
+// never blocked; with any older unknown-address store, always blocked.
+func TestLSQDisambiguationProperty(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw)%20 + 2
+		rng := rand.New(rand.NewSource(seed))
+		q := NewLSQ(64)
+		anyUnknown := false
+		for i := 0; i < n; i++ {
+			seq := int64(i)
+			if rng.Intn(2) == 0 {
+				q.Allocate(seq, true)
+				if rng.Intn(4) > 0 {
+					q.SetAddress(seq, uint64(0x1000+i*64)) // unique addresses
+				} else {
+					anyUnknown = true
+				}
+			} else {
+				q.Allocate(seq, false)
+			}
+		}
+		got := q.ProbeLoad(int64(n), 0x9999)
+		if anyUnknown {
+			return got == LoadBlocked
+		}
+		return got == LoadAccess
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,266 @@
+package cluster
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"clustersim/internal/uarch"
+)
+
+func TestIQInsertSelect(t *testing.T) {
+	q := NewIQ("t", 4, 2)
+	if !q.Insert(1, 0, nil) { // ready at insert
+		t.Fatal("insert refused below capacity")
+	}
+	q.Insert(2, 0, []int64{100})
+	q.Insert(3, 0, nil)
+	got := q.SelectReady(0, nil)
+	if len(got) != 2 {
+		t.Fatalf("selected %d, want 2 (width)", len(got))
+	}
+	if got[0].Seq != 1 || got[1].Seq != 3 {
+		t.Errorf("selected %d,%d — want oldest-first 1,3", got[0].Seq, got[1].Seq)
+	}
+	if q.Len() != 1 {
+		t.Errorf("Len = %d after select, want 1", q.Len())
+	}
+}
+
+func TestIQWakeup(t *testing.T) {
+	q := NewIQ("t", 4, 2)
+	q.Insert(5, 0, []int64{100, 101})
+	if got := q.SelectReady(0, nil); len(got) != 0 {
+		t.Fatal("entry with pending operands selected")
+	}
+	q.Wakeup(100)
+	if got := q.SelectReady(0, nil); len(got) != 0 {
+		t.Fatal("entry with one pending operand selected")
+	}
+	q.Wakeup(101)
+	got := q.SelectReady(0, nil)
+	if len(got) != 1 || got[0].Seq != 5 {
+		t.Fatalf("entry not selectable after both wakeups: %v", got)
+	}
+}
+
+func TestIQCapacity(t *testing.T) {
+	q := NewIQ("t", 2, 1)
+	q.Insert(1, 0, nil)
+	q.Insert(2, 0, nil)
+	if q.Insert(3, 0, nil) {
+		t.Fatal("insert above capacity accepted")
+	}
+	if !q.Full() {
+		t.Error("Full() = false at capacity")
+	}
+}
+
+func TestIQAcceptFilter(t *testing.T) {
+	q := NewIQ("t", 4, 2)
+	q.Insert(1, 0, nil)
+	q.Insert(2, 0, nil)
+	// Refuse seq 1; seq 2 should still be picked, and seq 1 stays queued.
+	got := q.SelectReady(0, func(e *Entry) bool { return e.Seq != 1 })
+	if len(got) != 1 || got[0].Seq != 2 {
+		t.Fatalf("got %v, want only seq 2", got)
+	}
+	if q.Len() != 1 {
+		t.Errorf("Len = %d, want 1 (seq 1 kept)", q.Len())
+	}
+}
+
+func TestIQSelectMaxBelowWidth(t *testing.T) {
+	q := NewIQ("t", 8, 4)
+	for i := int64(0); i < 5; i++ {
+		q.Insert(i, 0, nil)
+	}
+	if got := q.SelectReady(2, nil); len(got) != 2 {
+		t.Fatalf("selected %d, want 2", len(got))
+	}
+}
+
+func TestIQDoubleWakeupPanics(t *testing.T) {
+	q := NewIQ("t", 4, 1)
+	q.Insert(1, 0, []int64{7})
+	q.Wakeup(7)
+	// Second wakeup of the same tag is a no-op (tag list consumed).
+	q.Wakeup(7)
+	if got := q.SelectReady(0, nil); len(got) != 1 {
+		t.Fatal("entry lost after repeated wakeup of consumed tag")
+	}
+}
+
+func TestClusterQueueFor(t *testing.T) {
+	c := New(0, DefaultConfig())
+	cases := []struct {
+		class uarch.Class
+		want  *IQ
+	}{
+		{uarch.ClassInt, c.IntQ},
+		{uarch.ClassLoad, c.IntQ},
+		{uarch.ClassStore, c.IntQ},
+		{uarch.ClassBranch, c.IntQ},
+		{uarch.ClassFP, c.FPQ},
+		{uarch.ClassCopy, c.CopyQ},
+	}
+	for _, cse := range cases {
+		if got := c.QueueFor(cse.class); got != cse.want {
+			t.Errorf("QueueFor(%v) = %s, want %s", cse.class, got.Name(), cse.want.Name())
+		}
+	}
+}
+
+func TestRegAllocationAccounting(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.IntRegs, cfg.FPRegs = 2, 1
+	c := New(0, cfg)
+	r := uarch.IntReg(0)
+	f := uarch.FPReg(0)
+	if !c.HasRegFor(r) || !c.HasRegFor(f) {
+		t.Fatal("fresh cluster should have free registers")
+	}
+	c.AllocReg(r)
+	c.AllocReg(r)
+	if c.HasRegFor(r) {
+		t.Error("int regfile should be exhausted")
+	}
+	if !c.HasRegFor(f) {
+		t.Error("fp bank unaffected by int allocation")
+	}
+	c.FreeReg(r)
+	if !c.HasRegFor(r) {
+		t.Error("free not visible")
+	}
+}
+
+func TestRegOverflowPanics(t *testing.T) {
+	cfg := DefaultConfig()
+	c := New(0, cfg)
+	defer func() {
+		if recover() == nil {
+			t.Error("freeing beyond capacity should panic")
+		}
+	}()
+	c.FreeReg(uarch.IntReg(0))
+}
+
+func TestDividerOccupancy(t *testing.T) {
+	c := New(0, DefaultConfig())
+	if !c.DividerFree(uarch.OpDiv, 0) {
+		t.Fatal("divider busy at reset")
+	}
+	c.ReserveDivider(uarch.OpDiv, 0)
+	if c.DividerFree(uarch.OpDiv, 5) {
+		t.Error("int divider free mid-operation (latency 20)")
+	}
+	if !c.DividerFree(uarch.OpFDiv, 5) {
+		t.Error("fp divider should be independent")
+	}
+	if !c.DividerFree(uarch.OpDiv, 20) {
+		t.Error("divider should free at cycle 20")
+	}
+	if !c.DividerFree(uarch.OpAdd, 1) {
+		t.Error("pipelined opcodes never blocked")
+	}
+}
+
+func TestClusterReset(t *testing.T) {
+	c := New(0, DefaultConfig())
+	c.IntQ.Insert(1, 0, nil)
+	c.AllocReg(uarch.IntReg(0))
+	c.InFlight = 5
+	c.Reset()
+	if c.IntQ.Len() != 0 || c.InFlight != 0 {
+		t.Error("Reset left state behind")
+	}
+	if !c.HasRegFor(uarch.IntReg(0)) {
+		t.Error("Reset did not restore registers")
+	}
+}
+
+// Property: selection is always oldest-first and never exceeds width.
+func TestIQSelectionOrderProperty(t *testing.T) {
+	f := func(seed int64, nRaw, widthRaw uint8) bool {
+		n := int(nRaw)%20 + 1
+		width := int(widthRaw)%4 + 1
+		rng := rand.New(rand.NewSource(seed))
+		q := NewIQ("q", 64, width)
+		for i := 0; i < n; i++ {
+			var deps []int64
+			if rng.Intn(3) == 0 {
+				deps = []int64{int64(1000 + i)}
+			}
+			q.Insert(int64(i), 0, deps)
+		}
+		got := q.SelectReady(0, nil)
+		if len(got) > width {
+			return false
+		}
+		for i := 1; i < len(got); i++ {
+			if got[i].Seq <= got[i-1].Seq {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: occupancy equals inserts minus selects.
+func TestIQOccupancyBalanceProperty(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw)%30 + 1
+		rng := rand.New(rand.NewSource(seed))
+		q := NewIQ("q", 128, 2)
+		inserted, selected := 0, 0
+		for i := 0; i < n; i++ {
+			if q.Insert(int64(i), 0, nil) {
+				inserted++
+			}
+			if rng.Intn(2) == 0 {
+				selected += len(q.SelectReady(0, nil))
+			}
+		}
+		return q.Len() == inserted-selected
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIQAuxPayloadPreserved(t *testing.T) {
+	q := NewIQ("t", 4, 2)
+	q.Insert(1, 7, nil)
+	q.Insert(2, 9, nil)
+	got := q.SelectReady(0, nil)
+	if len(got) != 2 || got[0].Aux != 7 || got[1].Aux != 9 {
+		t.Fatalf("aux payloads lost: %+v", got)
+	}
+}
+
+func TestIQIssuedCounter(t *testing.T) {
+	q := NewIQ("t", 4, 2)
+	q.Insert(1, 0, nil)
+	q.Insert(2, 0, nil)
+	q.SelectReady(0, nil)
+	if q.Issued != 2 {
+		t.Errorf("Issued = %d, want 2", q.Issued)
+	}
+	q.Reset()
+	if q.Issued != 0 {
+		t.Error("Reset did not clear Issued")
+	}
+}
+
+func TestOccupancySumsQueues(t *testing.T) {
+	c := New(0, DefaultConfig())
+	c.IntQ.Insert(1, 0, nil)
+	c.FPQ.Insert(2, 0, nil)
+	c.CopyQ.Insert(3, 0, nil)
+	if got := c.Occupancy(); got != 3 {
+		t.Errorf("Occupancy = %d, want 3", got)
+	}
+}

@@ -1,0 +1,123 @@
+// Package cluster models one backend cluster of the clustered
+// microarchitecture: its issue queues (INT, FP, COPY) with wakeup/select
+// logic, its functional-unit occupancy, and its register-file free-list
+// accounting. Values are identified by the producing micro-op's sequence
+// number; readiness is always per-cluster (a value becomes ready in another
+// cluster only when an explicit copy arrives).
+package cluster
+
+import "fmt"
+
+// Entry is one issue-queue slot.
+type Entry struct {
+	// Seq is the waiting micro-op's sequence number.
+	Seq int64
+	// Aux is policy-defined payload (copy queue: destination cluster).
+	Aux int
+	// pending counts unready source operands.
+	pending int
+}
+
+// Ready reports whether all operands have arrived.
+func (e *Entry) Ready() bool { return e.pending == 0 }
+
+// IQ is an issue queue with capacity, per-cycle issue width, oldest-first
+// selection and tag-based wakeup.
+type IQ struct {
+	name    string
+	cap     int
+	width   int
+	entries []*Entry           // age order (insertion order)
+	waiting map[int64][]*Entry // operand tag → waiting entries
+
+	// Issued counts selections; WakeupEvents counts tag broadcasts that
+	// woke at least one entry.
+	Issued, WakeupEvents uint64
+}
+
+// NewIQ builds an issue queue.
+func NewIQ(name string, capacity, width int) *IQ {
+	if capacity <= 0 || width <= 0 {
+		panic(fmt.Sprintf("cluster: IQ %q capacity %d width %d", name, capacity, width))
+	}
+	return &IQ{name: name, cap: capacity, width: width, waiting: make(map[int64][]*Entry)}
+}
+
+// Name returns the queue's label.
+func (q *IQ) Name() string { return q.name }
+
+// Len returns current occupancy; Cap the capacity; Width the issue width.
+func (q *IQ) Len() int { return len(q.entries) }
+
+// Cap returns the capacity.
+func (q *IQ) Cap() int { return q.cap }
+
+// Width returns the per-cycle issue width.
+func (q *IQ) Width() int { return q.width }
+
+// Full reports whether insertion would fail.
+func (q *IQ) Full() bool { return len(q.entries) >= q.cap }
+
+// Insert queues the micro-op with the given unready operand tags. Tags
+// already ready must be omitted by the caller. Returns false when full.
+func (q *IQ) Insert(seq int64, aux int, unreadyTags []int64) bool {
+	if q.Full() {
+		return false
+	}
+	e := &Entry{Seq: seq, Aux: aux, pending: len(unreadyTags)}
+	q.entries = append(q.entries, e)
+	for _, tag := range unreadyTags {
+		q.waiting[tag] = append(q.waiting[tag], e)
+	}
+	return true
+}
+
+// Wakeup broadcasts that the value produced by tag is now readable in this
+// cluster; all entries waiting on it drop one pending operand.
+func (q *IQ) Wakeup(tag int64) {
+	ws := q.waiting[tag]
+	if len(ws) == 0 {
+		return
+	}
+	for _, e := range ws {
+		e.pending--
+		if e.pending < 0 {
+			panic(fmt.Sprintf("cluster: IQ %q double wakeup of %d", q.name, e.Seq))
+		}
+	}
+	delete(q.waiting, tag)
+	q.WakeupEvents++
+}
+
+// SelectReady pops up to max ready entries, oldest first. A max of zero or
+// a negative value selects up to the configured width. Accept filters
+// candidates (e.g. FU availability, link bandwidth); returning false leaves
+// the entry queued without consuming a selection slot.
+func (q *IQ) SelectReady(max int, accept func(*Entry) bool) []*Entry {
+	if max <= 0 || max > q.width {
+		max = q.width
+	}
+	var picked []*Entry
+	kept := q.entries[:0]
+	for _, e := range q.entries {
+		if len(picked) < max && e.Ready() && (accept == nil || accept(e)) {
+			picked = append(picked, e)
+			q.Issued++
+			continue
+		}
+		kept = append(kept, e)
+	}
+	// Zero the tail so removed entries do not pin memory.
+	for i := len(kept); i < len(q.entries); i++ {
+		q.entries[i] = nil
+	}
+	q.entries = kept
+	return picked
+}
+
+// Reset clears the queue (between runs).
+func (q *IQ) Reset() {
+	q.entries = q.entries[:0]
+	q.waiting = make(map[int64][]*Entry)
+	q.Issued, q.WakeupEvents = 0, 0
+}

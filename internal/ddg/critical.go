@@ -1,0 +1,84 @@
+package ddg
+
+// Criticality holds the critical-path metrics of a graph. The paper (§4.2)
+// computes criticality with two DDG traversals: one for depth, one for
+// height; criticality of a node is their sum, and the nodes with the
+// maximum criticality form the critical paths.
+type Criticality struct {
+	// Depth[i] is the longest-path distance (in cycles of producer
+	// latencies) from any root to node i; roots have depth 0.
+	Depth []int
+	// Height[i] is the longest-path length from node i to any leaf,
+	// including node i's own latency.
+	Height []int
+	// Crit[i] = Depth[i] + Height[i]: the length of the longest path
+	// through node i.
+	Crit []int
+	// CPLength is the critical path length of the graph (max over Crit).
+	CPLength int
+}
+
+// ComputeCriticality runs the two traversals. Nodes are in topological
+// order by construction, so a forward and a backward sweep suffice.
+func ComputeCriticality(g *Graph) *Criticality {
+	n := g.Len()
+	c := &Criticality{
+		Depth:  make([]int, n),
+		Height: make([]int, n),
+		Crit:   make([]int, n),
+	}
+	// Forward sweep: depth.
+	for i := 0; i < n; i++ {
+		d := 0
+		for _, e := range g.Nodes[i].Preds {
+			if v := c.Depth[e.To] + e.Latency; v > d {
+				d = v
+			}
+		}
+		c.Depth[i] = d
+	}
+	// Backward sweep: height.
+	for i := n - 1; i >= 0; i-- {
+		h := g.Nodes[i].Latency
+		for _, e := range g.Nodes[i].Succs {
+			if v := c.Height[e.To] + g.Nodes[i].Latency; v > h {
+				h = v
+			}
+		}
+		c.Height[i] = h
+	}
+	for i := 0; i < n; i++ {
+		c.Crit[i] = c.Depth[i] + c.Height[i]
+		if c.Crit[i] > c.CPLength {
+			c.CPLength = c.Crit[i]
+		}
+	}
+	return c
+}
+
+// Slack returns CPLength − Crit[i]: zero for nodes on a critical path.
+func (c *Criticality) Slack(i int) int { return c.CPLength - c.Crit[i] }
+
+// EdgeSlack returns the scheduling freedom of edge (u,v): how many cycles
+// the edge could stretch (e.g. by an inter-cluster copy) without growing
+// the critical path. Zero means the edge lies on a critical path.
+func (c *Criticality) EdgeSlack(g *Graph, u, v int) int {
+	lat := g.Nodes[u].Latency
+	through := c.Depth[u] + lat + c.Height[v]
+	s := c.CPLength - through
+	if s < 0 {
+		return 0
+	}
+	return s
+}
+
+// CriticalNodes returns the indices of all nodes on a critical path.
+func (c *Criticality) CriticalNodes() []int {
+	var out []int
+	for i, cr := range c.Crit {
+		if cr == c.CPLength {
+			out = append(out, i)
+		}
+	}
+	return out
+}

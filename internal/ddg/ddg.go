@@ -1,0 +1,134 @@
+// Package ddg builds data dependence graphs over compiler regions and
+// computes the critical-path metrics (depth, height, criticality, slack)
+// that drive both the paper's virtual-cluster partitioner and the RHOP
+// baseline.
+package ddg
+
+import (
+	"clustersim/internal/prog"
+	"clustersim/internal/uarch"
+)
+
+// ExpectedLoadLatency is the compile-time estimate of a load's total
+// latency (address generation + L1 hit). Compilers do not know hit/miss
+// behaviour, so the estimate assumes a first-level hit — exactly the
+// inaccuracy the paper argues software-only steering suffers from.
+const ExpectedLoadLatency = 4
+
+// Edge is a dependence edge to a consumer node.
+type Edge struct {
+	// To is the consumer node index.
+	To int
+	// Latency is the producer→consumer latency in cycles.
+	Latency int
+	// Mem marks a memory-ordering edge (store→load same stream) rather
+	// than a register dataflow edge.
+	Mem bool
+}
+
+// Node is one static op in the region with its dependence edges.
+type Node struct {
+	// Op points at the region's static op (annotations are written
+	// through it).
+	Op *prog.StaticOp
+	// Index is the node's region-wide op index.
+	Index int
+	// Latency is the compile-time latency estimate for the op.
+	Latency int
+	// Succs are outgoing dependence edges.
+	Succs []Edge
+	// Preds are incoming dependence edges (Edge.To = predecessor index).
+	Preds []Edge
+}
+
+// Graph is the data dependence graph of one region. Node order equals
+// region op order, so the graph is topologically sorted by construction
+// (dependences only point forward in a single region walk).
+type Graph struct {
+	Nodes []Node
+}
+
+// Build constructs the DDG for a region: register true dependences via a
+// last-writer table, plus memory serialization edges between stores and
+// later loads/stores of the same stream.
+func Build(r *prog.Region) *Graph {
+	g := &Graph{Nodes: make([]Node, 0, r.NumOps())}
+	r.ForEachOp(func(idx int, op *prog.StaticOp) {
+		g.Nodes = append(g.Nodes, Node{Op: op, Index: idx, Latency: estLatency(op)})
+	})
+
+	lastWriter := make(map[uarch.Reg]int, uarch.NumRegs)
+	lastStore := make(map[int]int) // stream -> node index of last store
+	for i := range g.Nodes {
+		op := g.Nodes[i].Op
+		for _, src := range [2]uarch.Reg{op.Src1, op.Src2} {
+			if src == uarch.RegNone {
+				continue
+			}
+			if w, ok := lastWriter[src]; ok {
+				g.addEdge(w, i, false)
+			}
+		}
+		if op.IsMem() {
+			if op.Opcode == uarch.OpLoad {
+				if s, ok := lastStore[op.Mem.Stream]; ok {
+					g.addEdge(s, i, true)
+				}
+			} else { // store
+				if s, ok := lastStore[op.Mem.Stream]; ok {
+					g.addEdge(s, i, true)
+				}
+				lastStore[op.Mem.Stream] = i
+			}
+		}
+		if op.Dst != uarch.RegNone {
+			lastWriter[op.Dst] = i
+		}
+	}
+	return g
+}
+
+func (g *Graph) addEdge(from, to int, mem bool) {
+	// Skip duplicate edges (e.g. src1 == src2).
+	for _, e := range g.Nodes[from].Succs {
+		if e.To == to {
+			return
+		}
+	}
+	lat := g.Nodes[from].Latency
+	g.Nodes[from].Succs = append(g.Nodes[from].Succs, Edge{To: to, Latency: lat, Mem: mem})
+	g.Nodes[to].Preds = append(g.Nodes[to].Preds, Edge{To: from, Latency: lat, Mem: mem})
+}
+
+// estLatency is the compile-time latency estimate for an op.
+func estLatency(op *prog.StaticOp) int {
+	if op.Opcode == uarch.OpLoad {
+		return ExpectedLoadLatency
+	}
+	return op.Opcode.Latency()
+}
+
+// Len returns the node count.
+func (g *Graph) Len() int { return len(g.Nodes) }
+
+// Roots returns the indices of nodes with no predecessors.
+func (g *Graph) Roots() []int {
+	var roots []int
+	for i := range g.Nodes {
+		if len(g.Nodes[i].Preds) == 0 {
+			roots = append(roots, i)
+		}
+	}
+	return roots
+}
+
+// Leaves returns the indices of nodes with no successors.
+func (g *Graph) Leaves() []int {
+	var leaves []int
+	for i := range g.Nodes {
+		if len(g.Nodes[i].Succs) == 0 {
+			leaves = append(leaves, i)
+		}
+	}
+	return leaves
+}

@@ -1,0 +1,239 @@
+package ddg
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"clustersim/internal/prog"
+	"clustersim/internal/uarch"
+)
+
+// regionOf builds a single-region program from a list of ops.
+func regionOf(t *testing.T, ops ...prog.StaticOp) *prog.Region {
+	t.Helper()
+	b := prog.NewBuilder("t")
+	for _, op := range ops {
+		b.Op(op)
+	}
+	p := b.MustBuild()
+	regions := prog.FormRegions(p, prog.RegionOptions{})
+	if len(regions) != 1 {
+		t.Fatalf("expected 1 region, got %d", len(regions))
+	}
+	return regions[0]
+}
+
+func add(dst, s1, s2 int) prog.StaticOp {
+	return prog.StaticOp{Opcode: uarch.OpAdd, Dst: uarch.IntReg(dst), Src1: uarch.IntReg(s1), Src2: uarch.IntReg(s2)}
+}
+
+func TestBuildChainDependences(t *testing.T) {
+	// r1 = r0+r0; r2 = r1+r1; r3 = r2+r2 — a pure chain.
+	r := regionOf(t, add(1, 0, 0), add(2, 1, 1), add(3, 2, 2))
+	g := Build(r)
+	if g.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", g.Len())
+	}
+	if len(g.Nodes[0].Succs) != 1 || g.Nodes[0].Succs[0].To != 1 {
+		t.Errorf("node 0 succs = %+v, want edge to 1", g.Nodes[0].Succs)
+	}
+	if len(g.Nodes[1].Succs) != 1 || g.Nodes[1].Succs[0].To != 2 {
+		t.Errorf("node 1 succs = %+v, want edge to 2", g.Nodes[1].Succs)
+	}
+	if len(g.Nodes[2].Succs) != 0 {
+		t.Errorf("node 2 should be a leaf")
+	}
+}
+
+func TestBuildNoDuplicateEdgeForRepeatedSource(t *testing.T) {
+	// Consumer uses the same producer twice (src1 == src2).
+	r := regionOf(t, add(1, 0, 0), add(2, 1, 1))
+	g := Build(r)
+	if len(g.Nodes[0].Succs) != 1 {
+		t.Errorf("duplicate edge created: %+v", g.Nodes[0].Succs)
+	}
+}
+
+func TestBuildIndependentOpsNoEdges(t *testing.T) {
+	r := regionOf(t, add(1, 0, 0), add(2, 0, 0), add(3, 0, 0))
+	g := Build(r)
+	for i := range g.Nodes {
+		if len(g.Nodes[i].Succs) != 0 || len(g.Nodes[i].Preds) != 0 {
+			t.Errorf("node %d unexpectedly has edges", i)
+		}
+	}
+	if len(g.Roots()) != 3 || len(g.Leaves()) != 3 {
+		t.Errorf("roots=%d leaves=%d, want 3/3", len(g.Roots()), len(g.Leaves()))
+	}
+}
+
+func TestMemoryOrderingEdges(t *testing.T) {
+	mem := prog.MemRef{Pattern: prog.MemStride, Stream: 7, StrideBytes: 8, WorkingSet: 1 << 12}
+	st := prog.StaticOp{Opcode: uarch.OpStore, Dst: uarch.RegNone, Src1: uarch.IntReg(1), Src2: uarch.IntReg(2), Mem: mem}
+	ld := prog.StaticOp{Opcode: uarch.OpLoad, Dst: uarch.IntReg(3), Src1: uarch.IntReg(2), Src2: uarch.RegNone, Mem: mem}
+	r := regionOf(t, st, ld)
+	g := Build(r)
+	found := false
+	for _, e := range g.Nodes[0].Succs {
+		if e.To == 1 && e.Mem {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("missing store→load memory edge on shared stream")
+	}
+}
+
+func TestNoMemoryEdgeAcrossStreams(t *testing.T) {
+	memA := prog.MemRef{Pattern: prog.MemStride, Stream: 1, StrideBytes: 8, WorkingSet: 1 << 12}
+	memB := prog.MemRef{Pattern: prog.MemStride, Stream: 2, StrideBytes: 8, WorkingSet: 1 << 12}
+	st := prog.StaticOp{Opcode: uarch.OpStore, Dst: uarch.RegNone, Src1: uarch.IntReg(1), Src2: uarch.IntReg(2), Mem: memA}
+	ld := prog.StaticOp{Opcode: uarch.OpLoad, Dst: uarch.IntReg(3), Src1: uarch.IntReg(4), Src2: uarch.RegNone, Mem: memB}
+	r := regionOf(t, st, ld)
+	g := Build(r)
+	for _, e := range g.Nodes[0].Succs {
+		if e.To == 1 && e.Mem {
+			t.Error("memory edge across distinct streams")
+		}
+	}
+}
+
+func TestGraphIsTopologicallyOrdered(t *testing.T) {
+	r := regionOf(t, add(1, 0, 0), add(2, 1, 0), add(3, 2, 1), add(4, 3, 2))
+	g := Build(r)
+	for i := range g.Nodes {
+		for _, e := range g.Nodes[i].Succs {
+			if e.To <= i {
+				t.Errorf("edge %d→%d goes backward", i, e.To)
+			}
+		}
+	}
+}
+
+func TestCriticalityChain(t *testing.T) {
+	// Chain of three adds (1 cycle each): CP length = 3.
+	r := regionOf(t, add(1, 0, 0), add(2, 1, 1), add(3, 2, 2))
+	g := Build(r)
+	c := ComputeCriticality(g)
+	if c.CPLength != 3 {
+		t.Fatalf("CPLength = %d, want 3", c.CPLength)
+	}
+	wantDepth := []int{0, 1, 2}
+	wantHeight := []int{3, 2, 1}
+	for i := range g.Nodes {
+		if c.Depth[i] != wantDepth[i] {
+			t.Errorf("Depth[%d] = %d, want %d", i, c.Depth[i], wantDepth[i])
+		}
+		if c.Height[i] != wantHeight[i] {
+			t.Errorf("Height[%d] = %d, want %d", i, c.Height[i], wantHeight[i])
+		}
+		if c.Slack(i) != 0 {
+			t.Errorf("Slack[%d] = %d, want 0 (pure chain)", i, c.Slack(i))
+		}
+	}
+	if len(c.CriticalNodes()) != 3 {
+		t.Errorf("CriticalNodes = %v, want all 3", c.CriticalNodes())
+	}
+}
+
+func TestCriticalitySideChainHasSlack(t *testing.T) {
+	// Long chain r1←r2←r3 plus an independent single op writing r4 consumed
+	// at the end: the side op has slack.
+	ops := []prog.StaticOp{
+		add(1, 0, 0), // 0: chain
+		add(2, 1, 1), // 1: chain
+		add(4, 0, 0), // 2: side
+		add(3, 2, 4), // 3: joins both
+	}
+	r := regionOf(t, ops...)
+	g := Build(r)
+	c := ComputeCriticality(g)
+	if c.Slack(2) == 0 {
+		t.Error("side-chain op should have positive slack")
+	}
+	if c.Slack(0) != 0 || c.Slack(1) != 0 || c.Slack(3) != 0 {
+		t.Error("main chain ops should have zero slack")
+	}
+	if got := c.EdgeSlack(g, 2, 3); got == 0 {
+		t.Error("edge from side op should have positive slack")
+	}
+	if got := c.EdgeSlack(g, 1, 3); got != 0 {
+		t.Errorf("critical edge slack = %d, want 0", got)
+	}
+}
+
+func TestLoadLatencyEstimate(t *testing.T) {
+	mem := prog.MemRef{Pattern: prog.MemStride, Stream: 0, StrideBytes: 8, WorkingSet: 1 << 12}
+	ld := prog.StaticOp{Opcode: uarch.OpLoad, Dst: uarch.IntReg(1), Src1: uarch.IntReg(0), Src2: uarch.RegNone, Mem: mem}
+	r := regionOf(t, ld, add(2, 1, 1))
+	g := Build(r)
+	if g.Nodes[0].Latency != ExpectedLoadLatency {
+		t.Errorf("load latency estimate = %d, want %d", g.Nodes[0].Latency, ExpectedLoadLatency)
+	}
+	c := ComputeCriticality(g)
+	if c.Depth[1] != ExpectedLoadLatency {
+		t.Errorf("consumer depth = %d, want %d", c.Depth[1], ExpectedLoadLatency)
+	}
+}
+
+// randomRegion builds a random but valid straight-line region.
+func randomRegion(rng *rand.Rand, n int) *prog.Region {
+	b := prog.NewBuilder("rand")
+	for i := 0; i < n; i++ {
+		dst := rng.Intn(uarch.NumIntRegs)
+		s1 := rng.Intn(uarch.NumIntRegs)
+		s2 := rng.Intn(uarch.NumIntRegs)
+		b.Int(uarch.OpAdd, uarch.IntReg(dst), uarch.IntReg(s1), uarch.IntReg(s2))
+	}
+	p := b.MustBuild()
+	return prog.FormRegions(p, prog.RegionOptions{MaxOps: n + 1})[0]
+}
+
+// Property: criticality = depth + height for every node, every node's
+// criticality is ≤ CP length, and CP length equals the max criticality.
+func TestCriticalityInvariantsProperty(t *testing.T) {
+	f := func(seed int64, sz uint8) bool {
+		n := int(sz)%60 + 2
+		rng := rand.New(rand.NewSource(seed))
+		g := Build(randomRegion(rng, n))
+		c := ComputeCriticality(g)
+		maxCrit := 0
+		for i := range g.Nodes {
+			if c.Crit[i] != c.Depth[i]+c.Height[i] {
+				return false
+			}
+			if c.Crit[i] > c.CPLength || c.Slack(i) < 0 {
+				return false
+			}
+			if c.Crit[i] > maxCrit {
+				maxCrit = c.Crit[i]
+			}
+		}
+		return maxCrit == c.CPLength
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: depth is monotone along edges — depth(v) ≥ depth(u) + lat(u).
+func TestDepthMonotoneProperty(t *testing.T) {
+	f := func(seed int64, sz uint8) bool {
+		n := int(sz)%60 + 2
+		rng := rand.New(rand.NewSource(seed))
+		g := Build(randomRegion(rng, n))
+		c := ComputeCriticality(g)
+		for u := range g.Nodes {
+			for _, e := range g.Nodes[u].Succs {
+				if c.Depth[e.To] < c.Depth[u]+e.Latency {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

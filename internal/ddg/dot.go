@@ -1,0 +1,74 @@
+package ddg
+
+import (
+	"fmt"
+	"strings"
+)
+
+// DotOptions controls DOT rendering.
+type DotOptions struct {
+	// Title labels the graph.
+	Title string
+	// ShowVC colors nodes by their VC annotation and bolds chain leaders
+	// (requires an annotated region).
+	ShowVC bool
+	// ShowStatic colors nodes by their static cluster annotation.
+	ShowStatic bool
+	// MarkCritical draws zero-slack nodes with doubled borders.
+	MarkCritical bool
+}
+
+// vcColors cycles per-partition fill colors (Graphviz X11 names).
+var vcColors = []string{"lightblue", "lightsalmon", "palegreen", "plum",
+	"khaki", "lightpink", "lightcyan", "wheat"}
+
+// Dot renders the graph in Graphviz DOT format: one node per static op
+// labeled with its index and opcode, dependence edges solid, memory
+// ordering edges dashed. The experiment tooling uses it to inspect
+// partitions visually (`tracegen -show ddg`).
+func Dot(g *Graph, opts DotOptions) string {
+	var b strings.Builder
+	title := opts.Title
+	if title == "" {
+		title = "ddg"
+	}
+	fmt.Fprintf(&b, "digraph %q {\n", title)
+	b.WriteString("  rankdir=TB;\n  node [shape=box, style=filled, fillcolor=white];\n")
+
+	var crit *Criticality
+	if opts.MarkCritical {
+		crit = ComputeCriticality(g)
+	}
+	for i := range g.Nodes {
+		n := &g.Nodes[i]
+		label := fmt.Sprintf("%d: %s", i, n.Op.Opcode)
+		if n.Op.Dst.Valid() {
+			label += " " + n.Op.Dst.String()
+		}
+		attrs := []string{fmt.Sprintf("label=%q", label)}
+		switch {
+		case opts.ShowVC && n.Op.Ann.VC >= 0:
+			attrs = append(attrs, fmt.Sprintf("fillcolor=%q", vcColors[n.Op.Ann.VC%len(vcColors)]))
+			if n.Op.Ann.Leader {
+				attrs = append(attrs, "penwidth=3")
+			}
+		case opts.ShowStatic && n.Op.Ann.Static >= 0:
+			attrs = append(attrs, fmt.Sprintf("fillcolor=%q", vcColors[n.Op.Ann.Static%len(vcColors)]))
+		}
+		if crit != nil && crit.Slack(i) == 0 {
+			attrs = append(attrs, "peripheries=2")
+		}
+		fmt.Fprintf(&b, "  n%d [%s];\n", i, strings.Join(attrs, ", "))
+	}
+	for i := range g.Nodes {
+		for _, e := range g.Nodes[i].Succs {
+			style := ""
+			if e.Mem {
+				style = " [style=dashed]"
+			}
+			fmt.Fprintf(&b, "  n%d -> n%d%s;\n", i, e.To, style)
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

@@ -1,0 +1,73 @@
+package ddg
+
+import (
+	"strings"
+	"testing"
+
+	"clustersim/internal/prog"
+	"clustersim/internal/uarch"
+)
+
+func dotRegion(t *testing.T) *prog.Region {
+	t.Helper()
+	b := prog.NewBuilder("dot")
+	b.Int(uarch.OpAdd, uarch.IntReg(1), uarch.IntReg(1), uarch.IntReg(1))
+	b.Int(uarch.OpMul, uarch.IntReg(2), uarch.IntReg(1), uarch.IntReg(1))
+	mem := prog.MemRef{Pattern: prog.MemStride, Stream: 1, StrideBytes: 8, WorkingSet: 4096}
+	b.Store(uarch.IntReg(2), uarch.IntReg(0), mem)
+	b.Load(uarch.IntReg(3), uarch.IntReg(0), mem)
+	p := b.MustBuild()
+	return prog.FormRegions(p, prog.RegionOptions{})[0]
+}
+
+func TestDotBasicStructure(t *testing.T) {
+	g := Build(dotRegion(t))
+	out := Dot(g, DotOptions{Title: "test"})
+	for _, want := range []string{
+		`digraph "test"`, "n0 ", "n1 ", "n0 -> n1", "}",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+	// Memory ordering edge (store→load same stream) must be dashed.
+	if !strings.Contains(out, "style=dashed") {
+		t.Error("missing dashed memory edge")
+	}
+}
+
+func TestDotVCColoring(t *testing.T) {
+	r := dotRegion(t)
+	i := 0
+	r.ForEachOp(func(_ int, op *prog.StaticOp) {
+		op.Ann.VC = i % 2
+		op.Ann.Leader = i == 0
+		i++
+	})
+	g := Build(r)
+	out := Dot(g, DotOptions{ShowVC: true})
+	if !strings.Contains(out, "lightblue") || !strings.Contains(out, "lightsalmon") {
+		t.Errorf("VC colors missing:\n%s", out)
+	}
+	if !strings.Contains(out, "penwidth=3") {
+		t.Error("leader emphasis missing")
+	}
+}
+
+func TestDotCriticalMarking(t *testing.T) {
+	g := Build(dotRegion(t))
+	out := Dot(g, DotOptions{MarkCritical: true})
+	if !strings.Contains(out, "peripheries=2") {
+		t.Error("critical-path marking missing")
+	}
+}
+
+func TestDotStaticColoring(t *testing.T) {
+	r := dotRegion(t)
+	r.ForEachOp(func(_ int, op *prog.StaticOp) { op.Ann.Static = 1 })
+	g := Build(r)
+	out := Dot(g, DotOptions{ShowStatic: true})
+	if !strings.Contains(out, "lightsalmon") {
+		t.Errorf("static coloring missing:\n%s", out)
+	}
+}

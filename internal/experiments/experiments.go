@@ -1,0 +1,100 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§5) on the simulated substrate: Figure 5 (2-cluster slowdowns
+// vs the hardware-only OP baseline), Figure 6 (copy-reduction and
+// workload-balance scatters), Figure 7 (4-cluster scalability), Tables 1–3,
+// and the design-choice ablations called out in DESIGN.md.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"clustersim/internal/sim"
+	"clustersim/internal/stats"
+	"clustersim/internal/workload"
+)
+
+// Options sizes an experiment run.
+type Options struct {
+	// NumUops is the dynamic trace length per simulation point. Zero means
+	// 120000 (the full-fidelity default; the paper's points are 10M, which
+	// only stretches the same steady states).
+	NumUops int
+	// Parallelism bounds concurrent simulations; zero means GOMAXPROCS.
+	Parallelism int
+	// Quick restricts the suite to eight representative simpoints (tests
+	// and smoke runs).
+	Quick bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.NumUops == 0 {
+		o.NumUops = 120_000
+	}
+	return o
+}
+
+func (o Options) suite() []*workload.Simpoint {
+	if o.Quick {
+		return workload.QuickSuite()
+	}
+	return workload.Suite()
+}
+
+func (o Options) runOpts() sim.RunOptions {
+	return sim.RunOptions{NumUops: o.NumUops}
+}
+
+// BenchAverage computes the per-benchmark PinPoints-weighted value, then
+// returns the plain mean over benchmarks — the aggregation behind the
+// paper's "INT AVG / FP AVG / CPU2000 AVG" bars.
+func BenchAverage(sps []*workload.Simpoint, values []float64, filter func(*workload.Simpoint) bool) float64 {
+	perBench := map[string]float64{}
+	perBenchW := map[string]float64{}
+	var order []string
+	for i, sp := range sps {
+		if filter != nil && !filter(sp) {
+			continue
+		}
+		if _, seen := perBench[sp.Bench]; !seen {
+			order = append(order, sp.Bench)
+		}
+		perBench[sp.Bench] += values[i] * sp.Weight
+		perBenchW[sp.Bench] += sp.Weight
+	}
+	var xs []float64
+	for _, b := range order {
+		if perBenchW[b] > 0 {
+			xs = append(xs, perBench[b]/perBenchW[b])
+		}
+	}
+	return stats.Mean(xs)
+}
+
+// checkErrs returns the first run error in a result matrix.
+func checkErrs(res [][]*sim.Result) error {
+	for _, row := range res {
+		for _, cell := range row {
+			if cell.Err != nil {
+				return fmt.Errorf("%s/%s: %w", cell.Simpoint.Name, cell.Setup, cell.Err)
+			}
+		}
+	}
+	return nil
+}
+
+// sortedLabels renders map keys deterministically.
+func sortedLabels(m map[string]float64) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// section renders a report header.
+func section(title string) string {
+	return fmt.Sprintf("%s\n%s\n", title, strings.Repeat("=", len(title)))
+}

@@ -1,0 +1,298 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"clustersim/internal/workload"
+)
+
+// quickOpt shrinks runs so the whole experiment suite stays test-sized.
+func quickOpt() Options { return Options{NumUops: 8000, Quick: true} }
+
+func TestFig5QualitativeShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment runs are slow")
+	}
+	r, err := Fig5(quickOpt())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != len(workload.QuickSuite()) {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	// Paper shape: one-cluster is the worst; VC beats both software-only
+	// schemes; VC stays close to OP (< 5% average).
+	if r.AllAvg["one-cluster"] < r.AllAvg["VC"] {
+		t.Errorf("one-cluster (%.2f%%) should be worse than VC (%.2f%%)",
+			r.AllAvg["one-cluster"], r.AllAvg["VC"])
+	}
+	if r.AllAvg["VC"] > r.AllAvg["OB"] || r.AllAvg["VC"] > r.AllAvg["RHOP"] {
+		t.Errorf("VC (%.2f%%) should beat OB (%.2f%%) and RHOP (%.2f%%)",
+			r.AllAvg["VC"], r.AllAvg["OB"], r.AllAvg["RHOP"])
+	}
+	if r.AllAvg["VC"] > 5 {
+		t.Errorf("VC average slowdown %.2f%%, want < 5%% (paper: 2.62%%)", r.AllAvg["VC"])
+	}
+	if r.AllAvg["one-cluster"] < 5 {
+		t.Errorf("one-cluster average %.2f%%, want > 5%% (paper: 12.19%%)", r.AllAvg["one-cluster"])
+	}
+	text := r.Render()
+	for _, want := range []string{"Figure 5", "SPECint", "SPECfp", "one-cluster", "VC", "CPU2000 AVG"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("render missing %q", want)
+		}
+	}
+}
+
+func TestFig6QualitativeShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment runs are slow")
+	}
+	r, err := Fig6(quickOpt())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Panels) != 3 {
+		t.Fatalf("panels = %d, want 3", len(r.Panels))
+	}
+	byRef := map[string]Fig6Panel{}
+	for _, p := range r.Panels {
+		byRef[p.Versus] = p
+	}
+	// Paper shape: VC reduces copies vs OB and RHOP for most traces; vs OP
+	// it generates MORE copies for most traces.
+	if byRef["OB"].CopyReducedFrac < 0.5 {
+		t.Errorf("VC reduced copies vs OB on only %.0f%% of traces",
+			byRef["OB"].CopyReducedFrac*100)
+	}
+	if byRef["RHOP"].CopyReducedFrac > 0.6 {
+		// RHOP generates few copies in our reproduction too; VC mostly
+		// pays copies for its runtime balance (see EXPERIMENTS.md).
+		t.Logf("note: VC reduced copies vs RHOP on %.0f%% of traces",
+			byRef["RHOP"].CopyReducedFrac*100)
+	}
+	if byRef["OP"].CopyReducedFrac > 0.5 {
+		t.Errorf("VC should generate MORE copies than OP on most traces; reduced on %.0f%%",
+			byRef["OP"].CopyReducedFrac*100)
+	}
+	text := r.Render()
+	if !strings.Contains(text, "VC vs OB") || !strings.Contains(text, "VC vs OP") {
+		t.Error("render missing panels")
+	}
+}
+
+func TestFig7QualitativeShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment runs are slow")
+	}
+	r, err := Fig7(quickOpt())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paper shape: VC(2→4) performs significantly better than OB and RHOP.
+	if r.AllAvg["VC(2->4)"] > r.AllAvg["OB"] {
+		t.Errorf("VC(2->4) (%.2f%%) should beat OB (%.2f%%)",
+			r.AllAvg["VC(2->4)"], r.AllAvg["OB"])
+	}
+	if r.AllAvg["VC(2->4)"] > r.AllAvg["RHOP"] {
+		t.Errorf("VC(2->4) (%.2f%%) should beat RHOP (%.2f%%)",
+			r.AllAvg["VC(2->4)"], r.AllAvg["RHOP"])
+	}
+	if r.AllAvg["VC(2->4)"] > 8 {
+		t.Errorf("VC(2->4) average %.2f%%, want < 8%% (paper: 3.64%%)", r.AllAvg["VC(2->4)"])
+	}
+	if r.CopyRatio44vs24 <= 0 {
+		t.Error("copy ratio not computed")
+	}
+	if !strings.Contains(r.Render(), "Figure 7") {
+		t.Error("render missing title")
+	}
+}
+
+func TestTable1Complexity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment runs are slow")
+	}
+	r, err := Table1(Options{NumUops: 3000, Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opU, vcU := r.OP.Units(), r.VC.Units()
+	if !opU.DependenceCheck || !opU.VoteUnit {
+		t.Error("OP must use dependence check and vote unit")
+	}
+	if vcU.DependenceCheck || vcU.VoteUnit {
+		t.Error("VC must not use dependence check or vote unit")
+	}
+	if !vcU.MappingTable || !vcU.WorkloadBalance {
+		t.Error("VC must use mapping table and workload counters")
+	}
+	text := r.Render()
+	for _, want := range []string{"dependence check", "vote unit", "mapping table", "yes", "no"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("render missing %q", want)
+		}
+	}
+}
+
+func TestTable2And3Render(t *testing.T) {
+	t2 := Table2()
+	for _, want := range []string{"48-entry INT", "32KB", "2MB", "500 cycles", "gshare"} {
+		if !strings.Contains(t2, want) {
+			t.Errorf("Table2 missing %q:\n%s", want, t2)
+		}
+	}
+	t3 := Table3()
+	for _, want := range []string{"OP", "one-cluster", "OB", "RHOP", "VC"} {
+		if !strings.Contains(t3, want) {
+			t.Errorf("Table3 missing %q", want)
+		}
+	}
+}
+
+func TestBenchAverage(t *testing.T) {
+	sps := []*workload.Simpoint{
+		{Name: "a-1", Bench: "a", Weight: 0.5},
+		{Name: "a-2", Bench: "a", Weight: 0.5},
+		{Name: "b", Bench: "b", Weight: 1},
+	}
+	// a averages to (10+20)/2 = 15, b = 30 → mean(15, 30) = 22.5
+	got := BenchAverage(sps, []float64{10, 20, 30}, nil)
+	if got != 22.5 {
+		t.Errorf("BenchAverage = %g, want 22.5", got)
+	}
+	// Filter to b only.
+	got = BenchAverage(sps, []float64{10, 20, 30}, func(sp *workload.Simpoint) bool { return sp.Bench == "b" })
+	if got != 30 {
+		t.Errorf("filtered BenchAverage = %g, want 30", got)
+	}
+}
+
+func TestAblationChainLen(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment runs are slow")
+	}
+	r, err := AblationChainLen(Options{NumUops: 5000, Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Points) != 5 {
+		t.Fatalf("points = %d, want 5", len(r.Points))
+	}
+	if !strings.Contains(r.Render(), "chain") {
+		t.Error("render missing axis")
+	}
+}
+
+func TestAblationPrefetchMonotone(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment runs are slow")
+	}
+	r, err := AblationPrefetch(Options{NumUops: 5000, Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// degree=0 is the baseline (slowdown 0); higher degrees must speed it
+	// up (negative slowdown vs the no-prefetch baseline).
+	if r.Points[0].SlowdownPct != 0 {
+		t.Errorf("baseline slowdown = %.2f, want 0", r.Points[0].SlowdownPct)
+	}
+	if r.Points[2].SlowdownPct >= 0 {
+		t.Errorf("degree-4 prefetch should be faster than none: %.2f%%", r.Points[2].SlowdownPct)
+	}
+}
+
+func TestPolicySpaceShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment runs are slow")
+	}
+	r, err := PolicySpace(Options{NumUops: 6000, Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Points) != 7 {
+		t.Fatalf("points = %d, want 7", len(r.Points))
+	}
+	byLabel := map[string]PolicyPoint{}
+	for _, pt := range r.Points {
+		byLabel[pt.Label] = pt
+	}
+	// OP is its own baseline.
+	if byLabel["OP"].SlowdownPct != 0 {
+		t.Errorf("OP self-slowdown = %.2f", byLabel["OP"].SlowdownPct)
+	}
+	// VC must be competitive with OP and beat the naive cheap heuristics.
+	if byLabel["VC"].SlowdownPct > byLabel["MOD"].SlowdownPct {
+		t.Errorf("VC (%.2f%%) should beat round-robin (%.2f%%)",
+			byLabel["VC"].SlowdownPct, byLabel["MOD"].SlowdownPct)
+	}
+	// Round-robin generates the most copies of the cheap class.
+	if byLabel["MOD"].CopiesPerKuop < byLabel["VC"].CopiesPerKuop {
+		t.Errorf("MOD copies (%.1f) should exceed VC (%.1f)",
+			byLabel["MOD"].CopiesPerKuop, byLabel["VC"].CopiesPerKuop)
+	}
+	// Complexity classes recorded correctly.
+	if !byLabel["OP"].DependenceLogic || byLabel["VC"].DependenceLogic {
+		t.Error("dependence-logic classification wrong")
+	}
+	if !strings.Contains(r.Render(), "Policy space") {
+		t.Error("render missing title")
+	}
+}
+
+func TestAblationRegionScope(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment runs are slow")
+	}
+	rs, err := AblationRegionScope(Options{NumUops: 5000, Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 3 {
+		t.Fatalf("sweeps = %d, want 3", len(rs))
+	}
+	for _, r := range rs {
+		if len(r.Points) != 3 {
+			t.Errorf("%s: points = %d, want 3 (VC, OB, RHOP)", r.Name, len(r.Points))
+		}
+	}
+}
+
+func TestAblationStallOverSteerAndCopyBandwidth(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment runs are slow")
+	}
+	sos, err := AblationStallOverSteer(Options{NumUops: 5000, Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sos.Points) != 2 {
+		t.Fatalf("stall-over-steer points = %d", len(sos.Points))
+	}
+	cbw, err := AblationCopyBandwidth(Options{NumUops: 5000, Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cbw) != 3 {
+		t.Fatalf("copy-bandwidth sweeps = %d", len(cbw))
+	}
+}
+
+func TestAblationVCComm(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment runs are slow")
+	}
+	rs, err := AblationVCComm(Options{NumUops: 5000, Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 2 {
+		t.Fatalf("sweeps = %d, want 2", len(rs))
+	}
+	for _, r := range rs {
+		if len(r.Points) != 2 {
+			t.Errorf("%s: points = %d", r.Name, len(r.Points))
+		}
+	}
+}

@@ -1,0 +1,96 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func fakeFig5() *Fig5Result {
+	return &Fig5Result{
+		Rows: []Fig5Row{
+			{Name: "gzip-1", Bench: "gzip", FP: false, Weight: 0.5, OPIPC: 1.5,
+				SlowdownPct: map[string]float64{"one-cluster": 12, "OB": 6, "RHOP": 5, "VC": 2}},
+			{Name: "swim", Bench: "swim", FP: true, Weight: 1, OPIPC: 2.0,
+				SlowdownPct: map[string]float64{"one-cluster": 9, "OB": 7, "RHOP": 4, "VC": 1}},
+		},
+		IntAvg: map[string]float64{"VC": 2},
+		FPAvg:  map[string]float64{"VC": 1},
+		AllAvg: map[string]float64{"VC": 1.5},
+	}
+}
+
+func TestFig5CSV(t *testing.T) {
+	csv := fakeFig5().CSV()
+	lines := strings.Split(strings.TrimSpace(csv), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("lines = %d, want 3", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "simpoint,bench,class,weight,op_ipc") {
+		t.Errorf("header = %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "gzip-1,gzip,int,0.500000,1.5000") {
+		t.Errorf("row = %q", lines[1])
+	}
+	if !strings.Contains(lines[2], ",fp,") {
+		t.Errorf("fp row = %q", lines[2])
+	}
+	for _, line := range lines[1:] {
+		if got := strings.Count(line, ","); got != strings.Count(lines[0], ",") {
+			t.Errorf("column count mismatch: %q", line)
+		}
+	}
+}
+
+func TestFig6CSV(t *testing.T) {
+	r := &Fig6Result{Panels: []Fig6Panel{{
+		Versus: "OB",
+		Points: []Fig6Point{{Name: "mcf", SpeedupPct: 3, CopyReductionPct: 40, BalanceImprovementPct: -5}},
+	}}}
+	csv := r.CSV()
+	if !strings.Contains(csv, "OB,mcf,3.0000,40.0000,-5.0000") {
+		t.Errorf("csv:\n%s", csv)
+	}
+}
+
+func TestFig7CSVNameSanitization(t *testing.T) {
+	r := &Fig7Result{Rows: []Fig7Row{{
+		Name: "apsi", Bench: "apsi", FP: true, Weight: 1,
+		SlowdownPct: map[string]float64{"OB": 1, "RHOP": 2, "VC": 3, "VC(2->4)": 4},
+	}}}
+	csv := r.CSV()
+	if strings.Contains(csv, "(") || strings.Contains(csv, ">") {
+		t.Errorf("unsanitized header:\n%s", csv)
+	}
+	if !strings.Contains(csv, "VC2to4_slowdown_pct") {
+		t.Errorf("csv header:\n%s", csv)
+	}
+}
+
+func TestAblationCSV(t *testing.T) {
+	r := &AblationResult{
+		Name: "x", Axis: "cap",
+		Points: []AblationPoint{{Label: "chain<=8", SlowdownPct: 1.5, CopiesPerKuop: 88}},
+	}
+	if !strings.Contains(r.CSV(), "chain<=8,1.5000,88.0000") {
+		t.Errorf("csv:\n%s", r.CSV())
+	}
+}
+
+func TestWriteJSONRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, fakeFig5()); err != nil {
+		t.Fatal(err)
+	}
+	var back Fig5Result
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Rows) != 2 || back.Rows[0].Name != "gzip-1" {
+		t.Errorf("round trip lost data: %+v", back)
+	}
+	if back.AllAvg["VC"] != 1.5 {
+		t.Errorf("averages lost: %+v", back.AllAvg)
+	}
+}

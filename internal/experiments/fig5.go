@@ -1,0 +1,115 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"clustersim/internal/sim"
+	"clustersim/internal/stats"
+	"clustersim/internal/workload"
+)
+
+// Fig5Configs are the non-baseline configurations of Figure 5, in the
+// paper's legend order.
+var Fig5Configs = []string{"one-cluster", "OB", "RHOP", "VC"}
+
+// Fig5Row is one simulation point's slowdowns relative to OP.
+type Fig5Row struct {
+	// Name and FP identify the simpoint; Weight is its PinPoints weight.
+	Name   string
+	Bench  string
+	FP     bool
+	Weight float64
+	// SlowdownPct maps config label → slowdown% vs OP (positive = slower).
+	SlowdownPct map[string]float64
+	// OPIPC is the baseline IPC, for context.
+	OPIPC float64
+}
+
+// Fig5Result reproduces Figure 5: per-simpoint slowdowns on the 2-cluster
+// machine (a: SPECint, b: SPECfp) and the averages (c).
+type Fig5Result struct {
+	Rows []Fig5Row
+	// IntAvg, FPAvg, AllAvg map config label → average slowdown% (the
+	// paper's headline: one-cluster 12.19, OB 6.50, RHOP 5.40, VC 2.62).
+	IntAvg, FPAvg, AllAvg map[string]float64
+}
+
+// Fig5 runs the five Table 3 configurations over the suite on the
+// 2-cluster machine.
+func Fig5(opt Options) (*Fig5Result, error) {
+	opt = opt.withDefaults()
+	sps := opt.suite()
+	setups := []sim.Setup{
+		sim.SetupOP(2),
+		sim.SetupOneCluster(2),
+		sim.SetupOB(2),
+		sim.SetupRHOP(2),
+		sim.SetupVC(2, 2),
+	}
+	res := sim.RunMatrix(sps, setups, opt.runOpts(), opt.Parallelism)
+	if err := checkErrs(res); err != nil {
+		return nil, err
+	}
+	out := &Fig5Result{
+		IntAvg: map[string]float64{},
+		FPAvg:  map[string]float64{},
+		AllAvg: map[string]float64{},
+	}
+	perConfig := map[string][]float64{}
+	for i, sp := range sps {
+		base := res[i][0].Metrics
+		row := Fig5Row{
+			Name: sp.Name, Bench: sp.Bench, FP: sp.FP, Weight: sp.Weight,
+			SlowdownPct: map[string]float64{},
+			OPIPC:       base.IPC(),
+		}
+		for j := 1; j < len(setups); j++ {
+			label := setups[j].Label
+			sl := stats.SlowdownPct(res[i][j].Metrics.Cycles, base.Cycles)
+			row.SlowdownPct[label] = sl
+			perConfig[label] = append(perConfig[label], sl)
+		}
+		out.Rows = append(out.Rows, row)
+	}
+	for _, label := range Fig5Configs {
+		vals := perConfig[label]
+		out.IntAvg[label] = BenchAverage(sps, vals, func(sp *workload.Simpoint) bool { return !sp.FP })
+		out.FPAvg[label] = BenchAverage(sps, vals, func(sp *workload.Simpoint) bool { return sp.FP })
+		out.AllAvg[label] = BenchAverage(sps, vals, nil)
+	}
+	return out, nil
+}
+
+// Render produces the text report (panels a, b, c of Figure 5).
+func (r *Fig5Result) Render() string {
+	var b strings.Builder
+	b.WriteString(section("Figure 5: slowdown vs OP (2-cluster machine)"))
+	for _, part := range []struct {
+		title string
+		fp    bool
+	}{{"(a) SPECint 2000", false}, {"(b) SPECfp 2000", true}} {
+		fmt.Fprintf(&b, "\n%s\n", part.title)
+		tab := stats.NewTable(append([]string{"simpoint"}, append(append([]string{}, Fig5Configs...), "OP IPC")...)...)
+		for _, row := range r.Rows {
+			if row.FP != part.fp {
+				continue
+			}
+			cells := []any{row.Name}
+			for _, cfg := range Fig5Configs {
+				cells = append(cells, row.SlowdownPct[cfg])
+			}
+			cells = append(cells, row.OPIPC)
+			tab.Row(cells...)
+		}
+		b.WriteString(tab.String())
+	}
+	b.WriteString("\n(c) averages (slowdown % vs OP)\n")
+	tab := stats.NewTable("config", "INT AVG", "FP AVG", "CPU2000 AVG", "paper CPU2000 AVG")
+	paper := map[string]float64{"one-cluster": 12.19, "OB": 6.50, "RHOP": 5.40, "VC": 2.62}
+	for _, cfg := range Fig5Configs {
+		tab.Row(cfg, r.IntAvg[cfg], r.FPAvg[cfg], r.AllAvg[cfg], paper[cfg])
+	}
+	b.WriteString(tab.String())
+	return b.String()
+}

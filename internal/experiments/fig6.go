@@ -1,0 +1,113 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"clustersim/internal/sim"
+	"clustersim/internal/stats"
+)
+
+// Fig6Point is one trace's comparison of VC against a reference
+// configuration (the paper plots one point per PinPoints trace).
+type Fig6Point struct {
+	// Name is the simpoint.
+	Name string
+	// SpeedupPct is VC's speedup over the reference (x axis).
+	SpeedupPct float64
+	// CopyReductionPct is the reduction in copy micro-ops VC achieves
+	// (y axis of panels a.*).
+	CopyReductionPct float64
+	// BalanceImprovementPct is the reduction in issue-queue allocation
+	// stalls (y axis of panels b.*; the paper's workload-balance metric).
+	BalanceImprovementPct float64
+}
+
+// Fig6Panel compares VC with one reference configuration.
+type Fig6Panel struct {
+	// Versus is the reference label ("OB", "RHOP", "OP").
+	Versus string
+	Points []Fig6Point
+	// CopyReducedFrac is the fraction of traces where VC reduced copies;
+	// BalanceImprovedFrac likewise for allocation stalls.
+	CopyReducedFrac, BalanceImprovedFrac float64
+}
+
+// Fig6Result reproduces Figure 6's three comparisons on the 2-cluster
+// machine: VC vs OB (a.1/b.1), VC vs RHOP (a.2/b.2), VC vs OP (a.3/b.3).
+type Fig6Result struct {
+	Panels []Fig6Panel
+}
+
+// Fig6 runs VC against OB, RHOP and OP per trace.
+func Fig6(opt Options) (*Fig6Result, error) {
+	opt = opt.withDefaults()
+	sps := opt.suite()
+	setups := []sim.Setup{
+		sim.SetupVC(2, 2), // index 0: the subject
+		sim.SetupOB(2),
+		sim.SetupRHOP(2),
+		sim.SetupOP(2),
+	}
+	res := sim.RunMatrix(sps, setups, opt.runOpts(), opt.Parallelism)
+	if err := checkErrs(res); err != nil {
+		return nil, err
+	}
+	out := &Fig6Result{}
+	for ref := 1; ref < len(setups); ref++ {
+		panel := Fig6Panel{Versus: setups[ref].Label}
+		reduced, improved := 0, 0
+		for i, sp := range sps {
+			vc := res[i][0].Metrics
+			other := res[i][ref].Metrics
+			pt := Fig6Point{
+				Name:             sp.Name,
+				SpeedupPct:       stats.SpeedupPct(vc.Cycles, other.Cycles),
+				CopyReductionPct: stats.ReductionPct(float64(vc.Copies), float64(other.Copies)),
+				BalanceImprovementPct: stats.ReductionPct(
+					float64(vc.AllocStallCycles), float64(other.AllocStallCycles)),
+			}
+			if pt.CopyReductionPct > 0 {
+				reduced++
+			}
+			if pt.BalanceImprovementPct > 0 {
+				improved++
+			}
+			panel.Points = append(panel.Points, pt)
+		}
+		if n := len(panel.Points); n > 0 {
+			panel.CopyReducedFrac = float64(reduced) / float64(n)
+			panel.BalanceImprovedFrac = float64(improved) / float64(n)
+		}
+		out.Panels = append(out.Panels, panel)
+	}
+	return out, nil
+}
+
+// Render produces the six scatter panels plus quadrant summaries.
+func (r *Fig6Result) Render() string {
+	var b strings.Builder
+	b.WriteString(section("Figure 6: VC vs OB/RHOP/OP — copy reduction and workload balance"))
+	for _, panel := range r.Panels {
+		copySc := stats.NewScatter(
+			fmt.Sprintf("(a) VC vs %s", panel.Versus), "speedup (%)", "copy reduction (%)")
+		balSc := stats.NewScatter(
+			fmt.Sprintf("(b) VC vs %s", panel.Versus), "speedup (%)", "workload balance improvement (%)")
+		for _, pt := range panel.Points {
+			copySc.Add(pt.SpeedupPct, pt.CopyReductionPct)
+			balSc.Add(pt.SpeedupPct, pt.BalanceImprovementPct)
+		}
+		b.WriteByte('\n')
+		b.WriteString(copySc.String())
+		b.WriteByte('\n')
+		b.WriteString(balSc.String())
+		fmt.Fprintf(&b, "VC reduces copies on %.0f%% of traces, improves balance on %.0f%% (vs %s)\n",
+			panel.CopyReducedFrac*100, panel.BalanceImprovedFrac*100, panel.Versus)
+	}
+	b.WriteString(`
+Paper's reading: VC reduces copies and improves balance vs OB for most
+traces (a.1/b.1); vs RHOP it wins on copies while often losing balance
+(a.2/b.2); vs OP it wins balance but generates more copies (a.3/b.3).
+`)
+	return b.String()
+}

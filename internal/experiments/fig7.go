@@ -1,0 +1,119 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"clustersim/internal/sim"
+	"clustersim/internal/stats"
+	"clustersim/internal/workload"
+)
+
+// Fig7Configs are the non-baseline configurations of Figure 7.
+var Fig7Configs = []string{"OB", "RHOP", "VC", "VC(2->4)"}
+
+// Fig7Row is one simulation point's 4-cluster slowdowns vs OP.
+type Fig7Row struct {
+	Name   string
+	Bench  string
+	FP     bool
+	Weight float64
+	// SlowdownPct maps config label → slowdown% vs the 4-cluster OP.
+	SlowdownPct map[string]float64
+}
+
+// Fig7Result reproduces Figure 7: scalability to four clusters, including
+// the two VC variants VC(4→4) (label "VC") and VC(2→4), plus the §5.4
+// copy-count comparison between them.
+type Fig7Result struct {
+	Rows                  []Fig7Row
+	IntAvg, FPAvg, AllAvg map[string]float64
+	// CopyRatio44vs24 is total VC(4→4) copies / VC(2→4) copies (the paper
+	// reports ≈1.28: 28% more copies with four virtual clusters).
+	CopyRatio44vs24 float64
+}
+
+// Fig7 runs the 4-cluster configurations. The paper's Figure 7 omits
+// applu; the full suite keeps it (one extra FP point does not change the
+// averages' character).
+func Fig7(opt Options) (*Fig7Result, error) {
+	opt = opt.withDefaults()
+	sps := opt.suite()
+	setups := []sim.Setup{
+		sim.SetupOP(4),
+		sim.SetupOB(4),
+		sim.SetupRHOP(4),
+		sim.SetupVC(4, 4),
+		sim.SetupVC(2, 4),
+	}
+	res := sim.RunMatrix(sps, setups, opt.runOpts(), opt.Parallelism)
+	if err := checkErrs(res); err != nil {
+		return nil, err
+	}
+	out := &Fig7Result{
+		IntAvg: map[string]float64{},
+		FPAvg:  map[string]float64{},
+		AllAvg: map[string]float64{},
+	}
+	perConfig := map[string][]float64{}
+	var cp44, cp24 int64
+	for i, sp := range sps {
+		base := res[i][0].Metrics
+		row := Fig7Row{
+			Name: sp.Name, Bench: sp.Bench, FP: sp.FP, Weight: sp.Weight,
+			SlowdownPct: map[string]float64{},
+		}
+		for j := 1; j < len(setups); j++ {
+			label := setups[j].Label
+			sl := stats.SlowdownPct(res[i][j].Metrics.Cycles, base.Cycles)
+			row.SlowdownPct[label] = sl
+			perConfig[label] = append(perConfig[label], sl)
+		}
+		cp44 += res[i][3].Metrics.Copies
+		cp24 += res[i][4].Metrics.Copies
+		out.Rows = append(out.Rows, row)
+	}
+	for _, label := range Fig7Configs {
+		vals := perConfig[label]
+		out.IntAvg[label] = BenchAverage(sps, vals, func(sp *workload.Simpoint) bool { return !sp.FP })
+		out.FPAvg[label] = BenchAverage(sps, vals, func(sp *workload.Simpoint) bool { return sp.FP })
+		out.AllAvg[label] = BenchAverage(sps, vals, nil)
+	}
+	if cp24 > 0 {
+		out.CopyRatio44vs24 = float64(cp44) / float64(cp24)
+	}
+	return out, nil
+}
+
+// Render produces the text report (panels a, b, c of Figure 7).
+func (r *Fig7Result) Render() string {
+	var b strings.Builder
+	b.WriteString(section("Figure 7: slowdown vs OP (4-cluster machine)"))
+	for _, part := range []struct {
+		title string
+		fp    bool
+	}{{"(a) SPECint 2000", false}, {"(b) SPECfp 2000", true}} {
+		fmt.Fprintf(&b, "\n%s\n", part.title)
+		tab := stats.NewTable(append([]string{"simpoint"}, Fig7Configs...)...)
+		for _, row := range r.Rows {
+			if row.FP != part.fp {
+				continue
+			}
+			cells := []any{row.Name}
+			for _, cfg := range Fig7Configs {
+				cells = append(cells, row.SlowdownPct[cfg])
+			}
+			tab.Row(cells...)
+		}
+		b.WriteString(tab.String())
+	}
+	b.WriteString("\n(c) averages (slowdown % vs OP)\n")
+	paper := map[string]float64{"OB": 12.45, "RHOP": 12.69, "VC": 12.96, "VC(2->4)": 3.64}
+	tab := stats.NewTable("config", "INT AVG", "FP AVG", "CPU2000 AVG", "paper CPU2000 AVG")
+	for _, cfg := range Fig7Configs {
+		tab.Row(cfg, r.IntAvg[cfg], r.FPAvg[cfg], r.AllAvg[cfg], paper[cfg])
+	}
+	b.WriteString(tab.String())
+	fmt.Fprintf(&b, "\nVC(4->4) vs VC(2->4) total copies: %.2fx (paper: 1.28x)\n", r.CopyRatio44vs24)
+	return b.String()
+}

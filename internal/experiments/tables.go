@@ -1,0 +1,136 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"clustersim/internal/pipeline"
+	"clustersim/internal/sim"
+	"clustersim/internal/stats"
+	"clustersim/internal/steer"
+	"clustersim/internal/workload"
+)
+
+// Table1Result quantifies the paper's Table 1 complexity comparison by
+// running the same workload under the hardware-only OP policy and the
+// hybrid VC policy and accounting the steering-logic operations each
+// performed.
+type Table1Result struct {
+	// OP and VC are the per-policy complexity counters.
+	OP, VC steer.Complexity
+	// Workload names the measured trace set.
+	Workload string
+}
+
+// Table1 measures steering-logic activity over the quick suite (the counts
+// are rates; any workload yields the same qualitative table).
+func Table1(opt Options) (*Table1Result, error) {
+	opt = opt.withDefaults()
+	sps := opt.suite()
+	setups := []sim.Setup{sim.SetupOP(2), sim.SetupVC(2, 2)}
+	res := sim.RunMatrix(sps, setups, opt.runOpts(), opt.Parallelism)
+	if err := checkErrs(res); err != nil {
+		return nil, err
+	}
+	out := &Table1Result{Workload: fmt.Sprintf("%d simpoints: %s", len(sps), suiteNames(sps))}
+	for i := range sps {
+		out.OP.Add(res[i][0].Complexity)
+		out.VC.Add(res[i][1].Complexity)
+	}
+	return out, nil
+}
+
+// Render produces the paper's yes/no unit table plus measured activity
+// rates per thousand steered micro-ops.
+func (r *Table1Result) Render() string {
+	var b strings.Builder
+	b.WriteString(section("Table 1: steering complexity — hardware-only OP vs hybrid VC"))
+	yn := func(v bool) string {
+		if v {
+			return "yes"
+		}
+		return "no"
+	}
+	opU, vcU := r.OP.Units(), r.VC.Units()
+	tab := stats.NewTable("unit", "hardware-only OP", "hybrid VC")
+	tab.Row("dependence check", yn(opU.DependenceCheck), yn(vcU.DependenceCheck))
+	tab.Row("workload balance management", yn(opU.WorkloadBalance), yn(vcU.WorkloadBalance))
+	tab.Row("vote unit", yn(opU.VoteUnit), yn(vcU.VoteUnit))
+	tab.Row("VC->PC mapping table", yn(opU.MappingTable), yn(vcU.MappingTable))
+	b.WriteString(tab.String())
+
+	b.WriteString("\nMeasured steering-logic activity (operations per 1000 steered micro-ops):\n")
+	rates := stats.NewTable("operation", "OP", "VC")
+	rates.Row("location-table reads (dependence check)",
+		steer.PerKuop(r.OP.DependenceChecks, r.OP.Steered),
+		steer.PerKuop(r.VC.DependenceChecks, r.VC.Steered))
+	rates.Row("vote evaluations",
+		steer.PerKuop(r.OP.VoteOps, r.OP.Steered),
+		steer.PerKuop(r.VC.VoteOps, r.VC.Steered))
+	rates.Row("serialized same-bundle decisions",
+		steer.PerKuop(r.OP.SerializedDecisions, r.OP.Steered),
+		steer.PerKuop(r.VC.SerializedDecisions, r.VC.Steered))
+	rates.Row("workload counter reads",
+		steer.PerKuop(r.OP.CounterReads, r.OP.Steered),
+		steer.PerKuop(r.VC.CounterReads, r.VC.Steered))
+	rates.Row("mapping-table reads",
+		steer.PerKuop(r.OP.MapReads, r.OP.Steered),
+		steer.PerKuop(r.VC.MapReads, r.VC.Steered))
+	rates.Row("mapping-table writes",
+		steer.PerKuop(r.OP.MapWrites, r.OP.Steered),
+		steer.PerKuop(r.VC.MapWrites, r.VC.Steered))
+	b.WriteString(rates.String())
+	fmt.Fprintf(&b, "\nworkload: %s\n", r.Workload)
+	return b.String()
+}
+
+// Table2 renders the architectural parameters (paper Table 2) from the
+// live default configuration, so the report always reflects the simulated
+// machine.
+func Table2() string {
+	cfg := pipeline.DefaultConfig(2)
+	var b strings.Builder
+	b.WriteString(section("Table 2: architectural parameters"))
+	tab := stats.NewTable("parameter", "value")
+	tab.Row("fetch", fmt.Sprintf("%d micro-ops/cycle, %d cycle fetch-to-dispatch", cfg.FetchWidth, cfg.FetchToDispatch))
+	tab.Row("decode/rename/steer", fmt.Sprintf("%d micro-ops/cycle (3+3), 1 cycle latency", cfg.SteerWidth))
+	tab.Row("reorder buffer", fmt.Sprintf("%d entries (256+256), commit %d/cycle (3+3)", cfg.ROBSize, cfg.CommitWidth))
+	tab.Row("issue queues (per cluster)", fmt.Sprintf("%d-entry INT %d/cycle, %d-entry FP %d/cycle, %d-entry COPY %d/cycle",
+		cfg.Cluster.IQInt, cfg.Cluster.IssueInt, cfg.Cluster.IQFP, cfg.Cluster.IssueFP, cfg.Cluster.IQCopy, cfg.Cluster.IssueCopy))
+	tab.Row("register files (per cluster)", fmt.Sprintf("%d INT + %d FP", cfg.Cluster.IntRegs, cfg.Cluster.FPRegs))
+	tab.Row("inter-cluster links", fmt.Sprintf("point-to-point, %d cycle latency, %d copy/cycle/direction",
+		cfg.Net.Latency, cfg.Net.BandwidthPerLink))
+	tab.Row("L1 data cache", fmt.Sprintf("%dKB, %d-way, %d cycle hit, %dR+%dW ports",
+		cfg.Mem.L1.SizeBytes>>10, cfg.Mem.L1.Assoc, cfg.Mem.L1.HitLatency, cfg.Mem.L1.ReadPorts, cfg.Mem.L1.WritePorts))
+	tab.Row("load/store queue", fmt.Sprintf("%d entries, unified", cfg.LSQSize))
+	tab.Row("L2 unified cache", fmt.Sprintf("%dMB, %d-way, %d cycle hit",
+		cfg.Mem.L2.SizeBytes>>20, cfg.Mem.L2.Assoc, cfg.Mem.L2.HitLatency))
+	tab.Row("memory", fmt.Sprintf("%d cycles, %d MSHRs, degree-%d tagged stream prefetcher",
+		cfg.Mem.MemLatency, cfg.Mem.MSHRs, cfg.Mem.PrefetchDegree))
+	tab.Row("branch predictor", fmt.Sprintf("gshare, %d-bit index", cfg.BPredBits))
+	b.WriteString(tab.String())
+	return b.String()
+}
+
+// Table3 renders the evaluated configurations (paper Table 3).
+func Table3() string {
+	var b strings.Builder
+	b.WriteString(section("Table 3: evaluated configurations"))
+	tab := stats.NewTable("configuration", "description")
+	tab.Row("OP", "occupancy-aware hardware-only steering [González et al. 2004] — baseline")
+	tab.Row("one-cluster", "every micro-op steered to one physical cluster")
+	tab.Row("OB", "static-placement dynamic-issue operation-based steering [Nagarajan et al. 2004]")
+	tab.Row("RHOP", "region-based hierarchical operation partitioning [Chu et al. 2003]")
+	tab.Row("VC", "this paper: hybrid steering via virtual clusters")
+	b.WriteString(tab.String())
+	return b.String()
+}
+
+// suiteNames lists suite membership for reports.
+func suiteNames(sps []*workload.Simpoint) string {
+	names := make([]string, len(sps))
+	for i, sp := range sps {
+		names[i] = sp.Name
+	}
+	return strings.Join(names, ", ")
+}

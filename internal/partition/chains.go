@@ -1,0 +1,90 @@
+package partition
+
+import (
+	"clustersim/internal/ddg"
+	"clustersim/internal/prog"
+)
+
+// MarkChains identifies chains and chain leaders over a VC-annotated region
+// (step 3 of Fig. 2, chain structure per Fig. 3). A chain is a dependence
+// chain within one virtual cluster: ops of different VCs may interleave in
+// program order while each VC's mapping persists in the hardware table, so
+// chains are delimited per VC, not by program-order VC changes.
+//
+// An op starts a new chain of its VC (and is marked as the leader) when:
+//   - it has no dependence predecessor inside the same VC — it roots a
+//     fresh dependence chain, so remapping it to the least-loaded cluster
+//     cannot cut a live same-VC value chain; or
+//   - the current chain reached maxChainLen — the bound guarantees the
+//     hardware re-checks workload balance periodically (the knob the
+//     ablation benchmarks sweep).
+//
+// vcOf gives each DDG node's virtual cluster; results land in Ann.Leader.
+func MarkChains(g *ddg.Graph, vcOf []int, maxChainLen int) {
+	if maxChainLen <= 0 {
+		maxChainLen = 32
+	}
+	runLen := map[int]int{} // per-VC ops since last leader
+	for i := range g.Nodes {
+		vc := vcOf[i]
+		if vc < 0 {
+			g.Nodes[i].Op.Ann.Leader = false
+			continue
+		}
+		sameVCPred := false
+		for _, e := range g.Nodes[i].Preds {
+			if vcOf[e.To] == vc {
+				sameVCPred = true
+				break
+			}
+		}
+		leader := !sameVCPred || runLen[vc] >= maxChainLen
+		g.Nodes[i].Op.Ann.Leader = leader
+		if leader {
+			runLen[vc] = 0
+		}
+		runLen[vc]++
+	}
+}
+
+// ChainStats summarizes the chain structure of an annotated region.
+type ChainStats struct {
+	// Chains is the number of chains (equals the number of leaders).
+	Chains int
+	// Ops is the number of VC-annotated ops.
+	Ops int
+	// MaxLen and MeanLen describe chain lengths (ops per VC between
+	// leaders of that VC).
+	MaxLen  int
+	MeanLen float64
+}
+
+// CollectChainStats scans an annotated region.
+func CollectChainStats(r *prog.Region) ChainStats {
+	var st ChainStats
+	runLen := map[int]int{}
+	flush := func(vc int) {
+		if runLen[vc] > st.MaxLen {
+			st.MaxLen = runLen[vc]
+		}
+		runLen[vc] = 0
+	}
+	r.ForEachOp(func(_ int, op *prog.StaticOp) {
+		if op.Ann.VC < 0 {
+			return
+		}
+		st.Ops++
+		if op.Ann.Leader {
+			flush(op.Ann.VC)
+			st.Chains++
+		}
+		runLen[op.Ann.VC]++
+	})
+	for vc := range runLen {
+		flush(vc)
+	}
+	if st.Chains > 0 {
+		st.MeanLen = float64(st.Ops) / float64(st.Chains)
+	}
+	return st
+}

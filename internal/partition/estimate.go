@@ -1,0 +1,84 @@
+package partition
+
+import (
+	"clustersim/internal/ddg"
+	"clustersim/internal/prog"
+)
+
+// Quality summarizes a compile-time partition of one region: the
+// communication a static assignment implies and how evenly it spreads
+// work. The compiler-side analogue of the runtime copy/balance metrics,
+// used by tests and by tracegen to explain partition decisions.
+type Quality struct {
+	// CutEdges counts dependence edges whose endpoints sit in different
+	// partitions (each becomes a copy when the mapping differs).
+	CutEdges int
+	// TotalEdges counts all dependence edges.
+	TotalEdges int
+	// CriticalCutEdges counts cut edges with zero slack: each lengthens
+	// the region's critical path by the copy latency.
+	CriticalCutEdges int
+	// Load is the per-partition op count.
+	Load []int
+	// ImbalancePct is (max load − min load) / mean load × 100.
+	ImbalancePct float64
+}
+
+// CutFraction returns CutEdges/TotalEdges (0 when the region has no edges).
+func (q *Quality) CutFraction() float64 {
+	if q.TotalEdges == 0 {
+		return 0
+	}
+	return float64(q.CutEdges) / float64(q.TotalEdges)
+}
+
+// EvaluateStatic measures the quality of a Static (OB/RHOP) annotation
+// over the region, for k partitions.
+func EvaluateStatic(r *prog.Region, k int) Quality {
+	return evaluate(r, k, func(op *prog.StaticOp) int { return op.Ann.Static })
+}
+
+// EvaluateVC measures the quality of a VC annotation over the region, for
+// k virtual clusters. Cut edges here are cross-VC edges: whether they cost
+// a copy at runtime depends on the mapping table, so this is the lower
+// bound on colocated dataflow.
+func EvaluateVC(r *prog.Region, k int) Quality {
+	return evaluate(r, k, func(op *prog.StaticOp) int { return op.Ann.VC })
+}
+
+func evaluate(r *prog.Region, k int, partOf func(*prog.StaticOp) int) Quality {
+	g := ddg.Build(r)
+	crit := ddg.ComputeCriticality(g)
+	q := Quality{Load: make([]int, k)}
+	for i := range g.Nodes {
+		pi := partOf(g.Nodes[i].Op)
+		if pi >= 0 && pi < k {
+			q.Load[pi]++
+		}
+		for _, e := range g.Nodes[i].Succs {
+			q.TotalEdges++
+			pj := partOf(g.Nodes[e.To].Op)
+			if pi != pj {
+				q.CutEdges++
+				if crit.EdgeSlack(g, i, e.To) == 0 {
+					q.CriticalCutEdges++
+				}
+			}
+		}
+	}
+	minL, maxL, sum := int(^uint(0)>>1), 0, 0
+	for _, l := range q.Load {
+		if l < minL {
+			minL = l
+		}
+		if l > maxL {
+			maxL = l
+		}
+		sum += l
+	}
+	if sum > 0 {
+		mean := float64(sum) / float64(k)
+		q.ImbalancePct = float64(maxL-minL) / mean * 100
+	}
+	return q
+}

@@ -1,0 +1,88 @@
+package partition
+
+import (
+	"testing"
+
+	"clustersim/internal/prog"
+	"clustersim/internal/workload"
+)
+
+func TestEvaluateStaticOnChains(t *testing.T) {
+	_, r := linearRegion(t, twoChains(6)...)
+	AssignRHOP(r, Options{NumClusters: 2})
+	q := EvaluateStatic(r, 2)
+	if q.TotalEdges == 0 {
+		t.Fatal("no edges found")
+	}
+	// Two independent chains split cleanly: no cut edges needed.
+	if q.CutEdges != 0 {
+		t.Errorf("RHOP cut %d edges on separable chains", q.CutEdges)
+	}
+	if q.Load[0]+q.Load[1] != 12 {
+		t.Errorf("loads %v do not cover 12 ops", q.Load)
+	}
+	if q.ImbalancePct > 20 {
+		t.Errorf("imbalance %.1f%% on symmetric chains", q.ImbalancePct)
+	}
+}
+
+func TestEvaluateVCOnChains(t *testing.T) {
+	_, r := linearRegion(t, twoChains(6)...)
+	AssignVC(r, Options{NumVC: 2})
+	q := EvaluateVC(r, 2)
+	if q.CutEdges != 0 {
+		t.Errorf("VC cut %d edges on separable chains", q.CutEdges)
+	}
+	if q.CutFraction() != 0 {
+		t.Errorf("cut fraction %.2f", q.CutFraction())
+	}
+}
+
+func TestEvaluateCountsCriticalCuts(t *testing.T) {
+	// A single serial chain forcibly split in half: the cut edge is
+	// critical.
+	var ops []prog.StaticOp
+	for i := 0; i < 6; i++ {
+		ops = append(ops, addOp(1, 1, 1))
+	}
+	_, r := linearRegion(t, ops...)
+	i := 0
+	r.ForEachOp(func(_ int, op *prog.StaticOp) {
+		c := 0
+		if i >= 3 {
+			c = 1
+		}
+		op.Ann.Static = c
+		i++
+	})
+	q := EvaluateStatic(r, 2)
+	if q.CutEdges != 1 {
+		t.Fatalf("cut edges = %d, want 1", q.CutEdges)
+	}
+	if q.CriticalCutEdges != 1 {
+		t.Errorf("critical cut edges = %d, want 1 (the chain is all-critical)", q.CriticalCutEdges)
+	}
+}
+
+func TestPartitionQualityOrderingOnSuite(t *testing.T) {
+	// Across the quick suite, the VC partitioner must colocate dataflow at
+	// least as well as the balance-first OB placement (fewer cut edges).
+	var vcCuts, obCuts int
+	for _, sp := range workload.QuickSuite() {
+		pVC := sp.Program.Clone()
+		AnnotateVC(pVC, Options{NumVC: 2})
+		for _, r := range prog.FormRegions(pVC, prog.RegionOptions{}) {
+			q := EvaluateVC(r, 2)
+			vcCuts += q.CutEdges
+		}
+		pOB := sp.Program.Clone()
+		AnnotateOB(pOB, Options{NumClusters: 2})
+		for _, r := range prog.FormRegions(pOB, prog.RegionOptions{}) {
+			q := EvaluateStatic(r, 2)
+			obCuts += q.CutEdges
+		}
+	}
+	if vcCuts >= obCuts {
+		t.Errorf("VC cut %d edges vs OB %d — chains should colocate dataflow", vcCuts, obCuts)
+	}
+}

@@ -1,0 +1,237 @@
+package partition
+
+// Multilevel k-way graph partitioner in the style of Karypis/Kumar, used by
+// the RHOP pass: heavy-edge coarsening down to k super-nodes (which become
+// the initial partition), then FM-style refinement while walking the
+// coarsening hierarchy back up.
+
+// wgraph is an undirected weighted graph. Edges are stored symmetrically;
+// parallel edges are folded by weight addition.
+type wgraph struct {
+	nodeW []int         // node weights (resource demand)
+	adj   []map[int]int // adj[u][v] = edge weight
+}
+
+func newWGraph(n int) *wgraph {
+	g := &wgraph{nodeW: make([]int, n), adj: make([]map[int]int, n)}
+	for i := range g.adj {
+		g.adj[i] = make(map[int]int)
+	}
+	return g
+}
+
+func (g *wgraph) addEdge(u, v, w int) {
+	if u == v || w <= 0 {
+		return
+	}
+	g.adj[u][v] += w
+	g.adj[v][u] += w
+}
+
+func (g *wgraph) len() int { return len(g.nodeW) }
+
+// totalWeight returns the sum of node weights.
+func (g *wgraph) totalWeight() int {
+	t := 0
+	for _, w := range g.nodeW {
+		t += w
+	}
+	return t
+}
+
+// level records one coarsening step: fine node i collapsed into coarse node
+// coarseOf[i].
+type level struct {
+	fine     *wgraph
+	coarseOf []int
+}
+
+// coarsen performs one heavy-edge matching pass and returns the coarse
+// graph with the fine→coarse map, or ok=false if no pair matched (graph
+// cannot shrink further by matching).
+func coarsen(g *wgraph) (*wgraph, []int, bool) {
+	n := g.len()
+	match := make([]int, n)
+	for i := range match {
+		match[i] = -1
+	}
+	matched := false
+	// Deterministic visit order: heaviest incident edge first is
+	// approximated by simple index order with best-neighbor choice, which
+	// keeps the pass O(E) and reproducible.
+	for u := 0; u < n; u++ {
+		if match[u] != -1 {
+			continue
+		}
+		bestV, bestW := -1, 0
+		for v, w := range g.adj[u] {
+			if match[v] != -1 {
+				continue
+			}
+			// Prefer the heaviest edge; tie-break on smaller combined node
+			// weight to keep coarse nodes balanced, then on index for
+			// determinism.
+			if w > bestW ||
+				(w == bestW && bestV >= 0 && g.nodeW[v] < g.nodeW[bestV]) ||
+				(w == bestW && bestV >= 0 && g.nodeW[v] == g.nodeW[bestV] && v < bestV) {
+				bestV, bestW = v, w
+			}
+		}
+		if bestV >= 0 {
+			match[u] = bestV
+			match[bestV] = u
+			matched = true
+		}
+	}
+	if !matched {
+		return nil, nil, false
+	}
+	coarseOf := make([]int, n)
+	next := 0
+	for u := 0; u < n; u++ {
+		if match[u] == -1 || match[u] > u {
+			coarseOf[u] = next
+			next++
+		}
+	}
+	for u := 0; u < n; u++ {
+		if match[u] != -1 && match[u] < u {
+			coarseOf[u] = coarseOf[match[u]]
+		}
+	}
+	cg := newWGraph(next)
+	for u := 0; u < n; u++ {
+		cg.nodeW[coarseOf[u]] += g.nodeW[u]
+		for v, w := range g.adj[u] {
+			if u < v {
+				cg.addEdge(coarseOf[u], coarseOf[v], w)
+			}
+		}
+	}
+	return cg, coarseOf, true
+}
+
+// initialPartition assigns coarse nodes to k parts. When the graph has
+// exactly k nodes this is the identity; otherwise nodes are placed
+// largest-first onto the least-loaded part (LPT scheduling), which handles
+// disconnected graphs that matching could not shrink to k.
+func initialPartition(g *wgraph, k int) []int {
+	n := g.len()
+	part := make([]int, n)
+	if n <= k {
+		for i := range part {
+			part[i] = i
+		}
+		return part
+	}
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	// insertion sort by descending weight (n is tiny here)
+	for i := 1; i < n; i++ {
+		for j := i; j > 0 && g.nodeW[order[j]] > g.nodeW[order[j-1]]; j-- {
+			order[j], order[j-1] = order[j-1], order[j]
+		}
+	}
+	load := make([]int, k)
+	for _, u := range order {
+		best := 0
+		for p := 1; p < k; p++ {
+			if load[p] < load[best] {
+				best = p
+			}
+		}
+		part[u] = best
+		load[best] += g.nodeW[u]
+	}
+	return part
+}
+
+// refine runs bounded FM-style passes: every node may move to the part that
+// maximizes the cut-weight gain, provided the move keeps the destination
+// under maxLoad and does not empty a part below minLoad. Moves with zero
+// gain are taken only if they strictly improve balance.
+func refine(g *wgraph, part []int, k, passes int, tol float64) {
+	total := g.totalWeight()
+	perfect := float64(total) / float64(k)
+	maxLoad := int(perfect * (1 + tol))
+	if maxLoad < 1 {
+		maxLoad = 1
+	}
+	load := make([]int, k)
+	for u := range part {
+		load[part[u]] += g.nodeW[u]
+	}
+	for pass := 0; pass < passes; pass++ {
+		moved := false
+		for u := 0; u < g.len(); u++ {
+			from := part[u]
+			w := g.nodeW[u]
+			// Connectivity of u to each part.
+			conn := make([]int, k)
+			for v, ew := range g.adj[u] {
+				conn[part[v]] += ew
+			}
+			bestTo := -1
+			bestGain := 0
+			bestBal := 0
+			for to := 0; to < k; to++ {
+				if to == from || load[to]+w > maxLoad {
+					continue
+				}
+				gain := conn[to] - conn[from]
+				bal := load[from] - (load[to] + w) // >0: move improves balance
+				// A move is acceptable if it reduces the cut, or keeps the
+				// cut and strictly improves balance. Among acceptable
+				// moves prefer higher gain, then better balance.
+				acceptable := gain > 0 || (gain == 0 && bal > 0)
+				if !acceptable {
+					continue
+				}
+				if bestTo == -1 || gain > bestGain || (gain == bestGain && bal > bestBal) {
+					bestTo, bestGain, bestBal = to, gain, bal
+				}
+			}
+			if bestTo >= 0 {
+				load[from] -= w
+				load[bestTo] += w
+				part[u] = bestTo
+				moved = true
+			}
+		}
+		if !moved {
+			break
+		}
+	}
+}
+
+// partitionMultilevel runs the full coarsen → initial partition → project &
+// refine pipeline and returns a part id in [0,k) for every node of g.
+func partitionMultilevel(g *wgraph, k, passes int, tol float64) []int {
+	if k <= 1 || g.len() <= 1 {
+		return make([]int, g.len())
+	}
+	var levels []level
+	cur := g
+	for cur.len() > k {
+		cg, coarseOf, ok := coarsen(cur)
+		if !ok {
+			break
+		}
+		levels = append(levels, level{fine: cur, coarseOf: coarseOf})
+		cur = cg
+	}
+	part := initialPartition(cur, k)
+	refine(cur, part, k, passes, tol)
+	for i := len(levels) - 1; i >= 0; i-- {
+		lv := levels[i]
+		finePart := make([]int, lv.fine.len())
+		for u := range finePart {
+			finePart[u] = part[lv.coarseOf[u]]
+		}
+		refine(lv.fine, finePart, k, passes, tol)
+		part = finePart
+	}
+	return part
+}

@@ -1,0 +1,191 @@
+package partition
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// twoCliques builds two densely connected groups of size n joined by a
+// single light edge — the canonical partitioning testcase.
+func twoCliques(n int) *wgraph {
+	g := newWGraph(2 * n)
+	for i := range g.nodeW {
+		g.nodeW[i] = 1
+	}
+	for grp := 0; grp < 2; grp++ {
+		base := grp * n
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				g.addEdge(base+i, base+j, 10)
+			}
+		}
+	}
+	g.addEdge(n-1, n, 1) // weak bridge
+	return g
+}
+
+func cutWeight(g *wgraph, part []int) int {
+	cut := 0
+	for u := range g.adj {
+		for v, w := range g.adj[u] {
+			if u < v && part[u] != part[v] {
+				cut += w
+			}
+		}
+	}
+	return cut
+}
+
+func TestPartitionSeparatesCliques(t *testing.T) {
+	g := twoCliques(6)
+	part := partitionMultilevel(g, 2, 4, 0.15)
+	if got := cutWeight(g, part); got != 1 {
+		t.Errorf("cut weight = %d, want 1 (only the bridge)", got)
+	}
+	// Both cliques internally uniform.
+	for i := 1; i < 6; i++ {
+		if part[i] != part[0] {
+			t.Errorf("clique A split: part[%d]=%d part[0]=%d", i, part[i], part[0])
+		}
+		if part[6+i] != part[6] {
+			t.Errorf("clique B split: part[%d]=%d part[6]=%d", 6+i, part[6+i], part[6])
+		}
+	}
+	if part[0] == part[6] {
+		t.Error("cliques merged into one part")
+	}
+}
+
+func TestPartitionBalanced(t *testing.T) {
+	g := twoCliques(8)
+	part := partitionMultilevel(g, 2, 4, 0.15)
+	load := [2]int{}
+	for u, p := range part {
+		load[p] += g.nodeW[u]
+	}
+	if load[0] != 8 || load[1] != 8 {
+		t.Errorf("loads = %v, want [8 8]", load)
+	}
+}
+
+func TestPartitionK1IsTrivial(t *testing.T) {
+	g := twoCliques(4)
+	part := partitionMultilevel(g, 1, 4, 0.15)
+	for u, p := range part {
+		if p != 0 {
+			t.Errorf("part[%d] = %d, want 0", u, p)
+		}
+	}
+}
+
+func TestPartitionDisconnectedGraph(t *testing.T) {
+	// 7 isolated nodes, k=3: matching cannot shrink; LPT must balance.
+	g := newWGraph(7)
+	for i := range g.nodeW {
+		g.nodeW[i] = 1
+	}
+	part := partitionMultilevel(g, 3, 4, 0.15)
+	load := make([]int, 3)
+	for _, p := range part {
+		if p < 0 || p >= 3 {
+			t.Fatalf("part id %d out of range", p)
+		}
+		load[p]++
+	}
+	for p, l := range load {
+		if l < 2 || l > 3 {
+			t.Errorf("part %d load %d, want 2 or 3", p, l)
+		}
+	}
+}
+
+func TestCoarsenPreservesTotalWeight(t *testing.T) {
+	g := twoCliques(5)
+	cg, coarseOf, ok := coarsen(g)
+	if !ok {
+		t.Fatal("coarsen found no matching in a dense graph")
+	}
+	if cg.totalWeight() != g.totalWeight() {
+		t.Errorf("coarse total weight %d, want %d", cg.totalWeight(), g.totalWeight())
+	}
+	for u, c := range coarseOf {
+		if c < 0 || c >= cg.len() {
+			t.Errorf("coarseOf[%d] = %d out of range", u, c)
+		}
+	}
+	if cg.len() >= g.len() {
+		t.Errorf("coarse graph not smaller: %d vs %d", cg.len(), g.len())
+	}
+}
+
+func TestPartitionDeterministic(t *testing.T) {
+	g1 := twoCliques(6)
+	g2 := twoCliques(6)
+	p1 := partitionMultilevel(g1, 2, 4, 0.15)
+	p2 := partitionMultilevel(g2, 2, 4, 0.15)
+	for i := range p1 {
+		if p1[i] != p2[i] {
+			t.Fatalf("nondeterministic partition at node %d", i)
+		}
+	}
+}
+
+// randomWGraph builds a random connected-ish weighted graph.
+func randomWGraph(rng *rand.Rand, n int) *wgraph {
+	g := newWGraph(n)
+	for i := range g.nodeW {
+		g.nodeW[i] = 1 + rng.Intn(4)
+	}
+	for u := 1; u < n; u++ {
+		g.addEdge(u, rng.Intn(u), 1+rng.Intn(10))
+	}
+	extra := n
+	for i := 0; i < extra; i++ {
+		u, v := rng.Intn(n), rng.Intn(n)
+		g.addEdge(u, v, 1+rng.Intn(10))
+	}
+	return g
+}
+
+// Property: every node gets a part in [0,k), for random graphs and k.
+func TestPartitionCoversAllNodesProperty(t *testing.T) {
+	f := func(seed int64, szRaw, kRaw uint8) bool {
+		n := int(szRaw)%40 + 2
+		k := int(kRaw)%4 + 1
+		rng := rand.New(rand.NewSource(seed))
+		g := randomWGraph(rng, n)
+		part := partitionMultilevel(g, k, 4, 0.15)
+		if len(part) != n {
+			return false
+		}
+		for _, p := range part {
+			if p < 0 || p >= k {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: refinement never increases the cut weight.
+func TestRefineNeverWorsensCutProperty(t *testing.T) {
+	f := func(seed int64, szRaw uint8) bool {
+		n := int(szRaw)%40 + 4
+		rng := rand.New(rand.NewSource(seed))
+		g := randomWGraph(rng, n)
+		part := make([]int, n)
+		for i := range part {
+			part[i] = rng.Intn(2)
+		}
+		before := cutWeight(g, part)
+		refine(g, part, 2, 4, 0.5)
+		return cutWeight(g, part) <= before
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,84 @@
+package partition
+
+import (
+	"clustersim/internal/ddg"
+	"clustersim/internal/prog"
+	"clustersim/internal/uarch"
+)
+
+// AssignOB runs the SPDI operation-based baseline (Nagarajan et al.) over
+// one region: a greedy per-op static placement onto physical clusters that
+// balances estimated load first and communication second, written into
+// Ann.Static.
+//
+// SPDI's placement is balance-driven: it found load balance to dominate on
+// EDGE-style substrates, so each op goes to the cluster with the smallest
+// estimated load among those, preferring (within a small load tolerance)
+// clusters that already hold the op's producers. Placing at op granularity
+// is precisely what spreads dependence chains across clusters — the copy
+// cost the paper's VC scheme avoids by placing whole chains.
+func AssignOB(r *prog.Region, opts Options) {
+	opts = opts.withDefaults()
+	g := ddg.Build(r)
+	if g.Len() == 0 {
+		return
+	}
+	k := opts.NumClusters
+	loc := make([]int, g.Len())
+	load := make([]int, k)
+
+	for i := range g.Nodes {
+		// Connectivity: how many producers of node i live in each cluster.
+		conn := make([]int, k)
+		for _, e := range g.Nodes[i].Preds {
+			conn[loc[e.To]]++
+		}
+		minLoad := load[0]
+		for c := 1; c < k; c++ {
+			if load[c] < minLoad {
+				minLoad = load[c]
+			}
+		}
+		// Balance dominates (SPDI's finding on EDGE substrates): only the
+		// currently least-loaded clusters are candidates; producer locality
+		// merely breaks ties among them. This is what shreds dependence
+		// chains across clusters — the structural weakness the paper's VC
+		// scheme fixes by placing whole chains.
+		best := -1
+		for c := 0; c < k; c++ {
+			if load[c] != minLoad {
+				continue
+			}
+			if best == -1 || conn[c] > conn[best] {
+				best = c
+			}
+		}
+		loc[i] = best
+		load[best] += weightOB(g.Nodes[i].Op)
+	}
+
+	idx := 0
+	r.ForEachOp(func(_ int, op *prog.StaticOp) {
+		op.Ann.Static = loc[idx]
+		op.Ann.VC = -1
+		op.Ann.Leader = false
+		idx++
+	})
+}
+
+// weightOB is the static load estimate of one op for the OB balance
+// counters: long-latency ops weigh more.
+func weightOB(op *prog.StaticOp) int {
+	lat := op.Opcode.Latency()
+	if op.Opcode == uarch.OpLoad {
+		lat = ddg.ExpectedLoadLatency
+	}
+	return lat
+}
+
+// AnnotateOB runs AssignOB over every region of the program.
+func AnnotateOB(p *prog.Program, opts Options) {
+	for _, r := range prog.FormRegions(p, prog.RegionOptions{MaxOps: opts.RegionMaxOps}) {
+		AssignOB(r, opts)
+	}
+}

@@ -1,0 +1,66 @@
+// Package partition implements the compile-time steering passes: the
+// paper's virtual-cluster partitioner with chain identification (§4.2), the
+// RHOP multilevel graph-partitioning baseline (Chu/Fan/Mahlke PLDI'03) and
+// the SPDI operation-based baseline (Nagarajan et al. PACT'04).
+//
+// Every pass consumes one region's data dependence graph and writes its
+// decisions into the static ops' Annotation fields; the runtime policies in
+// internal/steer read them back off the dynamic micro-ops.
+package partition
+
+// Options parameterizes the compiler passes.
+type Options struct {
+	// NumVC is the number of virtual clusters for the VC pass.
+	NumVC int
+	// NumClusters is the number of physical clusters assumed by the
+	// software-only passes (OB, RHOP).
+	NumClusters int
+	// IssueInt and IssueFP are the per-cluster per-cycle issue widths the
+	// completion-time estimator assumes.
+	IssueInt, IssueFP int
+	// CommLatency is the estimated inter-cluster copy cost in cycles
+	// (link latency plus copy issue).
+	CommLatency int
+	// MaxChainLen caps chain length; longer same-VC runs are split so the
+	// hardware re-examines workload balance periodically. Zero means 32.
+	MaxChainLen int
+	// RefinePasses bounds FM refinement sweeps per uncoarsening level in
+	// the multilevel partitioner. Zero means 4.
+	RefinePasses int
+	// BalanceTolerance is the multiplicative load-imbalance allowance of
+	// RHOP refinement (e.g. 0.15 allows 15% above the perfect share).
+	// Zero means 0.15.
+	BalanceTolerance float64
+	// RegionMaxOps caps compiler region size in static ops (the
+	// compile-time window the paper's §3.2 argues software steering
+	// benefits from). Zero means the region-formation default (256).
+	RegionMaxOps int
+}
+
+func (o Options) withDefaults() Options {
+	if o.NumVC == 0 {
+		o.NumVC = 2
+	}
+	if o.NumClusters == 0 {
+		o.NumClusters = 2
+	}
+	if o.IssueInt == 0 {
+		o.IssueInt = 2
+	}
+	if o.IssueFP == 0 {
+		o.IssueFP = 2
+	}
+	if o.CommLatency == 0 {
+		o.CommLatency = 2
+	}
+	if o.MaxChainLen == 0 {
+		o.MaxChainLen = 32
+	}
+	if o.RefinePasses == 0 {
+		o.RefinePasses = 4
+	}
+	if o.BalanceTolerance == 0 {
+		o.BalanceTolerance = 0.15
+	}
+	return o
+}

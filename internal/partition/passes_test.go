@@ -1,0 +1,370 @@
+package partition
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"clustersim/internal/ddg"
+	"clustersim/internal/prog"
+	"clustersim/internal/uarch"
+)
+
+// linearRegion builds a single region with the given ops.
+func linearRegion(t *testing.T, ops ...prog.StaticOp) (*prog.Program, *prog.Region) {
+	t.Helper()
+	b := prog.NewBuilder("t")
+	for _, op := range ops {
+		b.Op(op)
+	}
+	p := b.MustBuild()
+	rs := prog.FormRegions(p, prog.RegionOptions{MaxOps: len(ops) + 1})
+	if len(rs) != 1 {
+		t.Fatalf("want 1 region, got %d", len(rs))
+	}
+	return p, rs[0]
+}
+
+func addOp(dst, s1, s2 int) prog.StaticOp {
+	return prog.StaticOp{Opcode: uarch.OpAdd, Dst: uarch.IntReg(dst), Src1: uarch.IntReg(s1), Src2: uarch.IntReg(s2)}
+}
+
+// twoChains produces two independent dependence chains of length n,
+// interleaved in program order: chain A uses r1, chain B uses r2.
+func twoChains(n int) []prog.StaticOp {
+	var ops []prog.StaticOp
+	for i := 0; i < n; i++ {
+		ops = append(ops, addOp(1, 1, 1))
+		ops = append(ops, addOp(2, 2, 2))
+	}
+	return ops
+}
+
+func TestAssignVCSeparatesIndependentChains(t *testing.T) {
+	_, r := linearRegion(t, twoChains(6)...)
+	AssignVC(r, Options{NumVC: 2})
+	// Each chain should land wholly in one VC, chains in different VCs.
+	var vcA, vcB = -1, -1
+	i := 0
+	r.ForEachOp(func(_ int, op *prog.StaticOp) {
+		if op.Ann.VC < 0 {
+			t.Fatalf("op %d unassigned", i)
+		}
+		if i%2 == 0 { // chain A
+			if vcA == -1 {
+				vcA = op.Ann.VC
+			} else if op.Ann.VC != vcA {
+				t.Errorf("chain A split at op %d: vc %d vs %d", i, op.Ann.VC, vcA)
+			}
+		} else {
+			if vcB == -1 {
+				vcB = op.Ann.VC
+			} else if op.Ann.VC != vcB {
+				t.Errorf("chain B split at op %d: vc %d vs %d", i, op.Ann.VC, vcB)
+			}
+		}
+		i++
+	})
+	if vcA == vcB {
+		t.Errorf("independent chains share VC %d; balance term should separate them", vcA)
+	}
+}
+
+func TestAssignVCKeepsSingleChainTogether(t *testing.T) {
+	// One serial chain: splitting it would add communication on the
+	// critical path, so all ops must share a VC.
+	var ops []prog.StaticOp
+	for i := 0; i < 10; i++ {
+		ops = append(ops, addOp(1, 1, 1))
+	}
+	_, r := linearRegion(t, ops...)
+	AssignVC(r, Options{NumVC: 2})
+	first := -1
+	r.ForEachOp(func(_ int, op *prog.StaticOp) {
+		if first == -1 {
+			first = op.Ann.VC
+		} else if op.Ann.VC != first {
+			t.Errorf("serial chain split across VCs")
+		}
+	})
+}
+
+func TestMarkChainsLeaderRules(t *testing.T) {
+	_, r := linearRegion(t, twoChains(4)...)
+	AssignVC(r, Options{NumVC: 2})
+	// Two interleaved serial chains in different VCs: exactly two chain
+	// roots exist, so exactly two leaders (one per VC) — interleaving must
+	// NOT break chains, since each VC's mapping persists in the table.
+	leaders, ops := 0, 0
+	r.ForEachOp(func(_ int, op *prog.StaticOp) {
+		ops++
+		if op.Ann.Leader {
+			leaders++
+		}
+	})
+	if leaders != 2 {
+		t.Fatalf("leaders = %d, want 2 (one per dependence chain)", leaders)
+	}
+	st := CollectChainStats(r)
+	if st.Chains != leaders {
+		t.Errorf("CollectChainStats.Chains = %d, want %d", st.Chains, leaders)
+	}
+	if st.Ops != ops {
+		t.Errorf("CollectChainStats.Ops = %d, want %d", st.Ops, ops)
+	}
+}
+
+func TestMarkChainsLeaderAtDependenceRoots(t *testing.T) {
+	// Chain, then an independent restart of the same register (a "load
+	// reset" idiom): the restart roots a new chain → new leader.
+	ops := []prog.StaticOp{
+		addOp(1, 1, 1), // root: leader
+		addOp(1, 1, 1),
+		addOp(1, 2, 2), // reads r2 (initial), breaks the r1 chain: new root
+		addOp(1, 1, 1),
+	}
+	_, r := linearRegion(t, ops...)
+	AssignVC(r, Options{NumVC: 1}) // single VC isolates the chain logic
+	var leaders []int
+	i := 0
+	r.ForEachOp(func(_ int, op *prog.StaticOp) {
+		if op.Ann.Leader {
+			leaders = append(leaders, i)
+		}
+		i++
+	})
+	if len(leaders) != 2 || leaders[0] != 0 || leaders[1] != 2 {
+		t.Errorf("leaders at %v, want [0 2]", leaders)
+	}
+}
+
+func TestMarkChainsFirstOpIsLeader(t *testing.T) {
+	_, r := linearRegion(t, addOp(1, 1, 1), addOp(1, 1, 1))
+	AssignVC(r, Options{NumVC: 2})
+	first := true
+	r.ForEachOp(func(_ int, op *prog.StaticOp) {
+		if first && !op.Ann.Leader {
+			t.Error("first op of region must be a chain leader")
+		}
+		first = false
+	})
+}
+
+func TestMarkChainsMaxLenSplits(t *testing.T) {
+	var ops []prog.StaticOp
+	for i := 0; i < 20; i++ {
+		ops = append(ops, addOp(1, 1, 1))
+	}
+	_, r := linearRegion(t, ops...)
+	AssignVC(r, Options{NumVC: 2, MaxChainLen: 5})
+	st := CollectChainStats(r)
+	if st.MaxLen > 5 {
+		t.Errorf("max chain length %d exceeds cap 5", st.MaxLen)
+	}
+	if st.Chains != 4 {
+		t.Errorf("chains = %d, want 4 (20 ops / cap 5)", st.Chains)
+	}
+}
+
+func TestAssignOBAssignsEveryOp(t *testing.T) {
+	_, r := linearRegion(t, twoChains(5)...)
+	AssignOB(r, Options{NumClusters: 2})
+	r.ForEachOp(func(i int, op *prog.StaticOp) {
+		if op.Ann.Static < 0 || op.Ann.Static >= 2 {
+			t.Errorf("op %d static assignment %d out of range", i, op.Ann.Static)
+		}
+		if op.Ann.VC != -1 || op.Ann.Leader {
+			t.Errorf("op %d OB pass leaked VC annotations", i)
+		}
+	})
+}
+
+func TestAssignOBBalances(t *testing.T) {
+	_, r := linearRegion(t, twoChains(8)...)
+	AssignOB(r, Options{NumClusters: 2})
+	load := [2]int{}
+	r.ForEachOp(func(_ int, op *prog.StaticOp) { load[op.Ann.Static]++ })
+	diff := load[0] - load[1]
+	if diff < 0 {
+		diff = -diff
+	}
+	if diff > 4 {
+		t.Errorf("OB loads %v too imbalanced", load)
+	}
+}
+
+func TestAssignRHOPAssignsEveryOp(t *testing.T) {
+	_, r := linearRegion(t, twoChains(6)...)
+	AssignRHOP(r, Options{NumClusters: 2})
+	r.ForEachOp(func(i int, op *prog.StaticOp) {
+		if op.Ann.Static < 0 || op.Ann.Static >= 2 {
+			t.Errorf("op %d static assignment %d out of range", i, op.Ann.Static)
+		}
+	})
+}
+
+func TestAssignRHOPSeparatesIndependentChains(t *testing.T) {
+	_, r := linearRegion(t, twoChains(8)...)
+	AssignRHOP(r, Options{NumClusters: 2})
+	// The two chains are disjoint components; the heavy intra-chain edges
+	// must not be cut: each chain uniform.
+	var pA, pB = -1, -1
+	i := 0
+	ok := true
+	r.ForEachOp(func(_ int, op *prog.StaticOp) {
+		if i%2 == 0 {
+			if pA == -1 {
+				pA = op.Ann.Static
+			} else if op.Ann.Static != pA {
+				ok = false
+			}
+		} else {
+			if pB == -1 {
+				pB = op.Ann.Static
+			} else if op.Ann.Static != pB {
+				ok = false
+			}
+		}
+		i++
+	})
+	if !ok {
+		t.Error("RHOP cut a dependence chain despite a zero-cost alternative")
+	}
+	if pA == pB {
+		t.Error("RHOP merged both chains into one cluster; balance should split them")
+	}
+}
+
+func TestAnnotateProgramWholeProgramDrivers(t *testing.T) {
+	b := prog.NewBuilder("multi")
+	b.Int(uarch.OpAdd, uarch.IntReg(1), uarch.IntReg(1), uarch.IntReg(2))
+	b.Branch(uarch.IntReg(1), 0.5, 0.5)
+	blk1 := b.NewBlock()
+	b.Int(uarch.OpAdd, uarch.IntReg(3), uarch.IntReg(1), uarch.IntReg(1))
+	blk2 := b.NewBlock()
+	b.Int(uarch.OpAdd, uarch.IntReg(4), uarch.IntReg(1), uarch.IntReg(1))
+	b.Block(0).Edge(blk1, 0.5).Edge(blk2, 0.5)
+	p := b.MustBuild()
+
+	AnnotateVC(p, Options{NumVC: 2})
+	p.ForEachOp(func(_ *prog.Block, _ int, op *prog.StaticOp) {
+		if op.Ann.VC < 0 {
+			t.Error("AnnotateVC left an op unassigned")
+		}
+	})
+	p.ClearAnnotations()
+	AnnotateOB(p, Options{NumClusters: 2})
+	p.ForEachOp(func(_ *prog.Block, _ int, op *prog.StaticOp) {
+		if op.Ann.Static < 0 {
+			t.Error("AnnotateOB left an op unassigned")
+		}
+	})
+	p.ClearAnnotations()
+	AnnotateRHOP(p, Options{NumClusters: 2})
+	p.ForEachOp(func(_ *prog.Block, _ int, op *prog.StaticOp) {
+		if op.Ann.Static < 0 {
+			t.Error("AnnotateRHOP left an op unassigned")
+		}
+	})
+}
+
+// randomOps builds a random valid op list.
+func randomOps(rng *rand.Rand, n int) []prog.StaticOp {
+	ops := make([]prog.StaticOp, 0, n)
+	for i := 0; i < n; i++ {
+		ops = append(ops, addOp(rng.Intn(8), rng.Intn(8), rng.Intn(8)))
+	}
+	return ops
+}
+
+// Property: VC assignment always covers all ops with a VC in range; the
+// first op of every VC is a leader (it roots a chain); every op with no
+// same-VC dependence predecessor is a leader; per-VC runs between leaders
+// never exceed the chain-length cap.
+func TestVCChainInvariantsProperty(t *testing.T) {
+	f := func(seed int64, szRaw, vcRaw uint8) bool {
+		n := int(szRaw)%50 + 2
+		nVC := int(vcRaw)%3 + 2
+		const cap = 8
+		rng := rand.New(rand.NewSource(seed))
+		b := prog.NewBuilder("q")
+		for _, op := range randomOps(rng, n) {
+			b.Op(op)
+		}
+		p := b.MustBuild()
+		r := prog.FormRegions(p, prog.RegionOptions{MaxOps: n + 1})[0]
+		AssignVC(r, Options{NumVC: nVC, MaxChainLen: cap})
+
+		g := ddg.Build(r)
+		var vcOf []int
+		r.ForEachOp(func(_ int, op *prog.StaticOp) { vcOf = append(vcOf, op.Ann.VC) })
+
+		seenVC := map[int]bool{}
+		runLen := map[int]int{}
+		okAll := true
+		idx := 0
+		r.ForEachOp(func(_ int, op *prog.StaticOp) {
+			vc := op.Ann.VC
+			if vc < 0 || vc >= nVC {
+				okAll = false
+			}
+			if !seenVC[vc] && !op.Ann.Leader {
+				okAll = false // first op of a VC must lead
+			}
+			seenVC[vc] = true
+			samePred := false
+			for _, e := range g.Nodes[idx].Preds {
+				if vcOf[e.To] == vc {
+					samePred = true
+				}
+			}
+			if !samePred && !op.Ann.Leader {
+				okAll = false // dependence roots must lead
+			}
+			if op.Ann.Leader {
+				runLen[vc] = 0
+			}
+			runLen[vc]++
+			if runLen[vc] > cap {
+				okAll = false
+			}
+			idx++
+		})
+		return okAll
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: OB and RHOP assignments are deterministic across repeated runs.
+func TestPassesDeterministicProperty(t *testing.T) {
+	f := func(seed int64, szRaw uint8) bool {
+		n := int(szRaw)%40 + 2
+		build := func() *prog.Region {
+			rng := rand.New(rand.NewSource(seed))
+			b := prog.NewBuilder("q")
+			for _, op := range randomOps(rng, n) {
+				b.Op(op)
+			}
+			p := b.MustBuild()
+			return prog.FormRegions(p, prog.RegionOptions{MaxOps: n + 1})[0]
+		}
+		r1, r2 := build(), build()
+		AssignRHOP(r1, Options{NumClusters: 2})
+		AssignRHOP(r2, Options{NumClusters: 2})
+		same := true
+		var a1, a2 []int
+		r1.ForEachOp(func(_ int, op *prog.StaticOp) { a1 = append(a1, op.Ann.Static) })
+		r2.ForEachOp(func(_ int, op *prog.StaticOp) { a2 = append(a2, op.Ann.Static) })
+		for i := range a1 {
+			if a1[i] != a2[i] {
+				same = false
+			}
+		}
+		return same
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,65 @@
+package partition
+
+import (
+	"clustersim/internal/ddg"
+	"clustersim/internal/prog"
+)
+
+// AssignRHOP runs the RHOP baseline over one region: slack-weighted
+// multilevel graph partitioning of the DDG into NumClusters parts, written
+// into each op's Ann.Static.
+//
+// Following Chu/Fan/Mahlke, node weights reflect resource demand
+// (latency-scaled) and edge weights reflect slack computed from static
+// latencies: edges on the critical path get the highest weight so
+// coarsening groups critical chains, and refinement trades cut weight
+// against per-cluster workload balance.
+func AssignRHOP(r *prog.Region, opts Options) {
+	opts = opts.withDefaults()
+	g := ddg.Build(r)
+	if g.Len() == 0 {
+		return
+	}
+	crit := ddg.ComputeCriticality(g)
+
+	wg := newWGraph(g.Len())
+	for i := range g.Nodes {
+		// Resource demand: every op consumes one issue slot; long-latency
+		// ops additionally occupy their unit, counted at half weight so
+		// slot balance still dominates (RHOP balances per-cluster resource
+		// usage estimated from static latencies).
+		wg.nodeW[i] = 2 + (g.Nodes[i].Latency-1)/2
+		for _, e := range g.Nodes[i].Succs {
+			wg.addEdge(i, e.To, edgeWeight(crit, g, i, e.To))
+		}
+	}
+	part := partitionMultilevel(wg, opts.NumClusters, opts.RefinePasses, opts.BalanceTolerance)
+
+	idx := 0
+	r.ForEachOp(func(_ int, op *prog.StaticOp) {
+		op.Ann.Static = part[idx]
+		op.Ann.VC = -1
+		op.Ann.Leader = false
+		idx++
+	})
+}
+
+// edgeWeight maps edge slack to a coarsening/cut weight: slack 0 (critical)
+// weighs heaviest; weight decays with slack so slack-rich edges are cheap
+// to cut. The +1 keeps every dependence edge visible to the partitioner.
+func edgeWeight(c *ddg.Criticality, g *ddg.Graph, u, v int) int {
+	slack := c.EdgeSlack(g, u, v)
+	const maxW = 16
+	w := maxW - slack
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// AnnotateRHOP runs AssignRHOP over every region of the program.
+func AnnotateRHOP(p *prog.Program, opts Options) {
+	for _, r := range prog.FormRegions(p, prog.RegionOptions{MaxOps: opts.RegionMaxOps}) {
+		AssignRHOP(r, opts)
+	}
+}

@@ -1,0 +1,147 @@
+package partition
+
+import (
+	"clustersim/internal/ddg"
+	"clustersim/internal/prog"
+	"clustersim/internal/uarch"
+)
+
+// AssignVC implements the paper's compile-time half (Fig. 2): partition a
+// region's DDG into virtual clusters, then identify chains and chain
+// leaders (Fig. 3). Results land in Ann.VC and Ann.Leader.
+//
+// The algorithm's three steps:
+//
+//  1. Critical paths: depth and height per node via two DDG traversals;
+//     criticality = depth + height (internal/ddg).
+//  2. Partition: a top-down traversal assigns each instruction to the
+//     virtual cluster with the best benefit, where benefit is the
+//     instruction's estimated completion time in that VC, accounting for
+//     dependences (with a communication penalty for cross-VC inputs),
+//     latencies, and resource contention in the intended VC.
+//  3. Chains: maximal program-order runs of same-VC instructions; the
+//     first instruction of each run is the chain leader, where the runtime
+//     refreshes the VC→physical mapping.
+func AssignVC(r *prog.Region, opts Options) {
+	opts = opts.withDefaults()
+	g := ddg.Build(r)
+	if g.Len() == 0 {
+		return
+	}
+	crit := ddg.ComputeCriticality(g)
+	nVC := opts.NumVC
+
+	vcOf := make([]int, g.Len())
+	completion := make([]int, g.Len())
+	// Per-VC, per-class resource contention: how many issue slots' worth of
+	// work has been assigned. resReady approximates the cycle at which the
+	// next op of that class could start in this VC.
+	classWork := make([][]int, nVC)
+	for vc := range classWork {
+		classWork[vc] = make([]int, uarch.NumClasses)
+	}
+
+	for i := range g.Nodes {
+		node := &g.Nodes[i]
+		// The VC of the most critical predecessor: when completion-time
+		// estimates tie, critical instructions stay with their critical
+		// producer so the critical path never crosses a VC boundary
+		// gratuitously ("takes into account the criticality of the
+		// instructions", Fig. 2 step 2).
+		critPredVC := -1
+		critPredVal := -1
+		for _, e := range node.Preds {
+			if crit.Crit[e.To] > critPredVal {
+				critPredVal = crit.Crit[e.To]
+				critPredVC = vcOf[e.To]
+			}
+		}
+		bestVC := -1
+		bestCost := int(^uint(0) >> 1)
+		bestConn := -1
+		bestLoad := 0
+		for vc := 0; vc < nVC; vc++ {
+			ready := 0
+			conn := 0
+			for _, e := range node.Preds {
+				t := completion[e.To]
+				if vcOf[e.To] != vc {
+					// Cross-VC input: pay the estimated copy latency. On
+					// critical edges this directly lengthens the region's
+					// completion estimate, which is how criticality steers
+					// the partition toward keeping critical chains whole.
+					t += opts.CommLatency
+				} else {
+					conn++
+				}
+				if t > ready {
+					ready = t
+				}
+			}
+			resReady := resourceReady(classWork[vc], node.Op, opts)
+			start := ready
+			if resReady > start {
+				start = resReady
+			}
+			cost := start + node.Latency
+			load := totalWork(classWork[vc])
+			better := cost < bestCost
+			if cost == bestCost {
+				switch {
+				case vc == critPredVC && bestVC != critPredVC:
+					better = true
+				case bestVC == critPredVC && vc != critPredVC:
+					better = false
+				case conn != bestConn:
+					better = conn > bestConn
+				default:
+					better = load < bestLoad
+				}
+			}
+			if better {
+				bestVC, bestCost, bestConn, bestLoad = vc, cost, conn, load
+			}
+		}
+		vcOf[i] = bestVC
+		completion[i] = bestCost
+		classWork[bestVC][node.Op.Opcode.Class()] += node.Latency
+	}
+
+	idx := 0
+	r.ForEachOp(func(_ int, op *prog.StaticOp) {
+		op.Ann.VC = vcOf[idx]
+		op.Ann.Static = -1
+		idx++
+	})
+	MarkChains(g, vcOf, opts.MaxChainLen)
+}
+
+// resourceReady estimates the first cycle at which the intended VC could
+// start an op of this class, given the work already assigned to that class
+// divided by the class's issue bandwidth.
+func resourceReady(classWork []int, op *prog.StaticOp, opts Options) int {
+	class := op.Opcode.Class()
+	width := 1
+	switch class {
+	case uarch.ClassInt, uarch.ClassLoad, uarch.ClassStore, uarch.ClassBranch:
+		width = opts.IssueInt
+	case uarch.ClassFP:
+		width = opts.IssueFP
+	}
+	return classWork[class] / width
+}
+
+func totalWork(classWork []int) int {
+	t := 0
+	for _, w := range classWork {
+		t += w
+	}
+	return t
+}
+
+// AnnotateVC runs AssignVC over every region of the program.
+func AnnotateVC(p *prog.Program, opts Options) {
+	for _, r := range prog.FormRegions(p, prog.RegionOptions{MaxOps: opts.RegionMaxOps}) {
+		AssignVC(r, opts)
+	}
+}

@@ -1,0 +1,52 @@
+package pipeline
+
+// gshare is the branch predictor: a table of 2-bit saturating counters
+// indexed by PC XOR global history. The paper does not specify its
+// predictor; gshare is the standard choice of the era, and the misprediction
+// penalty is modeled as a fetch stall until the branch resolves plus the
+// frontend refill implied by the fetch-to-dispatch depth.
+type gshare struct {
+	bits    uint
+	mask    uint32
+	table   []uint8
+	history uint32
+}
+
+func newGShare(bits int) *gshare {
+	g := &gshare{bits: uint(bits), mask: (1 << uint(bits)) - 1}
+	g.table = make([]uint8, 1<<uint(bits))
+	// Initialize to weakly taken: loop backedges predict well immediately.
+	for i := range g.table {
+		g.table[i] = 2
+	}
+	return g
+}
+
+func (g *gshare) index(pc uint32) uint32 {
+	return (pc ^ g.history) & g.mask
+}
+
+// predictAndUpdate returns the prediction for pc and trains the counter and
+// history with the actual outcome. Trace-driven fetch resolves both at
+// fetch time; the timing cost of a wrong prediction is applied by the core.
+func (g *gshare) predictAndUpdate(pc uint32, taken bool) (predicted bool) {
+	idx := g.index(pc)
+	ctr := g.table[idx]
+	predicted = ctr >= 2
+	if taken {
+		if ctr < 3 {
+			g.table[idx] = ctr + 1
+		}
+	} else if ctr > 0 {
+		g.table[idx] = ctr - 1
+	}
+	g.history = ((g.history << 1) | b2u(taken)) & g.mask
+	return predicted
+}
+
+func b2u(b bool) uint32 {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,98 @@
+// Package pipeline implements the clustered out-of-order core of the
+// paper's Figure 1: a monolithic frontend (trace-driven fetch, gshare
+// branch prediction, decode/rename/steer) feeding a clustered backend
+// (per-cluster issue queues and functional units, explicit copy micro-ops
+// over point-to-point links, unified LSQ and data-cache hierarchy) with a
+// shared reorder buffer.
+//
+// The simulator is cycle-driven and trace-driven: branch outcomes and
+// memory addresses come from the trace, mispredictions stall fetch until
+// the branch resolves (no wrong-path execution), and every steering policy
+// sees the identical micro-op stream.
+package pipeline
+
+import (
+	"fmt"
+
+	"clustersim/internal/cache"
+	"clustersim/internal/cluster"
+	"clustersim/internal/interconnect"
+)
+
+// Config collects the machine parameters (paper Table 2).
+type Config struct {
+	// NumClusters is the backend cluster count.
+	NumClusters int
+	// FetchWidth is micro-ops fetched per cycle (6).
+	FetchWidth int
+	// SteerWidth is micro-ops decoded/renamed/steered per cycle (3+3).
+	SteerWidth int
+	// CommitWidth is micro-ops committed per cycle (3+3).
+	CommitWidth int
+	// FetchToDispatch is the frontend pipe depth in cycles (5).
+	FetchToDispatch int
+	// ROBSize is the reorder-buffer capacity (256+256).
+	ROBSize int
+	// LSQSize is the unified load/store queue capacity (256).
+	LSQSize int
+	// Cluster sizes each backend cluster.
+	Cluster cluster.Config
+	// Net parameterizes the inter-cluster links.
+	Net interconnect.Config
+	// Mem parameterizes the cache hierarchy.
+	Mem cache.HierarchyConfig
+	// BPredBits sizes the gshare predictor table (2^bits counters).
+	BPredBits int
+	// MaxCycles aborts runaway simulations; zero means 200M cycles.
+	MaxCycles int64
+	// WarmupUops excludes the first N committed micro-ops from the
+	// reported metrics (caches, predictor and queues warm during them), a
+	// standard simulation-point methodology. Zero disables warmup.
+	WarmupUops int64
+	// TrackHistograms enables per-cycle occupancy histograms (ROB, INT/FP
+	// issue queues, copy queues) in the metrics, at a small simulation
+	// cost. Off by default.
+	TrackHistograms bool
+}
+
+// DefaultConfig returns the paper's 2-cluster machine; pass 4 for the
+// scalability experiments of §5.4.
+func DefaultConfig(numClusters int) Config {
+	return Config{
+		NumClusters:     numClusters,
+		FetchWidth:      6,
+		SteerWidth:      6,
+		CommitWidth:     6,
+		FetchToDispatch: 5,
+		ROBSize:         512,
+		LSQSize:         256,
+		Cluster:         cluster.DefaultConfig(),
+		Net:             interconnect.DefaultConfig(numClusters),
+		Mem:             cache.DefaultHierarchyConfig(),
+		BPredBits:       12,
+	}
+}
+
+// Validate checks internal consistency.
+func (c Config) Validate() error {
+	if c.NumClusters <= 0 || c.NumClusters > 32 {
+		return fmt.Errorf("pipeline: %d clusters (1..32 supported)", c.NumClusters)
+	}
+	if c.FetchWidth <= 0 || c.SteerWidth <= 0 || c.CommitWidth <= 0 {
+		return fmt.Errorf("pipeline: non-positive width in %+v", c)
+	}
+	if c.FetchToDispatch < 1 {
+		return fmt.Errorf("pipeline: fetch-to-dispatch %d", c.FetchToDispatch)
+	}
+	if c.ROBSize <= 0 || c.LSQSize <= 0 {
+		return fmt.Errorf("pipeline: non-positive ROB/LSQ in %+v", c)
+	}
+	if c.Net.NumClusters != c.NumClusters {
+		return fmt.Errorf("pipeline: network endpoints %d != clusters %d",
+			c.Net.NumClusters, c.NumClusters)
+	}
+	if c.BPredBits < 4 || c.BPredBits > 24 {
+		return fmt.Errorf("pipeline: bpred bits %d (4..24 supported)", c.BPredBits)
+	}
+	return nil
+}

@@ -1,0 +1,254 @@
+package pipeline
+
+import (
+	"fmt"
+
+	"clustersim/internal/cache"
+	"clustersim/internal/cluster"
+	"clustersim/internal/interconnect"
+	"clustersim/internal/stats"
+	"clustersim/internal/steer"
+	"clustersim/internal/trace"
+	"clustersim/internal/uarch"
+)
+
+// initialValue is the sequence number denoting an architectural initial
+// value: ready in every cluster, occupying no physical register.
+const initialValue int64 = -1
+
+// uopState is the in-flight state of one dynamic micro-op.
+type uopState struct {
+	seq     int64
+	u       *trace.Uop
+	cluster int
+
+	completed bool
+	// mispredicted marks a conditional branch whose prediction was wrong;
+	// its completion releases the fetch stall.
+	mispredicted bool
+	// prevValue is the value the destination register held before this op
+	// (freed when this op commits).
+	prevValue int64
+	// srcValues are the operand value tags consumed (for store-data
+	// bookkeeping and debugging).
+	srcValues [2]int64
+}
+
+// valueState tracks one produced register value across clusters.
+type valueState struct {
+	reg  uarch.Reg
+	home int
+	// locMask marks clusters where the value is or will become available
+	// (home plus any copy destinations, pending or arrived).
+	locMask uint32
+	// readyMask marks clusters where the value is readable now.
+	readyMask uint32
+	// allocMask marks clusters where a physical register is held.
+	allocMask uint32
+	// produced reports execution of the producer has finished.
+	produced bool
+}
+
+// event is a scheduled micro-architectural occurrence.
+type event struct {
+	kind eventKind
+	seq  int64
+	aux  int // copy destination cluster
+}
+
+type eventKind uint8
+
+const (
+	evComplete   eventKind = iota // execution finishes
+	evAgen                        // load/store address generated
+	evMemTry                      // load retries disambiguation/cache access
+	evCopyArrive                  // copy lands in destination cluster
+	evStoreData                   // store waits for its data operand
+)
+
+// fetchSlot is one frontend-pipe entry.
+type fetchSlot struct {
+	seq     int64
+	u       *trace.Uop
+	readyAt int64
+	// mispred marks a conditional branch the predictor got wrong.
+	mispred bool
+	// steered caches a sticky steering decision across dispatch retries so
+	// policy state is not perturbed by resource stalls.
+	steered bool
+	cluster int
+}
+
+// Core is one simulated machine instance. It is single-goroutine; run many
+// cores in parallel for experiment sweeps.
+type Core struct {
+	cfg    Config
+	policy steer.Policy
+	tr     *trace.Trace
+
+	cycle     int64
+	nextFetch int
+	nextSeq   int64
+
+	// fetchPipe holds fetched-but-not-dispatched micro-ops (bounded by
+	// width × depth + steer backlog).
+	fetchPipe []fetchSlot
+	// fetchStalled marks fetch frozen on an unresolved misprediction.
+	fetchStalled bool
+
+	rob      []*uopState // FIFO, head at index 0
+	uops     map[int64]*uopState
+	regVal   [uarch.NumRegs]int64
+	values   map[int64]*valueState
+	clusters []*cluster.Cluster
+	net      *interconnect.Network
+	lsq      *cache.LSQ
+	mem      *cache.Hierarchy
+	bp       *gshare
+
+	events map[int64][]event
+
+	// copyInserted records copy-queue insertion cycles for the optional
+	// copy-latency histogram (nil unless TrackHistograms).
+	copyInserted map[copyKey]int64
+
+	committed int64
+	m         Metrics
+}
+
+// copyKey identifies an in-flight copy: the value and its destination.
+type copyKey struct {
+	seq int64
+	dst int
+}
+
+// NewCore builds a machine for the given trace and policy.
+func NewCore(cfg Config, pol steer.Policy, tr *trace.Trace) (*Core, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.MaxCycles == 0 {
+		cfg.MaxCycles = 200_000_000
+	}
+	net, err := interconnect.New(cfg.Net)
+	if err != nil {
+		return nil, err
+	}
+	mem, err := cache.NewHierarchy(cfg.Mem)
+	if err != nil {
+		return nil, err
+	}
+	c := &Core{
+		cfg:    cfg,
+		policy: pol,
+		tr:     tr,
+		uops:   make(map[int64]*uopState),
+		values: make(map[int64]*valueState),
+		net:    net,
+		lsq:    cache.NewLSQ(cfg.LSQSize),
+		mem:    mem,
+		bp:     newGShare(cfg.BPredBits),
+		events: make(map[int64][]event),
+	}
+	for i := 0; i < cfg.NumClusters; i++ {
+		c.clusters = append(c.clusters, cluster.New(i, cfg.Cluster))
+	}
+	for r := range c.regVal {
+		c.regVal[r] = initialValue
+	}
+	c.m.PerCluster = make([]ClusterMetrics, cfg.NumClusters)
+	if cfg.TrackHistograms {
+		c.m.Histograms = &OccupancyHistograms{
+			ROB:         stats.NewHistogram(cfg.ROBSize),
+			IntIQ:       stats.NewHistogram(cfg.Cluster.IQInt),
+			FPIQ:        stats.NewHistogram(cfg.Cluster.IQFP),
+			CopyQ:       stats.NewHistogram(cfg.Cluster.IQCopy),
+			CopyLatency: stats.NewHistogram(128),
+		}
+		c.copyInserted = make(map[copyKey]int64)
+	}
+	pol.Reset()
+	return c, nil
+}
+
+// --- steering context ------------------------------------------------------
+
+// steerCtx adapts the core to the steer.Context interface.
+type steerCtx struct{ c *Core }
+
+// NumClusters implements steer.Context.
+func (s steerCtx) NumClusters() int { return s.c.cfg.NumClusters }
+
+// Occupancy implements steer.Context.
+func (s steerCtx) Occupancy(ci int) int { return s.c.clusters[ci].Occupancy() }
+
+// InFlight implements steer.Context.
+func (s steerCtx) InFlight(ci int) int { return s.c.clusters[ci].InFlight }
+
+// HasSpace implements steer.Context.
+func (s steerCtx) HasSpace(ci int, class uarch.Class) bool {
+	return !s.c.clusters[ci].QueueFor(class).Full()
+}
+
+// ValueClusters implements steer.Context.
+func (s steerCtx) ValueClusters(r uarch.Reg) uint32 {
+	seq := s.c.regVal[r]
+	if seq == initialValue {
+		return (1 << uint(s.c.cfg.NumClusters)) - 1
+	}
+	if v, ok := s.c.values[seq]; ok {
+		return v.locMask
+	}
+	return (1 << uint(s.c.cfg.NumClusters)) - 1
+}
+
+// --- value helpers ---------------------------------------------------------
+
+// valueReadyIn marks value seq readable in cluster ci and wakes its waiters.
+func (c *Core) valueReadyIn(seq int64, ci int) {
+	v := c.values[seq]
+	if v == nil {
+		panic(fmt.Sprintf("pipeline: ready for dead value %d", seq))
+	}
+	bit := uint32(1) << uint(ci)
+	if v.readyMask&bit != 0 {
+		return
+	}
+	v.readyMask |= bit
+	cl := c.clusters[ci]
+	cl.IntQ.Wakeup(seq)
+	cl.FPQ.Wakeup(seq)
+	cl.CopyQ.Wakeup(seq)
+}
+
+// valueIsReadyIn reports whether the operand value is readable in cluster ci.
+func (c *Core) valueIsReadyIn(seq int64, ci int) bool {
+	if seq == initialValue {
+		return true
+	}
+	v, ok := c.values[seq]
+	if !ok {
+		return true // producer already committed and freed: architecturally visible
+	}
+	return v.readyMask&(1<<uint(ci)) != 0
+}
+
+// freeValue releases every physical register the value holds.
+func (c *Core) freeValue(seq int64) {
+	if seq == initialValue {
+		return
+	}
+	v, ok := c.values[seq]
+	if !ok {
+		return
+	}
+	for ci := 0; ci < c.cfg.NumClusters; ci++ {
+		if v.allocMask&(1<<uint(ci)) != 0 {
+			c.clusters[ci].FreeReg(v.reg)
+		}
+	}
+	delete(c.values, seq)
+}
+
+// Metrics returns the accumulated metrics (valid after Run).
+func (c *Core) Metrics() *Metrics { return &c.m }

@@ -1,0 +1,248 @@
+package pipeline
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"clustersim/internal/partition"
+	"clustersim/internal/prog"
+	"clustersim/internal/steer"
+	"clustersim/internal/trace"
+	"clustersim/internal/uarch"
+	"clustersim/internal/workload"
+)
+
+// suiteTraces expands the quick suite with small traces, annotated for VC.
+func suiteTraces(t *testing.T, uops int) map[string]*trace.Trace {
+	t.Helper()
+	out := map[string]*trace.Trace{}
+	for _, sp := range workload.QuickSuite() {
+		p := sp.Program.Clone()
+		partition.AnnotateVC(p, partition.Options{NumVC: 2})
+		out[sp.Name] = trace.Expand(p, trace.Options{NumUops: uops, Seed: sp.Seed})
+	}
+	return out
+}
+
+func TestAllPoliciesCompleteOnSuite(t *testing.T) {
+	traces := suiteTraces(t, 4000)
+	policies := func() []steer.Policy {
+		return []steer.Policy{
+			&steer.OP{}, &steer.OneCluster{}, steer.NewVC(2), &steer.ModN{},
+		}
+	}
+	for name, tr := range traces {
+		for _, pol := range policies() {
+			core, err := NewCore(DefaultConfig(2), pol, tr)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", name, pol.Name(), err)
+			}
+			m, err := core.Run()
+			if err != nil {
+				t.Fatalf("%s/%s: %v", name, pol.Name(), err)
+			}
+			if m.Uops != int64(len(tr.Uops)) {
+				t.Errorf("%s/%s: committed %d of %d", name, pol.Name(), m.Uops, len(tr.Uops))
+			}
+		}
+	}
+}
+
+func TestOneClusterZeroCopiesOnSuite(t *testing.T) {
+	for name, tr := range suiteTraces(t, 3000) {
+		core, err := NewCore(DefaultConfig(2), &steer.OneCluster{}, tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := core.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.Copies != 0 {
+			t.Errorf("%s: one-cluster produced %d copies", name, m.Copies)
+		}
+		if m.LinkTransfers != 0 {
+			t.Errorf("%s: one-cluster used the interconnect %d times", name, m.LinkTransfers)
+		}
+	}
+}
+
+func TestCopiesMatchLinkTransfers(t *testing.T) {
+	// Every copy issues over exactly one link transfer; at completion every
+	// inserted copy has issued (all consumers committed).
+	for name, tr := range suiteTraces(t, 3000) {
+		core, err := NewCore(DefaultConfig(2), steer.NewVC(2), tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := core.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.LinkTransfers > uint64(m.Copies) {
+			t.Errorf("%s: %d transfers exceed %d copies", name, m.LinkTransfers, m.Copies)
+		}
+		// A few copies may still sit in copy queues at the final commit
+		// (their consumer got the value via a second copy path is
+		// impossible — consumers wait; so nearly all must have issued).
+		if diff := uint64(m.Copies) - m.LinkTransfers; diff > 64 {
+			t.Errorf("%s: %d copies never issued", name, diff)
+		}
+	}
+}
+
+func TestFourClusterAllPoliciesOnSuite(t *testing.T) {
+	for name, tr := range suiteTraces(t, 3000) {
+		for _, pol := range []steer.Policy{&steer.OP{}, steer.NewVC(4), steer.NewVC(2)} {
+			core, err := NewCore(DefaultConfig(4), pol, tr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			m, err := core.Run()
+			if err != nil {
+				t.Fatalf("%s/%s on 4 clusters: %v", name, pol.Name(), err)
+			}
+			if m.Uops != 3000 {
+				t.Errorf("%s/%s: %d uops", name, pol.Name(), m.Uops)
+			}
+		}
+	}
+}
+
+func TestMaxCyclesAborts(t *testing.T) {
+	sp := workload.ByName("mcf") // slow, memory-bound
+	tr := trace.Expand(sp.Program, trace.Options{NumUops: 50_000, Seed: 1})
+	cfg := DefaultConfig(2)
+	cfg.MaxCycles = 1000 // far too few
+	core, err := NewCore(cfg, &steer.OP{}, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := core.Run()
+	if err == nil {
+		t.Fatal("expected MaxCycles abort")
+	}
+	if !m.MaxCyclesExceeded {
+		t.Error("MaxCyclesExceeded flag not set")
+	}
+}
+
+func TestStallBreakdownAccountsAllocStalls(t *testing.T) {
+	sp := workload.ByName("galgel")
+	p := sp.Program.Clone()
+	tr := trace.Expand(p, trace.Options{NumUops: 5000, Seed: sp.Seed})
+	core, err := NewCore(DefaultConfig(2), &steer.OP{}, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := core.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.AllocStallCycles != m.StallCycles[StallPolicy]+m.StallCycles[StallIQ] {
+		t.Errorf("alloc stalls %d != policy %d + iq %d",
+			m.AllocStallCycles, m.StallCycles[StallPolicy], m.StallCycles[StallIQ])
+	}
+}
+
+func TestDispatchConservation(t *testing.T) {
+	// Sum of per-cluster dispatches equals committed uops.
+	for name, tr := range suiteTraces(t, 3000) {
+		core, err := NewCore(DefaultConfig(2), steer.NewVC(2), tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := core.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var disp uint64
+		for _, pc := range m.PerCluster {
+			disp += pc.Dispatched
+		}
+		if disp != uint64(m.Uops) {
+			t.Errorf("%s: dispatched %d != committed %d", name, disp, m.Uops)
+		}
+	}
+}
+
+// randomProgram builds a random but valid program with branches, memory ops
+// and multiple blocks — the totality fuzzer for the whole pipeline.
+func randomProgram(rng *rand.Rand) *prog.Program {
+	b := prog.NewBuilder("fuzz")
+	nblocks := 1 + rng.Intn(3)
+	for blk := 0; blk < nblocks; blk++ {
+		if blk > 0 {
+			b.NewBlock()
+		}
+		n := 1 + rng.Intn(8)
+		for i := 0; i < n; i++ {
+			switch rng.Intn(5) {
+			case 0:
+				b.Load(uarch.IntReg(rng.Intn(8)), uarch.IntReg(8+rng.Intn(4)), prog.MemRef{
+					Pattern:     prog.MemPattern(1 + rng.Intn(4)),
+					Stream:      rng.Intn(3),
+					StrideBytes: 8,
+					WorkingSet:  4096 << rng.Intn(8),
+				})
+			case 1:
+				b.Store(uarch.IntReg(rng.Intn(8)), uarch.IntReg(8+rng.Intn(4)), prog.MemRef{
+					Pattern:     prog.MemPattern(1 + rng.Intn(4)),
+					Stream:      rng.Intn(3),
+					StrideBytes: 8,
+					WorkingSet:  4096 << rng.Intn(8),
+				})
+			case 2:
+				d := rng.Intn(8)
+				b.FP(uarch.OpFAdd, uarch.FPReg(d), uarch.FPReg(rng.Intn(8)), uarch.FPReg(rng.Intn(8)))
+			default:
+				d := rng.Intn(8)
+				ops := []uarch.Opcode{uarch.OpAdd, uarch.OpShift, uarch.OpMul, uarch.OpDiv}
+				b.Int(ops[rng.Intn(len(ops))], uarch.IntReg(d), uarch.IntReg(rng.Intn(8)), uarch.IntReg(rng.Intn(8)))
+			}
+		}
+		// Terminating branch back to a random block.
+		b.Branch(uarch.IntReg(rng.Intn(8)), 0.1+0.8*rng.Float64(), rng.Float64())
+		t1 := rng.Intn(nblocks)
+		t2 := rng.Intn(nblocks)
+		p := 0.1 + 0.8*rng.Float64()
+		b.Edge(t1, p).Edge(t2, 1-p)
+	}
+	return b.MustBuild()
+}
+
+// Property: arbitrary valid programs complete under every policy on 1, 2
+// and 4 clusters with exact commit counts.
+func TestPipelineTotalityFuzz(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := randomProgram(rng)
+		partition.AnnotateVC(p, partition.Options{NumVC: 2})
+		tr := trace.Expand(p, trace.Options{NumUops: 600, Seed: seed})
+		for _, n := range []int{1, 2, 4} {
+			var pols []steer.Policy
+			if n == 1 {
+				pols = []steer.Policy{&steer.OneCluster{}}
+			} else {
+				pols = []steer.Policy{&steer.OP{}, steer.NewVC(2), &steer.ModN{}}
+			}
+			for _, pol := range pols {
+				core, err := NewCore(DefaultConfig(n), pol, tr)
+				if err != nil {
+					return false
+				}
+				m, err := core.Run()
+				if err != nil || m.Uops != 600 {
+					t.Logf("seed=%d clusters=%d policy=%s err=%v uops=%d",
+						seed, n, pol.Name(), err, m.Uops)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}

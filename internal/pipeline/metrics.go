@@ -1,0 +1,173 @@
+package pipeline
+
+import "clustersim/internal/stats"
+
+// StallReason classifies why the steer/dispatch stage held a micro-op.
+type StallReason int
+
+const (
+	// StallNone means no stall.
+	StallNone StallReason = iota
+	// StallPolicy: the steering policy requested a stall (occupancy-aware
+	// stalling, or a full target queue under a static policy).
+	StallPolicy
+	// StallIQ: the target issue queue was full at allocation.
+	StallIQ
+	// StallROB: the reorder buffer was full.
+	StallROB
+	// StallLSQ: the load/store queue was full.
+	StallLSQ
+	// StallRegs: no free physical register in the target cluster.
+	StallRegs
+	// StallCopyQ: a producer cluster's copy queue was full.
+	StallCopyQ
+	// StallCopyRegs: no free register for an inbound copy.
+	StallCopyRegs
+
+	numStallReasons
+)
+
+// String names the reason.
+func (r StallReason) String() string {
+	switch r {
+	case StallNone:
+		return "none"
+	case StallPolicy:
+		return "policy"
+	case StallIQ:
+		return "iq-full"
+	case StallROB:
+		return "rob-full"
+	case StallLSQ:
+		return "lsq-full"
+	case StallRegs:
+		return "regfile"
+	case StallCopyQ:
+		return "copyq-full"
+	case StallCopyRegs:
+		return "copy-regfile"
+	}
+	return "unknown"
+}
+
+// ClusterMetrics aggregates per-cluster activity.
+type ClusterMetrics struct {
+	// Dispatched counts micro-ops steered to this cluster (copies excluded).
+	Dispatched uint64
+	// CopiesInserted counts copy micro-ops enqueued in this cluster's copy
+	// queue (i.e. values this cluster exported).
+	CopiesInserted uint64
+	// OccupancySum accumulates per-cycle issue-queue occupancy for
+	// utilization statistics.
+	OccupancySum uint64
+	// IntIssued, FPIssued and CopyIssued count selections per queue.
+	IntIssued, FPIssued, CopyIssued uint64
+	// IntOccSum and FPOccSum accumulate per-cycle queue occupancy.
+	IntOccSum, FPOccSum uint64
+}
+
+// Metrics is the full result of one simulation run.
+type Metrics struct {
+	// Cycles is the total execution time.
+	Cycles int64
+	// Uops is the committed program micro-op count (copies excluded).
+	Uops int64
+	// Copies is the number of inter-cluster copy micro-ops generated.
+	Copies int64
+
+	// AllocStallCycles counts cycles in which dispatch was blocked by a
+	// full issue queue — the paper's workload-balance metric ("total
+	// reduction of the allocation stalls in the issue queues").
+	AllocStallCycles int64
+	// StallCycles[r] counts cycles blocked per reason (first blocking
+	// reason of the cycle).
+	StallCycles [numStallReasons]int64
+
+	// FetchStallCycles counts cycles fetch was frozen on an unresolved
+	// mispredicted branch.
+	FetchStallCycles int64
+	// Branches and Mispredicts count conditional branches.
+	Branches, Mispredicts int64
+
+	// LinkTransfers and LinkConflicts mirror the interconnect counters.
+	LinkTransfers, LinkConflicts uint64
+	// L1Hits, L2Hits, MemAccesses, LSQForwards mirror the memory system.
+	L1Hits, L2Hits, MemAccesses, LSQForwards uint64
+
+	// PerCluster holds per-cluster breakdowns.
+	PerCluster []ClusterMetrics
+
+	// Histograms holds optional per-cycle occupancy distributions
+	// (Config.TrackHistograms); nil when disabled.
+	Histograms *OccupancyHistograms
+
+	// MaxCyclesExceeded marks an aborted (runaway) simulation.
+	MaxCyclesExceeded bool
+}
+
+// OccupancyHistograms samples queue occupancies once per cycle (summed
+// over clusters for the per-kind views) and the copy path's end-to-end
+// latency (copy-queue insertion to arrival in the destination cluster).
+type OccupancyHistograms struct {
+	ROB, IntIQ, FPIQ, CopyQ *stats.Histogram
+	CopyLatency             *stats.Histogram
+}
+
+// Render draws all distributions.
+func (h *OccupancyHistograms) Render() string {
+	return h.ROB.Render("ROB occupancy") +
+		h.IntIQ.Render("INT IQ occupancy (per cluster)") +
+		h.FPIQ.Render("FP IQ occupancy (per cluster)") +
+		h.CopyQ.Render("COPY queue occupancy (per cluster)") +
+		h.CopyLatency.Render("copy latency (insert to arrival, cycles)")
+}
+
+// IPC returns committed micro-ops per cycle.
+func (m *Metrics) IPC() float64 {
+	if m.Cycles == 0 {
+		return 0
+	}
+	return float64(m.Uops) / float64(m.Cycles)
+}
+
+// CopiesPerKuop returns copies per thousand committed micro-ops.
+func (m *Metrics) CopiesPerKuop() float64 {
+	if m.Uops == 0 {
+		return 0
+	}
+	return float64(m.Copies) * 1000 / float64(m.Uops)
+}
+
+// MispredictRate returns the branch misprediction ratio.
+func (m *Metrics) MispredictRate() float64 {
+	if m.Branches == 0 {
+		return 0
+	}
+	return float64(m.Mispredicts) / float64(m.Branches)
+}
+
+// WorkloadImbalance returns the mean absolute deviation of per-cluster
+// dispatched micro-ops from a perfectly even split, normalized to [0,1].
+func (m *Metrics) WorkloadImbalance() float64 {
+	n := len(m.PerCluster)
+	if n == 0 {
+		return 0
+	}
+	total := uint64(0)
+	for _, c := range m.PerCluster {
+		total += c.Dispatched
+	}
+	if total == 0 {
+		return 0
+	}
+	mean := float64(total) / float64(n)
+	dev := 0.0
+	for _, c := range m.PerCluster {
+		d := float64(c.Dispatched) - mean
+		if d < 0 {
+			d = -d
+		}
+		dev += d
+	}
+	return dev / float64(n) / mean
+}

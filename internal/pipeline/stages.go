@@ -1,0 +1,548 @@
+package pipeline
+
+import (
+	"fmt"
+
+	"clustersim/internal/cache"
+	"clustersim/internal/cluster"
+	"clustersim/internal/steer"
+	"clustersim/internal/uarch"
+)
+
+// Run simulates the whole trace and returns the metrics. The per-cycle
+// stage order is: commit (sees last cycle's completions), writeback events
+// (complete execution, deliver copies, wake consumers), issue, steer +
+// dispatch, fetch. This ordering gives back-to-back issue of single-cycle
+// dependence chains and a one-cycle dispatch-to-issue gap.
+func (c *Core) Run() (*Metrics, error) {
+	total := int64(len(c.tr.Uops))
+	lastCommit := int64(0)
+	lastCommitted := int64(0)
+	var warmup *Metrics
+	for c.committed < total {
+		if c.cycle >= c.cfg.MaxCycles {
+			c.m.MaxCyclesExceeded = true
+			return &c.m, fmt.Errorf("pipeline: exceeded %d cycles at %d/%d uops",
+				c.cfg.MaxCycles, c.committed, total)
+		}
+		c.commit()
+		c.processEvents()
+		c.issue()
+		c.dispatchStage()
+		c.fetch()
+		c.accountOccupancy()
+
+		if c.committed > lastCommitted {
+			lastCommitted = c.committed
+			lastCommit = c.cycle
+		} else if c.cycle-lastCommit > 500_000 {
+			return &c.m, fmt.Errorf("pipeline: no commit for 500000 cycles at cycle %d (%d/%d uops); head=%s",
+				c.cycle, c.committed, total, c.describeHead())
+		}
+		if warmup == nil && c.cfg.WarmupUops > 0 && c.committed >= c.cfg.WarmupUops {
+			snap := c.captureCounters()
+			warmup = &snap
+		}
+		c.cycle++
+	}
+	final := c.captureCounters()
+	if warmup != nil {
+		final = subtractCounters(final, *warmup)
+	}
+	final.PerCluster = c.m.PerCluster
+	final.MaxCyclesExceeded = c.m.MaxCyclesExceeded
+	c.m = final
+	return &c.m, nil
+}
+
+// captureCounters snapshots every cumulative counter into a Metrics value
+// (PerCluster excluded; it stays cumulative).
+func (c *Core) captureCounters() Metrics {
+	m := c.m
+	m.Cycles = c.cycle
+	m.Uops = c.committed
+	m.LinkTransfers = c.net.Transfers
+	m.LinkConflicts = c.net.Conflicts
+	m.L1Hits = c.mem.L1Hits
+	m.L2Hits = c.mem.L2Hits
+	m.MemAccesses = c.mem.MemAccesses
+	m.LSQForwards = c.lsq.ForwardHits
+	m.PerCluster = nil
+	return m
+}
+
+// subtractCounters returns a−b field-wise for the cumulative counters,
+// yielding post-warmup metrics.
+func subtractCounters(a, b Metrics) Metrics {
+	out := a
+	out.Cycles = a.Cycles - b.Cycles
+	out.Uops = a.Uops - b.Uops
+	out.Copies = a.Copies - b.Copies
+	out.AllocStallCycles = a.AllocStallCycles - b.AllocStallCycles
+	for i := range out.StallCycles {
+		out.StallCycles[i] = a.StallCycles[i] - b.StallCycles[i]
+	}
+	out.FetchStallCycles = a.FetchStallCycles - b.FetchStallCycles
+	out.Branches = a.Branches - b.Branches
+	out.Mispredicts = a.Mispredicts - b.Mispredicts
+	out.LinkTransfers = a.LinkTransfers - b.LinkTransfers
+	out.LinkConflicts = a.LinkConflicts - b.LinkConflicts
+	out.L1Hits = a.L1Hits - b.L1Hits
+	out.L2Hits = a.L2Hits - b.L2Hits
+	out.MemAccesses = a.MemAccesses - b.MemAccesses
+	out.LSQForwards = a.LSQForwards - b.LSQForwards
+	return out
+}
+
+// describeHead renders the ROB head for deadlock diagnostics.
+func (c *Core) describeHead() string {
+	if len(c.rob) == 0 {
+		return "empty ROB"
+	}
+	st := c.rob[0]
+	return fmt.Sprintf("seq=%d op=%v cluster=%d completed=%v",
+		st.seq, st.u.Static.Opcode, st.cluster, st.completed)
+}
+
+// schedule enqueues an event for the given cycle.
+func (c *Core) schedule(cycle int64, ev event) {
+	c.events[cycle] = append(c.events[cycle], ev)
+}
+
+// --- commit ----------------------------------------------------------------
+
+func (c *Core) commit() {
+	budget := c.cfg.CommitWidth
+	for budget > 0 && len(c.rob) > 0 {
+		st := c.rob[0]
+		if !st.completed {
+			return
+		}
+		if st.u.Static.Opcode == uarch.OpStore {
+			// Stores write the cache at retirement through the single L1
+			// write port; port or MSHR pressure stalls commit.
+			if !c.mem.L1().ReservePort(c.cycle, true) {
+				return
+			}
+			if _, ok := c.mem.Access(c.cycle, st.u.Addr, true); !ok {
+				return
+			}
+		}
+		if st.u.IsMem() {
+			c.lsq.Release(st.seq)
+		}
+		if st.u.Static.Dst != uarch.RegNone {
+			c.freeValue(st.prevValue)
+		}
+		c.clusters[st.cluster].InFlight--
+		delete(c.uops, st.seq)
+		c.rob = c.rob[1:]
+		c.committed++
+		budget--
+	}
+}
+
+// --- events (writeback / copy delivery / memory progress) -------------------
+
+func (c *Core) processEvents() {
+	evs := c.events[c.cycle]
+	if evs == nil {
+		return
+	}
+	delete(c.events, c.cycle)
+	for _, ev := range evs {
+		switch ev.kind {
+		case evComplete:
+			c.finish(ev.seq)
+		case evAgen:
+			c.agen(ev.seq)
+		case evMemTry:
+			if st, ok := c.uops[ev.seq]; ok {
+				c.memTry(st)
+			}
+		case evCopyArrive:
+			c.valueReadyIn(ev.seq, ev.aux)
+			if c.copyInserted != nil {
+				key := copyKey{ev.seq, ev.aux}
+				if t0, ok := c.copyInserted[key]; ok {
+					c.m.Histograms.CopyLatency.Observe(c.cycle - t0)
+					delete(c.copyInserted, key)
+				}
+			}
+		case evStoreData:
+			if st, ok := c.uops[ev.seq]; ok {
+				c.storeDataCheck(st)
+			}
+		}
+	}
+}
+
+// storeDataCheck completes a store once its data operand is readable in its
+// cluster (the store-data half of the split store; the address half already
+// ran). Polls once per cycle while the data is in flight.
+func (c *Core) storeDataCheck(st *uopState) {
+	if st.completed {
+		return
+	}
+	if c.valueIsReadyIn(st.srcValues[0], st.cluster) {
+		c.lsq.SetStoreData(st.seq)
+		c.finish(st.seq)
+		return
+	}
+	c.schedule(c.cycle+1, event{evStoreData, st.seq, 0})
+}
+
+// finish completes execution of a micro-op.
+func (c *Core) finish(seq int64) {
+	st, ok := c.uops[seq]
+	if !ok || st.completed {
+		return
+	}
+	st.completed = true
+	if st.u.Static.Dst != uarch.RegNone {
+		v := c.values[seq]
+		v.produced = true
+		c.valueReadyIn(seq, st.cluster)
+	}
+	if st.mispredicted {
+		// Branch resolved: release the frontend. The refill cost is the
+		// fetch-to-dispatch depth of newly fetched micro-ops.
+		c.fetchStalled = false
+	}
+}
+
+// agen finishes address generation for a memory op.
+func (c *Core) agen(seq int64) {
+	st, ok := c.uops[seq]
+	if !ok {
+		return
+	}
+	c.lsq.SetAddress(seq, st.u.Addr)
+	if st.u.Static.Opcode == uarch.OpStore {
+		c.storeDataCheck(st)
+		return
+	}
+	c.memTry(st)
+}
+
+// memTry advances a load through disambiguation and the cache.
+func (c *Core) memTry(st *uopState) {
+	if st.completed {
+		return
+	}
+	switch c.lsq.ProbeLoad(st.seq, st.u.Addr) {
+	case cache.LoadBlocked, cache.LoadWaitData:
+		c.schedule(c.cycle+1, event{evMemTry, st.seq, 0})
+	case cache.LoadForward:
+		c.schedule(c.cycle+1, event{evComplete, st.seq, 0})
+	case cache.LoadAccess:
+		if !c.mem.L1().ReservePort(c.cycle, false) {
+			c.schedule(c.cycle+1, event{evMemTry, st.seq, 0})
+			return
+		}
+		res, ok := c.mem.Access(c.cycle, st.u.Addr, false)
+		if !ok {
+			c.schedule(c.cycle+1, event{evMemTry, st.seq, 0})
+			return
+		}
+		c.schedule(res.Ready, event{evComplete, st.seq, 0})
+	}
+}
+
+// --- issue -------------------------------------------------------------------
+
+func (c *Core) issue() {
+	for _, cl := range c.clusters {
+		cl := cl
+		for _, q := range [2]*cluster.IQ{cl.IntQ, cl.FPQ} {
+			picked := q.SelectReady(0, func(e *cluster.Entry) bool {
+				st := c.uops[e.Seq]
+				return cl.DividerFree(st.u.Static.Opcode, c.cycle)
+			})
+			for _, e := range picked {
+				c.startExec(c.uops[e.Seq], cl)
+			}
+		}
+		// Copies: one per cycle, gated on link bandwidth. The reservation
+		// happens inside accept so refused copies stay queued.
+		cl.CopyQ.SelectReady(0, func(e *cluster.Entry) bool {
+			arr, ok := c.net.Reserve(c.cycle, cl.ID, e.Aux)
+			if !ok {
+				return false
+			}
+			c.schedule(arr, event{evCopyArrive, e.Seq, e.Aux})
+			return true
+		})
+	}
+}
+
+// startExec schedules the completion of an issued micro-op.
+func (c *Core) startExec(st *uopState, cl *cluster.Cluster) {
+	op := st.u.Static.Opcode
+	cl.ReserveDivider(op, c.cycle)
+	switch {
+	case op.IsMem():
+		c.schedule(c.cycle+int64(op.Latency()), event{evAgen, st.seq, 0})
+	default:
+		c.schedule(c.cycle+int64(op.Latency()), event{evComplete, st.seq, 0})
+	}
+}
+
+// --- steer + dispatch --------------------------------------------------------
+
+func (c *Core) dispatchStage() {
+	budget := c.cfg.SteerWidth
+	reason := StallNone
+	for budget > 0 && len(c.fetchPipe) > 0 && c.fetchPipe[0].readyAt <= c.cycle {
+		slot := &c.fetchPipe[0]
+		if !slot.steered {
+			d := c.policy.Steer(steerCtx{c}, slot.u)
+			if d.Stall {
+				reason = StallPolicy
+				break
+			}
+			if d.Cluster < 0 || d.Cluster >= c.cfg.NumClusters {
+				panic(fmt.Sprintf("pipeline: policy %s chose cluster %d of %d",
+					c.policy.Name(), d.Cluster, c.cfg.NumClusters))
+			}
+			slot.steered = true
+			slot.cluster = d.Cluster
+		}
+		if r := c.tryDispatch(slot); r != StallNone {
+			reason = r
+			break
+		}
+		c.fetchPipe = c.fetchPipe[1:]
+		budget--
+	}
+	if reason != StallNone {
+		c.m.StallCycles[reason]++
+		if reason == StallPolicy || reason == StallIQ {
+			c.m.AllocStallCycles++
+		}
+	}
+}
+
+// tryDispatch allocates all resources for the steered micro-op, or reports
+// the first missing resource without side effects.
+func (c *Core) tryDispatch(slot *fetchSlot) StallReason {
+	u := slot.u
+	ci := slot.cluster
+	cl := c.clusters[ci]
+	class := u.Static.Opcode.Class()
+
+	if len(c.rob) >= c.cfg.ROBSize {
+		return StallROB
+	}
+	if cl.QueueFor(class).Full() {
+		return StallIQ
+	}
+	if u.IsMem() && c.lsq.Full() {
+		return StallLSQ
+	}
+
+	// Plan operand copies: a source value not present (nor en route) in the
+	// target cluster needs an explicit copy micro-op in its home cluster.
+	type plannedCopy struct {
+		vseq int64
+		home int
+		reg  uarch.Reg
+	}
+	var copies []plannedCopy
+	var unready []int64
+	needRegInt, needRegFP := 0, 0
+	if u.Static.Dst != uarch.RegNone {
+		if u.Static.Dst.IsFP() {
+			needRegFP++
+		} else {
+			needRegInt++
+		}
+	}
+	srcs := [2]uarch.Reg{u.Static.Src1, u.Static.Src2}
+	var vseqs [2]int64
+	for i, src := range srcs {
+		vseqs[i] = initialValue
+		if src == uarch.RegNone {
+			continue
+		}
+		vseq := c.regVal[src]
+		vseqs[i] = vseq
+		if vseq == initialValue {
+			continue
+		}
+		v := c.values[vseq]
+		if v == nil {
+			continue
+		}
+		bit := uint32(1) << uint(ci)
+		if v.locMask&bit == 0 {
+			dup := false
+			for _, pc := range copies {
+				if pc.vseq == vseq {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				home := c.clusters[v.home]
+				// Each planned copy needs a copy-queue slot in the home
+				// cluster and a register in the target cluster.
+				pendingToHome := 0
+				for _, pc := range copies {
+					if pc.home == v.home {
+						pendingToHome++
+					}
+				}
+				if home.CopyQ.Len()+pendingToHome >= home.CopyQ.Cap() {
+					return StallCopyQ
+				}
+				copies = append(copies, plannedCopy{vseq, v.home, src})
+				if src.IsFP() {
+					needRegFP++
+				} else {
+					needRegInt++
+				}
+			}
+		}
+	}
+	if needRegInt > cl.FreeRegs(uarch.IntReg(0)) || needRegFP > cl.FreeRegs(uarch.FPReg(0)) {
+		if len(copies) > 0 {
+			return StallCopyRegs
+		}
+		return StallRegs
+	}
+
+	// All resources available: perform the dispatch.
+	seq := slot.seq
+	for _, pc := range copies {
+		v := c.values[pc.vseq]
+		var tags []int64
+		if !c.valueIsReadyIn(pc.vseq, pc.home) {
+			tags = []int64{pc.vseq}
+		}
+		if !c.clusters[pc.home].CopyQ.Insert(pc.vseq, ci, tags) {
+			panic("pipeline: copy queue insert failed after capacity check")
+		}
+		v.locMask |= 1 << uint(ci)
+		v.allocMask |= 1 << uint(ci)
+		cl.AllocReg(pc.reg)
+		c.m.Copies++
+		c.m.PerCluster[pc.home].CopiesInserted++
+		if c.copyInserted != nil {
+			c.copyInserted[copyKey{pc.vseq, ci}] = c.cycle
+		}
+	}
+	isStore := u.Static.Opcode == uarch.OpStore
+	for i, src := range srcs {
+		if src == uarch.RegNone || vseqs[i] == initialValue {
+			continue
+		}
+		// Split store: the IQ entry waits only for the address operand
+		// (Src2); the data half completes separately after issue, as real
+		// STA/STD micro-op pairs do.
+		if isStore && i == 0 {
+			continue
+		}
+		if c.valueIsReadyIn(vseqs[i], ci) {
+			continue
+		}
+		dup := false
+		for _, t := range unready {
+			if t == vseqs[i] {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			unready = append(unready, vseqs[i])
+		}
+	}
+	if !cl.QueueFor(class).Insert(seq, 0, unready) {
+		panic("pipeline: IQ insert failed after capacity check")
+	}
+	if u.IsMem() {
+		if !c.lsq.Allocate(seq, u.Static.Opcode == uarch.OpStore) {
+			panic("pipeline: LSQ allocate failed after capacity check")
+		}
+	}
+	st := &uopState{
+		seq: seq, u: u, cluster: ci,
+		mispredicted: slot.mispred, prevValue: initialValue,
+		srcValues: vseqs,
+	}
+	if u.Static.Dst != uarch.RegNone {
+		cl.AllocReg(u.Static.Dst)
+		st.prevValue = c.regVal[u.Static.Dst]
+		c.regVal[u.Static.Dst] = seq
+		c.values[seq] = &valueState{
+			reg: u.Static.Dst, home: ci,
+			locMask: 1 << uint(ci), allocMask: 1 << uint(ci),
+		}
+	}
+	c.rob = append(c.rob, st)
+	c.uops[seq] = st
+	cl.InFlight++
+	cl.DispatchedUops++
+	c.m.PerCluster[ci].Dispatched++
+	return StallNone
+}
+
+// --- fetch ---------------------------------------------------------------
+
+func (c *Core) fetch() {
+	if c.fetchStalled {
+		c.m.FetchStallCycles++
+		return
+	}
+	pipeCap := c.cfg.FetchWidth * (c.cfg.FetchToDispatch + 4)
+	budget := c.cfg.FetchWidth
+	for budget > 0 && c.nextFetch < len(c.tr.Uops) && len(c.fetchPipe) < pipeCap {
+		u := &c.tr.Uops[c.nextFetch]
+		slot := fetchSlot{
+			seq: c.nextSeq, u: u,
+			readyAt: c.cycle + int64(c.cfg.FetchToDispatch),
+		}
+		stop := false
+		if u.IsBranch() {
+			c.m.Branches++
+			predicted := c.bp.predictAndUpdate(u.PC, u.Taken)
+			if predicted != u.Taken {
+				c.m.Mispredicts++
+				slot.mispred = true
+				c.fetchStalled = true
+				stop = true
+			}
+		}
+		c.fetchPipe = append(c.fetchPipe, slot)
+		c.nextFetch++
+		c.nextSeq++
+		budget--
+		if stop {
+			break
+		}
+	}
+}
+
+// accountOccupancy integrates issue-queue occupancy for utilization stats.
+func (c *Core) accountOccupancy() {
+	for i, cl := range c.clusters {
+		pc := &c.m.PerCluster[i]
+		pc.OccupancySum += uint64(cl.Occupancy())
+		pc.IntOccSum += uint64(cl.IntQ.Len())
+		pc.FPOccSum += uint64(cl.FPQ.Len())
+		pc.IntIssued = cl.IntQ.Issued
+		pc.FPIssued = cl.FPQ.Issued
+		pc.CopyIssued = cl.CopyQ.Issued
+		if h := c.m.Histograms; h != nil {
+			h.IntIQ.Observe(int64(cl.IntQ.Len()))
+			h.FPIQ.Observe(int64(cl.FPQ.Len()))
+			h.CopyQ.Observe(int64(cl.CopyQ.Len()))
+		}
+	}
+	if h := c.m.Histograms; h != nil {
+		h.ROB.Observe(int64(len(c.rob)))
+	}
+}
+
+// ComplexityOf returns the policy's steering-logic accounting.
+func (c *Core) ComplexityOf() steer.Complexity { return *c.policy.Complexity() }

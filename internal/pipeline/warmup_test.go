@@ -1,0 +1,107 @@
+package pipeline
+
+import (
+	"testing"
+
+	"clustersim/internal/steer"
+	"clustersim/internal/trace"
+	"clustersim/internal/workload"
+)
+
+func warmupTrace(t *testing.T) *trace.Trace {
+	t.Helper()
+	sp := workload.ByName("crafty")
+	return trace.Expand(sp.Program, trace.Options{NumUops: 10_000, Seed: sp.Seed})
+}
+
+func TestWarmupReducesCountedUops(t *testing.T) {
+	tr := warmupTrace(t)
+	cfg := DefaultConfig(2)
+	cfg.WarmupUops = 4000
+	core, err := NewCore(cfg, &steer.OP{}, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := core.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Warmup boundary is detected at commit granularity (up to CommitWidth
+	// of slack).
+	if m.Uops < 5990 || m.Uops > 6000+int64(cfg.CommitWidth) {
+		t.Errorf("post-warmup uops = %d, want ≈6000", m.Uops)
+	}
+	if m.Cycles <= 0 {
+		t.Error("non-positive post-warmup cycles")
+	}
+}
+
+func TestWarmupImprovesApparentIPC(t *testing.T) {
+	tr := warmupTrace(t)
+
+	cold, err := NewCore(DefaultConfig(2), &steer.OP{}, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mCold, err := cold.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cfg := DefaultConfig(2)
+	cfg.WarmupUops = 5000
+	warm, err := NewCore(cfg, &steer.OP{}, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mWarm, err := warm.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The measured window excludes cold caches/predictor, so IPC must not
+	// be worse (on this cache-friendly workload it is strictly better).
+	if mWarm.IPC() < mCold.IPC() {
+		t.Errorf("warm IPC %.3f < cold IPC %.3f", mWarm.IPC(), mCold.IPC())
+	}
+}
+
+func TestWarmupCountersNonNegative(t *testing.T) {
+	tr := warmupTrace(t)
+	cfg := DefaultConfig(2)
+	cfg.WarmupUops = 9000
+	core, err := NewCore(cfg, steer.NewVC(2), tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := core.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Cycles < 0 || m.Uops < 0 || m.Copies < 0 || m.AllocStallCycles < 0 ||
+		m.Branches < 0 || m.Mispredicts < 0 {
+		t.Errorf("negative counters after warmup subtraction: %+v", m)
+	}
+	if m.L1Hits > 1<<62 || m.LinkTransfers > 1<<62 {
+		t.Errorf("unsigned counter underflow: %+v", m)
+	}
+}
+
+func TestZeroWarmupUnchanged(t *testing.T) {
+	tr := warmupTrace(t)
+	a, _ := NewCore(DefaultConfig(2), &steer.OP{}, tr)
+	ma, err := a.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig(2)
+	cfg.WarmupUops = 0
+	b, _ := NewCore(cfg, &steer.OP{}, tr)
+	mb, err := b.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ma.Cycles != mb.Cycles || ma.Uops != mb.Uops {
+		t.Errorf("zero warmup changed results: %d/%d vs %d/%d",
+			ma.Cycles, ma.Uops, mb.Cycles, mb.Uops)
+	}
+}

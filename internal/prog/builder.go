@@ -1,0 +1,117 @@
+package prog
+
+import (
+	"fmt"
+
+	"clustersim/internal/uarch"
+)
+
+// Builder assembles Programs incrementally. It exists for tests, examples
+// and the synthetic workload generator; hand-written programs read much
+// better through it than through struct literals.
+type Builder struct {
+	p   *Program
+	cur *Block
+}
+
+// NewBuilder starts a program with the given name and opens the entry block.
+func NewBuilder(name string) *Builder {
+	b := &Builder{p: &Program{Name: name}}
+	b.NewBlock()
+	return b
+}
+
+// NewBlock opens a new basic block and makes it current. Returns its id.
+func (b *Builder) NewBlock() int {
+	blk := &Block{ID: len(b.p.Blocks)}
+	b.p.Blocks = append(b.p.Blocks, blk)
+	b.cur = blk
+	return blk.ID
+}
+
+// Block switches the current block to id.
+func (b *Builder) Block(id int) *Builder {
+	if id < 0 || id >= len(b.p.Blocks) {
+		panic(fmt.Sprintf("prog: no block %d", id))
+	}
+	b.cur = b.p.Blocks[id]
+	return b
+}
+
+// Op appends a fully specified static op to the current block.
+func (b *Builder) Op(op StaticOp) *Builder {
+	if op.Ann == (Annotation{}) {
+		op.Ann = NoAnnotation
+	}
+	b.cur.Ops = append(b.cur.Ops, op)
+	return b
+}
+
+// Int appends an integer ALU op dst = src1 <op> src2.
+func (b *Builder) Int(opc uarch.Opcode, dst, src1, src2 uarch.Reg) *Builder {
+	return b.Op(StaticOp{Opcode: opc, Dst: dst, Src1: src1, Src2: src2})
+}
+
+// FP appends a floating-point op dst = src1 <op> src2.
+func (b *Builder) FP(opc uarch.Opcode, dst, src1, src2 uarch.Reg) *Builder {
+	return b.Op(StaticOp{Opcode: opc, Dst: dst, Src1: src1, Src2: src2})
+}
+
+// Load appends a load of dst from the given memory stream; addr registers
+// are the sources (address generation inputs).
+func (b *Builder) Load(dst, addr uarch.Reg, mem MemRef) *Builder {
+	if mem.Pattern == MemNone {
+		mem.Pattern = MemStride
+	}
+	if mem.WorkingSet == 0 {
+		mem.WorkingSet = 1 << 16
+	}
+	return b.Op(StaticOp{Opcode: uarch.OpLoad, Dst: dst, Src1: addr, Src2: uarch.RegNone, Mem: mem})
+}
+
+// Store appends a store of data (Src1) using addr (Src2) for address
+// generation.
+func (b *Builder) Store(data, addr uarch.Reg, mem MemRef) *Builder {
+	if mem.Pattern == MemNone {
+		mem.Pattern = MemStride
+	}
+	if mem.WorkingSet == 0 {
+		mem.WorkingSet = 1 << 16
+	}
+	return b.Op(StaticOp{Opcode: uarch.OpStore, Dst: uarch.RegNone, Src1: data, Src2: addr, Mem: mem})
+}
+
+// Branch appends a conditional branch on cond with the given taken
+// probability and bias, terminating the current block.
+func (b *Builder) Branch(cond uarch.Reg, takenProb, bias float64) *Builder {
+	return b.Op(StaticOp{
+		Opcode: uarch.OpBranch, Dst: uarch.RegNone, Src1: cond, Src2: uarch.RegNone,
+		TakenProb: takenProb, Bias: bias,
+	})
+}
+
+// Edge adds a CFG edge from the current block.
+func (b *Builder) Edge(to int, prob float64) *Builder {
+	b.cur.Succs = append(b.cur.Succs, Edge{To: to, Prob: prob})
+	return b
+}
+
+// Jump adds a single always-taken edge from the current block.
+func (b *Builder) Jump(to int) *Builder { return b.Edge(to, 1) }
+
+// Build validates and returns the program.
+func (b *Builder) Build() (*Program, error) {
+	if err := Validate(b.p); err != nil {
+		return nil, err
+	}
+	return b.p, nil
+}
+
+// MustBuild is Build, panicking on invalid programs. For tests and examples.
+func (b *Builder) MustBuild() *Program {
+	p, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return p
+}

@@ -1,0 +1,56 @@
+package prog
+
+import (
+	"testing"
+
+	"clustersim/internal/uarch"
+)
+
+func TestCloneIsolation(t *testing.T) {
+	p := tinyLoop(t)
+	c := p.Clone()
+	// Mutating the clone's annotations must not leak into the original.
+	c.Blocks[0].Ops[0].Ann = Annotation{VC: 3, Leader: true, Static: 1}
+	if p.Blocks[0].Ops[0].Ann == c.Blocks[0].Ops[0].Ann {
+		t.Fatal("clone shares op storage with the original")
+	}
+	// Structure matches.
+	if c.Name != p.Name || len(c.Blocks) != len(p.Blocks) {
+		t.Fatal("clone structure differs")
+	}
+	for i := range p.Blocks {
+		if len(c.Blocks[i].Ops) != len(p.Blocks[i].Ops) {
+			t.Fatalf("block %d op count differs", i)
+		}
+		if len(c.Blocks[i].Succs) != len(p.Blocks[i].Succs) {
+			t.Fatalf("block %d edge count differs", i)
+		}
+	}
+}
+
+func TestCloneEdgeIsolation(t *testing.T) {
+	p := tinyLoop(t)
+	c := p.Clone()
+	c.Blocks[0].Succs[0].Prob = 0.123
+	if p.Blocks[0].Succs[0].Prob == 0.123 {
+		t.Fatal("clone shares edge storage with the original")
+	}
+}
+
+func TestCloneValidates(t *testing.T) {
+	p := tinyLoop(t)
+	if err := Validate(p.Clone()); err != nil {
+		t.Fatalf("clone invalid: %v", err)
+	}
+}
+
+func TestCloneOpsEqualValues(t *testing.T) {
+	p := tinyLoop(t)
+	c := p.Clone()
+	p.ForEachOp(func(b *Block, i int, op *StaticOp) {
+		if *op != c.Blocks[b.ID].Ops[i] {
+			t.Fatalf("op %v differs in clone", OpAddr{b.ID, i})
+		}
+	})
+	_ = uarch.OpAdd
+}

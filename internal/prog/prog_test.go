@@ -1,0 +1,114 @@
+package prog
+
+import (
+	"testing"
+
+	"clustersim/internal/uarch"
+)
+
+// tinyLoop builds a two-block loop: body with some ALU ops and a backedge.
+func tinyLoop(t *testing.T) *Program {
+	t.Helper()
+	b := NewBuilder("tiny")
+	b.Int(uarch.OpAdd, uarch.IntReg(1), uarch.IntReg(1), uarch.IntReg(2))
+	b.Load(uarch.IntReg(3), uarch.IntReg(1), MemRef{Pattern: MemStride, Stream: 0, StrideBytes: 8, WorkingSet: 1 << 14})
+	b.Int(uarch.OpAdd, uarch.IntReg(4), uarch.IntReg(3), uarch.IntReg(1))
+	b.Branch(uarch.IntReg(4), 0.9, 0.95)
+	b.Edge(0, 0.9)
+	exit := 0
+	// second block
+	exit = b.NewBlock()
+	b.Int(uarch.OpAdd, uarch.IntReg(5), uarch.IntReg(4), uarch.IntReg(4))
+	b.Block(0).Edge(exit, 0.1)
+	return b.MustBuild()
+}
+
+func TestBuilderProducesValidProgram(t *testing.T) {
+	p := tinyLoop(t)
+	if err := Validate(p); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if p.NumStaticOps() != 5 {
+		t.Errorf("NumStaticOps = %d, want 5", p.NumStaticOps())
+	}
+}
+
+func TestValidateRejectsBadEdgeTarget(t *testing.T) {
+	b := NewBuilder("bad")
+	b.Int(uarch.OpAdd, uarch.IntReg(0), uarch.IntReg(0), uarch.IntReg(1))
+	b.Edge(42, 1)
+	if _, err := b.Build(); err == nil {
+		t.Fatal("expected error for edge to nonexistent block")
+	}
+}
+
+func TestValidateRejectsBadProbabilitySum(t *testing.T) {
+	b := NewBuilder("bad")
+	b.Branch(uarch.IntReg(0), 0.5, 0.5)
+	b.Edge(0, 0.4).Edge(0, 0.4)
+	if _, err := b.Build(); err == nil {
+		t.Fatal("expected error for probabilities not summing to 1")
+	}
+}
+
+func TestValidateRejectsMemOpWithoutPattern(t *testing.T) {
+	b := NewBuilder("bad")
+	b.Op(StaticOp{Opcode: uarch.OpLoad, Dst: uarch.IntReg(0), Src1: uarch.RegNone, Src2: uarch.RegNone})
+	if _, err := b.Build(); err == nil {
+		t.Fatal("expected error for load without memory pattern")
+	}
+}
+
+func TestValidateRejectsCopyOps(t *testing.T) {
+	b := NewBuilder("bad")
+	b.Op(StaticOp{Opcode: uarch.OpCopy, Dst: uarch.IntReg(0), Src1: uarch.IntReg(1), Src2: uarch.RegNone})
+	if _, err := b.Build(); err == nil {
+		t.Fatal("expected error for copy op in program")
+	}
+}
+
+func TestValidateRejectsBranchMidBlock(t *testing.T) {
+	b := NewBuilder("bad")
+	b.Branch(uarch.IntReg(0), 0.5, 0.5)
+	b.Int(uarch.OpAdd, uarch.IntReg(0), uarch.IntReg(0), uarch.IntReg(1))
+	b.Edge(0, 0.5).Edge(0, 0.5)
+	if _, err := b.Build(); err == nil {
+		t.Fatal("expected error for branch not at block end")
+	}
+}
+
+func TestValidateRejectsFPWritingIntReg(t *testing.T) {
+	b := NewBuilder("bad")
+	b.Op(StaticOp{Opcode: uarch.OpFAdd, Dst: uarch.IntReg(0), Src1: uarch.FPReg(0), Src2: uarch.FPReg(1)})
+	if _, err := b.Build(); err == nil {
+		t.Fatal("expected error for fp op writing int register")
+	}
+}
+
+func TestClearAnnotations(t *testing.T) {
+	p := tinyLoop(t)
+	p.Blocks[0].Ops[0].Ann = Annotation{VC: 1, Leader: true, Static: 0}
+	p.ClearAnnotations()
+	p.ForEachOp(func(_ *Block, _ int, op *StaticOp) {
+		if op.Ann != NoAnnotation {
+			t.Fatalf("annotation not cleared: %+v", op.Ann)
+		}
+	})
+}
+
+func TestForEachOpVisitsAllInOrder(t *testing.T) {
+	p := tinyLoop(t)
+	var got []OpAddr
+	p.ForEachOp(func(b *Block, i int, _ *StaticOp) {
+		got = append(got, OpAddr{b.ID, i})
+	})
+	want := []OpAddr{{0, 0}, {0, 1}, {0, 2}, {0, 3}, {1, 0}}
+	if len(got) != len(want) {
+		t.Fatalf("visited %d ops, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("visit %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+}

@@ -1,0 +1,96 @@
+package prog
+
+// Region is a compiler scheduling scope: a superblock-like linear sequence
+// of basic blocks along a likely control-flow path. The paper's compiler
+// passes (VC partitioning, RHOP, OB) each analyze one region's data
+// dependence graph at a time; a bigger region is exactly the "larger window
+// of instructions inspected at compile time" advantage of software steering.
+type Region struct {
+	// Blocks are the member blocks, in path order.
+	Blocks []*Block
+}
+
+// NumOps returns the total static op count of the region.
+func (r *Region) NumOps() int {
+	n := 0
+	for _, b := range r.Blocks {
+		n += len(b.Ops)
+	}
+	return n
+}
+
+// ForEachOp calls fn for every static op of the region in path order with
+// the region-wide op index.
+func (r *Region) ForEachOp(fn func(idx int, op *StaticOp)) {
+	idx := 0
+	for _, b := range r.Blocks {
+		for i := range b.Ops {
+			fn(idx, &b.Ops[i])
+			idx++
+		}
+	}
+}
+
+// RegionOptions controls region formation.
+type RegionOptions struct {
+	// MaxOps bounds the region size in static ops. Zero means 256.
+	MaxOps int
+	// MinProb is the minimum edge probability worth extending a region
+	// through. Zero means 0.55: only clearly-biased paths are merged, like
+	// superblock formation driven by profile data.
+	MinProb float64
+}
+
+func (o RegionOptions) withDefaults() RegionOptions {
+	if o.MaxOps == 0 {
+		o.MaxOps = 256
+	}
+	if o.MinProb == 0 {
+		o.MinProb = 0.55
+	}
+	return o
+}
+
+// FormRegions partitions the program's blocks into regions by greedy
+// most-likely-path extension: starting from each unassigned block in layout
+// order, the region follows the highest-probability successor edge while
+// the target is unassigned, the edge probability is at least MinProb, and
+// the op budget holds. Every block lands in exactly one region.
+func FormRegions(p *Program, opts RegionOptions) []*Region {
+	opts = opts.withDefaults()
+	assigned := make([]bool, len(p.Blocks))
+	var regions []*Region
+	for _, seed := range p.Blocks {
+		if assigned[seed.ID] {
+			continue
+		}
+		r := &Region{}
+		cur := seed
+		ops := 0
+		for cur != nil && !assigned[cur.ID] && (ops == 0 || ops+len(cur.Ops) <= opts.MaxOps) {
+			assigned[cur.ID] = true
+			r.Blocks = append(r.Blocks, cur)
+			ops += len(cur.Ops)
+			cur = likelySuccessor(p, cur, opts.MinProb)
+		}
+		regions = append(regions, r)
+	}
+	return regions
+}
+
+// likelySuccessor returns the most probable successor block if its edge
+// probability is at least minProb, else nil.
+func likelySuccessor(p *Program, b *Block, minProb float64) *Block {
+	best := -1
+	bestProb := 0.0
+	for _, e := range b.Succs {
+		if e.Prob > bestProb {
+			bestProb = e.Prob
+			best = e.To
+		}
+	}
+	if best < 0 || bestProb < minProb {
+		return nil
+	}
+	return p.Blocks[best]
+}

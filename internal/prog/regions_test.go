@@ -1,0 +1,103 @@
+package prog
+
+import (
+	"testing"
+
+	"clustersim/internal/uarch"
+)
+
+// chainProgram builds a linear chain of n single-op blocks connected by
+// probability-1 edges.
+func chainProgram(n int) *Program {
+	b := NewBuilder("chain")
+	b.Int(uarch.OpAdd, uarch.IntReg(0), uarch.IntReg(0), uarch.IntReg(1))
+	for i := 1; i < n; i++ {
+		prev := i - 1
+		id := b.NewBlock()
+		b.Int(uarch.OpAdd, uarch.IntReg(0), uarch.IntReg(0), uarch.IntReg(1))
+		b.Block(prev).Jump(id)
+		b.Block(id)
+	}
+	return b.MustBuild()
+}
+
+func TestFormRegionsMergesLikelyPath(t *testing.T) {
+	p := chainProgram(5)
+	regions := FormRegions(p, RegionOptions{})
+	if len(regions) != 1 {
+		t.Fatalf("got %d regions, want 1 (whole chain merged)", len(regions))
+	}
+	if regions[0].NumOps() != 5 {
+		t.Errorf("region has %d ops, want 5", regions[0].NumOps())
+	}
+}
+
+func TestFormRegionsRespectsMaxOps(t *testing.T) {
+	p := chainProgram(10)
+	regions := FormRegions(p, RegionOptions{MaxOps: 3})
+	for _, r := range regions {
+		if r.NumOps() > 3 {
+			t.Errorf("region with %d ops exceeds MaxOps=3", r.NumOps())
+		}
+	}
+	total := 0
+	for _, r := range regions {
+		total += r.NumOps()
+	}
+	if total != 10 {
+		t.Errorf("regions cover %d ops, want 10", total)
+	}
+}
+
+func TestFormRegionsStopsAtUnbiasedBranch(t *testing.T) {
+	b := NewBuilder("diamond")
+	b.Branch(uarch.IntReg(0), 0.5, 0.5)
+	left := b.NewBlock()
+	b.Int(uarch.OpAdd, uarch.IntReg(1), uarch.IntReg(0), uarch.IntReg(0))
+	right := b.NewBlock()
+	b.Int(uarch.OpAdd, uarch.IntReg(2), uarch.IntReg(0), uarch.IntReg(0))
+	b.Block(0).Edge(left, 0.5).Edge(right, 0.5)
+	p := b.MustBuild()
+
+	regions := FormRegions(p, RegionOptions{})
+	if len(regions) != 3 {
+		t.Fatalf("got %d regions, want 3 (50/50 branch must not be crossed)", len(regions))
+	}
+}
+
+func TestFormRegionsEveryBlockExactlyOnce(t *testing.T) {
+	p := chainProgram(7)
+	regions := FormRegions(p, RegionOptions{MaxOps: 2})
+	seen := map[int]int{}
+	for _, r := range regions {
+		for _, blk := range r.Blocks {
+			seen[blk.ID]++
+		}
+	}
+	for id, n := range seen {
+		if n != 1 {
+			t.Errorf("block %d appears in %d regions", id, n)
+		}
+	}
+	if len(seen) != len(p.Blocks) {
+		t.Errorf("regions cover %d blocks, want %d", len(seen), len(p.Blocks))
+	}
+}
+
+func TestFormRegionsFollowsBiasedBranch(t *testing.T) {
+	// Loop: block0 branches back to itself with p=0.95, exits with 0.05.
+	b := NewBuilder("loop")
+	b.Int(uarch.OpAdd, uarch.IntReg(1), uarch.IntReg(1), uarch.IntReg(2))
+	b.Branch(uarch.IntReg(1), 0.95, 0.9)
+	exit := b.NewBlock()
+	b.Int(uarch.OpAdd, uarch.IntReg(3), uarch.IntReg(1), uarch.IntReg(1))
+	b.Block(0).Edge(0, 0.95).Edge(exit, 0.05)
+	p := b.MustBuild()
+
+	regions := FormRegions(p, RegionOptions{})
+	// Block 0's best successor is itself (already assigned), so region stops;
+	// exit forms its own region.
+	if len(regions) != 2 {
+		t.Fatalf("got %d regions, want 2", len(regions))
+	}
+}

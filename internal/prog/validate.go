@@ -1,0 +1,120 @@
+package prog
+
+import (
+	"fmt"
+	"math"
+
+	"clustersim/internal/uarch"
+)
+
+// Validate checks the structural invariants the rest of the system relies
+// on and returns the first violation found, or nil.
+//
+// Invariants:
+//   - at least one block, entry block non-empty
+//   - block IDs match their slice position
+//   - every CFG edge targets an existing block
+//   - non-terminal blocks have edge probabilities summing to ~1
+//   - register operands are valid or RegNone; FP ops write FP registers,
+//     INT ops write INT registers
+//   - memory ops carry a memory pattern, non-memory ops carry MemNone
+//   - branch ops are the last op of their block; only branch blocks have
+//     more than one successor
+//   - TakenProb and Bias lie in [0,1]
+func Validate(p *Program) error {
+	if len(p.Blocks) == 0 {
+		return fmt.Errorf("prog %q: no blocks", p.Name)
+	}
+	if len(p.Blocks[0].Ops) == 0 {
+		return fmt.Errorf("prog %q: empty entry block", p.Name)
+	}
+	for bi, b := range p.Blocks {
+		if b.ID != bi {
+			return fmt.Errorf("prog %q: block at index %d has ID %d", p.Name, bi, b.ID)
+		}
+		if err := validateEdges(p, b); err != nil {
+			return err
+		}
+		for i := range b.Ops {
+			if err := validateOp(p, b, i); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func validateEdges(p *Program, b *Block) error {
+	if len(b.Succs) == 0 {
+		return nil // terminal block: the trace expander restarts at entry
+	}
+	sum := 0.0
+	for _, e := range b.Succs {
+		if e.To < 0 || e.To >= len(p.Blocks) {
+			return fmt.Errorf("prog %q: block %d edge to nonexistent block %d", p.Name, b.ID, e.To)
+		}
+		if e.Prob < 0 || e.Prob > 1 {
+			return fmt.Errorf("prog %q: block %d edge prob %g out of range", p.Name, b.ID, e.Prob)
+		}
+		sum += e.Prob
+	}
+	if math.Abs(sum-1) > 1e-6 {
+		return fmt.Errorf("prog %q: block %d edge probabilities sum to %g", p.Name, b.ID, sum)
+	}
+	if len(b.Succs) > 1 {
+		last := &b.Ops[len(b.Ops)-1]
+		if len(b.Ops) == 0 || !last.Opcode.IsBranch() {
+			return fmt.Errorf("prog %q: block %d has %d successors but no terminating branch",
+				p.Name, b.ID, len(b.Succs))
+		}
+	}
+	return nil
+}
+
+func validateOp(p *Program, b *Block, i int) error {
+	op := &b.Ops[i]
+	addr := OpAddr{b.ID, i}
+	for _, src := range [2]uarch.Reg{op.Src1, op.Src2} {
+		if src != uarch.RegNone && !src.Valid() {
+			return fmt.Errorf("prog %q: %v has invalid source %d", p.Name, addr, src)
+		}
+	}
+	if op.Dst != uarch.RegNone {
+		if !op.Dst.Valid() {
+			return fmt.Errorf("prog %q: %v has invalid dest %d", p.Name, addr, op.Dst)
+		}
+		isFPOp := op.Opcode.Class() == uarch.ClassFP ||
+			(op.Opcode == uarch.OpLoad && op.Dst.IsFP())
+		if op.Opcode.Class() == uarch.ClassFP && !op.Dst.IsFP() {
+			return fmt.Errorf("prog %q: %v fp op writes int register %v", p.Name, addr, op.Dst)
+		}
+		if op.Opcode.Class() == uarch.ClassInt && op.Dst.IsFP() {
+			return fmt.Errorf("prog %q: %v int op writes fp register %v", p.Name, addr, op.Dst)
+		}
+		_ = isFPOp
+	}
+	if op.Opcode.IsMem() && op.Mem.Pattern == MemNone {
+		return fmt.Errorf("prog %q: %v memory op without memory pattern", p.Name, addr)
+	}
+	if !op.Opcode.IsMem() && op.Mem.Pattern != MemNone {
+		return fmt.Errorf("prog %q: %v non-memory op with memory pattern %v", p.Name, addr, op.Mem.Pattern)
+	}
+	if op.Opcode.IsMem() && op.Mem.Pattern != MemNone {
+		if op.Mem.WorkingSet <= 0 {
+			return fmt.Errorf("prog %q: %v memory op with working set %d", p.Name, addr, op.Mem.WorkingSet)
+		}
+	}
+	if op.Opcode == uarch.OpCopy {
+		return fmt.Errorf("prog %q: %v copy micro-ops cannot appear in programs", p.Name, addr)
+	}
+	if op.TakenProb < 0 || op.TakenProb > 1 {
+		return fmt.Errorf("prog %q: %v taken prob %g out of range", p.Name, addr, op.TakenProb)
+	}
+	if op.Bias < 0 || op.Bias > 1 {
+		return fmt.Errorf("prog %q: %v bias %g out of range", p.Name, addr, op.Bias)
+	}
+	if op.Opcode.IsBranch() && i != len(b.Ops)-1 {
+		return fmt.Errorf("prog %q: %v branch not at end of block", p.Name, addr)
+	}
+	return nil
+}

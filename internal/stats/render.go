@@ -1,0 +1,171 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Table renders aligned text tables for the experiment reports.
+type Table struct {
+	header []string
+	rows   [][]string
+}
+
+// NewTable starts a table with the given column headers.
+func NewTable(header ...string) *Table {
+	return &Table{header: header}
+}
+
+// Row appends a row; cells are rendered with %v, floats with %.2f.
+func (t *Table) Row(cells ...any) *Table {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			if math.IsNaN(v) {
+				row[i] = "-"
+			} else {
+				row[i] = fmt.Sprintf("%.2f", v)
+			}
+		case float32:
+			row[i] = fmt.Sprintf("%.2f", v)
+		default:
+			row[i] = fmt.Sprint(c)
+		}
+	}
+	t.rows = append(t.rows, row)
+	return t
+}
+
+// String renders the table.
+func (t *Table) String() string {
+	ncol := len(t.header)
+	for _, r := range t.rows {
+		if len(r) > ncol {
+			ncol = len(r)
+		}
+	}
+	width := make([]int, ncol)
+	measure := func(r []string) {
+		for i, c := range r {
+			if len(c) > width[i] {
+				width[i] = len(c)
+			}
+		}
+	}
+	measure(t.header)
+	for _, r := range t.rows {
+		measure(r)
+	}
+	var b strings.Builder
+	writeRow := func(r []string) {
+		for i := 0; i < ncol; i++ {
+			cell := ""
+			if i < len(r) {
+				cell = r[i]
+			}
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", width[i], cell)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.header)
+	total := 0
+	for _, w := range width {
+		total += w
+	}
+	b.WriteString(strings.Repeat("-", total+2*(ncol-1)))
+	b.WriteByte('\n')
+	for _, r := range t.rows {
+		writeRow(r)
+	}
+	return b.String()
+}
+
+// Scatter renders an ASCII scatter plot (the paper's Figure 6 panels).
+type Scatter struct {
+	title, xlabel, ylabel string
+	xs, ys                []float64
+}
+
+// NewScatter starts a plot.
+func NewScatter(title, xlabel, ylabel string) *Scatter {
+	return &Scatter{title: title, xlabel: xlabel, ylabel: ylabel}
+}
+
+// Add appends one point.
+func (s *Scatter) Add(x, y float64) {
+	if math.IsNaN(x) || math.IsNaN(y) || math.IsInf(x, 0) || math.IsInf(y, 0) {
+		return
+	}
+	s.xs = append(s.xs, x)
+	s.ys = append(s.ys, y)
+}
+
+// Len returns the point count.
+func (s *Scatter) Len() int { return len(s.xs) }
+
+// String renders a w×h character grid with axes through zero.
+func (s *Scatter) String() string {
+	const w, h = 61, 21
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", s.title)
+	if len(s.xs) == 0 {
+		b.WriteString("(no points)\n")
+		return b.String()
+	}
+	minX, maxX := minMax(s.xs)
+	minY, maxY := minMax(s.ys)
+	// Include origin so the zero axes render.
+	minX, maxX = math.Min(minX, 0), math.Max(maxX, 0)
+	minY, maxY = math.Min(minY, 0), math.Max(maxY, 0)
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+	grid := make([][]byte, h)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", w))
+	}
+	colOf := func(x float64) int { return int((x - minX) / (maxX - minX) * float64(w-1)) }
+	rowOf := func(y float64) int { return (h - 1) - int((y-minY)/(maxY-minY)*float64(h-1)) }
+	// Axes.
+	zc, zr := colOf(0), rowOf(0)
+	for r := 0; r < h; r++ {
+		grid[r][zc] = '|'
+	}
+	for cidx := 0; cidx < w; cidx++ {
+		if grid[zr][cidx] == ' ' {
+			grid[zr][cidx] = '-'
+		}
+	}
+	grid[zr][zc] = '+'
+	for i := range s.xs {
+		grid[rowOf(s.ys[i])][colOf(s.xs[i])] = '*'
+	}
+	fmt.Fprintf(&b, "y: %s  [%.1f, %.1f]\n", s.ylabel, minY, maxY)
+	for _, row := range grid {
+		b.Write(row)
+		b.WriteByte('\n')
+	}
+	fmt.Fprintf(&b, "x: %s  [%.1f, %.1f]   n=%d\n", s.xlabel, minX, maxX, len(s.xs))
+	return b.String()
+}
+
+func minMax(xs []float64) (float64, float64) {
+	mn, mx := xs[0], xs[0]
+	for _, x := range xs[1:] {
+		if x < mn {
+			mn = x
+		}
+		if x > mx {
+			mx = x
+		}
+	}
+	return mn, mx
+}

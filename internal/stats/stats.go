@@ -1,0 +1,106 @@
+// Package stats provides the small numeric and rendering utilities the
+// experiment harness uses: weighted means (PinPoints-style aggregation),
+// slowdown/speedup arithmetic, text tables and ASCII scatter plots.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// WeightedMean returns Σ w·x / Σ w. Panics on mismatched lengths; returns
+// NaN for empty or zero-weight input.
+func WeightedMean(xs, ws []float64) float64 {
+	if len(xs) != len(ws) {
+		panic(fmt.Sprintf("stats: %d values, %d weights", len(xs), len(ws)))
+	}
+	sw, sx := 0.0, 0.0
+	for i := range xs {
+		sw += ws[i]
+		sx += xs[i] * ws[i]
+	}
+	if sw == 0 {
+		return math.NaN()
+	}
+	return sx / sw
+}
+
+// Mean returns the arithmetic mean, NaN when empty.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// GeoMean returns the geometric mean of positive values, NaN when empty.
+func GeoMean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	s := 0.0
+	for _, x := range xs {
+		if x <= 0 {
+			return math.NaN()
+		}
+		s += math.Log(x)
+	}
+	return math.Exp(s / float64(len(xs)))
+}
+
+// SlowdownPct returns (cycles/baseCycles − 1)·100: positive means slower
+// than the baseline (the paper's Figures 5 and 7 y-axis).
+func SlowdownPct(cycles, baseCycles int64) float64 {
+	if baseCycles == 0 {
+		return math.NaN()
+	}
+	return (float64(cycles)/float64(baseCycles) - 1) * 100
+}
+
+// SpeedupPct returns (base/new − 1)·100: positive means the new
+// configuration is faster (the paper's Figure 6 x-axis).
+func SpeedupPct(newCycles, baseCycles int64) float64 {
+	if newCycles == 0 {
+		return math.NaN()
+	}
+	return (float64(baseCycles)/float64(newCycles) - 1) * 100
+}
+
+// ReductionPct returns (old−new)/old·100: positive means new is lower (the
+// paper's Figure 6 y-axes: copy reduction, allocation-stall reduction).
+func ReductionPct(newV, oldV float64) float64 {
+	if oldV == 0 {
+		if newV == 0 {
+			return 0
+		}
+		return math.Inf(-1)
+	}
+	return (oldV - newV) / oldV * 100
+}
+
+// Quantile returns the q-quantile (0..1) by linear interpolation.
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	if q <= 0 {
+		return s[0]
+	}
+	if q >= 1 {
+		return s[len(s)-1]
+	}
+	pos := q * float64(len(s)-1)
+	lo := int(pos)
+	frac := pos - float64(lo)
+	if lo+1 >= len(s) {
+		return s[len(s)-1]
+	}
+	return s[lo]*(1-frac) + s[lo+1]*frac
+}

@@ -1,0 +1,181 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestWeightedMean(t *testing.T) {
+	got := WeightedMean([]float64{1, 3}, []float64{1, 1})
+	if got != 2 {
+		t.Errorf("WeightedMean = %g, want 2", got)
+	}
+	got = WeightedMean([]float64{1, 3}, []float64{3, 1})
+	if got != 1.5 {
+		t.Errorf("WeightedMean = %g, want 1.5", got)
+	}
+	if !math.IsNaN(WeightedMean(nil, nil)) {
+		t.Error("empty WeightedMean should be NaN")
+	}
+}
+
+func TestWeightedMeanPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	WeightedMean([]float64{1}, []float64{1, 2})
+}
+
+func TestMeanAndGeoMean(t *testing.T) {
+	if got := Mean([]float64{2, 4}); got != 3 {
+		t.Errorf("Mean = %g", got)
+	}
+	if got := GeoMean([]float64{1, 4}); got != 2 {
+		t.Errorf("GeoMean = %g", got)
+	}
+	if !math.IsNaN(GeoMean([]float64{1, -1})) {
+		t.Error("GeoMean with negatives should be NaN")
+	}
+}
+
+func TestSlowdownSpeedup(t *testing.T) {
+	if got := SlowdownPct(110, 100); math.Abs(got-10) > 1e-9 {
+		t.Errorf("SlowdownPct = %g, want 10", got)
+	}
+	if got := SpeedupPct(100, 110); math.Abs(got-10) > 1e-9 {
+		t.Errorf("SpeedupPct = %g, want 10", got)
+	}
+	if got := SlowdownPct(100, 100); got != 0 {
+		t.Errorf("SlowdownPct equal = %g, want 0", got)
+	}
+}
+
+func TestReductionPct(t *testing.T) {
+	if got := ReductionPct(50, 100); got != 50 {
+		t.Errorf("ReductionPct = %g, want 50", got)
+	}
+	if got := ReductionPct(0, 0); got != 0 {
+		t.Errorf("ReductionPct(0,0) = %g, want 0", got)
+	}
+	if got := ReductionPct(150, 100); got != -50 {
+		t.Errorf("ReductionPct = %g, want -50", got)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{4, 1, 3, 2}
+	if got := Quantile(xs, 0); got != 1 {
+		t.Errorf("q0 = %g", got)
+	}
+	if got := Quantile(xs, 1); got != 4 {
+		t.Errorf("q1 = %g", got)
+	}
+	if got := Quantile(xs, 0.5); got != 2.5 {
+		t.Errorf("median = %g, want 2.5", got)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tab := NewTable("name", "value")
+	tab.Row("alpha", 1.5)
+	tab.Row("b", 22)
+	out := tab.String()
+	if !strings.Contains(out, "alpha") || !strings.Contains(out, "1.50") || !strings.Contains(out, "22") {
+		t.Errorf("table missing cells:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Errorf("table has %d lines, want 4", len(lines))
+	}
+	if !strings.Contains(out, "-") {
+		t.Error("missing header rule")
+	}
+}
+
+func TestTableNaNRendersDash(t *testing.T) {
+	tab := NewTable("x")
+	tab.Row(math.NaN())
+	if !strings.Contains(tab.String(), "-") {
+		t.Error("NaN should render as dash")
+	}
+}
+
+func TestScatterRendering(t *testing.T) {
+	sc := NewScatter("test", "speedup", "reduction")
+	sc.Add(-5, 3)
+	sc.Add(10, -2)
+	sc.Add(7, 4)
+	out := sc.String()
+	if !strings.Contains(out, "*") {
+		t.Error("scatter missing points")
+	}
+	if !strings.Contains(out, "+") {
+		t.Error("scatter missing origin")
+	}
+	if sc.Len() != 3 {
+		t.Errorf("Len = %d, want 3", sc.Len())
+	}
+	// NaN points dropped.
+	sc.Add(math.NaN(), 1)
+	if sc.Len() != 3 {
+		t.Error("NaN point should be dropped")
+	}
+}
+
+func TestScatterEmpty(t *testing.T) {
+	sc := NewScatter("empty", "x", "y")
+	if !strings.Contains(sc.String(), "no points") {
+		t.Error("empty scatter should say so")
+	}
+}
+
+// Property: WeightedMean lies within [min,max] of its inputs for positive
+// weights.
+func TestWeightedMeanBoundsProperty(t *testing.T) {
+	f := func(raw []uint8) bool {
+		if len(raw) < 2 {
+			return true
+		}
+		xs := make([]float64, 0, len(raw)/2)
+		ws := make([]float64, 0, len(raw)/2)
+		for i := 0; i+1 < len(raw); i += 2 {
+			xs = append(xs, float64(raw[i]))
+			ws = append(ws, float64(raw[i+1])+1)
+		}
+		m := WeightedMean(xs, ws)
+		mn, mx := xs[0], xs[0]
+		for _, x := range xs {
+			mn = math.Min(mn, x)
+			mx = math.Max(mx, x)
+		}
+		return m >= mn-1e-9 && m <= mx+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: SlowdownPct and SpeedupPct are inverse-ish: slowdown of b vs a
+// equals −speedup of... check sign consistency.
+func TestSlowdownSpeedupSignsProperty(t *testing.T) {
+	f := func(a, b uint16) bool {
+		ca, cb := int64(a)+1, int64(b)+1
+		sl := SlowdownPct(ca, cb)
+		sp := SpeedupPct(ca, cb)
+		// If ca > cb the config is slower: positive slowdown, negative speedup.
+		if ca > cb {
+			return sl > 0 && sp < 0
+		}
+		if ca < cb {
+			return sl < 0 && sp > 0
+		}
+		return sl == 0 && sp == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

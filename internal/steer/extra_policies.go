@@ -1,0 +1,163 @@
+package steer
+
+import (
+	"clustersim/internal/trace"
+	"clustersim/internal/uarch"
+)
+
+// Additional hardware-only steering heuristics from the literature the
+// paper surveys (Baniasadi & Moshovos, MICRO-33; Canal et al., HPCA-6).
+// They are not Table 3 configurations; the ablation harness and tests use
+// them to place OP and VC within the wider design space.
+
+// LeastLoaded steers every micro-op to the cluster with the lowest
+// issue-queue occupancy: maximal balance, no dependence awareness (the
+// "BAL" heuristic of Baniasadi & Moshovos).
+type LeastLoaded struct {
+	cx Complexity
+}
+
+// Name implements Policy.
+func (p *LeastLoaded) Name() string { return "LC" }
+
+// Reset implements Policy.
+func (p *LeastLoaded) Reset() { p.cx = Complexity{} }
+
+// Complexity implements Policy.
+func (p *LeastLoaded) Complexity() *Complexity { return &p.cx }
+
+// Steer implements Policy.
+func (p *LeastLoaded) Steer(ctx Context, u *trace.Uop) Decision {
+	p.cx.Steered++
+	n := ctx.NumClusters()
+	p.cx.CounterReads += uint64(n)
+	best := -1
+	for c := 0; c < n; c++ {
+		if !ctx.HasSpace(c, u.Static.Opcode.Class()) {
+			continue
+		}
+		if best == -1 || ctx.Occupancy(c) < ctx.Occupancy(best) {
+			best = c
+		}
+	}
+	if best == -1 {
+		return stall
+	}
+	return Decision{Cluster: best}
+}
+
+// Slice steers fixed-size slices of consecutive micro-ops to the same
+// cluster, advancing round-robin (the "SLC" slice heuristic of Baniasadi &
+// Moshovos): consecutive ops are likely dependent, so slices approximate
+// chains without any compiler help.
+type Slice struct {
+	// SliceLen is the ops per slice. Zero means 8.
+	SliceLen int
+	cur      int
+	left     int
+	cx       Complexity
+}
+
+// Name implements Policy.
+func (p *Slice) Name() string { return "SLC" }
+
+// Reset implements Policy.
+func (p *Slice) Reset() {
+	p.cur, p.left = 0, 0
+	p.cx = Complexity{}
+}
+
+// Complexity implements Policy.
+func (p *Slice) Complexity() *Complexity { return &p.cx }
+
+// Steer implements Policy.
+func (p *Slice) Steer(ctx Context, u *trace.Uop) Decision {
+	p.cx.Steered++
+	sliceLen := p.SliceLen
+	if sliceLen <= 0 {
+		sliceLen = 8
+	}
+	if p.left == 0 {
+		p.cur = (p.cur + 1) % ctx.NumClusters()
+		p.left = sliceLen
+	}
+	if !ctx.HasSpace(p.cur, u.Static.Opcode.Class()) {
+		return stall
+	}
+	p.left--
+	return Decision{Cluster: p.cur}
+}
+
+// DependenceBalanced follows operand locations like OP, but overrides
+// toward the least-loaded cluster whenever the occupancy imbalance exceeds
+// a threshold (the "ADV" advanced heuristic of Baniasadi & Moshovos:
+// dependence-driven with a balance escape hatch).
+type DependenceBalanced struct {
+	// Threshold is the occupancy difference that triggers rebalancing.
+	// Zero means 16 (a third of the default issue-queue capacity).
+	Threshold int
+	cx        Complexity
+}
+
+// Name implements Policy.
+func (p *DependenceBalanced) Name() string { return "ADV" }
+
+// Reset implements Policy.
+func (p *DependenceBalanced) Reset() { p.cx = Complexity{} }
+
+// Complexity implements Policy.
+func (p *DependenceBalanced) Complexity() *Complexity { return &p.cx }
+
+// Steer implements Policy.
+func (p *DependenceBalanced) Steer(ctx Context, u *trace.Uop) Decision {
+	p.cx.Steered++
+	n := ctx.NumClusters()
+	thr := p.Threshold
+	if thr == 0 {
+		thr = 16
+	}
+	// Balance check first (counters only).
+	p.cx.CounterReads += uint64(n)
+	minC, maxC := 0, 0
+	for c := 1; c < n; c++ {
+		if ctx.Occupancy(c) < ctx.Occupancy(minC) {
+			minC = c
+		}
+		if ctx.Occupancy(c) > ctx.Occupancy(maxC) {
+			maxC = c
+		}
+	}
+	if ctx.Occupancy(maxC)-ctx.Occupancy(minC) > thr {
+		if !ctx.HasSpace(minC, u.Static.Opcode.Class()) {
+			return stall
+		}
+		return Decision{Cluster: minC}
+	}
+	// Otherwise dependence steering (serialized, like OP).
+	p.cx.SerializedDecisions++
+	var votes [32]int
+	for _, src := range [2]uarch.Reg{u.Static.Src1, u.Static.Src2} {
+		if src == uarch.RegNone {
+			continue
+		}
+		p.cx.DependenceChecks++
+		mask := ctx.ValueClusters(src)
+		for c := 0; c < n; c++ {
+			if mask&(1<<uint(c)) != 0 {
+				votes[c]++
+			}
+		}
+	}
+	p.cx.VoteOps += uint64(n)
+	pref := 0
+	for c := 1; c < n; c++ {
+		if votes[c] > votes[pref] ||
+			(votes[c] == votes[pref] && ctx.Occupancy(c) < ctx.Occupancy(pref)) {
+			pref = c
+		}
+	}
+	if !ctx.HasSpace(pref, u.Static.Opcode.Class()) {
+		return stall
+	}
+	return Decision{Cluster: pref}
+}

@@ -1,0 +1,110 @@
+package steer
+
+import (
+	"testing"
+
+	"clustersim/internal/uarch"
+)
+
+func TestLeastLoadedPicksMinOccupancy(t *testing.T) {
+	ctx := newFakeCtx(3)
+	ctx.occ[0], ctx.occ[1], ctx.occ[2] = 10, 2, 7
+	p := &LeastLoaded{}
+	d := p.Steer(ctx, addUop(1, 2))
+	if d.Stall || d.Cluster != 1 {
+		t.Fatalf("decision = %+v, want cluster 1", d)
+	}
+}
+
+func TestLeastLoadedSkipsFullClusters(t *testing.T) {
+	ctx := newFakeCtx(2)
+	ctx.occ[0], ctx.occ[1] = 1, 30
+	ctx.space[0] = false
+	p := &LeastLoaded{}
+	d := p.Steer(ctx, addUop(1, 2))
+	if d.Stall || d.Cluster != 1 {
+		t.Fatalf("decision = %+v, want fallback to cluster 1", d)
+	}
+	ctx.space[1] = false
+	if d := p.Steer(ctx, addUop(1, 2)); !d.Stall {
+		t.Fatal("want stall when everything is full")
+	}
+}
+
+func TestLeastLoadedUsesNoDependenceLogic(t *testing.T) {
+	ctx := newFakeCtx(2)
+	p := &LeastLoaded{}
+	p.Steer(ctx, addUop(1, 2))
+	if cx := p.Complexity(); cx.DependenceChecks != 0 || cx.VoteOps != 0 {
+		t.Errorf("LC should use counters only: %+v", cx)
+	}
+}
+
+func TestSliceStaysThenSwitches(t *testing.T) {
+	ctx := newFakeCtx(2)
+	p := &Slice{SliceLen: 3}
+	var clusters []int
+	for i := 0; i < 9; i++ {
+		d := p.Steer(ctx, addUop(1, 2))
+		if d.Stall {
+			t.Fatalf("unexpected stall at %d", i)
+		}
+		clusters = append(clusters, d.Cluster)
+	}
+	want := []int{1, 1, 1, 0, 0, 0, 1, 1, 1}
+	for i := range want {
+		if clusters[i] != want[i] {
+			t.Fatalf("slice pattern %v, want %v", clusters, want)
+		}
+	}
+}
+
+func TestSliceStallDoesNotAdvance(t *testing.T) {
+	ctx := newFakeCtx(2)
+	p := &Slice{SliceLen: 2}
+	d1 := p.Steer(ctx, addUop(1, 2))
+	ctx.space[d1.Cluster] = false
+	if d := p.Steer(ctx, addUop(1, 2)); !d.Stall {
+		t.Fatal("want stall when slice target full")
+	}
+	ctx.space[d1.Cluster] = true
+	d2 := p.Steer(ctx, addUop(1, 2))
+	if d2.Cluster != d1.Cluster {
+		t.Error("stall must not advance the slice")
+	}
+}
+
+func TestDependenceBalancedFollowsDependences(t *testing.T) {
+	ctx := newFakeCtx(2)
+	ctx.locs[uarch.IntReg(1)] = 1 << 1
+	ctx.locs[uarch.IntReg(2)] = 1 << 1
+	ctx.occ[0], ctx.occ[1] = 5, 8 // below threshold: dependence wins
+	p := &DependenceBalanced{Threshold: 16}
+	d := p.Steer(ctx, addUop(1, 2))
+	if d.Stall || d.Cluster != 1 {
+		t.Fatalf("decision = %+v, want operand cluster 1", d)
+	}
+}
+
+func TestDependenceBalancedRebalancesOnImbalance(t *testing.T) {
+	ctx := newFakeCtx(2)
+	ctx.locs[uarch.IntReg(1)] = 1 << 1
+	ctx.locs[uarch.IntReg(2)] = 1 << 1
+	ctx.occ[0], ctx.occ[1] = 2, 40 // way past threshold: balance wins
+	p := &DependenceBalanced{Threshold: 16}
+	d := p.Steer(ctx, addUop(1, 2))
+	if d.Stall || d.Cluster != 0 {
+		t.Fatalf("decision = %+v, want least-loaded cluster 0", d)
+	}
+}
+
+func TestExtraPoliciesResetState(t *testing.T) {
+	ctx := newFakeCtx(2)
+	for _, p := range []Policy{&LeastLoaded{}, &Slice{}, &DependenceBalanced{}} {
+		p.Steer(ctx, addUop(1, 2))
+		p.Reset()
+		if p.Complexity().Steered != 0 {
+			t.Errorf("%s: Reset did not clear counters", p.Name())
+		}
+	}
+}

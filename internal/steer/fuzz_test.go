@@ -1,0 +1,103 @@
+package steer
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"clustersim/internal/prog"
+	"clustersim/internal/trace"
+	"clustersim/internal/uarch"
+)
+
+// randomCtx builds a random but self-consistent steering context.
+func randomCtx(rng *rand.Rand, n int) *fakeCtx {
+	ctx := newFakeCtx(n)
+	for c := 0; c < n; c++ {
+		ctx.occ[c] = rng.Intn(60)
+		ctx.inflight[c] = rng.Intn(200)
+		ctx.space[c] = rng.Intn(5) > 0 // full 20% of the time
+	}
+	for r := 0; r < uarch.NumRegs; r++ {
+		if rng.Intn(2) == 0 {
+			ctx.locs[uarch.Reg(r)] = uint32(rng.Intn(1 << uint(n)))
+		}
+	}
+	return ctx
+}
+
+// randomUop builds a random micro-op with arbitrary annotations.
+func randomUop(rng *rand.Rand) *trace.Uop {
+	op := prog.StaticOp{
+		Opcode: uarch.Opcode(rng.Intn(int(uarch.OpCopy))), // no copies in programs
+		Dst:    uarch.Reg(rng.Intn(uarch.NumRegs)),
+		Src1:   uarch.Reg(rng.Intn(uarch.NumRegs+1) - 1),
+		Src2:   uarch.Reg(rng.Intn(uarch.NumRegs+1) - 1),
+		Ann: prog.Annotation{
+			VC:     rng.Intn(6) - 1,
+			Leader: rng.Intn(2) == 0,
+			Static: rng.Intn(6) - 1,
+		},
+	}
+	return &trace.Uop{Static: &op}
+}
+
+// Property: every policy, on any context, returns either a stall or a
+// cluster that is in range AND has space (policies must never steer into a
+// full queue).
+func TestPolicyDecisionsAlwaysValidProperty(t *testing.T) {
+	mkPolicies := func() []Policy {
+		return []Policy{
+			&OP{}, &OP{NoStall: true}, &OneCluster{}, &Static{},
+			NewVC(2), NewVC(4), &ModN{}, &LeastLoaded{}, &Slice{}, &DependenceBalanced{},
+		}
+	}
+	f := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw)%4 + 1
+		rng := rand.New(rand.NewSource(seed))
+		for _, p := range mkPolicies() {
+			ctx := randomCtx(rng, n)
+			for step := 0; step < 20; step++ {
+				u := randomUop(rng)
+				d := p.Steer(ctx, u)
+				if d.Stall {
+					continue
+				}
+				if d.Cluster < 0 || d.Cluster >= n {
+					t.Logf("%s chose cluster %d of %d", p.Name(), d.Cluster, n)
+					return false
+				}
+				if !ctx.HasSpace(d.Cluster, u.Static.Opcode.Class()) {
+					t.Logf("%s steered into a full cluster %d", p.Name(), d.Cluster)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: complexity counters are monotone in steered micro-ops.
+func TestComplexityMonotoneProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := &OP{}
+		ctx := randomCtx(rng, 2)
+		prev := uint64(0)
+		for i := 0; i < 30; i++ {
+			p.Steer(ctx, randomUop(rng))
+			cx := p.Complexity()
+			if cx.Steered < prev {
+				return false
+			}
+			prev = cx.Steered
+		}
+		return prev == 30
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,46 @@
+package steer
+
+import (
+	"testing"
+
+	"clustersim/internal/uarch"
+)
+
+func TestOPNoStallDivertsToBusyCluster(t *testing.T) {
+	ctx := newFakeCtx(2)
+	ctx.locs[uarch.IntReg(1)] = 1 << 0
+	ctx.locs[uarch.IntReg(2)] = 1 << 0
+	ctx.space[0] = false            // preferred cluster full
+	ctx.occ[0], ctx.occ[1] = 40, 39 // alternative is just as busy
+	p := &OP{NoStall: true}
+	d := p.Steer(ctx, addUop(1, 2))
+	if d.Stall || d.Cluster != 1 {
+		t.Fatalf("decision = %+v, want divert to cluster 1 under NoStall", d)
+	}
+	if p.Name() != "OP-nostall" {
+		t.Errorf("Name = %q", p.Name())
+	}
+}
+
+func TestOPNoStallStillStallsWhenNowhereToGo(t *testing.T) {
+	ctx := newFakeCtx(2)
+	ctx.space[0] = false
+	ctx.space[1] = false
+	p := &OP{NoStall: true}
+	if d := p.Steer(ctx, addUop(1, 2)); !d.Stall {
+		t.Fatalf("decision = %+v, want stall when every cluster is full", d)
+	}
+}
+
+func TestOPNoStallPrefersLeastLoadedAlternative(t *testing.T) {
+	ctx := newFakeCtx(4)
+	ctx.locs[uarch.IntReg(1)] = 1 << 0
+	ctx.locs[uarch.IntReg(2)] = 1 << 0
+	ctx.space[0] = false
+	ctx.occ[0], ctx.occ[1], ctx.occ[2], ctx.occ[3] = 48, 30, 10, 20
+	p := &OP{NoStall: true}
+	d := p.Steer(ctx, addUop(1, 2))
+	if d.Stall || d.Cluster != 2 {
+		t.Fatalf("decision = %+v, want least-loaded cluster 2", d)
+	}
+}

@@ -1,0 +1,281 @@
+package steer
+
+import (
+	"fmt"
+
+	"clustersim/internal/trace"
+	"clustersim/internal/uarch"
+)
+
+// ---------------------------------------------------------------------------
+// OP: occupancy-aware dependence-based hardware-only steering (the paper's
+// baseline, after González/Latorre/González 2004).
+
+// OP steers each micro-op to the cluster holding most of its source
+// operands, breaking ties toward the least-loaded cluster. If the preferred
+// cluster has no space it prefers stalling over steering ("stall over
+// steer"): it diverts to another cluster only when that cluster is clearly
+// idle, because a misplaced op costs copies on the critical path.
+type OP struct {
+	// BusyFraction is the occupancy fraction (of preferred-cluster
+	// occupancy) below which an alternative cluster counts as "not busy"
+	// and may receive a diverted op. Zero means 0.5.
+	BusyFraction float64
+	// NoStall disables stall-over-steer: a full preferred cluster always
+	// diverts to any cluster with space (the pre-[15] dependence-steering
+	// behaviour; the ablation harness quantifies the difference).
+	NoStall bool
+	cx      Complexity
+}
+
+// Name implements Policy.
+func (p *OP) Name() string {
+	if p.NoStall {
+		return "OP-nostall"
+	}
+	return "OP"
+}
+
+// Reset implements Policy.
+func (p *OP) Reset() { p.cx = Complexity{} }
+
+// Complexity implements Policy.
+func (p *OP) Complexity() *Complexity { return &p.cx }
+
+// Steer implements Policy.
+func (p *OP) Steer(ctx Context, u *trace.Uop) Decision {
+	n := ctx.NumClusters()
+	p.cx.Steered++
+	p.cx.SerializedDecisions++ // every decision consumes updated locations
+
+	// Dependence check: where do the sources live?
+	var votes [32]int
+	for _, src := range [2]uarch.Reg{u.Static.Src1, u.Static.Src2} {
+		if src == uarch.RegNone {
+			continue
+		}
+		p.cx.DependenceChecks++
+		mask := ctx.ValueClusters(src)
+		for c := 0; c < n; c++ {
+			if mask&(1<<uint(c)) != 0 {
+				votes[c]++
+			}
+		}
+	}
+	// Vote: most sources, tie → least loaded.
+	pref := 0
+	p.cx.VoteOps += uint64(n)
+	p.cx.CounterReads += uint64(n)
+	for c := 1; c < n; c++ {
+		if votes[c] > votes[pref] ||
+			(votes[c] == votes[pref] && ctx.Occupancy(c) < ctx.Occupancy(pref)) {
+			pref = c
+		}
+	}
+	if ctx.HasSpace(pref, u.Static.Opcode.Class()) {
+		return Decision{Cluster: pref}
+	}
+	// Preferred cluster full: divert only to a clearly idle cluster,
+	// otherwise stall the steering stage. Under NoStall, any cluster with
+	// space takes the op.
+	busy := p.BusyFraction
+	if busy == 0 {
+		busy = 0.5
+	}
+	prefOcc := ctx.Occupancy(pref)
+	best, bestOcc := -1, 0
+	for c := 0; c < n; c++ {
+		if c == pref || !ctx.HasSpace(c, u.Static.Opcode.Class()) {
+			continue
+		}
+		occ := ctx.Occupancy(c)
+		idle := float64(occ) <= busy*float64(prefOcc)
+		if (p.NoStall || idle) && (best == -1 || occ < bestOcc) {
+			best, bestOcc = c, occ
+		}
+	}
+	if best >= 0 {
+		return Decision{Cluster: best}
+	}
+	return stall
+}
+
+// ---------------------------------------------------------------------------
+// OneCluster: every micro-op to a single physical cluster.
+
+// OneCluster is the paper's naive "one-cluster" configuration: zero
+// communication, worst workload distribution.
+type OneCluster struct {
+	// Target is the receiving cluster (usually 0).
+	Target int
+	cx     Complexity
+}
+
+// Name implements Policy.
+func (p *OneCluster) Name() string { return "one-cluster" }
+
+// Reset implements Policy.
+func (p *OneCluster) Reset() { p.cx = Complexity{} }
+
+// Complexity implements Policy.
+func (p *OneCluster) Complexity() *Complexity { return &p.cx }
+
+// Steer implements Policy.
+func (p *OneCluster) Steer(ctx Context, u *trace.Uop) Decision {
+	p.cx.Steered++
+	if !ctx.HasSpace(p.Target, u.Static.Opcode.Class()) {
+		return stall
+	}
+	return Decision{Cluster: p.Target}
+}
+
+// ---------------------------------------------------------------------------
+// Static: follow the compiler's fixed physical-cluster assignment (the
+// software-only OB and RHOP configurations).
+
+// Static steers every micro-op to the physical cluster its static op was
+// assigned at compile time. The hardware keeps no dependence or vote logic;
+// a full target queue stalls the frontend (static placement cannot divert).
+type Static struct {
+	// Label distinguishes OB from RHOP in reports.
+	Label string
+	cx    Complexity
+}
+
+// Name implements Policy.
+func (p *Static) Name() string {
+	if p.Label == "" {
+		return "static"
+	}
+	return p.Label
+}
+
+// Reset implements Policy.
+func (p *Static) Reset() { p.cx = Complexity{} }
+
+// Complexity implements Policy.
+func (p *Static) Complexity() *Complexity { return &p.cx }
+
+// Steer implements Policy.
+func (p *Static) Steer(ctx Context, u *trace.Uop) Decision {
+	p.cx.Steered++
+	c := u.Static.Ann.Static
+	if c < 0 || c >= ctx.NumClusters() {
+		// Unannotated op (should not happen for annotated programs):
+		// fall back to cluster 0.
+		c = 0
+	}
+	if !ctx.HasSpace(c, u.Static.Opcode.Class()) {
+		return stall
+	}
+	return Decision{Cluster: c}
+}
+
+// ---------------------------------------------------------------------------
+// VC: the paper's hybrid virtual-cluster mapper (§4.3, Fig. 4).
+
+// VC maps compiler-assigned virtual clusters onto physical clusters at
+// runtime. The only hardware: per-cluster workload counters and a mapping
+// table with one entry per virtual cluster. At a chain leader the leader's
+// VC is remapped to the least-loaded physical cluster; followers read the
+// table. Dependence checking and voting are absent.
+type VC struct {
+	// NumVC sizes the mapping table.
+	NumVC int
+	table []int
+	cx    Complexity
+}
+
+// NewVC builds the mapper for the given virtual-cluster count.
+func NewVC(numVC int) *VC {
+	if numVC <= 0 {
+		panic(fmt.Sprintf("steer: NumVC %d", numVC))
+	}
+	v := &VC{NumVC: numVC}
+	v.Reset()
+	return v
+}
+
+// Name implements Policy.
+func (p *VC) Name() string { return "VC" }
+
+// Reset implements Policy.
+func (p *VC) Reset() {
+	p.table = make([]int, p.NumVC)
+	for i := range p.table {
+		p.table[i] = i // identity until first leader, modulo wrap below
+	}
+	p.cx = Complexity{}
+}
+
+// Complexity implements Policy.
+func (p *VC) Complexity() *Complexity { return &p.cx }
+
+// Steer implements Policy.
+func (p *VC) Steer(ctx Context, u *trace.Uop) Decision {
+	p.cx.Steered++
+	n := ctx.NumClusters()
+	vc := u.Static.Ann.VC
+	if vc < 0 || vc >= p.NumVC {
+		// Unannotated micro-op: use the workload counters directly.
+		p.cx.CounterReads += uint64(n)
+		c := leastLoaded(ctx)
+		if !ctx.HasSpace(c, u.Static.Opcode.Class()) {
+			return stall
+		}
+		return Decision{Cluster: c}
+	}
+	if u.Static.Ann.Leader {
+		// Chain leader: consult the workload counters and remap.
+		p.cx.CounterReads += uint64(n)
+		p.cx.MapWrites++
+		p.table[vc] = leastLoaded(ctx)
+	}
+	p.cx.MapReads++
+	c := p.table[vc] % n
+	if !ctx.HasSpace(c, u.Static.Opcode.Class()) {
+		return stall
+	}
+	return Decision{Cluster: c}
+}
+
+// leastLoaded returns the cluster with the fewest in-flight micro-ops.
+func leastLoaded(ctx Context) int {
+	best := 0
+	for c := 1; c < ctx.NumClusters(); c++ {
+		if ctx.InFlight(c) < ctx.InFlight(best) {
+			best = c
+		}
+	}
+	return best
+}
+
+// ---------------------------------------------------------------------------
+// ModN: round-robin. Not a paper configuration; a sanity baseline used by
+// tests and ablations (maximal balance, maximal communication).
+
+// ModN distributes micro-ops round-robin.
+type ModN struct {
+	next int
+	cx   Complexity
+}
+
+// Name implements Policy.
+func (p *ModN) Name() string { return "modN" }
+
+// Reset implements Policy.
+func (p *ModN) Reset() { p.next = 0; p.cx = Complexity{} }
+
+// Complexity implements Policy.
+func (p *ModN) Complexity() *Complexity { return &p.cx }
+
+// Steer implements Policy.
+func (p *ModN) Steer(ctx Context, u *trace.Uop) Decision {
+	p.cx.Steered++
+	c := p.next % ctx.NumClusters()
+	if !ctx.HasSpace(c, u.Static.Opcode.Class()) {
+		return stall
+	}
+	p.next++
+	return Decision{Cluster: c}
+}

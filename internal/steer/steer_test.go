@@ -1,0 +1,284 @@
+package steer
+
+import (
+	"testing"
+
+	"clustersim/internal/prog"
+	"clustersim/internal/trace"
+	"clustersim/internal/uarch"
+)
+
+// fakeCtx is a scriptable steering context.
+type fakeCtx struct {
+	n        int
+	occ      []int
+	inflight []int
+	space    map[int]bool // cluster → has space (default true)
+	locs     map[uarch.Reg]uint32
+}
+
+func newFakeCtx(n int) *fakeCtx {
+	return &fakeCtx{
+		n:        n,
+		occ:      make([]int, n),
+		inflight: make([]int, n),
+		space:    map[int]bool{},
+		locs:     map[uarch.Reg]uint32{},
+	}
+}
+
+func (f *fakeCtx) NumClusters() int    { return f.n }
+func (f *fakeCtx) Occupancy(c int) int { return f.occ[c] }
+func (f *fakeCtx) InFlight(c int) int  { return f.inflight[c] }
+func (f *fakeCtx) HasSpace(c int, _ uarch.Class) bool {
+	if v, ok := f.space[c]; ok {
+		return v
+	}
+	return true
+}
+func (f *fakeCtx) ValueClusters(r uarch.Reg) uint32 { return f.locs[r] }
+
+func uopWith(op prog.StaticOp) *trace.Uop {
+	if op.Ann == (prog.Annotation{}) {
+		op.Ann = prog.NoAnnotation
+	}
+	s := op
+	return &trace.Uop{Static: &s}
+}
+
+func addUop(s1, s2 int) *trace.Uop {
+	return uopWith(prog.StaticOp{
+		Opcode: uarch.OpAdd, Dst: uarch.IntReg(7),
+		Src1: uarch.IntReg(s1), Src2: uarch.IntReg(s2),
+	})
+}
+
+func TestOPFollowsOperandLocation(t *testing.T) {
+	ctx := newFakeCtx(2)
+	ctx.locs[uarch.IntReg(1)] = 1 << 1 // r1 lives in cluster 1
+	ctx.locs[uarch.IntReg(2)] = 1 << 1
+	p := &OP{}
+	d := p.Steer(ctx, addUop(1, 2))
+	if d.Stall || d.Cluster != 1 {
+		t.Fatalf("decision = %+v, want cluster 1", d)
+	}
+}
+
+func TestOPTieBreaksToLeastLoaded(t *testing.T) {
+	ctx := newFakeCtx(2)
+	ctx.locs[uarch.IntReg(1)] = 1 << 0
+	ctx.locs[uarch.IntReg(2)] = 1 << 1
+	ctx.occ[0], ctx.occ[1] = 10, 3
+	p := &OP{}
+	d := p.Steer(ctx, addUop(1, 2))
+	if d.Stall || d.Cluster != 1 {
+		t.Fatalf("decision = %+v, want least-loaded cluster 1 on tie", d)
+	}
+}
+
+func TestOPStallsOverSteeringToBusyCluster(t *testing.T) {
+	ctx := newFakeCtx(2)
+	ctx.locs[uarch.IntReg(1)] = 1 << 0
+	ctx.locs[uarch.IntReg(2)] = 1 << 0
+	ctx.space[0] = false // preferred cluster full
+	ctx.occ[0], ctx.occ[1] = 40, 39
+	p := &OP{}
+	d := p.Steer(ctx, addUop(1, 2))
+	if !d.Stall {
+		t.Fatalf("decision = %+v, want stall (alternative cluster is busy)", d)
+	}
+}
+
+func TestOPDivertsToIdleCluster(t *testing.T) {
+	ctx := newFakeCtx(2)
+	ctx.locs[uarch.IntReg(1)] = 1 << 0
+	ctx.locs[uarch.IntReg(2)] = 1 << 0
+	ctx.space[0] = false
+	ctx.occ[0], ctx.occ[1] = 40, 2 // cluster 1 nearly idle
+	p := &OP{}
+	d := p.Steer(ctx, addUop(1, 2))
+	if d.Stall || d.Cluster != 1 {
+		t.Fatalf("decision = %+v, want divert to idle cluster 1", d)
+	}
+}
+
+func TestOPComplexityCounters(t *testing.T) {
+	ctx := newFakeCtx(2)
+	p := &OP{}
+	p.Steer(ctx, addUop(1, 2))
+	cx := p.Complexity()
+	if cx.DependenceChecks != 2 {
+		t.Errorf("DependenceChecks = %d, want 2", cx.DependenceChecks)
+	}
+	if cx.VoteOps == 0 || cx.SerializedDecisions != 1 || cx.Steered != 1 {
+		t.Errorf("unexpected counters %+v", cx)
+	}
+	u := cx.Units()
+	if !u.DependenceCheck || !u.VoteUnit || !u.WorkloadBalance || u.MappingTable {
+		t.Errorf("Units = %+v, want dep+vote+balance without mapping table", u)
+	}
+}
+
+func TestOneClusterAlwaysTarget(t *testing.T) {
+	ctx := newFakeCtx(4)
+	p := &OneCluster{Target: 2}
+	for i := 0; i < 5; i++ {
+		d := p.Steer(ctx, addUop(1, 2))
+		if d.Stall || d.Cluster != 2 {
+			t.Fatalf("decision = %+v, want cluster 2", d)
+		}
+	}
+	ctx.space[2] = false
+	if d := p.Steer(ctx, addUop(1, 2)); !d.Stall {
+		t.Fatalf("decision = %+v, want stall when target full", d)
+	}
+}
+
+func TestStaticFollowsAnnotation(t *testing.T) {
+	ctx := newFakeCtx(2)
+	p := &Static{Label: "RHOP"}
+	u := uopWith(prog.StaticOp{
+		Opcode: uarch.OpAdd, Dst: uarch.IntReg(1),
+		Src1: uarch.IntReg(0), Src2: uarch.IntReg(0),
+		Ann: prog.Annotation{VC: -1, Static: 1},
+	})
+	d := p.Steer(ctx, u)
+	if d.Stall || d.Cluster != 1 {
+		t.Fatalf("decision = %+v, want annotated cluster 1", d)
+	}
+	if p.Name() != "RHOP" {
+		t.Errorf("Name = %q", p.Name())
+	}
+	ctx.space[1] = false
+	if d := p.Steer(ctx, u); !d.Stall {
+		t.Fatalf("decision = %+v, want stall (static cannot divert)", d)
+	}
+}
+
+func TestStaticComplexityMinimal(t *testing.T) {
+	ctx := newFakeCtx(2)
+	p := &Static{}
+	u := uopWith(prog.StaticOp{
+		Opcode: uarch.OpAdd, Dst: uarch.IntReg(1),
+		Src1: uarch.IntReg(0), Src2: uarch.IntReg(0),
+		Ann: prog.Annotation{VC: -1, Static: 0},
+	})
+	p.Steer(ctx, u)
+	cx := p.Complexity()
+	if cx.DependenceChecks != 0 || cx.VoteOps != 0 {
+		t.Errorf("static policy should use no dependence/vote logic: %+v", cx)
+	}
+}
+
+func vcUop(vc int, leader bool) *trace.Uop {
+	return uopWith(prog.StaticOp{
+		Opcode: uarch.OpAdd, Dst: uarch.IntReg(1),
+		Src1: uarch.IntReg(0), Src2: uarch.IntReg(0),
+		Ann: prog.Annotation{VC: vc, Leader: leader, Static: -1},
+	})
+}
+
+func TestVCLeaderRemapsToLeastLoaded(t *testing.T) {
+	ctx := newFakeCtx(2)
+	ctx.inflight[0], ctx.inflight[1] = 9, 2
+	p := NewVC(2)
+	d := p.Steer(ctx, vcUop(0, true))
+	if d.Stall || d.Cluster != 1 {
+		t.Fatalf("leader decision = %+v, want least-loaded cluster 1", d)
+	}
+	// Follower of the same VC goes to the mapped cluster even if load flips.
+	ctx.inflight[0], ctx.inflight[1] = 0, 50
+	d = p.Steer(ctx, vcUop(0, false))
+	if d.Stall || d.Cluster != 1 {
+		t.Fatalf("follower decision = %+v, want mapped cluster 1", d)
+	}
+}
+
+func TestVCDistinctVCsIndependent(t *testing.T) {
+	ctx := newFakeCtx(2)
+	p := NewVC(2)
+	ctx.inflight[0], ctx.inflight[1] = 0, 5
+	d0 := p.Steer(ctx, vcUop(0, true))
+	ctx.inflight[0], ctx.inflight[1] = 7, 5
+	d1 := p.Steer(ctx, vcUop(1, true))
+	if d0.Cluster != 0 || d1.Cluster != 1 {
+		t.Fatalf("mappings = %d,%d, want 0,1", d0.Cluster, d1.Cluster)
+	}
+	// Followers keep their own VC's mapping.
+	if d := p.Steer(ctx, vcUop(0, false)); d.Cluster != 0 {
+		t.Errorf("vc0 follower → %d, want 0", d.Cluster)
+	}
+	if d := p.Steer(ctx, vcUop(1, false)); d.Cluster != 1 {
+		t.Errorf("vc1 follower → %d, want 1", d.Cluster)
+	}
+}
+
+func TestVCNoDependenceLogic(t *testing.T) {
+	ctx := newFakeCtx(2)
+	p := NewVC(2)
+	p.Steer(ctx, vcUop(0, true))
+	p.Steer(ctx, vcUop(0, false))
+	cx := p.Complexity()
+	if cx.DependenceChecks != 0 || cx.VoteOps != 0 || cx.SerializedDecisions != 0 {
+		t.Errorf("VC policy must not use dependence/vote logic: %+v", cx)
+	}
+	if cx.MapReads != 2 || cx.MapWrites != 1 {
+		t.Errorf("MapReads/Writes = %d/%d, want 2/1", cx.MapReads, cx.MapWrites)
+	}
+	u := cx.Units()
+	if u.DependenceCheck || u.VoteUnit || !u.WorkloadBalance || !u.MappingTable {
+		t.Errorf("Units = %+v, want balance+table only", u)
+	}
+}
+
+func TestVCStallsWhenMappedClusterFull(t *testing.T) {
+	ctx := newFakeCtx(2)
+	p := NewVC(2)
+	p.Steer(ctx, vcUop(0, true)) // maps VC0 → cluster 0
+	ctx.space[0] = false
+	if d := p.Steer(ctx, vcUop(0, false)); !d.Stall {
+		t.Fatalf("decision = %+v, want stall (follower must not split chain)", d)
+	}
+}
+
+func TestVCMoreVCsThanClustersWraps(t *testing.T) {
+	ctx := newFakeCtx(2)
+	p := NewVC(4)
+	d := p.Steer(ctx, vcUop(3, false)) // no leader seen: identity table, wraps mod 2
+	if d.Stall || d.Cluster < 0 || d.Cluster >= 2 {
+		t.Fatalf("decision = %+v, want valid cluster", d)
+	}
+}
+
+func TestModNRoundRobins(t *testing.T) {
+	ctx := newFakeCtx(3)
+	p := &ModN{}
+	want := []int{0, 1, 2, 0, 1}
+	for i, w := range want {
+		d := p.Steer(ctx, addUop(0, 0))
+		if d.Stall || d.Cluster != w {
+			t.Fatalf("step %d: decision = %+v, want cluster %d", i, d, w)
+		}
+	}
+}
+
+func TestPolicyResetClearsComplexity(t *testing.T) {
+	ctx := newFakeCtx(2)
+	policies := []Policy{&OP{}, &OneCluster{}, &Static{}, NewVC(2), &ModN{}}
+	for _, p := range policies {
+		p.Steer(ctx, addUop(1, 2))
+		p.Reset()
+		if p.Complexity().Steered != 0 {
+			t.Errorf("%s: Reset did not clear complexity", p.Name())
+		}
+	}
+}
+
+func TestPerKuop(t *testing.T) {
+	if got := PerKuop(500, 1000); got != 500 {
+		t.Errorf("PerKuop = %g, want 500", got)
+	}
+	if got := PerKuop(5, 0); got != 0 {
+		t.Errorf("PerKuop with zero steered = %g, want 0", got)
+	}
+}

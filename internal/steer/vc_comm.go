@@ -1,0 +1,111 @@
+package steer
+
+import (
+	"fmt"
+
+	"clustersim/internal/trace"
+	"clustersim/internal/uarch"
+)
+
+// VCComm extends the paper's VC mapper with communication-aware leader
+// mapping — the co-design direction the paper's conclusion points at. The
+// baseline hardware maps a chain leader's VC to the least-loaded cluster
+// using only the workload counters; VCComm additionally consults the
+// leader's operand locations (information the rename table already holds,
+// so the addition is two table reads, not the full dependence/vote logic
+// of hardware-only steering) and charges an estimated copy penalty for
+// placing the new chain away from its inputs.
+//
+// Score per candidate cluster c: InFlight(c) + CopyPenalty × (operands of
+// the leader not present in c). Followers still read the mapping table
+// unchanged.
+type VCComm struct {
+	// NumVC sizes the mapping table.
+	NumVC int
+	// CopyPenalty is the in-flight-uops-equivalent cost of one copy.
+	// Zero means 8.
+	CopyPenalty int
+	table       []int
+	cx          Complexity
+}
+
+// NewVCComm builds the extended mapper.
+func NewVCComm(numVC int) *VCComm {
+	if numVC <= 0 {
+		panic(fmt.Sprintf("steer: NumVC %d", numVC))
+	}
+	v := &VCComm{NumVC: numVC}
+	v.Reset()
+	return v
+}
+
+// Name implements Policy.
+func (p *VCComm) Name() string { return "VC-comm" }
+
+// Reset implements Policy.
+func (p *VCComm) Reset() {
+	p.table = make([]int, p.NumVC)
+	for i := range p.table {
+		p.table[i] = i
+	}
+	p.cx = Complexity{}
+}
+
+// Complexity implements Policy.
+func (p *VCComm) Complexity() *Complexity { return &p.cx }
+
+// Steer implements Policy.
+func (p *VCComm) Steer(ctx Context, u *trace.Uop) Decision {
+	p.cx.Steered++
+	n := ctx.NumClusters()
+	vc := u.Static.Ann.VC
+	if vc < 0 || vc >= p.NumVC {
+		p.cx.CounterReads += uint64(n)
+		c := leastLoaded(ctx)
+		if !ctx.HasSpace(c, u.Static.Opcode.Class()) {
+			return stall
+		}
+		return Decision{Cluster: c}
+	}
+	if u.Static.Ann.Leader {
+		p.cx.CounterReads += uint64(n)
+		p.cx.MapWrites++
+		p.table[vc] = p.bestCluster(ctx, u)
+	}
+	p.cx.MapReads++
+	c := p.table[vc] % n
+	if !ctx.HasSpace(c, u.Static.Opcode.Class()) {
+		return stall
+	}
+	return Decision{Cluster: c}
+}
+
+// bestCluster scores candidates by load plus estimated copy cost for the
+// leader's operands.
+func (p *VCComm) bestCluster(ctx Context, u *trace.Uop) int {
+	penalty := p.CopyPenalty
+	if penalty == 0 {
+		penalty = 8
+	}
+	var masks []uint32
+	for _, src := range [2]uarch.Reg{u.Static.Src1, u.Static.Src2} {
+		if src == uarch.RegNone {
+			continue
+		}
+		p.cx.DependenceChecks++ // rename-table location read (leaders only)
+		masks = append(masks, ctx.ValueClusters(src))
+	}
+	best, bestScore := 0, int(^uint(0)>>1)
+	for c := 0; c < ctx.NumClusters(); c++ {
+		score := ctx.InFlight(c)
+		for _, m := range masks {
+			if m&(1<<uint(c)) == 0 {
+				score += penalty
+			}
+		}
+		if score < bestScore {
+			best, bestScore = c, score
+		}
+	}
+	return best
+}

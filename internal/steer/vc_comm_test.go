@@ -1,0 +1,73 @@
+package steer
+
+import (
+	"testing"
+
+	"clustersim/internal/prog"
+	"clustersim/internal/trace"
+	"clustersim/internal/uarch"
+)
+
+func vcCommUop(vc int, leader bool, src uarch.Reg) *trace.Uop {
+	op := prog.StaticOp{
+		Opcode: uarch.OpAdd, Dst: uarch.IntReg(1),
+		Src1: src, Src2: uarch.RegNone,
+		Ann: prog.Annotation{VC: vc, Leader: leader, Static: -1},
+	}
+	return &trace.Uop{Static: &op}
+}
+
+func TestVCCommLeaderPrefersOperandCluster(t *testing.T) {
+	ctx := newFakeCtx(2)
+	// Cluster 1 is slightly busier but holds the operand; the copy penalty
+	// (8) outweighs the 3-uop load difference.
+	ctx.inflight[0], ctx.inflight[1] = 0, 3
+	ctx.locs[uarch.IntReg(5)] = 1 << 1
+	p := NewVCComm(2)
+	d := p.Steer(ctx, vcCommUop(0, true, uarch.IntReg(5)))
+	if d.Stall || d.Cluster != 1 {
+		t.Fatalf("decision = %+v, want operand-holding cluster 1", d)
+	}
+}
+
+func TestVCCommLeaderYieldsToHeavyImbalance(t *testing.T) {
+	ctx := newFakeCtx(2)
+	// Imbalance (20) dominates the copy penalty (8): balance wins.
+	ctx.inflight[0], ctx.inflight[1] = 0, 20
+	ctx.locs[uarch.IntReg(5)] = 1 << 1
+	p := NewVCComm(2)
+	d := p.Steer(ctx, vcCommUop(0, true, uarch.IntReg(5)))
+	if d.Stall || d.Cluster != 0 {
+		t.Fatalf("decision = %+v, want least-loaded cluster 0", d)
+	}
+}
+
+func TestVCCommFollowersUseTable(t *testing.T) {
+	ctx := newFakeCtx(2)
+	ctx.locs[uarch.IntReg(5)] = 1 << 1
+	p := NewVCComm(2)
+	p.Steer(ctx, vcCommUop(0, true, uarch.IntReg(5))) // maps VC0 → 1
+	ctx.inflight[0], ctx.inflight[1] = 0, 50
+	d := p.Steer(ctx, vcCommUop(0, false, uarch.RegNone))
+	if d.Stall || d.Cluster != 1 {
+		t.Fatalf("follower decision = %+v, want mapped cluster 1", d)
+	}
+}
+
+func TestVCCommComplexityBounded(t *testing.T) {
+	ctx := newFakeCtx(2)
+	p := NewVCComm(2)
+	p.Steer(ctx, vcCommUop(0, true, uarch.IntReg(5)))
+	for i := 0; i < 9; i++ {
+		p.Steer(ctx, vcCommUop(0, false, uarch.IntReg(5)))
+	}
+	cx := p.Complexity()
+	// Location reads happen only at leaders (1 of 10 uops): far below the
+	// 2-per-uop of hardware-only steering.
+	if cx.DependenceChecks != 1 {
+		t.Errorf("DependenceChecks = %d, want 1 (leader only)", cx.DependenceChecks)
+	}
+	if cx.VoteOps != 0 || cx.SerializedDecisions != 0 {
+		t.Errorf("VC-comm must not add vote/serialized logic: %+v", cx)
+	}
+}

@@ -1,0 +1,103 @@
+package trace
+
+import (
+	"fmt"
+	"strings"
+
+	"clustersim/internal/uarch"
+)
+
+// Summary characterizes a dynamic trace: instruction mix, branch behaviour
+// and memory footprint. The workload generator is validated against these
+// numbers, and tracegen prints them.
+type Summary struct {
+	// Uops is the trace length.
+	Uops int
+	// ClassCounts is the dynamic micro-op count per class.
+	ClassCounts [uarch.NumClasses]int
+	// Branches and Taken count conditional branches.
+	Branches, Taken int
+	// UniquePCs is the static-site count reached.
+	UniquePCs int
+	// TouchedLines is the number of distinct 64-byte lines referenced.
+	TouchedLines int
+	// FootprintBytes estimates the working set (TouchedLines × 64).
+	FootprintBytes int
+	// AnnotatedVC and Leaders count steering annotations present.
+	AnnotatedVC, Leaders int
+}
+
+// ClassFrac returns the dynamic fraction of the class.
+func (s *Summary) ClassFrac(c uarch.Class) float64 {
+	if s.Uops == 0 {
+		return 0
+	}
+	return float64(s.ClassCounts[c]) / float64(s.Uops)
+}
+
+// TakenRate returns the fraction of taken conditional branches.
+func (s *Summary) TakenRate() float64 {
+	if s.Branches == 0 {
+		return 0
+	}
+	return float64(s.Taken) / float64(s.Branches)
+}
+
+// Analyze scans the trace.
+func Analyze(tr *Trace) *Summary {
+	s := &Summary{Uops: len(tr.Uops)}
+	pcs := map[uint32]bool{}
+	lines := map[uint64]bool{}
+	for i := range tr.Uops {
+		u := &tr.Uops[i]
+		s.ClassCounts[u.Static.Opcode.Class()]++
+		pcs[u.PC] = true
+		if u.IsBranch() {
+			s.Branches++
+			if u.Taken {
+				s.Taken++
+			}
+		}
+		if u.IsMem() {
+			lines[u.Addr>>6] = true
+		}
+		if u.Static.Ann.VC >= 0 {
+			s.AnnotatedVC++
+			if u.Static.Ann.Leader {
+				s.Leaders++
+			}
+		}
+	}
+	s.UniquePCs = len(pcs)
+	s.TouchedLines = len(lines)
+	s.FootprintBytes = len(lines) * 64
+	return s
+}
+
+// Render formats the summary.
+func (s *Summary) Render(name string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "trace %s: %d micro-ops, %d static sites\n", name, s.Uops, s.UniquePCs)
+	for c := uarch.Class(0); c < uarch.NumClasses; c++ {
+		if s.ClassCounts[c] == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "  %-7s %6.1f%%\n", c, s.ClassFrac(c)*100)
+	}
+	if s.Branches > 0 {
+		fmt.Fprintf(&b, "  branch taken rate %.1f%% (%d branches)\n", s.TakenRate()*100, s.Branches)
+	}
+	fmt.Fprintf(&b, "  footprint ≈ %d KB (%d lines)\n", s.FootprintBytes>>10, s.TouchedLines)
+	if s.AnnotatedVC > 0 {
+		fmt.Fprintf(&b, "  VC-annotated %d uops, %d chain-leader executions (mean chain %.1f uops)\n",
+			s.AnnotatedVC, s.Leaders, float64(s.AnnotatedVC)/float64(max(1, s.Leaders)))
+	}
+	return b.String()
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

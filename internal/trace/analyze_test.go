@@ -1,0 +1,77 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"clustersim/internal/partition"
+	"clustersim/internal/prog"
+	"clustersim/internal/uarch"
+)
+
+func analyzedProgram(t *testing.T) *prog.Program {
+	t.Helper()
+	b := prog.NewBuilder("an")
+	b.Int(uarch.OpAdd, uarch.IntReg(1), uarch.IntReg(1), uarch.IntReg(2))
+	b.FP(uarch.OpFAdd, uarch.FPReg(1), uarch.FPReg(1), uarch.FPReg(0))
+	b.Load(uarch.IntReg(3), uarch.IntReg(15), prog.MemRef{Pattern: prog.MemStride, Stream: 0, StrideBytes: 8, WorkingSet: 1 << 12})
+	b.Branch(uarch.IntReg(1), 0.75, 1.0)
+	b.Edge(0, 0.75).Edge(0, 0.25)
+	return b.MustBuild()
+}
+
+func TestAnalyzeCounts(t *testing.T) {
+	p := analyzedProgram(t)
+	tr := Expand(p, Options{NumUops: 4000, Seed: 1})
+	s := Analyze(tr)
+	if s.Uops != 4000 {
+		t.Fatalf("Uops = %d", s.Uops)
+	}
+	// 4-op loop: each class ≈ 25%.
+	for _, c := range []uarch.Class{uarch.ClassInt, uarch.ClassFP, uarch.ClassLoad, uarch.ClassBranch} {
+		if f := s.ClassFrac(c); f < 0.2 || f > 0.3 {
+			t.Errorf("class %v fraction = %.3f, want ≈0.25", c, f)
+		}
+	}
+	if s.UniquePCs != 4 {
+		t.Errorf("UniquePCs = %d, want 4", s.UniquePCs)
+	}
+	if s.TakenRate() < 0.6 || s.TakenRate() > 0.9 {
+		t.Errorf("TakenRate = %.3f, want ≈0.75", s.TakenRate())
+	}
+	// 1000 strided 8B loads: 8000 bytes ≈ 125 lines (within the 4KB set).
+	if s.TouchedLines == 0 || s.FootprintBytes != s.TouchedLines*64 {
+		t.Errorf("footprint inconsistent: %d lines, %d bytes", s.TouchedLines, s.FootprintBytes)
+	}
+}
+
+func TestAnalyzeAnnotations(t *testing.T) {
+	p := analyzedProgram(t)
+	partition.AnnotateVC(p, partition.Options{NumVC: 2})
+	tr := Expand(p, Options{NumUops: 1000, Seed: 1})
+	s := Analyze(tr)
+	if s.AnnotatedVC != 1000 {
+		t.Errorf("AnnotatedVC = %d, want 1000", s.AnnotatedVC)
+	}
+	if s.Leaders == 0 || s.Leaders > s.AnnotatedVC {
+		t.Errorf("Leaders = %d of %d", s.Leaders, s.AnnotatedVC)
+	}
+}
+
+func TestAnalyzeRender(t *testing.T) {
+	p := analyzedProgram(t)
+	tr := Expand(p, Options{NumUops: 500, Seed: 2})
+	out := Analyze(tr).Render("an")
+	for _, want := range []string{"500 micro-ops", "branch taken rate", "footprint"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestAnalyzeEmptyTrace(t *testing.T) {
+	s := Analyze(&Trace{Name: "empty"})
+	if s.Uops != 0 || s.TakenRate() != 0 || s.ClassFrac(uarch.ClassInt) != 0 {
+		t.Errorf("empty trace summary: %+v", s)
+	}
+}

@@ -1,0 +1,182 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"clustersim/internal/prog"
+	"clustersim/internal/uarch"
+)
+
+// Binary trace format: traces can be captured once and replayed across
+// configurations, mirroring how the paper's simulator executes stored IA32
+// traces. The format carries the static ops (with annotations) followed by
+// the dynamic stream, so a saved trace is self-contained.
+//
+//	magic   "CSTR" u32
+//	version u32
+//	nameLen u32, name bytes
+//	nStatic u32, per static op: opcode u8, dst/src1/src2 i16,
+//	        memPattern u8, stream i32, stride i32, workingSet i64,
+//	        takenProb f64, bias f64, vc i32, leader u8, static i32
+//	nUops   u32, per uop: staticIdx u32, pc u32, flags u8 (bit0 taken),
+//	        addr u64
+
+const (
+	traceMagic   = 0x43535452 // "CSTR"
+	traceVersion = 1
+)
+
+// Save writes the trace in the binary format.
+func Save(w io.Writer, tr *Trace) error {
+	bw := bufio.NewWriter(w)
+	le := binary.LittleEndian
+
+	// Index the static ops referenced by the trace.
+	idxOf := map[*prog.StaticOp]uint32{}
+	var statics []*prog.StaticOp
+	for i := range tr.Uops {
+		op := tr.Uops[i].Static
+		if _, ok := idxOf[op]; !ok {
+			idxOf[op] = uint32(len(statics))
+			statics = append(statics, op)
+		}
+	}
+
+	writeU32 := func(v uint32) { _ = binary.Write(bw, le, v) }
+	writeU32(traceMagic)
+	writeU32(traceVersion)
+	writeU32(uint32(len(tr.Name)))
+	if _, err := bw.WriteString(tr.Name); err != nil {
+		return err
+	}
+
+	writeU32(uint32(len(statics)))
+	for _, op := range statics {
+		_ = binary.Write(bw, le, uint8(op.Opcode))
+		_ = binary.Write(bw, le, int16(op.Dst))
+		_ = binary.Write(bw, le, int16(op.Src1))
+		_ = binary.Write(bw, le, int16(op.Src2))
+		_ = binary.Write(bw, le, uint8(op.Mem.Pattern))
+		_ = binary.Write(bw, le, int32(op.Mem.Stream))
+		_ = binary.Write(bw, le, int32(op.Mem.StrideBytes))
+		_ = binary.Write(bw, le, int64(op.Mem.WorkingSet))
+		_ = binary.Write(bw, le, op.TakenProb)
+		_ = binary.Write(bw, le, op.Bias)
+		_ = binary.Write(bw, le, int32(op.Ann.VC))
+		leader := uint8(0)
+		if op.Ann.Leader {
+			leader = 1
+		}
+		_ = binary.Write(bw, le, leader)
+		_ = binary.Write(bw, le, int32(op.Ann.Static))
+	}
+
+	writeU32(uint32(len(tr.Uops)))
+	for i := range tr.Uops {
+		u := &tr.Uops[i]
+		_ = binary.Write(bw, le, idxOf[u.Static])
+		_ = binary.Write(bw, le, u.PC)
+		flags := uint8(0)
+		if u.Taken {
+			flags = 1
+		}
+		_ = binary.Write(bw, le, flags)
+		_ = binary.Write(bw, le, u.Addr)
+	}
+	return bw.Flush()
+}
+
+// Load reads a trace written by Save. The returned trace owns fresh static
+// ops (annotations included).
+func Load(r io.Reader) (*Trace, error) {
+	br := bufio.NewReader(r)
+	le := binary.LittleEndian
+
+	var magic, version uint32
+	if err := binary.Read(br, le, &magic); err != nil {
+		return nil, fmt.Errorf("trace: reading magic: %w", err)
+	}
+	if magic != traceMagic {
+		return nil, fmt.Errorf("trace: bad magic %#x", magic)
+	}
+	if err := binary.Read(br, le, &version); err != nil {
+		return nil, err
+	}
+	if version != traceVersion {
+		return nil, fmt.Errorf("trace: unsupported version %d", version)
+	}
+	var nameLen uint32
+	if err := binary.Read(br, le, &nameLen); err != nil {
+		return nil, err
+	}
+	if nameLen > 1<<20 {
+		return nil, fmt.Errorf("trace: absurd name length %d", nameLen)
+	}
+	nameBytes := make([]byte, nameLen)
+	if _, err := io.ReadFull(br, nameBytes); err != nil {
+		return nil, err
+	}
+
+	var nStatic uint32
+	if err := binary.Read(br, le, &nStatic); err != nil {
+		return nil, err
+	}
+	if nStatic > 1<<24 {
+		return nil, fmt.Errorf("trace: absurd static op count %d", nStatic)
+	}
+	statics := make([]prog.StaticOp, nStatic)
+	for i := range statics {
+		var opcode, pattern, leader uint8
+		var dst, src1, src2 int16
+		var stream, stride, vc, static int32
+		var ws int64
+		var takenProb, bias float64
+		for _, v := range []any{&opcode, &dst, &src1, &src2, &pattern, &stream, &stride, &ws, &takenProb, &bias, &vc, &leader, &static} {
+			if err := binary.Read(br, le, v); err != nil {
+				return nil, fmt.Errorf("trace: static op %d: %w", i, err)
+			}
+		}
+		statics[i] = prog.StaticOp{
+			Opcode: uarch.Opcode(opcode),
+			Dst:    uarch.Reg(dst), Src1: uarch.Reg(src1), Src2: uarch.Reg(src2),
+			Mem: prog.MemRef{
+				Pattern: prog.MemPattern(pattern), Stream: int(stream),
+				StrideBytes: int(stride), WorkingSet: int(ws),
+			},
+			TakenProb: takenProb, Bias: bias,
+			Ann: prog.Annotation{VC: int(vc), Leader: leader != 0, Static: int(static)},
+		}
+	}
+
+	var nUops uint32
+	if err := binary.Read(br, le, &nUops); err != nil {
+		return nil, err
+	}
+	if nUops > 1<<28 {
+		return nil, fmt.Errorf("trace: absurd uop count %d", nUops)
+	}
+	tr := &Trace{Name: string(nameBytes), Uops: make([]Uop, nUops)}
+	for i := range tr.Uops {
+		var staticIdx, pc uint32
+		var flags uint8
+		var addr uint64
+		for _, v := range []any{&staticIdx, &pc, &flags, &addr} {
+			if err := binary.Read(br, le, v); err != nil {
+				return nil, fmt.Errorf("trace: uop %d: %w", i, err)
+			}
+		}
+		if staticIdx >= nStatic {
+			return nil, fmt.Errorf("trace: uop %d references static op %d of %d", i, staticIdx, nStatic)
+		}
+		tr.Uops[i] = Uop{
+			Static: &statics[staticIdx],
+			PC:     pc,
+			Taken:  flags&1 != 0,
+			Addr:   addr,
+		}
+	}
+	return tr, nil
+}

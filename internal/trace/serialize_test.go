@@ -1,0 +1,124 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+
+	"clustersim/internal/prog"
+	"clustersim/internal/uarch"
+)
+
+func roundTrip(t *testing.T, tr *Trace) *Trace {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := Save(&buf, tr); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	got, err := Load(&buf)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	return got
+}
+
+func annotatedLoop(t *testing.T) *prog.Program {
+	t.Helper()
+	b := prog.NewBuilder("ser")
+	b.Int(uarch.OpAdd, uarch.IntReg(1), uarch.IntReg(1), uarch.IntReg(2))
+	b.Load(uarch.IntReg(3), uarch.IntReg(1), prog.MemRef{Pattern: prog.MemStride, Stream: 2, StrideBytes: 8, WorkingSet: 1 << 14})
+	b.Branch(uarch.IntReg(3), 0.8, 0.9)
+	b.Edge(0, 0.8).Edge(0, 0.2)
+	p := b.MustBuild()
+	p.Blocks[0].Ops[0].Ann = prog.Annotation{VC: 1, Leader: true, Static: -1}
+	p.Blocks[0].Ops[1].Ann = prog.Annotation{VC: 0, Leader: false, Static: -1}
+	return p
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	tr := Expand(annotatedLoop(t), Options{NumUops: 500, Seed: 3})
+	got := roundTrip(t, tr)
+	if got.Name != tr.Name {
+		t.Errorf("name %q != %q", got.Name, tr.Name)
+	}
+	if len(got.Uops) != len(tr.Uops) {
+		t.Fatalf("uops %d != %d", len(got.Uops), len(tr.Uops))
+	}
+	for i := range tr.Uops {
+		a, b := &tr.Uops[i], &got.Uops[i]
+		if a.PC != b.PC || a.Taken != b.Taken || a.Addr != b.Addr {
+			t.Fatalf("uop %d dynamic fields differ: %+v vs %+v", i, a, b)
+		}
+		if *a.Static != *b.Static {
+			t.Fatalf("uop %d static op differs:\n%+v\n%+v", i, *a.Static, *b.Static)
+		}
+	}
+}
+
+func TestRoundTripPreservesAnnotations(t *testing.T) {
+	tr := Expand(annotatedLoop(t), Options{NumUops: 100, Seed: 1})
+	got := roundTrip(t, tr)
+	sawLeader := false
+	for i := range got.Uops {
+		ann := got.Uops[i].Static.Ann
+		if ann.Leader {
+			sawLeader = true
+			if ann.VC != 1 {
+				t.Errorf("leader with vc=%d, want 1", ann.VC)
+			}
+		}
+	}
+	if !sawLeader {
+		t.Error("annotations lost in round trip")
+	}
+}
+
+func TestRoundTripSharedStaticOps(t *testing.T) {
+	// Dynamic uops from the same site must share one static op after load
+	// (pointer identity), so annotations stay consistent.
+	tr := Expand(annotatedLoop(t), Options{NumUops: 50, Seed: 1})
+	got := roundTrip(t, tr)
+	byPC := map[uint32]*prog.StaticOp{}
+	for i := range got.Uops {
+		u := &got.Uops[i]
+		if prev, ok := byPC[u.PC]; ok && prev != u.Static {
+			t.Fatal("same PC maps to different static op pointers")
+		}
+		byPC[u.PC] = u.Static
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	if _, err := Load(bytes.NewReader([]byte("not a trace at all"))); err == nil {
+		t.Error("garbage accepted")
+	}
+	if _, err := Load(bytes.NewReader(nil)); err == nil {
+		t.Error("empty input accepted")
+	}
+}
+
+func TestLoadRejectsTruncated(t *testing.T) {
+	tr := Expand(annotatedLoop(t), Options{NumUops: 100, Seed: 2})
+	var buf bytes.Buffer
+	if err := Save(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	for _, cut := range []int{5, len(full) / 2, len(full) - 3} {
+		if _, err := Load(bytes.NewReader(full[:cut])); err == nil {
+			t.Errorf("truncation at %d accepted", cut)
+		}
+	}
+}
+
+func TestLoadRejectsWrongVersion(t *testing.T) {
+	tr := Expand(annotatedLoop(t), Options{NumUops: 10, Seed: 2})
+	var buf bytes.Buffer
+	if err := Save(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	data[4] = 99 // version field
+	if _, err := Load(bytes.NewReader(data)); err == nil {
+		t.Error("wrong version accepted")
+	}
+}

@@ -1,0 +1,202 @@
+// Package trace expands static programs into dynamic micro-op traces: it
+// walks the CFG sampling branch outcomes, and synthesizes memory address
+// streams per the static ops' memory patterns. The simulator is
+// trace-driven, like the paper's event-driven simulator executing traces of
+// IA32 binaries: branch outcomes and addresses are fixed in the trace, so
+// every steering policy sees the identical instruction stream.
+package trace
+
+import (
+	"math/rand"
+
+	"clustersim/internal/prog"
+	"clustersim/internal/uarch"
+)
+
+// Uop is one dynamic micro-op.
+type Uop struct {
+	// Static points at the originating static op, carrying the compiler
+	// annotations (vc_id, leader mark, static cluster) to the hardware.
+	Static *prog.StaticOp
+	// PC identifies the static op site, for branch predictor indexing.
+	PC uint32
+	// Taken is the branch outcome (branches only).
+	Taken bool
+	// Addr is the effective memory address (loads/stores only).
+	Addr uint64
+}
+
+// IsBranch reports whether the uop is a conditional branch (predictable).
+func (u *Uop) IsBranch() bool { return u.Static.Opcode == uarch.OpBranch }
+
+// IsMem reports whether the uop accesses memory.
+func (u *Uop) IsMem() bool { return u.Static.Opcode.IsMem() }
+
+// Trace is an expanded dynamic micro-op stream.
+type Trace struct {
+	// Name names the originating program.
+	Name string
+	// Uops is the dynamic stream in program order.
+	Uops []Uop
+}
+
+// Options controls expansion.
+type Options struct {
+	// NumUops is the trace length to produce.
+	NumUops int
+	// Seed seeds outcome and address sampling; the same (program, seed)
+	// pair always yields the identical trace.
+	Seed int64
+}
+
+// streamState tracks the synthetic address generator of one memory stream.
+type streamState struct {
+	base  uint64
+	pos   uint64
+	chase uint64
+}
+
+// Expand walks the program's CFG from the entry block, sampling branch
+// outcomes and synthesizing addresses, until NumUops micro-ops have been
+// emitted. Terminal blocks restart at the entry (the region's enclosing
+// outer loop). PCs are assigned densely per static op.
+func Expand(p *prog.Program, opts Options) *Trace {
+	rng := rand.New(rand.NewSource(opts.Seed))
+	tr := &Trace{Name: p.Name, Uops: make([]Uop, 0, opts.NumUops)}
+
+	// Dense PC assignment.
+	pcs := map[*prog.StaticOp]uint32{}
+	nextPC := uint32(0)
+	p.ForEachOp(func(_ *prog.Block, _ int, op *prog.StaticOp) {
+		pcs[op] = nextPC
+		nextPC++
+	})
+
+	streams := map[int]*streamState{}
+	iter := map[*prog.StaticOp]int{} // per-branch execution count for periodic patterns
+
+	cur := p.Blocks[0]
+	for len(tr.Uops) < opts.NumUops {
+		taken := false
+		for i := range cur.Ops {
+			op := &cur.Ops[i]
+			u := Uop{Static: op, PC: pcs[op]}
+			if op.Opcode.IsMem() {
+				u.Addr = nextAddr(streams, op, rng)
+			}
+			if op.Opcode == uarch.OpBranch {
+				u.Taken = sampleBranch(op, iter, rng)
+				taken = u.Taken
+			}
+			tr.Uops = append(tr.Uops, u)
+			if len(tr.Uops) == opts.NumUops {
+				return tr
+			}
+		}
+		cur = nextBlock(p, cur, taken, rng)
+	}
+	return tr
+}
+
+// sampleBranch draws a branch outcome. With probability Bias the branch
+// follows a deterministic periodic pattern derived from TakenProb (the
+// learnable loop-backedge idiom: taken k−1 of every k executions); with
+// probability 1−Bias the outcome is an independent TakenProb coin flip.
+func sampleBranch(op *prog.StaticOp, iter map[*prog.StaticOp]int, rng *rand.Rand) bool {
+	n := iter[op]
+	iter[op] = n + 1
+	if rng.Float64() < op.Bias {
+		period := periodFor(op.TakenProb)
+		if op.TakenProb >= 0.5 {
+			return n%period != period-1
+		}
+		return n%period == period-1
+	}
+	return rng.Float64() < op.TakenProb
+}
+
+// periodFor converts a taken probability into the loop trip count whose
+// backedge behaviour matches it: p=0.9 → taken 9 of every 10.
+func periodFor(p float64) int {
+	if p > 0.5 {
+		p = 1 - p
+	}
+	if p < 0.01 {
+		p = 0.01
+	}
+	period := int(1/p + 0.5)
+	if period < 2 {
+		period = 2
+	}
+	return period
+}
+
+// nextBlock picks the successor: branch blocks use the sampled outcome
+// (first edge = taken target by convention), others sample the edge
+// distribution; terminal blocks restart at the entry.
+func nextBlock(p *prog.Program, b *prog.Block, taken bool, rng *rand.Rand) *prog.Block {
+	switch len(b.Succs) {
+	case 0:
+		return p.Blocks[0]
+	case 1:
+		return p.Blocks[b.Succs[0].To]
+	}
+	last := &b.Ops[len(b.Ops)-1]
+	if last.Opcode == uarch.OpBranch && len(b.Succs) == 2 {
+		if taken {
+			return p.Blocks[b.Succs[0].To]
+		}
+		return p.Blocks[b.Succs[1].To]
+	}
+	// Multiway (jump tables): sample the distribution.
+	x := rng.Float64()
+	acc := 0.0
+	for _, e := range b.Succs {
+		acc += e.Prob
+		if x < acc {
+			return p.Blocks[e.To]
+		}
+	}
+	return p.Blocks[b.Succs[len(b.Succs)-1].To]
+}
+
+// nextAddr advances the stream's address generator per the op's pattern.
+// Addresses are 8-byte aligned; each stream owns a disjoint 1GB region so
+// distinct streams never alias.
+func nextAddr(streams map[int]*streamState, op *prog.StaticOp, rng *rand.Rand) uint64 {
+	s := streams[op.Mem.Stream]
+	if s == nil {
+		s = &streamState{base: uint64(op.Mem.Stream+1) << 30}
+		streams[op.Mem.Stream] = s
+	}
+	ws := uint64(op.Mem.WorkingSet)
+	if ws < 8 {
+		ws = 8
+	}
+	var off uint64
+	switch op.Mem.Pattern {
+	case prog.MemStride:
+		stride := uint64(op.Mem.StrideBytes)
+		if stride == 0 {
+			stride = 8
+		}
+		off = s.pos % ws
+		s.pos += stride
+	case prog.MemRandom:
+		off = (uint64(rng.Int63()) % (ws / 8)) * 8
+	case prog.MemChase:
+		// Next address is a hash of the previous one: no spatial locality,
+		// serialized in the program via the register dependence.
+		s.chase = s.chase*6364136223846793005 + 1442695040888963407
+		off = (s.chase % (ws / 8)) * 8
+	case prog.MemStack:
+		hot := uint64(4096)
+		if ws < hot {
+			hot = ws
+		}
+		off = (uint64(rng.Int63()) % (hot / 8)) * 8
+	default:
+		off = 0
+	}
+	return s.base + (off &^ 7)
+}

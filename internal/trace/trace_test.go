@@ -1,0 +1,210 @@
+package trace
+
+import (
+	"testing"
+	"testing/quick"
+
+	"clustersim/internal/prog"
+	"clustersim/internal/uarch"
+)
+
+func loopProgram(t *testing.T) *prog.Program {
+	t.Helper()
+	b := prog.NewBuilder("loop")
+	b.Int(uarch.OpAdd, uarch.IntReg(1), uarch.IntReg(1), uarch.IntReg(2))
+	b.Load(uarch.IntReg(3), uarch.IntReg(1), prog.MemRef{Pattern: prog.MemStride, Stream: 0, StrideBytes: 64, WorkingSet: 1 << 16})
+	b.Branch(uarch.IntReg(3), 0.9, 0.9)
+	exit := b.NewBlock()
+	b.Store(uarch.IntReg(3), uarch.IntReg(1), prog.MemRef{Pattern: prog.MemStride, Stream: 1, StrideBytes: 8, WorkingSet: 1 << 12})
+	b.Block(0).Edge(0, 0.9).Edge(exit, 0.1)
+	return b.MustBuild()
+}
+
+func TestExpandLength(t *testing.T) {
+	p := loopProgram(t)
+	tr := Expand(p, Options{NumUops: 1000, Seed: 1})
+	if len(tr.Uops) != 1000 {
+		t.Fatalf("len = %d, want 1000", len(tr.Uops))
+	}
+}
+
+func TestExpandDeterministic(t *testing.T) {
+	p := loopProgram(t)
+	a := Expand(p, Options{NumUops: 500, Seed: 42})
+	b := Expand(p, Options{NumUops: 500, Seed: 42})
+	for i := range a.Uops {
+		if a.Uops[i] != b.Uops[i] {
+			t.Fatalf("trace diverges at uop %d", i)
+		}
+	}
+}
+
+func TestExpandDifferentSeedsDiffer(t *testing.T) {
+	p := loopProgram(t)
+	a := Expand(p, Options{NumUops: 500, Seed: 1})
+	b := Expand(p, Options{NumUops: 500, Seed: 2})
+	same := true
+	for i := range a.Uops {
+		if a.Uops[i].Taken != b.Uops[i].Taken || a.Uops[i].Addr != b.Uops[i].Addr {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical outcome/address streams")
+	}
+}
+
+func TestBranchFrequencyMatchesProbability(t *testing.T) {
+	p := loopProgram(t)
+	tr := Expand(p, Options{NumUops: 30000, Seed: 7})
+	taken, total := 0, 0
+	for i := range tr.Uops {
+		if tr.Uops[i].IsBranch() {
+			total++
+			if tr.Uops[i].Taken {
+				taken++
+			}
+		}
+	}
+	if total == 0 {
+		t.Fatal("no branches in trace")
+	}
+	rate := float64(taken) / float64(total)
+	if rate < 0.85 || rate > 0.95 {
+		t.Errorf("taken rate = %.3f, want ≈0.90", rate)
+	}
+}
+
+func TestMemoryOpsHaveAddresses(t *testing.T) {
+	p := loopProgram(t)
+	tr := Expand(p, Options{NumUops: 2000, Seed: 3})
+	for i := range tr.Uops {
+		u := &tr.Uops[i]
+		if u.IsMem() && u.Addr == 0 {
+			t.Fatalf("uop %d (%v) has zero address", i, u.Static.Opcode)
+		}
+		if !u.IsMem() && u.Addr != 0 {
+			t.Fatalf("uop %d (%v) has spurious address", i, u.Static.Opcode)
+		}
+	}
+}
+
+func TestStreamsDisjoint(t *testing.T) {
+	p := loopProgram(t)
+	tr := Expand(p, Options{NumUops: 5000, Seed: 3})
+	regions := map[int]map[uint64]bool{}
+	for i := range tr.Uops {
+		u := &tr.Uops[i]
+		if !u.IsMem() {
+			continue
+		}
+		sid := u.Static.Mem.Stream
+		if regions[sid] == nil {
+			regions[sid] = map[uint64]bool{}
+		}
+		regions[sid][u.Addr>>30] = true
+	}
+	seen := map[uint64]int{}
+	for sid, bases := range regions {
+		for b := range bases {
+			if prev, ok := seen[b]; ok && prev != sid {
+				t.Fatalf("streams %d and %d share 1GB region %d", prev, sid, b)
+			}
+			seen[b] = sid
+		}
+	}
+}
+
+func TestStrideAddressesAreStrided(t *testing.T) {
+	b := prog.NewBuilder("s")
+	b.Load(uarch.IntReg(1), uarch.IntReg(0), prog.MemRef{Pattern: prog.MemStride, Stream: 0, StrideBytes: 64, WorkingSet: 1 << 20})
+	p := b.MustBuild()
+	tr := Expand(p, Options{NumUops: 100, Seed: 1})
+	for i := 1; i < len(tr.Uops); i++ {
+		d := tr.Uops[i].Addr - tr.Uops[i-1].Addr
+		if d != 64 {
+			t.Fatalf("stride at %d = %d, want 64", i, d)
+		}
+	}
+}
+
+func TestAddressesAligned(t *testing.T) {
+	p := loopProgram(t)
+	tr := Expand(p, Options{NumUops: 3000, Seed: 9})
+	for i := range tr.Uops {
+		if tr.Uops[i].IsMem() && tr.Uops[i].Addr%8 != 0 {
+			t.Fatalf("unaligned address %#x", tr.Uops[i].Addr)
+		}
+	}
+}
+
+func TestPeriodFor(t *testing.T) {
+	cases := []struct {
+		p    float64
+		want int
+	}{
+		{0.9, 10},
+		{0.5, 2},
+		{0.95, 20},
+		{0.1, 10},
+	}
+	for _, c := range cases {
+		if got := periodFor(c.p); got != c.want {
+			t.Errorf("periodFor(%g) = %d, want %d", c.p, got, c.want)
+		}
+	}
+}
+
+func TestHighBiasBranchIsPeriodic(t *testing.T) {
+	b := prog.NewBuilder("periodic")
+	b.Branch(uarch.IntReg(0), 0.9, 1.0) // fully biased: deterministic pattern
+	b.Edge(0, 0.9)
+	exit := b.NewBlock()
+	b.Int(uarch.OpAdd, uarch.IntReg(1), uarch.IntReg(0), uarch.IntReg(0))
+	b.Block(0).Edge(exit, 0.1)
+	p := b.MustBuild()
+	tr := Expand(p, Options{NumUops: 200, Seed: 5})
+	// Outcome must be exactly: taken 9, not-taken 1, repeating.
+	n := 0
+	for i := range tr.Uops {
+		if !tr.Uops[i].IsBranch() {
+			continue
+		}
+		want := n%10 != 9
+		if tr.Uops[i].Taken != want {
+			t.Fatalf("branch execution %d: taken=%v, want %v", n, tr.Uops[i].Taken, want)
+		}
+		n++
+	}
+}
+
+// Property: expansion always yields exactly NumUops uops with non-nil
+// static pointers, for arbitrary seeds.
+func TestExpandTotalityProperty(t *testing.T) {
+	b := prog.NewBuilder("q")
+	b.Int(uarch.OpAdd, uarch.IntReg(1), uarch.IntReg(1), uarch.IntReg(2))
+	b.Branch(uarch.IntReg(1), 0.7, 0.5)
+	other := b.NewBlock()
+	b.Int(uarch.OpMul, uarch.IntReg(2), uarch.IntReg(1), uarch.IntReg(1))
+	b.Block(0).Edge(0, 0.7).Edge(other, 0.3)
+	b.Block(other).Jump(0)
+	p := b.MustBuild()
+
+	f := func(seed int64, nRaw uint16) bool {
+		n := int(nRaw)%300 + 1
+		tr := Expand(p, Options{NumUops: n, Seed: seed})
+		if len(tr.Uops) != n {
+			return false
+		}
+		for i := range tr.Uops {
+			if tr.Uops[i].Static == nil {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

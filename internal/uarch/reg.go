@@ -1,0 +1,58 @@
+package uarch
+
+import "fmt"
+
+// Reg is an architectural register identifier. The register file is split in
+// two banks: integer registers [0, NumIntRegs) and floating-point registers
+// [NumIntRegs, NumIntRegs+NumFPRegs). RegNone marks an absent operand.
+type Reg int16
+
+const (
+	// RegNone marks an unused operand slot.
+	RegNone Reg = -1
+
+	// NumIntRegs is the number of architectural integer registers. The
+	// paper's machine is IA32 (8 GPRs); we use 16 so synthetic programs can
+	// express more named values, as micro-op cracking and compiler temps do
+	// in practice.
+	NumIntRegs = 16
+	// NumFPRegs is the number of architectural floating-point registers.
+	NumFPRegs = 16
+	// NumRegs is the total architectural register count.
+	NumRegs = NumIntRegs + NumFPRegs
+)
+
+// IntReg returns the i-th integer architectural register.
+func IntReg(i int) Reg {
+	if i < 0 || i >= NumIntRegs {
+		panic(fmt.Sprintf("uarch: integer register %d out of range", i))
+	}
+	return Reg(i)
+}
+
+// FPReg returns the i-th floating-point architectural register.
+func FPReg(i int) Reg {
+	if i < 0 || i >= NumFPRegs {
+		panic(fmt.Sprintf("uarch: fp register %d out of range", i))
+	}
+	return Reg(NumIntRegs + i)
+}
+
+// Valid reports whether r names an actual architectural register.
+func (r Reg) Valid() bool { return r >= 0 && r < NumRegs }
+
+// IsFP reports whether r is in the floating-point bank.
+func (r Reg) IsFP() bool { return r >= NumIntRegs && r < NumRegs }
+
+// String renders the register as r0..r15 (integer) or f0..f15 (FP).
+func (r Reg) String() string {
+	switch {
+	case r == RegNone:
+		return "-"
+	case r.IsFP():
+		return fmt.Sprintf("f%d", int(r)-NumIntRegs)
+	case r.Valid():
+		return fmt.Sprintf("r%d", int(r))
+	}
+	return fmt.Sprintf("reg(%d)", int(r))
+}

@@ -1,0 +1,141 @@
+package uarch
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestOpcodeClasses(t *testing.T) {
+	cases := []struct {
+		op   Opcode
+		want Class
+	}{
+		{OpNop, ClassInt},
+		{OpAdd, ClassInt},
+		{OpShift, ClassInt},
+		{OpMul, ClassInt},
+		{OpDiv, ClassInt},
+		{OpLea, ClassInt},
+		{OpFAdd, ClassFP},
+		{OpFMul, ClassFP},
+		{OpFDiv, ClassFP},
+		{OpFMov, ClassFP},
+		{OpLoad, ClassLoad},
+		{OpStore, ClassStore},
+		{OpBranch, ClassBranch},
+		{OpJump, ClassBranch},
+		{OpCopy, ClassCopy},
+	}
+	for _, c := range cases {
+		if got := c.op.Class(); got != c.want {
+			t.Errorf("%v.Class() = %v, want %v", c.op, got, c.want)
+		}
+	}
+}
+
+func TestEveryOpcodeHasPositiveLatency(t *testing.T) {
+	for op := Opcode(0); op < NumOpcodes; op++ {
+		if op.Latency() <= 0 {
+			t.Errorf("%v.Latency() = %d, want > 0", op, op.Latency())
+		}
+	}
+}
+
+func TestEveryOpcodeHasName(t *testing.T) {
+	seen := map[string]Opcode{}
+	for op := Opcode(0); op < NumOpcodes; op++ {
+		name := op.String()
+		if name == "" {
+			t.Fatalf("opcode %d has empty name", op)
+		}
+		if prev, dup := seen[name]; dup {
+			t.Errorf("opcodes %d and %d share name %q", prev, op, name)
+		}
+		seen[name] = op
+	}
+}
+
+func TestMemAndBranchPredicates(t *testing.T) {
+	for op := Opcode(0); op < NumOpcodes; op++ {
+		wantMem := op == OpLoad || op == OpStore
+		if op.IsMem() != wantMem {
+			t.Errorf("%v.IsMem() = %v, want %v", op, op.IsMem(), wantMem)
+		}
+		wantBr := op == OpBranch || op == OpJump
+		if op.IsBranch() != wantBr {
+			t.Errorf("%v.IsBranch() = %v, want %v", op, op.IsBranch(), wantBr)
+		}
+	}
+}
+
+func TestDividesAreUnpipelined(t *testing.T) {
+	for op := Opcode(0); op < NumOpcodes; op++ {
+		want := op != OpDiv && op != OpFDiv
+		if op.Pipelined() != want {
+			t.Errorf("%v.Pipelined() = %v, want %v", op, op.Pipelined(), want)
+		}
+	}
+}
+
+func TestRegisterBanks(t *testing.T) {
+	for i := 0; i < NumIntRegs; i++ {
+		r := IntReg(i)
+		if !r.Valid() || r.IsFP() {
+			t.Errorf("IntReg(%d) = %v: Valid=%v IsFP=%v", i, r, r.Valid(), r.IsFP())
+		}
+	}
+	for i := 0; i < NumFPRegs; i++ {
+		r := FPReg(i)
+		if !r.Valid() || !r.IsFP() {
+			t.Errorf("FPReg(%d) = %v: Valid=%v IsFP=%v", i, r, r.Valid(), r.IsFP())
+		}
+	}
+	if RegNone.Valid() {
+		t.Error("RegNone must not be valid")
+	}
+}
+
+func TestRegisterStrings(t *testing.T) {
+	if got := IntReg(3).String(); got != "r3" {
+		t.Errorf("IntReg(3).String() = %q, want r3", got)
+	}
+	if got := FPReg(7).String(); got != "f7" {
+		t.Errorf("FPReg(7).String() = %q, want f7", got)
+	}
+	if got := RegNone.String(); got != "-" {
+		t.Errorf("RegNone.String() = %q, want -", got)
+	}
+}
+
+func TestIntRegPanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("IntReg(NumIntRegs) should panic")
+		}
+	}()
+	IntReg(NumIntRegs)
+}
+
+func TestFPRegPanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("FPReg(-1) should panic")
+		}
+	}()
+	FPReg(-1)
+}
+
+// Property: register string rendering is injective over the valid range.
+func TestRegStringInjective(t *testing.T) {
+	f := func(a, b uint8) bool {
+		ra := Reg(int(a) % NumRegs)
+		rb := Reg(int(b) % NumRegs)
+		if ra != rb && ra.String() == rb.String() {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

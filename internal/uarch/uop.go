@@ -1,0 +1,159 @@
+// Package uarch defines the micro-operation model shared by the compiler
+// side and the hardware side of the simulator: operation classes, opcodes,
+// architectural registers and execution latencies.
+//
+// The model is an x86-like micro-op ISA in the spirit of the paper's
+// clustered IA32 backend: instructions are already cracked into micro-ops
+// with at most two register sources and one register destination, plus an
+// optional memory access.
+package uarch
+
+import "fmt"
+
+// Class is the coarse execution class of a micro-op. It determines which
+// issue queue the micro-op occupies and which functional unit executes it.
+type Class uint8
+
+const (
+	// ClassInt covers simple and complex integer ALU operations.
+	ClassInt Class = iota
+	// ClassFP covers floating-point arithmetic.
+	ClassFP
+	// ClassLoad covers memory loads (address generation + cache access).
+	ClassLoad
+	// ClassStore covers memory stores (address generation; data written at
+	// commit).
+	ClassStore
+	// ClassBranch covers conditional and unconditional control transfers.
+	ClassBranch
+	// ClassCopy is the explicit inter-cluster register copy micro-op
+	// inserted by the steering hardware; it never appears in programs.
+	ClassCopy
+
+	// NumClasses is the number of distinct micro-op classes.
+	NumClasses = 6
+)
+
+// String returns the lower-case mnemonic of the class.
+func (c Class) String() string {
+	switch c {
+	case ClassInt:
+		return "int"
+	case ClassFP:
+		return "fp"
+	case ClassLoad:
+		return "load"
+	case ClassStore:
+		return "store"
+	case ClassBranch:
+		return "branch"
+	case ClassCopy:
+		return "copy"
+	}
+	return fmt.Sprintf("class(%d)", uint8(c))
+}
+
+// Opcode identifies a specific micro-operation. Opcodes exist so latencies
+// can differ within a class (e.g. add vs mul vs div).
+type Opcode uint8
+
+const (
+	// OpNop does nothing; it still occupies a slot.
+	OpNop Opcode = iota
+	// OpAdd is integer add/sub/logic (1 cycle).
+	OpAdd
+	// OpShift is integer shift/rotate (1 cycle).
+	OpShift
+	// OpMul is integer multiply (3 cycles).
+	OpMul
+	// OpDiv is integer divide (20 cycles, unpipelined).
+	OpDiv
+	// OpLea is address arithmetic (1 cycle).
+	OpLea
+	// OpFAdd is FP add/sub (3 cycles).
+	OpFAdd
+	// OpFMul is FP multiply (4 cycles).
+	OpFMul
+	// OpFDiv is FP divide (16 cycles, unpipelined).
+	OpFDiv
+	// OpFMov is FP move/convert (1 cycle).
+	OpFMov
+	// OpLoad is a memory load.
+	OpLoad
+	// OpStore is a memory store.
+	OpStore
+	// OpBranch is a conditional branch.
+	OpBranch
+	// OpJump is an unconditional jump (always correctly predicted).
+	OpJump
+	// OpCopy is the inter-cluster copy micro-op.
+	OpCopy
+
+	// NumOpcodes is the number of distinct opcodes.
+	NumOpcodes = 15
+)
+
+var opcodeNames = [NumOpcodes]string{
+	"nop", "add", "shift", "mul", "div", "lea",
+	"fadd", "fmul", "fdiv", "fmov",
+	"load", "store", "branch", "jump", "copy",
+}
+
+// String returns the mnemonic of the opcode.
+func (o Opcode) String() string {
+	if int(o) < len(opcodeNames) {
+		return opcodeNames[o]
+	}
+	return fmt.Sprintf("op(%d)", uint8(o))
+}
+
+// Class returns the execution class of the opcode.
+func (o Opcode) Class() Class {
+	switch o {
+	case OpNop, OpAdd, OpShift, OpMul, OpDiv, OpLea:
+		return ClassInt
+	case OpFAdd, OpFMul, OpFDiv, OpFMov:
+		return ClassFP
+	case OpLoad:
+		return ClassLoad
+	case OpStore:
+		return ClassStore
+	case OpBranch, OpJump:
+		return ClassBranch
+	case OpCopy:
+		return ClassCopy
+	}
+	return ClassInt
+}
+
+// IsMem reports whether the opcode accesses memory.
+func (o Opcode) IsMem() bool { return o == OpLoad || o == OpStore }
+
+// IsBranch reports whether the opcode is a control transfer.
+func (o Opcode) IsBranch() bool { return o == OpBranch || o == OpJump }
+
+// Latency returns the execution latency of the opcode in cycles, excluding
+// any cache access time for memory operations (the cache model adds that).
+func (o Opcode) Latency() int {
+	switch o {
+	case OpNop, OpAdd, OpShift, OpLea, OpFMov, OpCopy:
+		return 1
+	case OpMul, OpFAdd:
+		return 3
+	case OpFMul:
+		return 4
+	case OpDiv:
+		return 20
+	case OpFDiv:
+		return 16
+	case OpLoad, OpStore:
+		return 1 // address generation; cache adds the rest
+	case OpBranch, OpJump:
+		return 1
+	}
+	return 1
+}
+
+// Pipelined reports whether the functional unit executing the opcode accepts
+// a new operation every cycle. Divides are unpipelined.
+func (o Opcode) Pipelined() bool { return o != OpDiv && o != OpFDiv }

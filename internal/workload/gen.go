@@ -1,0 +1,245 @@
+package workload
+
+import (
+	"math/rand"
+
+	"clustersim/internal/prog"
+	"clustersim/internal/uarch"
+)
+
+// Generate synthesizes the static program for one simulation point of the
+// spec. The program is a loop nest over `blocks` basic blocks: each block
+// holds compute/memory ops distributed over the spec's dependence chains,
+// diamond blocks end in data-dependent branches, and the last block loops
+// back to the entry (the trace expander also restarts at the entry from
+// terminal blocks).
+//
+// Register convention: r0/f0 are loop invariants, r1..r{chains}/f1.. are
+// the per-chain accumulators, r15 is the stable address base.
+func Generate(spec Spec, seed int64) *prog.Program {
+	rng := rand.New(rand.NewSource(seed))
+	b := prog.NewBuilder(spec.Name)
+
+	nblocks := 4 + rng.Intn(4) // 4..7 blocks: enough CFG for regions & bpred
+
+	chains := spec.Chains
+	if chains < 1 {
+		chains = 1
+	}
+	if chains > 8 {
+		chains = 8
+	}
+	intChain := func(c int) uarch.Reg { return uarch.IntReg(1 + c%chains) }
+	fpChain := func(c int) uarch.Reg { return uarch.FPReg(1 + c%chains) }
+	addrReg := uarch.IntReg(15)
+	invInt := uarch.IntReg(0)
+	invFP := uarch.FPReg(0)
+	// counterReg is the loop induction variable: a short, fast dependence
+	// chain (one add per block) most branch conditions hang off, so
+	// mispredicted branches resolve quickly, as loop-exit tests do in real
+	// code. Data-dependent diamond conditions still read compute chains.
+	counterReg := uarch.IntReg(10)
+
+	streams := spec.Streams
+	if streams < 1 {
+		streams = 1
+	}
+	// stackStream is the hot spill/local region: MemStack pattern keeps it
+	// L1-resident and store→load forwarding fires on exact-slot reuse.
+	stackStream := streams + 1
+	site := 0
+
+	branchCond := func() uarch.Reg {
+		if rng.Float64() < 0.5 {
+			return counterReg
+		}
+		return intChain(rng.Intn(chains))
+	}
+
+	genBlock := func(diamond bool) {
+		size := spec.BlockSize
+		if size < 2 {
+			size = 2
+		}
+		// Jitter block size ±25% for variety across blocks.
+		size = size - size/4 + rng.Intn(size/2+1)
+		// Loop induction update: one fast add per block.
+		b.Int(uarch.OpAdd, counterReg, counterReg, invInt)
+		for i := 0; i < size; i++ {
+			c := rng.Intn(chains)
+			u := rng.Float64()
+			switch {
+			case u < spec.LoadRatio:
+				dst := intChain(c)
+				src := addrReg
+				mem := prog.MemRef{
+					Pattern:     spec.MemPattern,
+					Stream:      site % streams,
+					StrideBytes: 8,
+					WorkingSet:  jitterWS(spec.WorkingSet, rng),
+				}
+				if rng.Float64() < spec.StackRatio {
+					mem = prog.MemRef{Pattern: prog.MemStack, Stream: stackStream, WorkingSet: 4096}
+				} else if spec.MemPattern == prog.MemChase {
+					// Pointer chase: the loaded value feeds the next
+					// address, serializing the chain through memory.
+					src = intChain(c)
+				}
+				if rng.Float64() < spec.FPRatio {
+					dst = fpChain(c)
+				}
+				b.Load(dst, src, mem)
+				site++
+			case u < spec.LoadRatio+spec.StoreRatio:
+				data := intChain(c)
+				if rng.Float64() < spec.FPRatio {
+					data = fpChain(c)
+				}
+				mem := prog.MemRef{
+					Pattern:     spec.MemPattern,
+					Stream:      site % streams,
+					StrideBytes: 8,
+					WorkingSet:  jitterWS(spec.WorkingSet, rng),
+				}
+				if rng.Float64() < spec.StackRatio {
+					mem = prog.MemRef{Pattern: prog.MemStack, Stream: stackStream, WorkingSet: 4096}
+				}
+				b.Store(data, addrReg, mem)
+				site++
+			default:
+				isFP := rng.Float64() < spec.FPRatio
+				if isFP {
+					src2 := invFP
+					if rng.Float64() < spec.CrossDeps {
+						src2 = fpChain(rng.Intn(chains))
+					}
+					if rng.Float64() < spec.Bushy {
+						// Expression tree: side ops on a temporary that
+						// merges into the chain — a critical dependent
+						// pair that belongs in one cluster.
+						tmp := uarch.FPReg(9 + rng.Intn(5))
+						b.FP(fpOpcode(spec, rng), tmp, src2, fpChain(c))
+						b.FP(fpOpcode(spec, rng), tmp, tmp, invFP)
+						src2 = tmp
+					}
+					b.FP(fpOpcode(spec, rng), fpChain(c), fpChain(c), src2)
+				} else {
+					src2 := invInt
+					if rng.Float64() < spec.CrossDeps {
+						src2 = intChain(rng.Intn(chains))
+					}
+					if rng.Float64() < spec.Bushy {
+						tmp := uarch.IntReg(11 + rng.Intn(4))
+						b.Int(intOpcode(spec, rng), tmp, src2, intChain(c))
+						b.Int(intOpcode(spec, rng), tmp, tmp, invInt)
+						src2 = tmp
+					}
+					b.Int(intOpcode(spec, rng), intChain(c), intChain(c), src2)
+				}
+			}
+		}
+		if diamond {
+			b.Branch(branchCond(), spec.TakenProb, spec.Bias)
+		}
+	}
+
+	// Build the loop body as a sequence of segments. A diamond segment has
+	// genuinely distinct then/else arms — the compiler's region formation
+	// follows only the likely arm, so values flowing through the other arm
+	// cross region boundaries at runtime, exactly the visibility limit
+	// software-only steering suffers from. The last block always ends in a
+	// conditional loop backedge so every program exercises the predictor.
+	loopProb := spec.TakenProb
+	if loopProb < 0.9 {
+		loopProb = 0.9
+	}
+	type seg struct {
+		head, then, els int // els < 0 for straight-line segments
+	}
+	var segs []seg
+	for s := 0; s < nblocks; s++ {
+		if rng.Float64() < spec.Diamonds {
+			var sg seg
+			if s == 0 {
+				sg.head = 0
+			} else {
+				sg.head = b.NewBlock()
+			}
+			genBlock(true)
+			sg.then = b.NewBlock()
+			genBlock(false)
+			sg.els = b.NewBlock()
+			genBlock(false)
+			segs = append(segs, sg)
+		} else {
+			var sg seg
+			if s == 0 {
+				sg.head = 0
+			} else {
+				sg.head = b.NewBlock()
+			}
+			genBlock(false)
+			sg.then, sg.els = -1, -1
+			segs = append(segs, sg)
+		}
+	}
+	// Terminal loop-back block with a conditional backedge.
+	tail := b.NewBlock()
+	genBlock(false)
+	b.Branch(counterReg, loopProb, spec.Bias)
+	b.Edge(0, loopProb).Edge(0, 1-loopProb)
+
+	// Wire segments: head → (then | els) → next head, or head → next.
+	for i, sg := range segs {
+		next := tail
+		if i+1 < len(segs) {
+			next = segs[i+1].head
+		}
+		if sg.then >= 0 {
+			b.Block(sg.head).Edge(sg.then, spec.TakenProb).Edge(sg.els, 1-spec.TakenProb)
+			b.Block(sg.then).Jump(next)
+			b.Block(sg.els).Jump(next)
+		} else {
+			b.Block(sg.head).Jump(next)
+		}
+	}
+	return b.MustBuild()
+}
+
+// fpOpcode draws an FP opcode per the spec's long-latency ratios.
+func fpOpcode(spec Spec, rng *rand.Rand) uarch.Opcode {
+	v := rng.Float64()
+	switch {
+	case v < spec.DivRatio:
+		return uarch.OpFDiv
+	case v < spec.DivRatio+spec.MulRatio:
+		return uarch.OpFMul
+	default:
+		return uarch.OpFAdd
+	}
+}
+
+// intOpcode draws an integer opcode per the spec's ratios.
+func intOpcode(spec Spec, rng *rand.Rand) uarch.Opcode {
+	v := rng.Float64()
+	switch {
+	case v < spec.DivRatio:
+		return uarch.OpDiv
+	case v < spec.DivRatio+spec.MulRatio:
+		return uarch.OpMul
+	case v < spec.DivRatio+spec.MulRatio+0.2:
+		return uarch.OpShift
+	default:
+		return uarch.OpAdd
+	}
+}
+
+// jitterWS perturbs the working set ±25% (rounded to 64B lines) so distinct
+// streams and simpoints do not alias exactly.
+func jitterWS(ws int, rng *rand.Rand) int {
+	if ws < 4096 {
+		return ws
+	}
+	j := ws - ws/4 + rng.Intn(ws/2)
+	return (j &^ 63) + 64
+}

@@ -1,0 +1,58 @@
+package workload
+
+import (
+	"hash/fnv"
+	"math/rand"
+)
+
+// PhaseWeights simulates the PinPoints methodology: a program's execution
+// is a sequence of phases; representative simulation points get weights
+// proportional to how much of the execution their phase covers. The paper
+// caps phases at 10 and weights results by the PinPoints output; we model
+// the phase sequence as a sticky Markov chain (programs stay in a phase for
+// a while) and return the normalized visit frequencies.
+//
+// The walk is deterministic per (name, phases) so the suite is reproducible.
+func PhaseWeights(name string, phases int) []float64 {
+	if phases <= 0 {
+		return nil
+	}
+	if phases == 1 {
+		return []float64{1}
+	}
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(name))
+	rng := rand.New(rand.NewSource(int64(h.Sum64())))
+
+	// Sticky transition: stay with p=0.85, else jump to a random phase with
+	// per-phase attractiveness drawn once (phases differ in importance, as
+	// real phase histograms do).
+	attract := make([]float64, phases)
+	total := 0.0
+	for i := range attract {
+		attract[i] = 0.2 + rng.Float64()
+		total += attract[i]
+	}
+	counts := make([]int, phases)
+	cur := 0
+	const steps = 20000
+	for s := 0; s < steps; s++ {
+		counts[cur]++
+		if rng.Float64() < 0.85 {
+			continue
+		}
+		x := rng.Float64() * total
+		for i, a := range attract {
+			x -= a
+			if x <= 0 {
+				cur = i
+				break
+			}
+		}
+	}
+	weights := make([]float64, phases)
+	for i, c := range counts {
+		weights[i] = float64(c) / steps
+	}
+	return weights
+}

@@ -1,0 +1,105 @@
+package workload
+
+import (
+	"testing"
+
+	"clustersim/internal/trace"
+	"clustersim/internal/uarch"
+)
+
+// TestDynamicMixMatchesSpec verifies each benchmark's dynamic trace honors
+// its declared load/store ratios within tolerance (the generator draws per
+// op, so large traces must converge).
+func TestDynamicMixMatchesSpec(t *testing.T) {
+	for _, spec := range append(specint2000(), specfp2000()...) {
+		p := Generate(spec, 1)
+		tr := trace.Expand(p, trace.Options{NumUops: 30_000, Seed: 1})
+		var loads, stores, total int
+		for i := range tr.Uops {
+			switch tr.Uops[i].Static.Opcode.Class() {
+			case uarch.ClassLoad:
+				loads++
+			case uarch.ClassStore:
+				stores++
+			}
+			total++
+		}
+		loadFrac := float64(loads) / float64(total)
+		// The spec ratios are per-op draw probabilities over base ops;
+		// bushy expression expansion, per-block counter updates and block
+		// execution frequencies dilute the dynamic fractions, so assert a
+		// broad sanity band rather than exact convergence.
+		if loadFrac < spec.LoadRatio*0.25 || loadFrac > spec.LoadRatio*1.6 {
+			t.Errorf("%s: dynamic load fraction %.3f vs spec %.3f", spec.Name, loadFrac, spec.LoadRatio)
+		}
+		if spec.StoreRatio > 0 && stores == 0 {
+			t.Errorf("%s: no dynamic stores despite spec ratio %.3f", spec.Name, spec.StoreRatio)
+		}
+	}
+}
+
+// TestBranchTakenRateTracksSpec verifies the trace's taken rate reflects
+// the spec's TakenProb blend (diamond branches at TakenProb, loop backedge
+// ≥0.9).
+func TestBranchTakenRateTracksSpec(t *testing.T) {
+	for _, spec := range append(specint2000(), specfp2000()...) {
+		s := trace.Analyze(trace.Expand(Generate(spec, 1), trace.Options{NumUops: 30_000, Seed: 2}))
+		rate := s.TakenRate()
+		// The blend lies between min(TakenProb, 1-TakenProb) and ~0.97.
+		if rate < 0.3 || rate > 0.99 {
+			t.Errorf("%s: taken rate %.3f implausible", spec.Name, rate)
+		}
+	}
+}
+
+// TestFootprintScalesWithWorkingSet verifies large-WS benchmarks touch far
+// more memory than small-WS ones.
+func TestFootprintScalesWithWorkingSet(t *testing.T) {
+	small := trace.Analyze(trace.Expand(Generate(SpecByName("crafty"), 1), trace.Options{NumUops: 40_000, Seed: 3}))
+	big := trace.Analyze(trace.Expand(Generate(SpecByName("swim"), 1), trace.Options{NumUops: 40_000, Seed: 3}))
+	if big.FootprintBytes <= small.FootprintBytes {
+		t.Errorf("swim footprint (%d) should exceed crafty (%d)",
+			big.FootprintBytes, small.FootprintBytes)
+	}
+}
+
+// TestChaseLoadsSerializeThroughRegisters verifies the mcf idiom: chase
+// loads read the register they write (the pointer walk).
+func TestChaseLoadsSerializeThroughRegisters(t *testing.T) {
+	p := Generate(SpecByName("mcf"), 1)
+	chaseLoads, serial := 0, 0
+	for _, b := range p.Blocks {
+		for i := range b.Ops {
+			op := &b.Ops[i]
+			if op.Opcode == uarch.OpLoad && op.Mem.Pattern.String() == "chase" {
+				chaseLoads++
+				if op.Src1 == op.Dst {
+					serial++
+				}
+			}
+		}
+	}
+	if chaseLoads == 0 {
+		t.Fatal("mcf has no chase loads")
+	}
+	if serial == 0 {
+		t.Error("no chase load is register-serialized")
+	}
+}
+
+// TestSuiteStableAcrossCalls: Suite() must return identical structure on
+// every call (deterministic generation).
+func TestSuiteStableAcrossCalls(t *testing.T) {
+	a, b := Suite(), Suite()
+	if len(a) != len(b) {
+		t.Fatal("suite size varies")
+	}
+	for i := range a {
+		if a[i].Name != b[i].Name || a[i].Weight != b[i].Weight || a[i].Seed != b[i].Seed {
+			t.Fatalf("simpoint %d differs across calls", i)
+		}
+		if a[i].Program.NumStaticOps() != b[i].Program.NumStaticOps() {
+			t.Fatalf("%s: program size differs across calls", a[i].Name)
+		}
+	}
+}

@@ -1,0 +1,121 @@
+package workload
+
+import (
+	"fmt"
+	"hash/fnv"
+
+	"clustersim/internal/prog"
+)
+
+// Simpoint is one weighted simulation point: a generated program variant
+// plus the trace-expansion seed and its PinPoints weight within the
+// benchmark.
+type Simpoint struct {
+	// Name is the figure label ("gzip-1", "mcf", …).
+	Name string
+	// Bench is the parent benchmark ("gzip").
+	Bench string
+	// FP marks SPECfp membership.
+	FP bool
+	// Weight is the PinPoints weight within the parent benchmark; weights
+	// of one benchmark's simpoints sum to 1.
+	Weight float64
+	// Program is the synthesized static program.
+	Program *prog.Program
+	// Seed feeds trace expansion.
+	Seed int64
+}
+
+// seedOf derives a stable seed from a string.
+func seedOf(s string) int64 {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(s))
+	return int64(h.Sum64() & 0x7fffffffffffffff)
+}
+
+// buildSimpoints expands one spec into its weighted simulation points. A
+// benchmark with one simpoint keeps the bare name (mcf); multi-simpoint
+// benchmarks get the paper's -N suffixes (gzip-1 … gzip-5). Each simpoint
+// perturbs the generator seed, so phases differ structurally, as real
+// program phases do.
+func buildSimpoints(spec Spec) []*Simpoint {
+	weights := PhaseWeights(spec.Name, spec.Simpoints)
+	out := make([]*Simpoint, 0, spec.Simpoints)
+	for i := 0; i < spec.Simpoints; i++ {
+		name := spec.Name
+		if spec.Simpoints > 1 {
+			name = fmt.Sprintf("%s-%d", spec.Name, i+1)
+		}
+		genSeed := seedOf(name + "/gen")
+		out = append(out, &Simpoint{
+			Name:    name,
+			Bench:   spec.Name,
+			FP:      spec.FP,
+			Weight:  weights[i],
+			Program: Generate(spec, genSeed),
+			Seed:    seedOf(name + "/trace"),
+		})
+	}
+	return out
+}
+
+// IntSuite returns the 26 SPECint simulation points of Figure 5(a).
+func IntSuite() []*Simpoint {
+	var out []*Simpoint
+	for _, spec := range specint2000() {
+		out = append(out, buildSimpoints(spec)...)
+	}
+	return out
+}
+
+// FPSuite returns the 14 SPECfp simulation points of Figure 5(b).
+func FPSuite() []*Simpoint {
+	var out []*Simpoint
+	for _, spec := range specfp2000() {
+		out = append(out, buildSimpoints(spec)...)
+	}
+	return out
+}
+
+// Suite returns the full CPU2000 suite (INT then FP).
+func Suite() []*Simpoint {
+	return append(IntSuite(), FPSuite()...)
+}
+
+// QuickSuite returns a reduced suite (one representative per distinct
+// behaviour class) for tests, examples and smoke runs.
+func QuickSuite() []*Simpoint {
+	picks := map[string]bool{
+		"gzip-1": true, "gcc-1": true, "mcf": true, "crafty": true,
+		"swim": true, "galgel": true, "art-1": true, "ammp": true,
+	}
+	var out []*Simpoint
+	for _, sp := range Suite() {
+		if picks[sp.Name] {
+			sp.Weight = 1
+			out = append(out, sp)
+		}
+	}
+	return out
+}
+
+// ByName returns the simpoint with the given name, or nil.
+func ByName(name string) *Simpoint {
+	for _, sp := range Suite() {
+		if sp.Name == name {
+			return sp
+		}
+	}
+	return nil
+}
+
+// SpecByName returns the benchmark spec with the given name; it panics for
+// unknown names (specs are a fixed compile-time table).
+func SpecByName(name string) Spec {
+	for _, s := range append(specint2000(), specfp2000()...) {
+		if s.Name == name {
+			return s
+		}
+	}
+	panic(fmt.Sprintf("workload: no spec %q", name))
+}
