@@ -18,9 +18,18 @@
 // one (workload, configuration) pair and RunMatrix fans a whole experiment
 // across CPU cores. The experiment harness lives behind Fig5, Fig6, Fig7,
 // Table1 and the Ablation* functions; `cmd/steerbench` drives them all.
+//
+// Every run path executes on a caching, streaming simulation engine
+// (NewEngine): sharing one engine across runs and experiments memoizes
+// annotated programs, expanded traces and whole results, simulating each
+// unique (workload, configuration, options) combination exactly once per
+// process, with context cancellation and live progress reporting.
 package clustersim
 
 import (
+	"context"
+
+	"clustersim/internal/engine"
 	"clustersim/internal/experiments"
 	"clustersim/internal/pipeline"
 	"clustersim/internal/prog"
@@ -102,6 +111,35 @@ func Run(w *Workload, setup Setup, opt RunOptions) *Result { return sim.RunOne(w
 // results are indexed [workload][setup]. Parallelism ≤ 0 uses all cores.
 func RunMatrix(ws []*Workload, setups []Setup, opt RunOptions, parallelism int) [][]*Result {
 	return sim.RunMatrix(ws, setups, opt, parallelism)
+}
+
+// Engine is the shared caching, streaming simulation engine. All run paths
+// (Run, RunMatrix, the experiment harness, cmd/steerbench) execute on an
+// engine; sharing one instance across calls memoizes annotated programs,
+// expanded traces and whole results, so each unique (workload, setup,
+// options) simulation executes exactly once per process.
+type Engine = engine.Engine
+
+// EngineOptions configures a new Engine (parallelism, caching, progress).
+type EngineOptions = engine.Options
+
+// EngineStats snapshots an engine's cache-hit counters.
+type EngineStats = engine.CacheStats
+
+// Job is one unit of engine work: simulate one workload under one setup.
+type Job = engine.Job
+
+// JobResult pairs a streamed engine result with its originating job.
+type JobResult = engine.JobResult
+
+// NewEngine builds a simulation engine. Submit work with Engine.Run (one
+// blocking job), Engine.RunMatrix (blocking matrix) or Engine.Stream
+// (results channel); all accept a context for cancellation.
+func NewEngine(opts EngineOptions) *Engine { return engine.New(opts) }
+
+// RunContext executes one simulation on a shared engine with cancellation.
+func RunContext(ctx context.Context, e *Engine, w *Workload, setup Setup, opt RunOptions) *Result {
+	return e.Run(ctx, Job{Simpoint: w, Setup: setup, Opts: opt})
 }
 
 // Workloads returns the full synthetic CPU2000 suite: 26 SPECint and 14

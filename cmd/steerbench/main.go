@@ -1,5 +1,7 @@
 // Command steerbench regenerates the paper's tables and figures on the
-// simulated substrate and prints the reports.
+// simulated substrate and prints the reports. Every experiment submits its
+// runs to one shared simulation engine, so identical (simpoint, setup)
+// simulations across figures execute exactly once per invocation.
 //
 // Usage:
 //
@@ -7,16 +9,22 @@
 //	steerbench -exp fig5         # one experiment
 //	steerbench -quick -uops 20000
 //	steerbench -out results.txt
+//	steerbench -progress         # live job progress + cache stats on stderr
 //
-// Experiments: table1 table2 table3 fig5 fig6 fig7 ablation all
+// Experiments: table1 table2 table3 fig5 fig6 fig7 policyspace ablation all
+//
+// Ctrl-C cancels in-flight simulations and exits cleanly with status 130.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"clustersim"
@@ -25,14 +33,24 @@ import (
 
 func main() {
 	var (
-		exp    = flag.String("exp", "all", "experiment: table1|table2|table3|fig5|fig6|fig7|policyspace|ablation|all")
-		uops   = flag.Int("uops", 120_000, "dynamic micro-ops per simulation point")
-		quick  = flag.Bool("quick", false, "use the reduced 8-point suite")
-		par    = flag.Int("parallel", 0, "concurrent simulations (0 = all cores)")
-		out    = flag.String("out", "", "also write the report to this file")
-		csvDir = flag.String("csvdir", "", "write per-figure CSV files into this directory")
+		exp      = flag.String("exp", "all", "experiment: table1|table2|table3|fig5|fig6|fig7|policyspace|ablation|all")
+		uops     = flag.Int("uops", 120_000, "dynamic micro-ops per simulation point")
+		quick    = flag.Bool("quick", false, "use the reduced 8-point suite")
+		par      = flag.Int("parallel", 0, "concurrent simulations (0 = all cores)")
+		out      = flag.String("out", "", "also write the report to this file")
+		csvDir   = flag.String("csvdir", "", "write per-figure CSV files into this directory")
+		progress = flag.Bool("progress", false, "print live job progress and engine cache stats to stderr")
 	)
 	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	go func() {
+		// After the first signal, restore default handling so a second
+		// ctrl-C force-kills even if shutdown stalls somewhere.
+		<-ctx.Done()
+		stop()
+	}()
 
 	writeCSV := func(name, content string) {
 		if *csvDir == "" {
@@ -45,7 +63,18 @@ func main() {
 		}
 	}
 
-	opt := clustersim.ExperimentOptions{NumUops: *uops, Quick: *quick, Parallelism: *par}
+	engOpts := clustersim.EngineOptions{Parallelism: *par}
+	if *progress {
+		engOpts.Progress = func(done, total int, label string) {
+			fmt.Fprintf(os.Stderr, "\r[%d/%d] %-48.48s", done, total, label)
+		}
+	}
+	eng := clustersim.NewEngine(engOpts)
+	opt := clustersim.ExperimentOptions{
+		NumUops: *uops, Quick: *quick, Parallelism: *par,
+		Engine: eng, Context: ctx,
+	}
+
 	var sink io.Writer = os.Stdout
 	if *out != "" {
 		f, err := os.Create(*out)
@@ -63,7 +92,14 @@ func main() {
 		}
 		start := time.Now()
 		text, err := fn()
+		if *progress {
+			fmt.Fprint(os.Stderr, "\r\033[K") // clear the progress line
+		}
 		if err != nil {
+			if ctx.Err() != nil {
+				fmt.Fprintf(os.Stderr, "%s: interrupted\n", name)
+				os.Exit(130)
+			}
 			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
 			os.Exit(1)
 		}
@@ -186,4 +222,8 @@ func main() {
 		b.WriteString(pf.Render())
 		return b.String(), nil
 	})
+
+	if *progress {
+		fmt.Fprintln(os.Stderr, experiments.EngineReport(eng.Stats()))
+	}
 }

@@ -1,0 +1,86 @@
+package engine
+
+import (
+	"testing"
+	"time"
+)
+
+// A panicking computation must unblock waiters and leave the key usable.
+func TestFlightPanicDoesNotPoisonKey(t *testing.T) {
+	c := newFlightCache[int](0)
+	waited := make(chan int, 1)
+	started := make(chan struct{})
+	go func() {
+		defer func() { recover() }()
+		c.get(nil, "k", func() (int, bool) {
+			close(started)
+			time.Sleep(20 * time.Millisecond)
+			panic("boom")
+		})
+	}()
+	<-started
+	go func() {
+		v, _, _ := c.get(nil, "k", func() (int, bool) { return 42, true })
+		waited <- v
+	}()
+	select {
+	case v := <-waited:
+		// The waiter either observed the zero value from the panicked
+		// flight or recomputed; either way the key must not deadlock, and
+		// a fresh get must recompute successfully.
+		_ = v
+	case <-time.After(10 * time.Second):
+		t.Fatal("waiter deadlocked on a panicked flight")
+	}
+	v, cached, _ := c.get(nil, "k", func() (int, bool) { return 7, true })
+	if cached && v != 7 && v != 42 {
+		t.Fatalf("poisoned key: v=%d cached=%v", v, cached)
+	}
+}
+
+// A waiter whose abort channel fires must return promptly, not wait for
+// the in-flight computation.
+func TestFlightAbortWhileWaiting(t *testing.T) {
+	c := newFlightCache[int](0)
+	release := make(chan struct{})
+	started := make(chan struct{})
+	go func() {
+		c.get(nil, "k", func() (int, bool) {
+			close(started)
+			<-release
+			return 1, true
+		})
+	}()
+	<-started
+	abort := make(chan struct{})
+	close(abort)
+	done := make(chan struct{})
+	go func() {
+		_, cached, aborted := c.get(abort, "k", func() (int, bool) { return 2, true })
+		if cached || !aborted {
+			t.Errorf("want aborted wait, got cached=%v aborted=%v", cached, aborted)
+		}
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("aborted waiter did not return")
+	}
+	close(release)
+}
+
+// LRU eviction drops the oldest completed entries only.
+func TestFlightLRUEviction(t *testing.T) {
+	c := newFlightCache[int](2)
+	c.get(nil, "a", func() (int, bool) { return 1, true })
+	c.get(nil, "b", func() (int, bool) { return 2, true })
+	c.get(nil, "a", func() (int, bool) { return -1, true }) // touch a
+	c.get(nil, "c", func() (int, bool) { return 3, true })  // evicts b
+	if _, cached, _ := c.get(nil, "a", func() (int, bool) { return -1, true }); !cached {
+		t.Error("recently used entry evicted")
+	}
+	if _, cached, _ := c.get(nil, "b", func() (int, bool) { return -2, true }); cached {
+		t.Error("least recently used entry survived past the cap")
+	}
+}

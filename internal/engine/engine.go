@@ -1,0 +1,473 @@
+// Package engine is the shared simulation substrate every run path —
+// sim.RunOne/RunMatrix, the experiment harness and cmd/steerbench — submits
+// jobs to. It owns a cancellable worker pool with progress reporting, and
+// three content-keyed caches for the expensive intermediate artifacts of a
+// run: annotated program clones (keyed by simpoint + compiler-pass
+// signature), expanded dynamic traces (keyed by annotated program + trace
+// length + seed) and whole Results (keyed by simpoint + configuration +
+// run options). One engine shared across experiments therefore simulates
+// each unique (simpoint, setup, options) combination exactly once per
+// process, and re-annotates/re-expands nothing.
+//
+// All cached artifacts are immutable after publication: compiler passes
+// annotate a private clone before it enters the cache, and the pipeline
+// only reads from programs and traces, so concurrent runs can share them.
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"clustersim/internal/partition"
+	"clustersim/internal/pipeline"
+	"clustersim/internal/prog"
+	"clustersim/internal/steer"
+	"clustersim/internal/trace"
+	"clustersim/internal/workload"
+)
+
+// Pass declares a compiler steering pass so the engine can both execute it
+// and cache its output. Unlike an opaque closure, the declarative form
+// gives the engine a content key, and lets it derive the pass options from
+// the machine configuration actually being run (issue widths, link
+// latency), so 4-cluster and MachineTweak-ed runs see consistent options.
+type Pass struct {
+	// Kind identifies the algorithm in cache keys ("OB", "RHOP", "VC").
+	// Two passes with equal Kind and equal options must produce identical
+	// annotations.
+	Kind string
+	// NumTargets is the cluster count the pass partitions for (virtual
+	// clusters for VC, physical for the software-only schemes).
+	NumTargets int
+	// RegionMaxOps caps compiler region size; zero means the default.
+	RegionMaxOps int
+	// MaxChainLen caps VC chain length; zero means the default.
+	MaxChainLen int
+	// Run executes the pass over the (cloned) program.
+	Run func(*prog.Program, partition.Options)
+}
+
+// options derives the pass options from the machine configuration being
+// run: issue widths and communication cost come from the live config, not
+// from a hardcoded default machine.
+func (ps *Pass) options(cfg *pipeline.Config) partition.Options {
+	return partition.Options{
+		NumVC:        ps.NumTargets,
+		NumClusters:  ps.NumTargets,
+		IssueInt:     cfg.Cluster.IssueInt,
+		IssueFP:      cfg.Cluster.IssueFP,
+		CommLatency:  cfg.Net.Latency + 1, // link latency + copy issue slot
+		MaxChainLen:  ps.MaxChainLen,
+		RegionMaxOps: ps.RegionMaxOps,
+	}
+}
+
+// key is the cache signature of the pass under a machine configuration.
+func (ps *Pass) key(cfg *pipeline.Config) string {
+	o := ps.options(cfg)
+	return fmt.Sprintf("%s|vc%d|ii%d|if%d|cl%d|ch%d|rg%d",
+		ps.Kind, o.NumVC, o.IssueInt, o.IssueFP, o.CommLatency, o.MaxChainLen, o.RegionMaxOps)
+}
+
+// Setup is one steering configuration: how programs are annotated at
+// compile time and which runtime policy steers.
+type Setup struct {
+	// Label is the configuration name used in reports ("OP", "VC(2->4)").
+	// For a given NumClusters the label must uniquely identify the
+	// configuration — it participates in the engine's result-cache key.
+	Label string
+	// NumClusters is the physical cluster count of the machine.
+	NumClusters int
+	// Pass is the compiler pass; nil for hardware-only configurations.
+	Pass *Pass
+	// Annotate optionally runs an opaque compiler pass over the (cloned)
+	// program. It exists for custom user passes; because the engine cannot
+	// key its output, setups using it bypass every cache.
+	Annotate func(*prog.Program)
+	// NewPolicy builds a fresh runtime policy instance per run.
+	NewPolicy func() steer.Policy
+}
+
+// RunOptions sizes one simulation.
+type RunOptions struct {
+	// NumUops is the dynamic trace length per simpoint. Zero means 120000.
+	NumUops int
+	// WarmupUops excludes the first N committed micro-ops from the
+	// metrics (cache/predictor warmup).
+	WarmupUops int
+	// MachineTweak optionally mutates the machine config (ablations).
+	MachineTweak func(*pipeline.Config)
+	// TweakKey uniquely identifies MachineTweak's effect for caching.
+	// Runs with a MachineTweak but no TweakKey are never result-cached.
+	TweakKey string
+}
+
+func (o RunOptions) withDefaults() RunOptions {
+	if o.NumUops == 0 {
+		o.NumUops = 120_000
+	}
+	return o
+}
+
+// Result is the outcome of one (simpoint, setup) run.
+type Result struct {
+	// Simpoint identifies the workload.
+	Simpoint *workload.Simpoint
+	// Setup is the configuration label.
+	Setup string
+	// Metrics are the pipeline metrics. Cached results share one Metrics
+	// value across callers; treat it as read-only.
+	Metrics *pipeline.Metrics
+	// Complexity is the steering-logic accounting.
+	Complexity steer.Complexity
+	// Err is non-nil if the run failed or was canceled.
+	Err error
+}
+
+// Job is one unit of work: simulate one simpoint under one setup.
+type Job struct {
+	Simpoint *workload.Simpoint
+	Setup    Setup
+	Opts     RunOptions
+}
+
+// JobResult pairs a streamed result with the job that produced it.
+type JobResult struct {
+	// Index is the job's position in the submitted slice.
+	Index  int
+	Job    Job
+	Result *Result
+}
+
+// Options configures an engine.
+type Options struct {
+	// Parallelism bounds concurrently executing simulations; ≤ 0 means
+	// GOMAXPROCS. Cache hits are served without occupying a worker slot.
+	Parallelism int
+	// TraceCacheEntries bounds the expanded-trace cache (traces are the
+	// largest cached artifact, ~32 bytes per micro-op). Zero means 48;
+	// negative means unbounded.
+	TraceCacheEntries int
+	// DisableCache turns every cache off (each job re-annotates,
+	// re-expands and re-simulates from scratch).
+	DisableCache bool
+	// Progress, if set, is called after every finished job with the
+	// engine-lifetime completed and submitted job counts and the finished
+	// job's "simpoint/setup" label. It may be called concurrently.
+	Progress func(done, total int, label string)
+}
+
+// Engine is a caching, streaming simulation engine. One engine may be
+// shared by any number of concurrent submitters; all methods are safe for
+// concurrent use.
+type Engine struct {
+	opts Options
+	sem  chan struct{}
+
+	progs   *flightCache[*prog.Program]
+	traces  *flightCache[*trace.Trace]
+	results *flightCache[*Result]
+
+	// fps memoizes program content hashes per *prog.Program (programs are
+	// immutable once submitted); lifetime is tied to the engine like the
+	// artifact caches.
+	fps sync.Map
+
+	simulations          atomic.Int64
+	submitted, completed atomic.Int64
+}
+
+// CacheStats is a snapshot of the engine's cache counters.
+type CacheStats struct {
+	// Simulations counts actual pipeline executions (cache misses).
+	Simulations int64
+	// ResultHits/ResultMisses count whole-result cache lookups.
+	ResultHits, ResultMisses int64
+	// TraceHits/TraceMisses count expanded-trace cache lookups.
+	TraceHits, TraceMisses int64
+	// ProgramHits/ProgramMisses count annotated-program cache lookups.
+	ProgramHits, ProgramMisses int64
+}
+
+// New builds an engine.
+func New(opts Options) *Engine {
+	if opts.Parallelism <= 0 {
+		opts.Parallelism = runtime.GOMAXPROCS(0)
+	}
+	if opts.TraceCacheEntries == 0 {
+		opts.TraceCacheEntries = 48
+	}
+	if opts.TraceCacheEntries < 0 {
+		opts.TraceCacheEntries = 0 // unbounded
+	}
+	return &Engine{
+		opts:    opts,
+		sem:     make(chan struct{}, opts.Parallelism),
+		progs:   newFlightCache[*prog.Program](0),
+		traces:  newFlightCache[*trace.Trace](opts.TraceCacheEntries),
+		results: newFlightCache[*Result](0),
+	}
+}
+
+// Stats snapshots the cache counters.
+func (e *Engine) Stats() CacheStats {
+	return CacheStats{
+		Simulations:   e.simulations.Load(),
+		ResultHits:    e.results.hits.Load(),
+		ResultMisses:  e.results.misses.Load(),
+		TraceHits:     e.traces.hits.Load(),
+		TraceMisses:   e.traces.misses.Load(),
+		ProgramHits:   e.progs.hits.Load(),
+		ProgramMisses: e.progs.misses.Load(),
+	}
+}
+
+// Execute runs one job from scratch with no caching and no shared pool —
+// the plain sim.RunOne path, and the reference the engine's cached results
+// are tested against.
+func Execute(ctx context.Context, job Job) *Result {
+	return New(Options{Parallelism: 1, DisableCache: true}).Run(ctx, job)
+}
+
+// Run executes one job, serving it from the result cache when possible,
+// and blocks until the result is available. A canceled context yields a
+// Result with Err set to the context's error; canceled or failed runs are
+// never cached.
+func (e *Engine) Run(ctx context.Context, job Job) *Result {
+	job.Opts = job.Opts.withDefaults()
+	e.submitted.Add(1)
+	res := e.run(ctx, job)
+	done := e.completed.Add(1)
+	if e.opts.Progress != nil {
+		e.opts.Progress(int(done), int(e.submitted.Load()),
+			job.Simpoint.Name+"/"+job.Setup.Label)
+	}
+	return res
+}
+
+// RunMatrix runs every (simpoint × setup) pair and returns results indexed
+// as [simpoint][setup], matching the input order. It blocks until all jobs
+// finish; on cancellation the remaining cells hold Results with Err set
+// and the context's error is returned.
+func (e *Engine) RunMatrix(ctx context.Context, sps []*workload.Simpoint, setups []Setup, opt RunOptions) ([][]*Result, error) {
+	results := make([][]*Result, len(sps))
+	for i := range results {
+		results[i] = make([]*Result, len(setups))
+	}
+	var wg sync.WaitGroup
+	for si := range sps {
+		for ci := range setups {
+			si, ci := si, ci
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				results[si][ci] = e.Run(ctx, Job{Simpoint: sps[si], Setup: setups[ci], Opts: opt})
+			}()
+		}
+	}
+	wg.Wait()
+	return results, ctx.Err()
+}
+
+// Stream submits the jobs and returns a channel that yields each result as
+// it completes (in completion order, not submission order). The channel is
+// buffered to hold every result and is closed once all jobs finish, so a
+// consumer may stop reading early without leaking the senders (cancel the
+// context to also stop the remaining work).
+func (e *Engine) Stream(ctx context.Context, jobs []Job) <-chan JobResult {
+	out := make(chan JobResult, len(jobs))
+	go func() {
+		defer close(out)
+		var wg sync.WaitGroup
+		for i := range jobs {
+			i := i
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				out <- JobResult{Index: i, Job: jobs[i], Result: e.Run(ctx, jobs[i])}
+			}()
+		}
+		wg.Wait()
+	}()
+	return out
+}
+
+// fingerprint identifies a simpoint's program content across suite
+// reconstructions (workload.Suite synthesizes fresh Program values per
+// call, deterministically, so name + seed + content hash is a stable key
+// that also keeps distinct custom programs from aliasing). The hash is
+// memoized per Program value so resubmissions skip the full-program walk.
+func (e *Engine) fingerprint(sp *workload.Simpoint) string {
+	h, ok := e.fps.Load(sp.Program)
+	if !ok {
+		h, _ = e.fps.LoadOrStore(sp.Program, sp.Program.Fingerprint())
+	}
+	return fmt.Sprintf("%s|s%d|h%016x", sp.Name, sp.Seed, h.(uint64))
+}
+
+// resultKey returns the whole-result cache key, and whether the job is
+// cacheable at all: opaque Annotate closures and un-keyed MachineTweaks
+// have no content signature, so such jobs always execute.
+func (e *Engine) resultKey(job Job) (string, bool) {
+	if job.Setup.Annotate != nil {
+		return "", false
+	}
+	if job.Opts.MachineTweak != nil && job.Opts.TweakKey == "" {
+		return "", false
+	}
+	// The pass's static signature is folded in so label collisions between
+	// setups with different compiler passes cannot alias; its machine-
+	// derived options are covered by the TweakKey requirement above.
+	pass := ""
+	if ps := job.Setup.Pass; ps != nil {
+		pass = fmt.Sprintf("%s/%d/%d/%d", ps.Kind, ps.NumTargets, ps.RegionMaxOps, ps.MaxChainLen)
+	}
+	return fmt.Sprintf("%s|%s|p%s|c%d|u%d|w%d|t%s",
+		e.fingerprint(job.Simpoint), job.Setup.Label, pass, job.Setup.NumClusters,
+		job.Opts.NumUops, job.Opts.WarmupUops, job.Opts.TweakKey), true
+}
+
+// isCancelErr reports whether err stems from context cancellation rather
+// than a deterministic simulation failure.
+func isCancelErr(err error) bool {
+	return errors.Is(err, context.Canceled) ||
+		errors.Is(err, context.DeadlineExceeded) ||
+		errors.Is(err, pipeline.ErrCanceled)
+}
+
+func (e *Engine) run(ctx context.Context, job Job) *Result {
+	if err := ctx.Err(); err != nil {
+		return &Result{Simpoint: job.Simpoint, Setup: job.Setup.Label, Err: err}
+	}
+	key, cacheable := e.resultKey(job)
+	if !cacheable || e.opts.DisableCache {
+		return e.execute(ctx, job)
+	}
+	for {
+		res, hit, aborted := e.results.get(ctx.Done(), key, func() (*Result, bool) {
+			r := e.execute(ctx, job)
+			return r, r.Err == nil
+		})
+		if aborted {
+			// Our context died while waiting on another caller's flight.
+			return &Result{Simpoint: job.Simpoint, Setup: job.Setup.Label, Err: ctx.Err()}
+		}
+		if res == nil {
+			// We joined a flight whose computation panicked (the zero
+			// value was handed to waiters). Recompute under our context.
+			if err := ctx.Err(); err != nil {
+				return &Result{Simpoint: job.Simpoint, Setup: job.Setup.Label, Err: err}
+			}
+			continue
+		}
+		if hit && ctx.Err() == nil && isCancelErr(res.Err) {
+			// We waited on another caller's flight and it was canceled
+			// under *their* context. Ours is live and the canceled entry
+			// was not retained, so run the job ourselves. Genuine run
+			// errors are returned as-is — they are deterministic and
+			// re-executing them would fail identically.
+			continue
+		}
+		if hit && res.Simpoint != job.Simpoint {
+			// Same content, different suite instantiation: hand the caller
+			// its own simpoint pointer so result rows match the submitted
+			// suite.
+			clone := *res
+			clone.Simpoint = job.Simpoint
+			return &clone
+		}
+		return res
+	}
+}
+
+// execute performs one full uncached run: annotate (cached), expand
+// (cached), simulate. The worker semaphore bounds concurrent executions.
+func (e *Engine) execute(ctx context.Context, job Job) *Result {
+	select {
+	case e.sem <- struct{}{}:
+	case <-ctx.Done():
+		// Canceled while queued behind busy workers: don't wait for a slot.
+		return &Result{Simpoint: job.Simpoint, Setup: job.Setup.Label, Err: ctx.Err()}
+	}
+	defer func() { <-e.sem }()
+	if err := ctx.Err(); err != nil {
+		return &Result{Simpoint: job.Simpoint, Setup: job.Setup.Label, Err: err}
+	}
+	sp, s, opt := job.Simpoint, job.Setup, job.Opts
+
+	cfg := pipeline.DefaultConfig(s.NumClusters)
+	cfg.WarmupUops = int64(opt.WarmupUops)
+	if opt.MachineTweak != nil {
+		opt.MachineTweak(&cfg)
+	}
+	p, progKey := e.annotated(sp, s, &cfg)
+	tr := e.expand(p, progKey, sp, opt)
+
+	cfg.Cancel = ctx.Done()
+	pol := s.NewPolicy()
+	core, err := pipeline.NewCore(cfg, pol, tr)
+	if err != nil {
+		return &Result{Simpoint: sp, Setup: s.Label, Err: err}
+	}
+	e.simulations.Add(1)
+	m, err := core.Run()
+	if err == pipeline.ErrCanceled && ctx.Err() != nil {
+		err = ctx.Err()
+	}
+	return &Result{
+		Simpoint:   sp,
+		Setup:      s.Label,
+		Metrics:    m,
+		Complexity: core.ComplexityOf(),
+		Err:        err,
+	}
+}
+
+// annotated returns the annotated program clone for the job, cached by
+// (simpoint, pass signature). The returned key is "" when the artifact is
+// uncacheable (opaque Annotate pass).
+func (e *Engine) annotated(sp *workload.Simpoint, s Setup, cfg *pipeline.Config) (*prog.Program, string) {
+	if s.Annotate != nil {
+		p := sp.Program.Clone()
+		p.ClearAnnotations()
+		s.Annotate(p)
+		return p, ""
+	}
+	build := func() (*prog.Program, bool) {
+		p := sp.Program.Clone()
+		p.ClearAnnotations()
+		if s.Pass != nil {
+			s.Pass.Run(p, s.Pass.options(cfg))
+		}
+		return p, true
+	}
+	passKey := "clean"
+	if s.Pass != nil {
+		passKey = s.Pass.key(cfg)
+	}
+	key := e.fingerprint(sp) + "|" + passKey
+	if e.opts.DisableCache {
+		p, _ := build()
+		return p, key
+	}
+	p, _, _ := e.progs.get(nil, key, build)
+	return p, key
+}
+
+// expand returns the dynamic trace for the annotated program, cached by
+// (annotated-program key, NumUops, seed).
+func (e *Engine) expand(p *prog.Program, progKey string, sp *workload.Simpoint, opt RunOptions) *trace.Trace {
+	topts := trace.Options{NumUops: opt.NumUops, Seed: sp.Seed}
+	if progKey == "" || e.opts.DisableCache {
+		return trace.Expand(p, topts)
+	}
+	key := fmt.Sprintf("%s|u%d|s%d", progKey, opt.NumUops, sp.Seed)
+	tr, _, _ := e.traces.get(nil, key, func() (*trace.Trace, bool) {
+		return trace.Expand(p, topts), true
+	})
+	return tr
+}

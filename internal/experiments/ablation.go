@@ -40,16 +40,21 @@ func (r *AblationResult) Render() string {
 }
 
 // sweepVC runs OP plus a list of VC-variant setups over the suite and
-// aggregates average slowdown and copy rate per variant.
+// aggregates average slowdown and copy rate per variant. The sweep name
+// doubles as the engine's tweak key, so tweaked runs are cached per sweep
+// and untweaked sweeps share the global untweaked results.
 func sweepVC(opt Options, name, axis string, variants []sim.Setup, labels []string,
 	tweak func(*pipeline.Config)) (*AblationResult, error) {
 	opt = opt.withDefaults()
 	sps := opt.suite()
 	setups := append([]sim.Setup{sim.SetupOP(variants[0].NumClusters)}, variants...)
 	runOpts := opt.runOpts()
-	runOpts.MachineTweak = tweak
-	res := sim.RunMatrix(sps, setups, runOpts, opt.Parallelism)
-	if err := checkErrs(res); err != nil {
+	if tweak != nil {
+		runOpts.MachineTweak = tweak
+		runOpts.TweakKey = name
+	}
+	res, err := opt.matrix(sps, setups, runOpts)
+	if err != nil {
 		return nil, err
 	}
 	out := &AblationResult{Name: name, Axis: axis}
@@ -101,6 +106,7 @@ func AblationNumVC(opt Options) (*AblationResult, error) {
 // AblationLinkLatency sweeps the inter-cluster link latency under VC: the
 // value of keeping chains together grows with communication cost.
 func AblationLinkLatency(opt Options) ([]*AblationResult, error) {
+	opt = opt.withDefaults() // one engine across the sweep's sub-runs
 	var out []*AblationResult
 	for _, lat := range []int{1, 2, 4, 8} {
 		lat := lat
@@ -120,6 +126,7 @@ func AblationLinkLatency(opt Options) ([]*AblationResult, error) {
 // AblationIQSize sweeps per-cluster issue-queue capacity: smaller queues
 // make allocation stalls (the workload-balance cost) more frequent.
 func AblationIQSize(opt Options) ([]*AblationResult, error) {
+	opt = opt.withDefaults()
 	var out []*AblationResult
 	for _, size := range []int{24, 48, 96} {
 		size := size
@@ -144,6 +151,7 @@ func AblationIQSize(opt Options) ([]*AblationResult, error) {
 // far copies slower and contend on shared segments, amplifying the value
 // of chain colocation.
 func AblationTopology(opt Options) ([]*AblationResult, error) {
+	opt = opt.withDefaults()
 	var out []*AblationResult
 	for _, topo := range []interconnect.Topology{interconnect.TopologyPointToPoint, interconnect.TopologyRing} {
 		topo := topo
@@ -165,6 +173,7 @@ func AblationTopology(opt Options) ([]*AblationResult, error) {
 // future-work check of whether two extra rename-table reads per leader buy
 // performance.
 func AblationVCComm(opt Options) ([]*AblationResult, error) {
+	opt = opt.withDefaults()
 	var out []*AblationResult
 	for _, clusters := range []int{2, 4} {
 		r, err := sweepVC(opt,
@@ -184,6 +193,7 @@ func AblationVCComm(opt Options) ([]*AblationResult, error) {
 // is the "bigger window of instructions inspected at compile time"; this
 // sweep measures how quickly the schemes degrade as that window shrinks.
 func AblationRegionScope(opt Options) ([]*AblationResult, error) {
+	opt = opt.withDefaults()
 	var out []*AblationResult
 	for _, scope := range []int{16, 48, 256} {
 		variants := []sim.Setup{
@@ -215,6 +225,7 @@ func AblationStallOverSteer(opt Options) (*AblationResult, error) {
 // AblationCopyBandwidth sweeps the copy issue width and link bandwidth: the
 // hybrid scheme's extra copies only stay cheap while copy bandwidth holds.
 func AblationCopyBandwidth(opt Options) ([]*AblationResult, error) {
+	opt = opt.withDefaults()
 	var out []*AblationResult
 	for _, bw := range []int{1, 2, 4} {
 		bw := bw
@@ -249,8 +260,9 @@ func AblationPrefetch(opt Options) (*AblationResult, error) {
 		runOpts.MachineTweak = func(cfg *pipeline.Config) {
 			cfg.Mem.PrefetchDegree = d // 0 disables prefetching entirely
 		}
-		res := sim.RunMatrix(sps, []sim.Setup{sim.SetupOP(2)}, runOpts, opt.Parallelism)
-		if err := checkErrs(res); err != nil {
+		runOpts.TweakKey = fmt.Sprintf("prefetch-degree=%d", d)
+		res, err := opt.matrix(sps, []sim.Setup{sim.SetupOP(2)}, runOpts)
+		if err != nil {
 			return nil, err
 		}
 		var slow []float64

@@ -6,10 +6,12 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
 
+	"clustersim/internal/engine"
 	"clustersim/internal/sim"
 	"clustersim/internal/stats"
 	"clustersim/internal/workload"
@@ -26,11 +28,25 @@ type Options struct {
 	// Quick restricts the suite to eight representative simpoints (tests
 	// and smoke runs).
 	Quick bool
+	// Engine optionally supplies a shared simulation engine. Passing one
+	// engine to several experiments (steerbench -exp all) dedups identical
+	// (simpoint, setup, options) runs across them — each is simulated
+	// exactly once per process. Nil means a fresh private engine per
+	// experiment invocation (runs are still cached within it).
+	Engine *engine.Engine
+	// Context cancels in-flight experiment runs; nil means Background.
+	Context context.Context
 }
 
 func (o Options) withDefaults() Options {
 	if o.NumUops == 0 {
 		o.NumUops = 120_000
+	}
+	if o.Engine == nil {
+		o.Engine = engine.New(engine.Options{Parallelism: o.Parallelism})
+	}
+	if o.Context == nil {
+		o.Context = context.Background()
 	}
 	return o
 }
@@ -44,6 +60,16 @@ func (o Options) suite() []*workload.Simpoint {
 
 func (o Options) runOpts() sim.RunOptions {
 	return sim.RunOptions{NumUops: o.NumUops}
+}
+
+// matrix fans the (suite × setups) runs through the experiment's engine
+// and surfaces cancellation and the first run error.
+func (o Options) matrix(sps []*workload.Simpoint, setups []sim.Setup, runOpts sim.RunOptions) ([][]*sim.Result, error) {
+	res, err := o.Engine.RunMatrix(o.Context, sps, setups, runOpts)
+	if err != nil {
+		return nil, err
+	}
+	return res, checkErrs(res)
 }
 
 // BenchAverage computes the per-benchmark PinPoints-weighted value, then

@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"io"
 	"strings"
+
+	"clustersim/internal/engine"
 )
 
 // CSV renders Figure 5's per-simpoint data as comma-separated values with
@@ -82,6 +84,16 @@ func csvName(s string) string {
 	s = strings.ReplaceAll(s, ")", "")
 	s = strings.ReplaceAll(s, "->", "to")
 	return s
+}
+
+// EngineReport renders an engine's cache counters as a one-line summary —
+// the dedup accounting steerbench prints after a multi-experiment run.
+func EngineReport(st engine.CacheStats) string {
+	return fmt.Sprintf(
+		"engine: %d simulations, %d result hits, %d/%d trace hits, %d/%d program hits",
+		st.Simulations, st.ResultHits,
+		st.TraceHits, st.TraceHits+st.TraceMisses,
+		st.ProgramHits, st.ProgramHits+st.ProgramMisses)
 }
 
 // WriteJSON marshals any experiment result as indented JSON.

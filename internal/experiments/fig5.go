@@ -47,8 +47,8 @@ func Fig5(opt Options) (*Fig5Result, error) {
 		sim.SetupRHOP(2),
 		sim.SetupVC(2, 2),
 	}
-	res := sim.RunMatrix(sps, setups, opt.runOpts(), opt.Parallelism)
-	if err := checkErrs(res); err != nil {
+	res, err := opt.matrix(sps, setups, opt.runOpts())
+	if err != nil {
 		return nil, err
 	}
 	out := &Fig5Result{

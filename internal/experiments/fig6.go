@@ -49,8 +49,8 @@ func Fig6(opt Options) (*Fig6Result, error) {
 		sim.SetupRHOP(2),
 		sim.SetupOP(2),
 	}
-	res := sim.RunMatrix(sps, setups, opt.runOpts(), opt.Parallelism)
-	if err := checkErrs(res); err != nil {
+	res, err := opt.matrix(sps, setups, opt.runOpts())
+	if err != nil {
 		return nil, err
 	}
 	out := &Fig6Result{}

@@ -46,8 +46,8 @@ func Fig7(opt Options) (*Fig7Result, error) {
 		sim.SetupVC(4, 4),
 		sim.SetupVC(2, 4),
 	}
-	res := sim.RunMatrix(sps, setups, opt.runOpts(), opt.Parallelism)
-	if err := checkErrs(res); err != nil {
+	res, err := opt.matrix(sps, setups, opt.runOpts())
+	if err != nil {
 		return nil, err
 	}
 	out := &Fig7Result{

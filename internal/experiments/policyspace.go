@@ -51,8 +51,8 @@ func PolicySpace(opt Options) (*PolicySpaceResult, error) {
 	for i, ps := range policySetups {
 		setups[i] = ps.setup
 	}
-	res := sim.RunMatrix(sps, setups, opt.runOpts(), opt.Parallelism)
-	if err := checkErrs(res); err != nil {
+	res, err := opt.matrix(sps, setups, opt.runOpts())
+	if err != nil {
 		return nil, err
 	}
 	out := &PolicySpaceResult{}

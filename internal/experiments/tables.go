@@ -28,8 +28,8 @@ func Table1(opt Options) (*Table1Result, error) {
 	opt = opt.withDefaults()
 	sps := opt.suite()
 	setups := []sim.Setup{sim.SetupOP(2), sim.SetupVC(2, 2)}
-	res := sim.RunMatrix(sps, setups, opt.runOpts(), opt.Parallelism)
-	if err := checkErrs(res); err != nil {
+	res, err := opt.matrix(sps, setups, opt.runOpts())
+	if err != nil {
 		return nil, err
 	}
 	out := &Table1Result{Workload: fmt.Sprintf("%d simpoints: %s", len(sps), suiteNames(sps))}

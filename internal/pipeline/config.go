@@ -53,6 +53,10 @@ type Config struct {
 	// issue queues, copy queues) in the metrics, at a small simulation
 	// cost. Off by default.
 	TrackHistograms bool
+	// Cancel optionally aborts a running simulation: Run polls the channel
+	// every few thousand cycles and returns ErrCanceled once it is closed.
+	// Nil disables cancellation.
+	Cancel <-chan struct{}
 }
 
 // DefaultConfig returns the paper's 2-cluster machine; pass 4 for the

@@ -1,6 +1,7 @@
 package pipeline
 
 import (
+	"errors"
 	"fmt"
 
 	"clustersim/internal/cache"
@@ -8,6 +9,9 @@ import (
 	"clustersim/internal/steer"
 	"clustersim/internal/uarch"
 )
+
+// ErrCanceled is returned by Run when Config.Cancel fires mid-simulation.
+var ErrCanceled = errors.New("pipeline: run canceled")
 
 // Run simulates the whole trace and returns the metrics. The per-cycle
 // stage order is: commit (sees last cycle's completions), writeback events
@@ -20,6 +24,13 @@ func (c *Core) Run() (*Metrics, error) {
 	lastCommitted := int64(0)
 	var warmup *Metrics
 	for c.committed < total {
+		if c.cfg.Cancel != nil && c.cycle&0xfff == 0 {
+			select {
+			case <-c.cfg.Cancel:
+				return &c.m, ErrCanceled
+			default:
+			}
+		}
 		if c.cycle >= c.cfg.MaxCycles {
 			c.m.MaxCyclesExceeded = true
 			return &c.m, fmt.Errorf("pipeline: exceeded %d cycles at %d/%d uops",

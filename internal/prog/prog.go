@@ -11,7 +11,10 @@
 package prog
 
 import (
+	"encoding/binary"
 	"fmt"
+	"hash/fnv"
+	"math"
 
 	"clustersim/internal/uarch"
 )
@@ -136,6 +139,41 @@ type Program struct {
 	Name string
 	// Blocks holds the basic blocks; Blocks[0] is the entry.
 	Blocks []*Block
+}
+
+// Fingerprint returns a content hash of the program: name, CFG shape and
+// every op's opcode, registers, memory pattern and branch statistics.
+// Compiler annotations are excluded — run paths clear and re-derive them.
+// Programs with equal fingerprints behave identically under expansion and
+// simulation, which is what the engine's caches key on.
+func (p *Program) Fingerprint() uint64 {
+	h := fnv.New64a()
+	buf := make([]byte, 8)
+	w64 := func(v uint64) {
+		binary.LittleEndian.PutUint64(buf, v)
+		h.Write(buf)
+	}
+	wf := func(v float64) { w64(math.Float64bits(v)) }
+	h.Write([]byte(p.Name))
+	for _, b := range p.Blocks {
+		w64(uint64(b.ID))
+		w64(uint64(len(b.Ops)))
+		for i := range b.Ops {
+			op := &b.Ops[i]
+			w64(uint64(op.Opcode)<<32 | uint64(uint8(op.Mem.Pattern)))
+			w64(uint64(uint16(op.Dst))<<32 | uint64(uint16(op.Src1))<<16 | uint64(uint16(op.Src2)))
+			w64(uint64(op.Mem.Stream))
+			w64(uint64(op.Mem.StrideBytes))
+			w64(uint64(op.Mem.WorkingSet))
+			wf(op.TakenProb)
+			wf(op.Bias)
+		}
+		for _, e := range b.Succs {
+			w64(uint64(e.To))
+			wf(e.Prob)
+		}
+	}
+	return h.Sum64()
 }
 
 // NumStaticOps returns the total static op count.

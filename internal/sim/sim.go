@@ -1,47 +1,34 @@
-// Package sim drives whole experiments: it binds a steering configuration
-// (compiler pass + runtime policy, paper Table 3) to a machine config
-// (paper Table 2), expands simpoint traces, runs the pipeline, and fans a
-// matrix of (simpoint × setup) runs across CPU cores.
+// Package sim binds steering configurations (compiler pass + runtime
+// policy, paper Table 3) to machine configs (paper Table 2) and runs them.
+// The heavy lifting — worker pooling, cancellation and artifact caching —
+// lives in internal/engine; RunOne and RunMatrix are thin, API-compatible
+// wrappers over it, kept for callers that need one-shot blocking runs
+// without managing an engine instance.
 package sim
 
 import (
+	"context"
 	"fmt"
-	"runtime"
-	"sync"
 
+	"clustersim/internal/engine"
 	"clustersim/internal/partition"
-	"clustersim/internal/pipeline"
-	"clustersim/internal/prog"
 	"clustersim/internal/steer"
-	"clustersim/internal/trace"
 	"clustersim/internal/workload"
 )
 
 // Setup is one steering configuration: how programs are annotated at
 // compile time and which runtime policy steers.
-type Setup struct {
-	// Label is the configuration name used in reports ("OP", "VC(2->4)").
-	Label string
-	// NumClusters is the physical cluster count of the machine.
-	NumClusters int
-	// Annotate runs the compiler pass over the (cloned) program; nil for
-	// hardware-only configurations.
-	Annotate func(*prog.Program)
-	// NewPolicy builds a fresh runtime policy instance per run.
-	NewPolicy func() steer.Policy
-}
+type Setup = engine.Setup
 
-// partOpts derives compiler-pass options consistent with the machine.
-func partOpts(numTargets int) partition.Options {
-	cc := pipeline.DefaultConfig(2).Cluster
-	return partition.Options{
-		NumVC:       numTargets,
-		NumClusters: numTargets,
-		IssueInt:    cc.IssueInt,
-		IssueFP:     cc.IssueFP,
-		CommLatency: 2, // link latency + copy issue slot
-	}
-}
+// Pass declares a compiler pass for a Setup; the engine derives its
+// options from the machine configuration actually being run.
+type Pass = engine.Pass
+
+// RunOptions sizes one simulation.
+type RunOptions = engine.RunOptions
+
+// Result is the outcome of one (simpoint, setup) run.
+type Result = engine.Result
 
 // SetupOP returns the hardware-only occupancy-aware baseline.
 func SetupOP(clusters int) Setup {
@@ -74,22 +61,20 @@ func SetupOneCluster(clusters int) Setup {
 
 // SetupOB returns the SPDI operation-based software-only configuration.
 func SetupOB(clusters int) Setup {
-	opts := partOpts(clusters)
 	return Setup{
 		Label:       "OB",
 		NumClusters: clusters,
-		Annotate:    func(p *prog.Program) { partition.AnnotateOB(p, opts) },
+		Pass:        &Pass{Kind: "OB", NumTargets: clusters, Run: partition.AnnotateOB},
 		NewPolicy:   func() steer.Policy { return &steer.Static{Label: "OB"} },
 	}
 }
 
 // SetupRHOP returns the RHOP software-only configuration.
 func SetupRHOP(clusters int) Setup {
-	opts := partOpts(clusters)
 	return Setup{
 		Label:       "RHOP",
 		NumClusters: clusters,
-		Annotate:    func(p *prog.Program) { partition.AnnotateRHOP(p, opts) },
+		Pass:        &Pass{Kind: "RHOP", NumTargets: clusters, Run: partition.AnnotateRHOP},
 		NewPolicy:   func() steer.Policy { return &steer.Static{Label: "RHOP"} },
 	}
 }
@@ -105,7 +90,6 @@ func SetupVC(numVC, clusters int) Setup {
 // mapper (the co-design direction of the paper's conclusion): leaders map
 // by load plus an estimated copy penalty for the leader's operands.
 func SetupVCComm(numVC, clusters int) Setup {
-	opts := partOpts(numVC)
 	label := "VC-comm"
 	if numVC != clusters {
 		label = fmt.Sprintf("VC-comm(%d->%d)", numVC, clusters)
@@ -113,7 +97,7 @@ func SetupVCComm(numVC, clusters int) Setup {
 	return Setup{
 		Label:       label,
 		NumClusters: clusters,
-		Annotate:    func(p *prog.Program) { partition.AnnotateVC(p, opts) },
+		Pass:        &Pass{Kind: "VC", NumTargets: numVC, Run: partition.AnnotateVC},
 		NewPolicy:   func() steer.Policy { return steer.NewVCComm(numVC) },
 	}
 }
@@ -121,30 +105,28 @@ func SetupVCComm(numVC, clusters int) Setup {
 // SetupScoped returns OB/RHOP/VC variants with a capped compiler region
 // size, for the compile-window ablation. kind is "OB", "RHOP" or "VC".
 func SetupScoped(kind string, clusters, regionMaxOps int) Setup {
-	opts := partOpts(clusters)
-	opts.RegionMaxOps = regionMaxOps
 	label := fmt.Sprintf("%s/region%d", kind, regionMaxOps)
 	switch kind {
 	case "OB":
 		return Setup{
 			Label:       label,
 			NumClusters: clusters,
-			Annotate:    func(p *prog.Program) { partition.AnnotateOB(p, opts) },
+			Pass:        &Pass{Kind: "OB", NumTargets: clusters, RegionMaxOps: regionMaxOps, Run: partition.AnnotateOB},
 			NewPolicy:   func() steer.Policy { return &steer.Static{Label: label} },
 		}
 	case "RHOP":
 		return Setup{
 			Label:       label,
 			NumClusters: clusters,
-			Annotate:    func(p *prog.Program) { partition.AnnotateRHOP(p, opts) },
+			Pass:        &Pass{Kind: "RHOP", NumTargets: clusters, RegionMaxOps: regionMaxOps, Run: partition.AnnotateRHOP},
 			NewPolicy:   func() steer.Policy { return &steer.Static{Label: label} },
 		}
 	case "VC":
 		return Setup{
 			Label:       label,
 			NumClusters: clusters,
-			Annotate:    func(p *prog.Program) { partition.AnnotateVC(p, opts) },
-			NewPolicy:   func() steer.Policy { return steer.NewVC(opts.NumVC) },
+			Pass:        &Pass{Kind: "VC", NumTargets: clusters, RegionMaxOps: regionMaxOps, Run: partition.AnnotateVC},
+			NewPolicy:   func() steer.Policy { return steer.NewVC(clusters) },
 		}
 	}
 	panic(fmt.Sprintf("sim: unknown scoped setup kind %q", kind))
@@ -153,8 +135,6 @@ func SetupScoped(kind string, clusters, regionMaxOps int) Setup {
 // SetupVCChain is SetupVC with an explicit chain-length cap (zero means the
 // partitioner default); the chain-length ablation sweeps it.
 func SetupVCChain(numVC, clusters, maxChainLen int) Setup {
-	opts := partOpts(numVC)
-	opts.MaxChainLen = maxChainLen
 	label := "VC"
 	if numVC != clusters {
 		label = fmt.Sprintf("VC(%d->%d)", numVC, clusters)
@@ -165,101 +145,26 @@ func SetupVCChain(numVC, clusters, maxChainLen int) Setup {
 	return Setup{
 		Label:       label,
 		NumClusters: clusters,
-		Annotate:    func(p *prog.Program) { partition.AnnotateVC(p, opts) },
+		Pass:        &Pass{Kind: "VC", NumTargets: numVC, MaxChainLen: maxChainLen, Run: partition.AnnotateVC},
 		NewPolicy:   func() steer.Policy { return steer.NewVC(numVC) },
 	}
 }
 
-// RunOptions sizes one simulation.
-type RunOptions struct {
-	// NumUops is the dynamic trace length per simpoint. Zero means 120000.
-	NumUops int
-	// WarmupUops excludes the first N committed micro-ops from the
-	// metrics (cache/predictor warmup).
-	WarmupUops int
-	// MachineTweak optionally mutates the machine config (ablations).
-	MachineTweak func(*pipeline.Config)
-}
-
-func (o RunOptions) withDefaults() RunOptions {
-	if o.NumUops == 0 {
-		o.NumUops = 120_000
-	}
-	return o
-}
-
-// Result is the outcome of one (simpoint, setup) run.
-type Result struct {
-	// Simpoint identifies the workload.
-	Simpoint *workload.Simpoint
-	// Setup is the configuration label.
-	Setup string
-	// Metrics are the pipeline metrics.
-	Metrics *pipeline.Metrics
-	// Complexity is the steering-logic accounting.
-	Complexity steer.Complexity
-	// Err is non-nil if the run failed.
-	Err error
-}
-
-// RunOne executes one simulation: clone, annotate, expand, run.
+// RunOne executes one simulation from scratch: clone, annotate, expand,
+// run. It never serves from or populates caches — engine.Execute is the
+// reference run path cached engine results are verified against.
 func RunOne(sp *workload.Simpoint, setup Setup, opt RunOptions) *Result {
-	opt = opt.withDefaults()
-	p := sp.Program.Clone()
-	p.ClearAnnotations()
-	if setup.Annotate != nil {
-		setup.Annotate(p)
-	}
-	tr := trace.Expand(p, trace.Options{NumUops: opt.NumUops, Seed: sp.Seed})
-	cfg := pipeline.DefaultConfig(setup.NumClusters)
-	cfg.WarmupUops = int64(opt.WarmupUops)
-	if opt.MachineTweak != nil {
-		opt.MachineTweak(&cfg)
-	}
-	pol := setup.NewPolicy()
-	core, err := pipeline.NewCore(cfg, pol, tr)
-	if err != nil {
-		return &Result{Simpoint: sp, Setup: setup.Label, Err: err}
-	}
-	m, err := core.Run()
-	return &Result{
-		Simpoint:   sp,
-		Setup:      setup.Label,
-		Metrics:    m,
-		Complexity: core.ComplexityOf(),
-		Err:        err,
-	}
+	return engine.Execute(context.Background(), engine.Job{Simpoint: sp, Setup: setup, Opts: opt})
 }
 
 // RunMatrix runs every (simpoint × setup) pair across a worker pool and
 // returns results indexed as [simpoint][setup], matching the input order.
-// Parallelism ≤ 0 means GOMAXPROCS.
+// Parallelism ≤ 0 means GOMAXPROCS. Each call uses a private engine, so
+// annotated programs and traces are shared between the matrix's own cells
+// but nothing persists across calls; share an explicit engine.Engine to
+// cache across invocations.
 func RunMatrix(sps []*workload.Simpoint, setups []Setup, opt RunOptions, parallelism int) [][]*Result {
-	if parallelism <= 0 {
-		parallelism = runtime.GOMAXPROCS(0)
-	}
-	type job struct{ si, ci int }
-	jobs := make(chan job)
-	results := make([][]*Result, len(sps))
-	for i := range results {
-		results[i] = make([]*Result, len(setups))
-	}
-	var wg sync.WaitGroup
-	for w := 0; w < parallelism; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for j := range jobs {
-				results[j.si][j.ci] = RunOne(sps[j.si], setups[j.ci], opt)
-			}
-		}()
-	}
-	for si := range sps {
-		for ci := range setups {
-			jobs <- job{si, ci}
-		}
-	}
-	close(jobs)
-	wg.Wait()
-	return results
+	eng := engine.New(engine.Options{Parallelism: parallelism})
+	res, _ := eng.RunMatrix(context.Background(), sps, setups, opt)
+	return res
 }

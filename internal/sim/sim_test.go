@@ -156,8 +156,11 @@ func TestWarmupPlumbing(t *testing.T) {
 func TestSetupScopedLabels(t *testing.T) {
 	for _, kind := range []string{"OB", "RHOP", "VC"} {
 		s := SetupScoped(kind, 2, 64)
-		if s.NumClusters != 2 || s.Annotate == nil || s.NewPolicy == nil {
+		if s.NumClusters != 2 || s.Pass == nil || s.NewPolicy == nil {
 			t.Errorf("%s: malformed scoped setup %+v", kind, s)
+		}
+		if s.Pass.RegionMaxOps != 64 {
+			t.Errorf("%s: region cap not plumbed: %+v", kind, s.Pass)
 		}
 	}
 	defer func() {
