@@ -35,6 +35,7 @@ import (
 	"clustersim/internal/prog"
 	"clustersim/internal/sim"
 	"clustersim/internal/steer"
+	"clustersim/internal/store"
 	"clustersim/internal/trace"
 	"clustersim/internal/workload"
 )
@@ -136,6 +137,37 @@ type JobResult = engine.JobResult
 // blocking job), Engine.RunMatrix (blocking matrix) or Engine.Stream
 // (results channel); all accept a context for cancellation.
 func NewEngine(opts EngineOptions) *Engine { return engine.New(opts) }
+
+// ResultStore is a content-addressed blob store for simulation results.
+// Wire one into EngineOptions.ResultStore and completed results survive
+// the engine — with a disk store, the process: a rerun of the same
+// workload is served without simulating.
+type ResultStore = store.Store
+
+// StoreStats snapshots a store's hit/occupancy counters.
+type StoreStats = store.Stats
+
+// OpenDiskStore opens (creating if needed) a persistent result store
+// under dir, bounded to maxBytes of payload (zero = unbounded; oldest
+// records are collected first when over budget).
+func OpenDiskStore(dir string, maxBytes int64) (ResultStore, error) {
+	return store.OpenDisk(dir, maxBytes)
+}
+
+// NewMemoryStore builds a byte-bounded in-memory result store.
+func NewMemoryStore(maxBytes int64) ResultStore { return store.NewMemory(maxBytes) }
+
+// NewTieredStore layers a fast store over a slow one (memory over disk):
+// reads promote slow-tier hits, writes land in both.
+func NewTieredStore(fast, slow ResultStore) ResultStore { return store.NewTiered(fast, slow) }
+
+// JobSpec is the declarative, serializable form of a Job (the clusterd
+// wire format); resolve it with JobFromSpec.
+type JobSpec = engine.JobSpec
+
+// JobFromSpec resolves a declarative job spec against the synthetic suite
+// and the named setup constructors.
+func JobFromSpec(spec JobSpec) (Job, error) { return sim.JobFromSpec(spec) }
 
 // RunContext executes one simulation on a shared engine with cancellation.
 func RunContext(ctx context.Context, e *Engine, w *Workload, setup Setup, opt RunOptions) *Result {

@@ -1,0 +1,77 @@
+// Command clusterd serves the simulation engine over HTTP: a long-running
+// process wrapping one shared engine and a tiered (memory-over-disk)
+// result store. Submitted jobs dedup against everything the store has
+// ever computed, so the daemon answers repeated workloads without
+// simulating.
+//
+// Usage:
+//
+//	clusterd -addr :8080 -cachedir /var/cache/clusterd
+//
+//	curl -s localhost:8080/v1/jobs -d '{"simpoint":"gzip-1","setup":{"kind":"VC","num_vc":2,"clusters":2},"opts":{"num_uops":20000}}'
+//	curl -N localhost:8080/v1/jobs/sub-1/stream
+//	curl -G --data-urlencode "key=<key from submit>" localhost:8080/v1/results
+//	curl -s localhost:8080/v1/stats
+//
+// SIGINT/SIGTERM cancels in-flight simulations and shuts down cleanly.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"clustersim/internal/engine"
+	"clustersim/internal/service"
+	"clustersim/internal/store"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":8080", "listen address")
+		cacheDir = flag.String("cachedir", "", "persist results in this directory (empty = memory only)")
+		cacheMax = flag.Int64("cachemax", 0, "bound the disk store to this many bytes (0 = unbounded)")
+		memMax   = flag.Int64("memmax", 256<<20, "bound the in-memory result tier to this many bytes")
+		par      = flag.Int("parallel", 0, "concurrent simulations (0 = all cores)")
+	)
+	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	var st store.Store = store.NewMemory(*memMax)
+	if *cacheDir != "" {
+		disk, err := store.OpenDisk(*cacheDir, *cacheMax)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		st = store.NewTiered(st, disk)
+		fmt.Fprintf(os.Stderr, "clusterd: result store at %s (%d blobs)\n", disk.Dir(), disk.Stats().Entries)
+	}
+	eng := engine.New(engine.Options{Parallelism: *par, ResultStore: st})
+
+	srv := &http.Server{Addr: *addr, Handler: service.New(ctx, eng, st)}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "clusterd: serving on %s\n", *addr)
+
+	select {
+	case err := <-errc:
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	case <-ctx.Done():
+	}
+	fmt.Fprintln(os.Stderr, "clusterd: shutting down")
+	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		fmt.Fprintln(os.Stderr, err)
+	}
+}

@@ -1,17 +1,25 @@
 // Command steerbench regenerates the paper's tables and figures on the
 // simulated substrate and prints the reports. Every experiment submits its
 // runs to one shared simulation engine, so identical (simpoint, setup)
-// simulations across figures execute exactly once per invocation.
+// simulations across figures execute exactly once per invocation — and,
+// with -cachedir, at most once across invocations: completed results are
+// persisted to a content-addressed disk store and later runs are served
+// from it without simulating.
 //
 // Usage:
 //
 //	steerbench                   # everything, full suite
 //	steerbench -exp fig5         # one experiment
 //	steerbench -quick -uops 20000
-//	steerbench -out results.txt
-//	steerbench -progress         # live job progress + cache stats on stderr
+//	steerbench -out results.txt  # report + cache-stats footer to a file
+//	steerbench -cachedir ~/.cache/steerbench   # persist results on disk
+//	steerbench -progress         # live phase/ETA progress on stderr
 //
 // Experiments: table1 table2 table3 fig5 fig6 fig7 policyspace ablation all
+//
+// Reports written to stdout/-out are deterministic (timing goes to
+// stderr), so two invocations over the same cache directory produce
+// byte-identical reports.
 //
 // Ctrl-C cancels in-flight simulations and exits cleanly with status 130.
 package main
@@ -24,12 +32,41 @@ import (
 	"os"
 	"os/signal"
 	"strings"
+	"sync"
 	"syscall"
 	"time"
 
 	"clustersim"
 	"clustersim/internal/experiments"
 )
+
+// progressMeter renders the live stderr progress line: the experiment
+// phase currently submitting jobs, the engine-lifetime completed/submitted
+// counters, and an ETA extrapolated from the observed per-job latency.
+type progressMeter struct {
+	mu    sync.Mutex
+	start time.Time
+	phase string
+}
+
+func newProgressMeter() *progressMeter { return &progressMeter{start: time.Now()} }
+
+func (p *progressMeter) setPhase(name string) {
+	p.mu.Lock()
+	p.phase = name
+	p.mu.Unlock()
+}
+
+func (p *progressMeter) print(done, total int, label string) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	eta := "--"
+	if done > 0 && done < total {
+		perJob := time.Since(p.start) / time.Duration(done)
+		eta = (time.Duration(total-done) * perJob).Round(time.Second).String()
+	}
+	fmt.Fprintf(os.Stderr, "\r[%s %d/%d eta %s] %-40.40s", p.phase, done, total, eta, label)
+}
 
 func main() {
 	var (
@@ -39,7 +76,9 @@ func main() {
 		par      = flag.Int("parallel", 0, "concurrent simulations (0 = all cores)")
 		out      = flag.String("out", "", "also write the report to this file")
 		csvDir   = flag.String("csvdir", "", "write per-figure CSV files into this directory")
-		progress = flag.Bool("progress", false, "print live job progress and engine cache stats to stderr")
+		cacheDir = flag.String("cachedir", "", "persist completed results in this directory (reruns skip finished simulations)")
+		cacheMax = flag.Int64("cachemax", 0, "bound the -cachedir store to this many bytes (0 = unbounded)")
+		progress = flag.Bool("progress", false, "print live phase/ETA progress and engine cache stats to stderr")
 	)
 	flag.Parse()
 
@@ -64,10 +103,17 @@ func main() {
 	}
 
 	engOpts := clustersim.EngineOptions{Parallelism: *par}
-	if *progress {
-		engOpts.Progress = func(done, total int, label string) {
-			fmt.Fprintf(os.Stderr, "\r[%d/%d] %-48.48s", done, total, label)
+	if *cacheDir != "" {
+		st, err := clustersim.OpenDiskStore(*cacheDir, *cacheMax)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
 		}
+		engOpts.ResultStore = st
+	}
+	meter := newProgressMeter()
+	if *progress {
+		engOpts.Progress = meter.print
 	}
 	eng := clustersim.NewEngine(engOpts)
 	opt := clustersim.ExperimentOptions{
@@ -90,6 +136,7 @@ func main() {
 		if *exp != "all" && *exp != name {
 			return
 		}
+		meter.setPhase(name)
 		start := time.Now()
 		text, err := fn()
 		if *progress {
@@ -104,7 +151,9 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Fprintln(sink, text)
-		fmt.Fprintf(sink, "[%s completed in %v]\n\n", name, time.Since(start).Round(time.Millisecond))
+		// Timing is nondeterministic, so it goes to stderr only: the
+		// report stream stays byte-identical across (cached) reruns.
+		fmt.Fprintf(os.Stderr, "[%s completed in %v]\n", name, time.Since(start).Round(time.Millisecond))
 	}
 
 	run("table2", func() (string, error) { return clustersim.Table2(), nil })
@@ -223,7 +272,15 @@ func main() {
 		return b.String(), nil
 	})
 
+	// Cache effectiveness: always on stderr with -progress, and recorded
+	// in the saved report whenever one is being written ("# "-prefixed so
+	// consumers — and the CI byte-identity check — can strip it; the
+	// counters legitimately differ between a cold and a warm run).
+	report := experiments.EngineReport(eng.Stats())
 	if *progress {
-		fmt.Fprintln(os.Stderr, experiments.EngineReport(eng.Stats()))
+		fmt.Fprintln(os.Stderr, report)
+	}
+	if *out != "" {
+		fmt.Fprintf(sink, "# %s\n", report)
 	}
 }

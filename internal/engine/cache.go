@@ -9,13 +9,19 @@ import (
 // flightCache is a content-keyed cache with single-flight semantics: the
 // first caller of a key computes the value while concurrent callers of the
 // same key block until the computation lands, so an artifact is never built
-// twice. maxEntries ≤ 0 means unbounded; otherwise completed entries are
-// evicted least-recently-used (in-flight entries are never evicted).
+// twice. Completed entries are bounded by total cost — approximate bytes
+// for traces, the dominant artifact — and evicted least-recently-used;
+// in-flight entries are never evicted. maxCost <= 0 means unbounded; a nil
+// costOf counts every entry as cost 1, making maxCost an entry bound.
 type flightCache[V any] struct {
-	mu         sync.Mutex
-	entries    map[string]*flightEntry[V]
-	order      *list.List // completed keys, most recently used at back
-	maxEntries int
+	mu      sync.Mutex
+	entries map[string]*flightEntry[V]
+	order   *list.List // completed keys, most recently used at back
+	maxCost int64
+	costOf  func(V) int64
+
+	cost          int64
+	costHighWater int64
 
 	hits, misses atomic.Int64
 }
@@ -23,15 +29,17 @@ type flightCache[V any] struct {
 type flightEntry[V any] struct {
 	done chan struct{}
 	val  V
+	cost int64
 	keep bool
 	elem *list.Element
 }
 
-func newFlightCache[V any](maxEntries int) *flightCache[V] {
+func newFlightCache[V any](maxCost int64, costOf func(V) int64) *flightCache[V] {
 	return &flightCache[V]{
-		entries:    map[string]*flightEntry[V]{},
-		order:      list.New(),
-		maxEntries: maxEntries,
+		entries: map[string]*flightEntry[V]{},
+		order:   list.New(),
+		maxCost: maxCost,
+		costOf:  costOf,
 	}
 }
 
@@ -72,11 +80,24 @@ func (c *flightCache[V]) get(abort <-chan struct{}, key string, fn func() (V, bo
 		if !e.keep {
 			delete(c.entries, key)
 		} else {
+			e.cost = 1
+			if c.costOf != nil {
+				e.cost = c.costOf(e.val)
+			}
 			e.elem = c.order.PushBack(key)
-			for c.maxEntries > 0 && c.order.Len() > c.maxEntries {
+			c.cost += e.cost
+			if c.cost > c.costHighWater {
+				c.costHighWater = c.cost
+			}
+			// Evict oldest completed entries until back under budget; the
+			// entry just published always survives (the cache must remain
+			// useful even for a single artifact larger than the bound).
+			for c.maxCost > 0 && c.cost > c.maxCost && c.order.Front() != e.elem {
 				front := c.order.Front()
+				victim := c.entries[front.Value.(string)]
 				c.order.Remove(front)
 				delete(c.entries, front.Value.(string))
+				c.cost -= victim.cost
 			}
 		}
 		c.mu.Unlock()
@@ -93,4 +114,11 @@ func (c *flightCache[V]) touch(key string, e *flightEntry[V]) {
 		c.order.MoveToBack(e.elem)
 	}
 	c.mu.Unlock()
+}
+
+// costStats snapshots the current and high-water cost.
+func (c *flightCache[V]) costStats() (cost, highWater int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.cost, c.costHighWater
 }

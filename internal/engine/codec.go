@@ -1,0 +1,195 @@
+// Result and job serialization: the stable byte codec behind the
+// persistent result store (internal/store) and the clusterd wire format.
+// Every blob starts with a three-byte header — magic, schema version,
+// payload kind — so a stale cache directory or a truncated file is
+// rejected cleanly instead of being misread, followed by a gob stream.
+// Gob encoding of the fixed wire structs is deterministic, so re-encoding
+// a decoded blob reproduces it byte for byte (property-tested).
+package engine
+
+import (
+	"bytes"
+	"encoding/gob"
+	"errors"
+	"fmt"
+
+	"clustersim/internal/pipeline"
+	"clustersim/internal/steer"
+	"clustersim/internal/workload"
+)
+
+const (
+	// codecMagic brands every engine blob.
+	codecMagic = 0xC5
+	// CodecVersion is the serialization schema version. It is part of the
+	// blob header and of every persistent store key, so blobs written by a
+	// different schema are never misread — they decode to ErrCodecVersion
+	// and their store keys don't even collide.
+	CodecVersion = 1
+
+	kindJob    = 1
+	kindResult = 2
+)
+
+// ErrCodec is the base class of all decode failures.
+var ErrCodec = errors.New("engine: undecodable blob")
+
+// ErrCodecVersion marks a blob written by a different schema version.
+var ErrCodecVersion = fmt.Errorf("%w: schema version mismatch", ErrCodec)
+
+// wireSimpoint carries a simpoint's identity (not its program: programs
+// are synthesized deterministically from the suite tables, and results
+// are keyed by program content hash before they ever reach a store).
+type wireSimpoint struct {
+	Name   string
+	Bench  string
+	FP     bool
+	Weight float64
+	Seed   int64
+}
+
+// wireResult is the serialized form of a successful Result.
+type wireResult struct {
+	Simpoint   wireSimpoint
+	Setup      string
+	Metrics    *pipeline.Metrics
+	Complexity steer.Complexity
+}
+
+// header frames a payload kind.
+func header(kind byte) []byte { return []byte{codecMagic, CodecVersion, kind} }
+
+// checkHeader validates a blob's frame and returns the gob payload.
+func checkHeader(blob []byte, kind byte) ([]byte, error) {
+	if len(blob) < 3 {
+		return nil, fmt.Errorf("%w: %d-byte blob", ErrCodec, len(blob))
+	}
+	if blob[0] != codecMagic {
+		return nil, fmt.Errorf("%w: bad magic %#x", ErrCodec, blob[0])
+	}
+	if blob[1] != CodecVersion {
+		return nil, fmt.Errorf("%w: got version %d, want %d", ErrCodecVersion, blob[1], CodecVersion)
+	}
+	if blob[2] != kind {
+		return nil, fmt.Errorf("%w: payload kind %d, want %d", ErrCodec, blob[2], kind)
+	}
+	return blob[3:], nil
+}
+
+// EncodeResult serializes a successful result. Failed or canceled results
+// are not serializable — they must never reach a persistent store.
+func EncodeResult(res *Result) ([]byte, error) {
+	if res == nil || res.Err != nil {
+		return nil, fmt.Errorf("engine: refusing to encode a failed result")
+	}
+	if res.Simpoint == nil {
+		return nil, fmt.Errorf("engine: result has no simpoint")
+	}
+	var b bytes.Buffer
+	b.Write(header(kindResult))
+	err := gob.NewEncoder(&b).Encode(wireResult{
+		Simpoint: wireSimpoint{
+			Name: res.Simpoint.Name, Bench: res.Simpoint.Bench,
+			FP: res.Simpoint.FP, Weight: res.Simpoint.Weight, Seed: res.Simpoint.Seed,
+		},
+		Setup:      res.Setup,
+		Metrics:    res.Metrics,
+		Complexity: res.Complexity,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("engine: encoding result: %w", err)
+	}
+	return b.Bytes(), nil
+}
+
+// DecodeResult deserializes a result blob. The returned result's Simpoint
+// carries identity only (Name, Bench, FP, Weight, Seed) — its Program is
+// nil, since the blob is addressed by program content already; the engine
+// replaces it with the submitting job's simpoint before results surface.
+func DecodeResult(blob []byte) (*Result, error) {
+	payload, err := checkHeader(blob, kindResult)
+	if err != nil {
+		return nil, err
+	}
+	var w wireResult
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&w); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCodec, err)
+	}
+	if w.Metrics == nil {
+		return nil, fmt.Errorf("%w: result without metrics", ErrCodec)
+	}
+	return &Result{
+		Simpoint: &workload.Simpoint{
+			Name: w.Simpoint.Name, Bench: w.Simpoint.Bench,
+			FP: w.Simpoint.FP, Weight: w.Simpoint.Weight, Seed: w.Simpoint.Seed,
+		},
+		Setup:      w.Setup,
+		Metrics:    w.Metrics,
+		Complexity: w.Complexity,
+	}, nil
+}
+
+// JobSpec is the declarative, serializable form of a Job: the wire format
+// clusterd accepts and the shape a future remote-worker protocol ships.
+// Setup closures (compiler passes, policy constructors) cannot cross a
+// process boundary, so a spec names a suite simpoint and a setup kind;
+// sim.JobFromSpec resolves it back to a runnable Job.
+type JobSpec struct {
+	// Simpoint is the suite point name ("gzip-1", "mcf").
+	Simpoint string `json:"simpoint"`
+	// Setup selects the steering configuration.
+	Setup SetupSpec `json:"setup"`
+	// Opts sizes the run.
+	Opts OptionsSpec `json:"opts,omitempty"`
+}
+
+// SetupSpec names a steering configuration declaratively.
+type SetupSpec struct {
+	// Kind is one of "OP", "OP-nostall", "one-cluster", "OB", "RHOP",
+	// "VC", "VC-comm".
+	Kind string `json:"kind"`
+	// NumClusters is the physical cluster count; zero means 2.
+	NumClusters int `json:"clusters,omitempty"`
+	// NumVC is the virtual cluster count for VC kinds; zero means
+	// NumClusters.
+	NumVC int `json:"num_vc,omitempty"`
+	// RegionMaxOps caps the compiler region size; zero means unlimited.
+	RegionMaxOps int `json:"region_max_ops,omitempty"`
+	// MaxChainLen caps VC chain length; zero means the default.
+	MaxChainLen int `json:"max_chain_len,omitempty"`
+}
+
+// OptionsSpec is the serializable subset of RunOptions (machine-tweak
+// closures cannot travel).
+type OptionsSpec struct {
+	NumUops    int `json:"num_uops,omitempty"`
+	WarmupUops int `json:"warmup_uops,omitempty"`
+}
+
+// RunOptions converts the spec into engine options.
+func (o OptionsSpec) RunOptions() RunOptions {
+	return RunOptions{NumUops: o.NumUops, WarmupUops: o.WarmupUops}
+}
+
+// EncodeJobSpec serializes a job spec with the codec header.
+func EncodeJobSpec(spec JobSpec) ([]byte, error) {
+	var b bytes.Buffer
+	b.Write(header(kindJob))
+	if err := gob.NewEncoder(&b).Encode(spec); err != nil {
+		return nil, fmt.Errorf("engine: encoding job spec: %w", err)
+	}
+	return b.Bytes(), nil
+}
+
+// DecodeJobSpec deserializes a job spec blob.
+func DecodeJobSpec(blob []byte) (JobSpec, error) {
+	var spec JobSpec
+	payload, err := checkHeader(blob, kindJob)
+	if err != nil {
+		return spec, err
+	}
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&spec); err != nil {
+		return JobSpec{}, fmt.Errorf("%w: %v", ErrCodec, err)
+	}
+	return spec, nil
+}

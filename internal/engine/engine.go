@@ -26,6 +26,7 @@ import (
 	"clustersim/internal/pipeline"
 	"clustersim/internal/prog"
 	"clustersim/internal/steer"
+	"clustersim/internal/store"
 	"clustersim/internal/trace"
 	"clustersim/internal/workload"
 )
@@ -148,12 +149,21 @@ type Options struct {
 	// Parallelism bounds concurrently executing simulations; ≤ 0 means
 	// GOMAXPROCS. Cache hits are served without occupying a worker slot.
 	Parallelism int
-	// TraceCacheEntries bounds the expanded-trace cache (traces are the
-	// largest cached artifact, ~32 bytes per micro-op). Zero means 48;
-	// negative means unbounded.
-	TraceCacheEntries int
+	// TraceCacheBytes bounds the expanded-trace cache by approximate
+	// payload bytes (traces are the largest cached artifact, ~32 bytes per
+	// micro-op, so the old entry bound conflated 4k-uop test traces with
+	// 120k-uop suite traces). Zero means 256 MiB; negative means
+	// unbounded.
+	TraceCacheBytes int64
+	// ResultStore, if set, persists whole results behind the in-memory
+	// result cache: misses consult the store before simulating, and every
+	// newly computed cacheable result is encoded and written through, so
+	// a later engine — or a later process, with a disk-backed store —
+	// skips the work entirely. Blobs are framed by the codec's schema
+	// version; stale or corrupt entries read as misses.
+	ResultStore store.Store
 	// DisableCache turns every cache off (each job re-annotates,
-	// re-expands and re-simulates from scratch).
+	// re-expands and re-simulates from scratch), including ResultStore.
 	DisableCache bool
 	// Progress, if set, is called after every finished job with the
 	// engine-lifetime completed and submitted job counts and the finished
@@ -177,8 +187,9 @@ type Engine struct {
 	// artifact caches.
 	fps sync.Map
 
-	simulations          atomic.Int64
-	submitted, completed atomic.Int64
+	simulations                         atomic.Int64
+	submitted, completed                atomic.Int64
+	storeHits, storeMisses, storeErrors atomic.Int64
 }
 
 // CacheStats is a snapshot of the engine's cache counters.
@@ -191,6 +202,13 @@ type CacheStats struct {
 	TraceHits, TraceMisses int64
 	// ProgramHits/ProgramMisses count annotated-program cache lookups.
 	ProgramHits, ProgramMisses int64
+	// StoreHits/StoreMisses count persistent result-store lookups (only
+	// performed on in-memory result-cache misses); StoreErrors counts
+	// blobs that failed to decode or encode.
+	StoreHits, StoreMisses, StoreErrors int64
+	// TraceBytes and TraceBytesHighWater track the expanded-trace cache's
+	// approximate payload occupancy (current and maximum observed).
+	TraceBytes, TraceBytesHighWater int64
 }
 
 // New builds an engine.
@@ -198,31 +216,47 @@ func New(opts Options) *Engine {
 	if opts.Parallelism <= 0 {
 		opts.Parallelism = runtime.GOMAXPROCS(0)
 	}
-	if opts.TraceCacheEntries == 0 {
-		opts.TraceCacheEntries = 48
+	if opts.TraceCacheBytes == 0 {
+		opts.TraceCacheBytes = 256 << 20
 	}
-	if opts.TraceCacheEntries < 0 {
-		opts.TraceCacheEntries = 0 // unbounded
+	if opts.TraceCacheBytes < 0 {
+		opts.TraceCacheBytes = 0 // unbounded
 	}
 	return &Engine{
 		opts:    opts,
 		sem:     make(chan struct{}, opts.Parallelism),
-		progs:   newFlightCache[*prog.Program](0),
-		traces:  newFlightCache[*trace.Trace](opts.TraceCacheEntries),
-		results: newFlightCache[*Result](0),
+		progs:   newFlightCache[*prog.Program](0, nil),
+		traces:  newFlightCache[*trace.Trace](opts.TraceCacheBytes, traceBytes),
+		results: newFlightCache[*Result](0, nil),
 	}
+}
+
+// traceBytes approximates a trace's memory footprint: the dynamic stream
+// dominates (~32 bytes per micro-op: a static-op pointer, PC, flags and
+// address, padded), plus the shared static ops it references.
+func traceBytes(tr *trace.Trace) int64 {
+	if tr == nil {
+		return 0
+	}
+	return int64(len(tr.Uops))*32 + int64(len(tr.Name)) + 64
 }
 
 // Stats snapshots the cache counters.
 func (e *Engine) Stats() CacheStats {
+	traceBytes, traceHigh := e.traces.costStats()
 	return CacheStats{
-		Simulations:   e.simulations.Load(),
-		ResultHits:    e.results.hits.Load(),
-		ResultMisses:  e.results.misses.Load(),
-		TraceHits:     e.traces.hits.Load(),
-		TraceMisses:   e.traces.misses.Load(),
-		ProgramHits:   e.progs.hits.Load(),
-		ProgramMisses: e.progs.misses.Load(),
+		Simulations:         e.simulations.Load(),
+		ResultHits:          e.results.hits.Load(),
+		ResultMisses:        e.results.misses.Load(),
+		TraceHits:           e.traces.hits.Load(),
+		TraceMisses:         e.traces.misses.Load(),
+		ProgramHits:         e.progs.hits.Load(),
+		ProgramMisses:       e.progs.misses.Load(),
+		StoreHits:           e.storeHits.Load(),
+		StoreMisses:         e.storeMisses.Load(),
+		StoreErrors:         e.storeErrors.Load(),
+		TraceBytes:          traceBytes,
+		TraceBytesHighWater: traceHigh,
 	}
 }
 
@@ -331,6 +365,66 @@ func (e *Engine) resultKey(job Job) (string, bool) {
 		job.Opts.NumUops, job.Opts.WarmupUops, job.Opts.TweakKey), true
 }
 
+// storeKey namespaces a result-cache key for a persistent store: the
+// codec schema version is folded in so that blobs written by an older
+// codec never even key-collide with the current one.
+func storeKey(key string) string {
+	return fmt.Sprintf("result|v%d|%s", CodecVersion, key)
+}
+
+// ResultKey returns the persistent-store key a job's result is (or would
+// be) stored under, and whether the job is cacheable at all. Services use
+// it to hand clients a fetch address at submission time.
+func (e *Engine) ResultKey(job Job) (string, bool) {
+	job.Opts = job.Opts.withDefaults()
+	key, ok := e.resultKey(job)
+	if !ok {
+		return "", false
+	}
+	return storeKey(key), true
+}
+
+// storedResult serves a result-cache miss from the persistent store, if
+// one is configured and holds a decodable blob for the key. The decoded
+// result carries identity-only simpoint data, so the submitting job's
+// simpoint is attached before the result enters the in-memory cache.
+func (e *Engine) storedResult(key string, job Job) *Result {
+	if e.opts.ResultStore == nil {
+		return nil
+	}
+	blob, ok := e.opts.ResultStore.Get(storeKey(key))
+	if !ok {
+		e.storeMisses.Add(1)
+		return nil
+	}
+	res, err := DecodeResult(blob)
+	if err != nil {
+		// Stale schema or corrupt blob: treat as a miss and re-simulate;
+		// the re-Put after the run overwrites the bad record, healing the
+		// slot for future processes.
+		e.storeErrors.Add(1)
+		e.storeMisses.Add(1)
+		return nil
+	}
+	e.storeHits.Add(1)
+	res.Simpoint = job.Simpoint
+	return res
+}
+
+// persistResult writes a freshly computed result through to the
+// persistent store, best-effort.
+func (e *Engine) persistResult(key string, res *Result) {
+	if e.opts.ResultStore == nil {
+		return
+	}
+	blob, err := EncodeResult(res)
+	if err != nil {
+		e.storeErrors.Add(1)
+		return
+	}
+	e.opts.ResultStore.Put(storeKey(key), blob)
+}
+
 // isCancelErr reports whether err stems from context cancellation rather
 // than a deterministic simulation failure.
 func isCancelErr(err error) bool {
@@ -349,7 +443,13 @@ func (e *Engine) run(ctx context.Context, job Job) *Result {
 	}
 	for {
 		res, hit, aborted := e.results.get(ctx.Done(), key, func() (*Result, bool) {
+			if r := e.storedResult(key, job); r != nil {
+				return r, true
+			}
 			r := e.execute(ctx, job)
+			if r.Err == nil {
+				e.persistResult(key, r)
+			}
 			return r, r.Err == nil
 		})
 		if aborted {

@@ -8,12 +8,14 @@ package experiments
 import (
 	"context"
 	"fmt"
+	"os"
 	"sort"
 	"strings"
 
 	"clustersim/internal/engine"
 	"clustersim/internal/sim"
 	"clustersim/internal/stats"
+	"clustersim/internal/store"
 	"clustersim/internal/workload"
 )
 
@@ -34,6 +36,15 @@ type Options struct {
 	// exactly once per process. Nil means a fresh private engine per
 	// experiment invocation (runs are still cached within it).
 	Engine *engine.Engine
+	// CacheDir, when non-empty and Engine is nil, backs the private
+	// engine's result cache with a persistent disk store rooted there, so
+	// repeated invocations of the same experiment skip completed
+	// simulations entirely. Ignored when Engine is supplied — configure
+	// the shared engine's ResultStore instead.
+	CacheDir string
+	// CacheMaxBytes bounds the CacheDir store's occupancy (oldest results
+	// collected first); zero means unbounded.
+	CacheMaxBytes int64
 	// Context cancels in-flight experiment runs; nil means Background.
 	Context context.Context
 }
@@ -43,7 +54,18 @@ func (o Options) withDefaults() Options {
 		o.NumUops = 120_000
 	}
 	if o.Engine == nil {
-		o.Engine = engine.New(engine.Options{Parallelism: o.Parallelism})
+		var rs store.Store
+		if o.CacheDir != "" {
+			disk, err := store.OpenDisk(o.CacheDir, o.CacheMaxBytes)
+			if err != nil {
+				// A broken cache dir degrades to an uncached run; the
+				// experiment itself must not fail over it.
+				fmt.Fprintf(os.Stderr, "experiments: result cache disabled: %v\n", err)
+			} else {
+				rs = disk
+			}
+		}
+		o.Engine = engine.New(engine.Options{Parallelism: o.Parallelism, ResultStore: rs})
 	}
 	if o.Context == nil {
 		o.Context = context.Background()

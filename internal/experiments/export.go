@@ -88,12 +88,20 @@ func csvName(s string) string {
 
 // EngineReport renders an engine's cache counters as a one-line summary —
 // the dedup accounting steerbench prints after a multi-experiment run.
+// The "store" figure is the persistent result store's share of the
+// whole-result lookups that missed in memory (absent without -cachedir).
 func EngineReport(st engine.CacheStats) string {
-	return fmt.Sprintf(
-		"engine: %d simulations, %d result hits, %d/%d trace hits, %d/%d program hits",
+	s := fmt.Sprintf(
+		"engine: %d simulations, %d result hits, store hits %d/%d, %d/%d trace hits (%.1f MiB peak), %d/%d program hits",
 		st.Simulations, st.ResultHits,
+		st.StoreHits, st.StoreHits+st.StoreMisses,
 		st.TraceHits, st.TraceHits+st.TraceMisses,
+		float64(st.TraceBytesHighWater)/(1<<20),
 		st.ProgramHits, st.ProgramHits+st.ProgramMisses)
+	if st.StoreErrors > 0 {
+		s += fmt.Sprintf(", %d store errors", st.StoreErrors)
+	}
+	return s
 }
 
 // WriteJSON marshals any experiment result as indented JSON.

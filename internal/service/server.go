@@ -1,0 +1,382 @@
+// Package service implements the clusterd HTTP API: a long-running
+// simulation service wrapping one shared engine and a tiered result store.
+// Clients submit declarative job specs, stream per-job completions as
+// server-sent events (backed by Engine.Stream), fetch any result by its
+// content key, and read cache/engine statistics — the serve-results and
+// transport groundwork for distributed fan-out.
+//
+//	POST /v1/jobs                  submit {"jobs":[spec...]} or one spec
+//	GET  /v1/jobs/{id}             submission status + finished results
+//	GET  /v1/jobs/{id}/stream      SSE: one event per completed job
+//	GET  /v1/results?key=K         fetch a stored result by content key
+//	GET  /v1/stats                 engine + store counters
+//	GET  /healthz                  liveness
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/url"
+	"sync"
+
+	"clustersim/internal/engine"
+	"clustersim/internal/sim"
+	"clustersim/internal/store"
+)
+
+// Server is the clusterd HTTP handler. One server owns one engine (all
+// submissions share its caches and worker pool) and one result store.
+type Server struct {
+	ctx context.Context
+	eng *engine.Engine
+	st  store.Store
+	mux *http.ServeMux
+
+	mu      sync.Mutex
+	subs    map[string]*submission
+	retired []string // completed submission ids, oldest first
+	retain  int
+	nextID  int
+}
+
+// defaultRetain bounds how many completed submissions stay queryable: the
+// registry of a long-running daemon must not grow with lifetime traffic.
+// In-flight submissions are never evicted, and an evicted submission's
+// results remain fetchable by key — only its status/stream id expires.
+const defaultRetain = 256
+
+// New builds a server. ctx bounds every submission's simulations: cancel
+// it to drain the service. st is the store results are fetched from; wire
+// the same store into the engine's Options.ResultStore so computed
+// results become fetchable.
+func New(ctx context.Context, eng *engine.Engine, st store.Store) *Server {
+	s := &Server{
+		ctx: ctx, eng: eng, st: st, mux: http.NewServeMux(),
+		subs: map[string]*submission{}, retain: defaultRetain,
+	}
+	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobStatus)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/stream", s.handleJobStream)
+	s.mux.HandleFunc("GET /v1/results", s.handleResult)
+	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// SetRetention overrides how many completed submissions stay queryable
+// (n < 1 keeps only in-flight ones). Call before serving traffic.
+func (s *Server) SetRetention(n int) {
+	s.mu.Lock()
+	s.retain = n
+	s.mu.Unlock()
+}
+
+// retire marks a submission complete and evicts the oldest completed
+// submissions beyond the retention bound.
+func (s *Server) retire(id string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.retired = append(s.retired, id)
+	for len(s.retired) > s.retain && len(s.retired) > 0 {
+		delete(s.subs, s.retired[0])
+		s.retired = s.retired[1:]
+	}
+}
+
+// submission tracks one POST /v1/jobs batch as its jobs complete.
+type submission struct {
+	id    string
+	specs []engine.JobSpec
+	keys  []string
+
+	mu      sync.Mutex
+	events  []JobEvent
+	done    bool
+	changed chan struct{} // closed and replaced on every state change
+}
+
+// JobEvent is one completed job, as streamed and as listed in status.
+type JobEvent struct {
+	// Index is the job's position in the submitted batch.
+	Index int `json:"index"`
+	// Simpoint and Setup identify the run.
+	Simpoint string `json:"simpoint"`
+	Setup    string `json:"setup"`
+	// Key is the result's content address in the store ("" when the job
+	// is uncacheable).
+	Key string `json:"key,omitempty"`
+	// Error is non-empty for failed or canceled runs.
+	Error string `json:"error,omitempty"`
+	// Headline metrics for dashboards; fetch the key for everything.
+	IPC    float64 `json:"ipc,omitempty"`
+	Cycles int64   `json:"cycles,omitempty"`
+	Uops   int64   `json:"uops,omitempty"`
+	Copies int64   `json:"copies,omitempty"`
+}
+
+// SubmitResponse acknowledges a submission.
+type SubmitResponse struct {
+	ID string `json:"id"`
+	// Keys holds each job's result content key, index-aligned with the
+	// submitted batch ("" for uncacheable jobs).
+	Keys []string `json:"keys"`
+	// Total is the number of jobs accepted.
+	Total int `json:"total"`
+}
+
+// StatusResponse reports a submission's progress.
+type StatusResponse struct {
+	ID        string     `json:"id"`
+	Total     int        `json:"total"`
+	Completed int        `json:"completed"`
+	Done      bool       `json:"done"`
+	Results   []JobEvent `json:"results"`
+}
+
+// snapshot returns the events from index from on, whether the submission
+// has finished, and a channel closed on the next state change.
+func (sub *submission) snapshot(from int) ([]JobEvent, bool, <-chan struct{}) {
+	sub.mu.Lock()
+	defer sub.mu.Unlock()
+	evs := sub.events[min(from, len(sub.events)):]
+	return evs, sub.done, sub.changed
+}
+
+func (sub *submission) append(ev JobEvent, done bool) {
+	sub.mu.Lock()
+	if !done {
+		sub.events = append(sub.events, ev)
+	}
+	sub.done = sub.done || done
+	close(sub.changed)
+	sub.changed = make(chan struct{})
+	sub.mu.Unlock()
+}
+
+func httpError(w http.ResponseWriter, code int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+// submitBody is the accepted request shape: a batch, or a bare spec.
+type submitBody struct {
+	Jobs []engine.JobSpec `json:"jobs"`
+	engine.JobSpec
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var body submitBody
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&body); err != nil {
+		httpError(w, http.StatusBadRequest, "decoding request: %v", err)
+		return
+	}
+	specs := body.Jobs
+	if len(specs) == 0 {
+		if body.Simpoint == "" {
+			httpError(w, http.StatusBadRequest, "no jobs: send {\"jobs\":[...]} or a single spec")
+			return
+		}
+		specs = []engine.JobSpec{body.JobSpec}
+	}
+
+	jobs := make([]engine.Job, len(specs))
+	keys := make([]string, len(specs))
+	for i, spec := range specs {
+		job, err := sim.JobFromSpec(spec)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "job %d: %v", i, err)
+			return
+		}
+		jobs[i] = job
+		keys[i], _ = s.eng.ResultKey(job)
+	}
+
+	s.mu.Lock()
+	s.nextID++
+	sub := &submission{
+		id:      fmt.Sprintf("sub-%d", s.nextID),
+		specs:   specs,
+		keys:    keys,
+		changed: make(chan struct{}),
+	}
+	s.subs[sub.id] = sub
+	s.mu.Unlock()
+
+	go func() {
+		for jr := range s.eng.Stream(s.ctx, jobs) {
+			sub.append(jobEvent(jr, keys[jr.Index]), false)
+		}
+		sub.append(JobEvent{}, true)
+		s.retire(sub.id)
+	}()
+
+	writeJSON(w, http.StatusAccepted, SubmitResponse{ID: sub.id, Keys: keys, Total: len(specs)})
+}
+
+func jobEvent(jr engine.JobResult, key string) JobEvent {
+	ev := JobEvent{
+		Index:    jr.Index,
+		Simpoint: jr.Job.Simpoint.Name,
+		Setup:    jr.Job.Setup.Label,
+		Key:      key,
+	}
+	if jr.Result.Err != nil {
+		ev.Error = jr.Result.Err.Error()
+		return ev
+	}
+	m := jr.Result.Metrics
+	ev.IPC = m.IPC()
+	ev.Cycles = m.Cycles
+	ev.Uops = m.Uops
+	ev.Copies = m.Copies
+	return ev
+}
+
+func (s *Server) lookup(id string) *submission {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.subs[id]
+}
+
+func (s *Server) handleJobStatus(w http.ResponseWriter, r *http.Request) {
+	sub := s.lookup(r.PathValue("id"))
+	if sub == nil {
+		httpError(w, http.StatusNotFound, "unknown submission %q", r.PathValue("id"))
+		return
+	}
+	events, done, _ := sub.snapshot(0)
+	writeJSON(w, http.StatusOK, StatusResponse{
+		ID: sub.id, Total: len(sub.specs), Completed: len(events), Done: done, Results: events,
+	})
+}
+
+// handleJobStream replays a submission's completed jobs and follows it
+// live as server-sent events: one "result" event per job, then "done".
+func (s *Server) handleJobStream(w http.ResponseWriter, r *http.Request) {
+	sub := s.lookup(r.PathValue("id"))
+	if sub == nil {
+		httpError(w, http.StatusNotFound, "unknown submission %q", r.PathValue("id"))
+		return
+	}
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		httpError(w, http.StatusInternalServerError, "streaming unsupported")
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+
+	sent := 0
+	for {
+		events, done, changed := sub.snapshot(sent)
+		for _, ev := range events {
+			data, err := json.Marshal(ev)
+			if err != nil {
+				return
+			}
+			fmt.Fprintf(w, "event: result\ndata: %s\n\n", data)
+			sent++
+		}
+		if len(events) > 0 {
+			flusher.Flush()
+		}
+		if done {
+			fmt.Fprintf(w, "event: done\ndata: {\"completed\":%d}\n\n", sent)
+			flusher.Flush()
+			return
+		}
+		select {
+		case <-changed:
+		case <-r.Context().Done():
+			return
+		case <-s.ctx.Done():
+			return
+		}
+	}
+}
+
+// ResultResponse is the JSON rendering of a stored result.
+type ResultResponse struct {
+	Key        string  `json:"key"`
+	Simpoint   string  `json:"simpoint"`
+	Bench      string  `json:"bench"`
+	Setup      string  `json:"setup"`
+	IPC        float64 `json:"ipc"`
+	Cycles     int64   `json:"cycles"`
+	Uops       int64   `json:"uops"`
+	Copies     int64   `json:"copies"`
+	AllocStall int64   `json:"alloc_stall_cycles"`
+	Imbalance  float64 `json:"workload_imbalance"`
+}
+
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	key, err := url.QueryUnescape(r.URL.Query().Get("key"))
+	if err != nil || key == "" {
+		httpError(w, http.StatusBadRequest, "missing or malformed ?key=")
+		return
+	}
+	blob, ok := s.st.Get(key)
+	if !ok {
+		httpError(w, http.StatusNotFound, "no result stored under key %q", key)
+		return
+	}
+	if r.URL.Query().Get("raw") != "" {
+		w.Header().Set("Content-Type", "application/octet-stream")
+		w.Write(blob)
+		return
+	}
+	res, err := engine.DecodeResult(blob)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, "stored blob undecodable: %v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, ResultResponse{
+		Key:        key,
+		Simpoint:   res.Simpoint.Name,
+		Bench:      res.Simpoint.Bench,
+		Setup:      res.Setup,
+		IPC:        res.Metrics.IPC(),
+		Cycles:     res.Metrics.Cycles,
+		Uops:       res.Metrics.Uops,
+		Copies:     res.Metrics.Copies,
+		AllocStall: res.Metrics.AllocStallCycles,
+		Imbalance:  res.Metrics.WorkloadImbalance(),
+	})
+}
+
+// StatsResponse reports the engine's cache counters and the store's
+// occupancy, with per-tier detail when the store is tiered.
+type StatsResponse struct {
+	Engine engine.CacheStats `json:"engine"`
+	Store  store.Stats       `json:"store"`
+	Memory *store.Stats      `json:"memory,omitempty"`
+	Disk   *store.Stats      `json:"disk,omitempty"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	resp := StatsResponse{Engine: s.eng.Stats(), Store: s.st.Stats()}
+	if tiered, ok := s.st.(*store.Tiered); ok {
+		fast, slow := tiered.Layers()
+		resp.Memory, resp.Disk = &fast, &slow
+	}
+	writeJSON(w, http.StatusOK, resp)
+}

@@ -1,0 +1,363 @@
+package service_test
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strings"
+	"testing"
+	"time"
+
+	"clustersim/internal/engine"
+	"clustersim/internal/service"
+	"clustersim/internal/store"
+)
+
+// startServer builds a clusterd-shaped stack: tiered memory-over-disk
+// store, one engine writing through to it, the HTTP API on top.
+func startServer(t *testing.T) (*httptest.Server, *engine.Engine, store.Store) {
+	t.Helper()
+	disk, err := store.OpenDisk(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := store.NewTiered(store.NewMemory(64<<20), disk)
+	eng := engine.New(engine.Options{Parallelism: 2, ResultStore: st})
+	ts := httptest.NewServer(service.New(context.Background(), eng, st))
+	t.Cleanup(ts.Close)
+	return ts, eng, st
+}
+
+func postJSON(t *testing.T, url, body string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf strings.Builder
+	if _, err := bufio.NewReader(resp.Body).WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return resp, []byte(buf.String())
+}
+
+// Drive a two-job submission end-to-end over HTTP: submit, stream every
+// completion as SSE, fetch a result by key, check stats, and confirm a
+// resubmission is served from the result store without simulating.
+func TestSubmitStreamFetchRoundTrip(t *testing.T) {
+	ts, eng, _ := startServer(t)
+
+	body := `{"jobs":[
+		{"simpoint":"gzip-1","setup":{"kind":"OP","clusters":2},"opts":{"num_uops":3000}},
+		{"simpoint":"gzip-1","setup":{"kind":"VC","num_vc":2,"clusters":2},"opts":{"num_uops":3000}}
+	]}`
+	resp, raw := postJSON(t, ts.URL+"/v1/jobs", body)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: %d %s", resp.StatusCode, raw)
+	}
+	var sub service.SubmitResponse
+	if err := json.Unmarshal(raw, &sub); err != nil {
+		t.Fatal(err)
+	}
+	if sub.Total != 2 || len(sub.Keys) != 2 || sub.Keys[0] == "" || sub.Keys[1] == "" {
+		t.Fatalf("submit response: %+v", sub)
+	}
+
+	// Stream until "done": every job must arrive exactly once.
+	streamResp, err := http.Get(ts.URL + "/v1/jobs/" + sub.ID + "/stream")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer streamResp.Body.Close()
+	if ct := streamResp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("stream content type %q", ct)
+	}
+	seen := map[int]service.JobEvent{}
+	scanner := bufio.NewScanner(streamResp.Body)
+	var eventType string
+	for scanner.Scan() {
+		line := scanner.Text()
+		switch {
+		case strings.HasPrefix(line, "event: "):
+			eventType = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: "):
+			if eventType == "done" {
+				goto streamed
+			}
+			var ev service.JobEvent
+			if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &ev); err != nil {
+				t.Fatal(err)
+			}
+			if _, dup := seen[ev.Index]; dup {
+				t.Errorf("job %d streamed twice", ev.Index)
+			}
+			seen[ev.Index] = ev
+		}
+	}
+	t.Fatal("stream ended without a done event")
+streamed:
+	if len(seen) != 2 {
+		t.Fatalf("streamed %d events, want 2", len(seen))
+	}
+	for i, ev := range seen {
+		if ev.Error != "" || ev.Cycles == 0 || ev.IPC == 0 {
+			t.Errorf("job %d event: %+v", i, ev)
+		}
+		if ev.Key != sub.Keys[ev.Index] {
+			t.Errorf("job %d key mismatch: %q vs %q", i, ev.Key, sub.Keys[ev.Index])
+		}
+	}
+	if seen[0].Setup != "OP" || seen[1].Setup != "VC" {
+		t.Errorf("setups: %q, %q", seen[0].Setup, seen[1].Setup)
+	}
+
+	// Status endpoint agrees.
+	resp2, err := http.Get(ts.URL + "/v1/jobs/" + sub.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var status service.StatusResponse
+	if err := json.NewDecoder(resp2.Body).Decode(&status); err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if !status.Done || status.Completed != 2 || status.Total != 2 {
+		t.Errorf("status: %+v", status)
+	}
+
+	// Fetch one result by its content key.
+	resultURL := ts.URL + "/v1/results?key=" + url.QueryEscape(sub.Keys[1])
+	resp3, err := http.Get(resultURL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var res service.ResultResponse
+	if err := json.NewDecoder(resp3.Body).Decode(&res); err != nil {
+		t.Fatal(err)
+	}
+	resp3.Body.Close()
+	if resp3.StatusCode != http.StatusOK {
+		t.Fatalf("result fetch: %d", resp3.StatusCode)
+	}
+	if res.Simpoint != "gzip-1" || res.Setup != "VC" || res.Cycles != seen[1].Cycles {
+		t.Errorf("fetched result: %+v", res)
+	}
+
+	// Stats reflect the two simulations and the tiered store layout.
+	resp4, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stats service.StatsResponse
+	if err := json.NewDecoder(resp4.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	resp4.Body.Close()
+	if stats.Engine.Simulations != 2 {
+		t.Errorf("stats: %d simulations, want 2", stats.Engine.Simulations)
+	}
+	if stats.Memory == nil || stats.Disk == nil || stats.Disk.Entries != 2 {
+		t.Errorf("tiered store stats: %+v", stats)
+	}
+
+	// A resubmission of the same batch completes from the cache — the
+	// engine must not simulate again.
+	resp5, raw5 := postJSON(t, ts.URL+"/v1/jobs", body)
+	if resp5.StatusCode != http.StatusAccepted {
+		t.Fatalf("resubmit: %d %s", resp5.StatusCode, raw5)
+	}
+	var sub2 service.SubmitResponse
+	if err := json.Unmarshal(raw5, &sub2); err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, ts.URL, sub2.ID)
+	if sims := eng.Stats().Simulations; sims != 2 {
+		t.Errorf("resubmission simulated: %d total simulations, want 2", sims)
+	}
+}
+
+func waitDone(t *testing.T, base, id string) {
+	t.Helper()
+	deadline := time.Now().Add(60 * time.Second)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(base + "/v1/jobs/" + id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var status service.StatusResponse
+		err = json.NewDecoder(resp.Body).Decode(&status)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if status.Done {
+			return
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Fatalf("submission %s never finished", id)
+}
+
+// A single bare spec (no jobs array) is accepted, and bad requests fail
+// with useful errors instead of queueing garbage.
+func TestSubmitValidation(t *testing.T) {
+	ts, _, _ := startServer(t)
+
+	resp, raw := postJSON(t, ts.URL+"/v1/jobs",
+		`{"simpoint":"mcf","setup":{"kind":"OP"},"opts":{"num_uops":2000}}`)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("bare spec rejected: %d %s", resp.StatusCode, raw)
+	}
+	var sub service.SubmitResponse
+	if err := json.Unmarshal(raw, &sub); err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, ts.URL, sub.ID)
+
+	for name, body := range map[string]string{
+		"unknown simpoint": `{"simpoint":"nope","setup":{"kind":"OP"}}`,
+		"unknown kind":     `{"simpoint":"mcf","setup":{"kind":"WAT"}}`,
+		"empty":            `{}`,
+		"not json":         `hello`,
+	} {
+		resp, raw := postJSON(t, ts.URL+"/v1/jobs", body)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d, body %s", name, resp.StatusCode, raw)
+		}
+	}
+
+	if resp, _ := http.Get(ts.URL + "/v1/jobs/sub-999"); resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown submission: %d", resp.StatusCode)
+	}
+	if resp, _ := http.Get(ts.URL + "/v1/results?key=absent"); resp.StatusCode != http.StatusNotFound {
+		t.Errorf("absent result: %d", resp.StatusCode)
+	}
+	if resp, _ := http.Get(ts.URL + "/healthz"); resp.StatusCode != http.StatusOK {
+		t.Errorf("healthz: %d", resp.StatusCode)
+	}
+}
+
+// Completed submissions are evicted beyond the retention bound so the
+// daemon's registry doesn't grow with lifetime traffic; results stay
+// fetchable by key.
+func TestSubmissionRetention(t *testing.T) {
+	disk, err := store.OpenDisk(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := store.NewTiered(store.NewMemory(64<<20), disk)
+	eng := engine.New(engine.Options{Parallelism: 2, ResultStore: st})
+	srv := service.New(context.Background(), eng, st)
+	srv.SetRetention(1)
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+
+	body := `{"simpoint":"mcf","setup":{"kind":"OP"},"opts":{"num_uops":2000}}`
+	var ids []string
+	var keys []string
+	for i := 0; i < 3; i++ {
+		resp, raw := postJSON(t, ts.URL+"/v1/jobs", body)
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("submit %d: %d %s", i, resp.StatusCode, raw)
+		}
+		var sub service.SubmitResponse
+		if err := json.Unmarshal(raw, &sub); err != nil {
+			t.Fatal(err)
+		}
+		waitDone(t, ts.URL, sub.ID)
+		ids = append(ids, sub.ID)
+		keys = append(keys, sub.Keys[0])
+	}
+	if resp, _ := http.Get(ts.URL + "/v1/jobs/" + ids[0]); resp.StatusCode != http.StatusNotFound {
+		t.Errorf("oldest submission survived retention: %d", resp.StatusCode)
+	}
+	if resp, _ := http.Get(ts.URL + "/v1/jobs/" + ids[2]); resp.StatusCode != http.StatusOK {
+		t.Errorf("newest submission evicted: %d", resp.StatusCode)
+	}
+	// The evicted submission's result is still served by key.
+	resp, err := http.Get(ts.URL + "/v1/results?key=" + url.QueryEscape(keys[0]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("evicted submission's result not fetchable: %d", resp.StatusCode)
+	}
+}
+
+// Results persist across service restarts: a new engine+store over the
+// same directory serves a previously computed result by key without
+// simulating, including to the raw-blob codec path.
+func TestResultSurvivesRestart(t *testing.T) {
+	dir := t.TempDir()
+	build := func() (*httptest.Server, *engine.Engine) {
+		disk, err := store.OpenDisk(dir, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st := store.NewTiered(store.NewMemory(64<<20), disk)
+		eng := engine.New(engine.Options{Parallelism: 2, ResultStore: st})
+		ts := httptest.NewServer(service.New(context.Background(), eng, st))
+		t.Cleanup(ts.Close)
+		return ts, eng
+	}
+
+	ts1, _ := build()
+	resp, raw := postJSON(t, ts1.URL+"/v1/jobs",
+		`{"simpoint":"crafty","setup":{"kind":"RHOP","clusters":2},"opts":{"num_uops":2500}}`)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: %d %s", resp.StatusCode, raw)
+	}
+	var sub service.SubmitResponse
+	if err := json.Unmarshal(raw, &sub); err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, ts1.URL, sub.ID)
+
+	ts2, eng2 := build() // fresh process, same cache dir
+	fetch := ts2.URL + "/v1/results?key=" + url.QueryEscape(sub.Keys[0])
+	resp2, err := http.Get(fetch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var res service.ResultResponse
+	if err := json.NewDecoder(resp2.Body).Decode(&res); err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusOK || res.Setup != "RHOP" || res.Uops == 0 {
+		t.Fatalf("restarted fetch: %d %+v", resp2.StatusCode, res)
+	}
+
+	rawResp, err := http.Get(fetch + "&raw=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rawResp.Body.Close()
+	var blob strings.Builder
+	if _, err := bufio.NewReader(rawResp.Body).WriteTo(&blob); err != nil {
+		t.Fatal(err)
+	}
+	if dec, err := engine.DecodeResult([]byte(blob.String())); err != nil || dec.Setup != "RHOP" {
+		t.Errorf("raw blob decode: %v", err)
+	}
+
+	// Resubmitting against the new process simulates nothing.
+	resp3, raw3 := postJSON(t, ts2.URL+"/v1/jobs",
+		`{"simpoint":"crafty","setup":{"kind":"RHOP","clusters":2},"opts":{"num_uops":2500}}`)
+	if resp3.StatusCode != http.StatusAccepted {
+		t.Fatalf("resubmit: %d %s", resp3.StatusCode, raw3)
+	}
+	var sub3 service.SubmitResponse
+	if err := json.Unmarshal(raw3, &sub3); err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, ts2.URL, sub3.ID)
+	if st := eng2.Stats(); st.Simulations != 0 || st.StoreHits != 1 {
+		t.Errorf("restarted engine stats: %+v", st)
+	}
+}

@@ -1,0 +1,64 @@
+package sim
+
+import (
+	"fmt"
+
+	"clustersim/internal/engine"
+	"clustersim/internal/workload"
+)
+
+// SetupFromSpec resolves a declarative setup spec (the clusterd wire form)
+// into a runnable Setup. Unknown kinds are rejected so a typo in a request
+// fails the submission, not the simulation.
+func SetupFromSpec(s engine.SetupSpec) (engine.Setup, error) {
+	clusters := s.NumClusters
+	if clusters == 0 {
+		clusters = 2
+	}
+	numVC := s.NumVC
+	if numVC == 0 {
+		numVC = clusters
+	}
+	switch s.Kind {
+	case "OP":
+		return SetupOP(clusters), nil
+	case "OP-nostall":
+		return SetupOPNoStall(clusters), nil
+	case "one-cluster":
+		return SetupOneCluster(clusters), nil
+	case "OB":
+		if s.RegionMaxOps > 0 {
+			return SetupScoped("OB", clusters, s.RegionMaxOps), nil
+		}
+		return SetupOB(clusters), nil
+	case "RHOP":
+		if s.RegionMaxOps > 0 {
+			return SetupScoped("RHOP", clusters, s.RegionMaxOps), nil
+		}
+		return SetupRHOP(clusters), nil
+	case "VC":
+		if s.RegionMaxOps > 0 {
+			return SetupScoped("VC", clusters, s.RegionMaxOps), nil
+		}
+		return SetupVCChain(numVC, clusters, s.MaxChainLen), nil
+	case "VC-comm":
+		return SetupVCComm(numVC, clusters), nil
+	}
+	return engine.Setup{}, fmt.Errorf("sim: unknown setup kind %q", s.Kind)
+}
+
+// JobFromSpec resolves a serialized job spec into a runnable engine job:
+// the simpoint is looked up in the synthetic suite (programs are never
+// shipped — they are rebuilt deterministically from the suite tables) and
+// the setup kind is mapped to its constructor.
+func JobFromSpec(spec engine.JobSpec) (engine.Job, error) {
+	sp := workload.ByName(spec.Simpoint)
+	if sp == nil {
+		return engine.Job{}, fmt.Errorf("sim: unknown simpoint %q", spec.Simpoint)
+	}
+	setup, err := SetupFromSpec(spec.Setup)
+	if err != nil {
+		return engine.Job{}, err
+	}
+	return engine.Job{Simpoint: sp, Setup: setup, Opts: spec.Opts.RunOptions()}, nil
+}

@@ -1,0 +1,36 @@
+package stats
+
+import (
+	"bytes"
+	"encoding/gob"
+)
+
+// histogramWire is the exported mirror of Histogram for gob transport —
+// Histogram's fields stay unexported so only Observe can mutate them, but
+// persisted results (engine result store, clusterd responses) need the
+// distributions to survive a round trip.
+type histogramWire struct {
+	Buckets  []uint64
+	Count    uint64
+	Sum      int64
+	Min, Max int64
+}
+
+// GobEncode implements gob.GobEncoder.
+func (h *Histogram) GobEncode() ([]byte, error) {
+	var b bytes.Buffer
+	err := gob.NewEncoder(&b).Encode(histogramWire{
+		Buckets: h.buckets, Count: h.count, Sum: h.sum, Min: h.min, Max: h.max,
+	})
+	return b.Bytes(), err
+}
+
+// GobDecode implements gob.GobDecoder.
+func (h *Histogram) GobDecode(data []byte) error {
+	var w histogramWire
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&w); err != nil {
+		return err
+	}
+	h.buckets, h.count, h.sum, h.min, h.max = w.Buckets, w.Count, w.Sum, w.Min, w.Max
+	return nil
+}
