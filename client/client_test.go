@@ -1,0 +1,410 @@
+package client_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strconv"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"clustersim/client"
+	"clustersim/internal/api"
+	"clustersim/internal/engine"
+	"clustersim/internal/pipeline"
+	"clustersim/internal/service"
+	"clustersim/internal/sim"
+	"clustersim/internal/store"
+	"clustersim/internal/workload"
+)
+
+// startServer builds a clusterd-shaped stack behind httptest and a client
+// pointed at it.
+func startServer(t *testing.T) (*httptest.Server, *client.Client, *engine.Engine) {
+	t.Helper()
+	disk, err := store.OpenDisk(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := store.NewTiered(store.NewMemory(64<<20), disk)
+	eng := engine.New(engine.Options{Parallelism: 2, ResultStore: st})
+	ts := httptest.NewServer(service.New(context.Background(), eng, st))
+	t.Cleanup(ts.Close)
+	c, err := client.New(ts.URL, client.WithBackoff(10*time.Millisecond, 50*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ts, c, eng
+}
+
+// The full SDK round trip: submit a batch, stream every completion
+// exactly once, fetch a full result by key, and read stats.
+func TestSubmitStreamFetchRoundTrip(t *testing.T) {
+	_, c, _ := startServer(t)
+	ctx := context.Background()
+
+	specs := []engine.JobSpec{
+		{Simpoint: "gzip-1", Setup: engine.SetupSpec{Kind: "OP", NumClusters: 2}, Opts: engine.OptionsSpec{NumUops: 3000}},
+		{Simpoint: "gzip-1", Setup: engine.SetupSpec{Kind: "VC", NumVC: 2, NumClusters: 2}, Opts: engine.OptionsSpec{NumUops: 3000}},
+	}
+	sub, err := c.Submit(ctx, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.Total != 2 || len(sub.Keys) != 2 || sub.Keys[0] == "" {
+		t.Fatalf("submit ack: %+v", sub)
+	}
+
+	seen := map[int]api.JobEvent{}
+	if err := c.Stream(ctx, sub.ID, func(ev api.JobEvent) {
+		if _, dup := seen[ev.Index]; dup {
+			t.Errorf("event %d delivered twice", ev.Index)
+		}
+		seen[ev.Index] = ev
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != 2 || seen[0].Error != "" || seen[1].Error != "" {
+		t.Fatalf("streamed events: %+v", seen)
+	}
+
+	res, err := c.Result(ctx, sub.Keys[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Setup != "VC" || res.Metrics == nil || res.Metrics.Cycles != seen[1].Cycles {
+		t.Fatalf("fetched result: %+v", res)
+	}
+	summary, err := c.ResultSummary(ctx, sub.Keys[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if summary.Cycles != res.Metrics.Cycles || summary.Simpoint != "gzip-1" {
+		t.Fatalf("summary: %+v", summary)
+	}
+
+	st, err := c.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Engine.Simulations != 2 || st.Disk == nil {
+		t.Fatalf("stats: %+v", st)
+	}
+	if err := c.Health(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	// Unknown keys surface the typed error with its stable code.
+	_, err = c.Result(ctx, "absent")
+	var apiErr *api.Error
+	if !errors.As(err, &apiErr) || apiErr.Code != api.CodeNotFound || apiErr.Status != http.StatusNotFound {
+		t.Fatalf("absent key error: %v", err)
+	}
+}
+
+// A remote runner must produce results that are indistinguishable from a
+// local engine's — same metrics, same complexity accounting, same
+// simpoint rows — because reports are rendered from them byte for byte.
+func TestRunnerMatchesLocalEngine(t *testing.T) {
+	_, c, _ := startServer(t)
+	ctx := context.Background()
+
+	sps := []*workload.Simpoint{workload.ByName("gzip-1"), workload.ByName("mcf")}
+	setups := []sim.Setup{sim.SetupOP(2), sim.SetupVC(2, 2)}
+	opt := sim.RunOptions{NumUops: 3000}
+
+	remote := client.NewRunner(c)
+	got, err := engine.RunMatrixOn(ctx, remote, sps, setups, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	local := engine.New(engine.Options{Parallelism: 2})
+	want, err := engine.RunMatrixOn(ctx, local, sps, setups, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range sps {
+		for j := range setups {
+			g, w := got[i][j], want[i][j]
+			if g.Err != nil || w.Err != nil {
+				t.Fatalf("cell %d/%d errs: %v %v", i, j, g.Err, w.Err)
+			}
+			if g.Simpoint != sps[i] {
+				t.Errorf("cell %d/%d: result not re-bound to the submitted simpoint", i, j)
+			}
+			if !reflect.DeepEqual(g.Metrics, w.Metrics) {
+				t.Errorf("cell %d/%d: metrics diverge:\nremote %+v\nlocal  %+v", i, j, g.Metrics, w.Metrics)
+			}
+			if !reflect.DeepEqual(g.Complexity, w.Complexity) {
+				t.Errorf("cell %d/%d: complexity diverges", i, j)
+			}
+		}
+	}
+
+	// Rerunning the same matrix executes nothing new on the server, and
+	// the runner's delta stats say so.
+	fresh := client.NewRunner(c)
+	if _, err := engine.RunMatrixOn(ctx, fresh, sps, setups, opt); err != nil {
+		t.Fatal(err)
+	}
+	if st := fresh.Stats(); st.Simulations != 0 {
+		t.Errorf("second remote run executed %d simulations, want 0", st.Simulations)
+	}
+}
+
+// Jobs with no declarative wire form route to the local fallback; without
+// one they fail loudly instead of silently simulating the wrong thing.
+func TestRunnerFallback(t *testing.T) {
+	_, c, serverEng := startServer(t)
+	ctx := context.Background()
+	sp := workload.ByName("gzip-1")
+	tweaked := engine.Job{
+		Simpoint: sp,
+		Setup:    sim.SetupOP(2),
+		Opts: engine.RunOptions{NumUops: 2000, TweakKey: "lat9",
+			MachineTweak: func(cfg *pipeline.Config) { cfg.Net.Latency = 9 }},
+	}
+
+	bare := client.NewRunner(c)
+	if res := bare.Run(ctx, tweaked); res.Err == nil {
+		t.Fatal("non-remoteable job succeeded without a fallback")
+	}
+
+	local := engine.New(engine.Options{Parallelism: 1})
+	hybrid := client.NewRunner(c, client.WithFallback(local))
+	res := hybrid.Run(ctx, tweaked)
+	if res.Err != nil {
+		t.Fatalf("fallback run: %v", res.Err)
+	}
+	if serverEng.Stats().Simulations != 0 {
+		t.Errorf("tweaked job leaked to the server")
+	}
+	if local.Stats().Simulations != 1 {
+		t.Errorf("tweaked job did not run on the fallback engine")
+	}
+}
+
+// Canceling the context mid-stream unblocks every pending job with the
+// context's error and closes the runner's channel.
+func TestStreamContextCancellation(t *testing.T) {
+	_, c, _ := startServer(t)
+	ctx, cancel := context.WithCancel(context.Background())
+
+	sps := []*workload.Simpoint{workload.ByName("gzip-1"), workload.ByName("mcf"),
+		workload.ByName("crafty"), workload.ByName("swim")}
+	jobs := make([]engine.Job, len(sps))
+	for i, sp := range sps {
+		jobs[i] = engine.Job{Simpoint: sp, Setup: sim.SetupVC(2, 2), Opts: engine.RunOptions{NumUops: 120_000}}
+	}
+	r := client.NewRunner(c)
+	out := r.Stream(ctx, jobs)
+	cancel()
+
+	done := make(chan struct{})
+	var results []engine.JobResult
+	go func() {
+		defer close(done)
+		for jr := range out {
+			results = append(results, jr)
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("stream did not unwind after cancellation")
+	}
+	if len(results) != len(jobs) {
+		t.Fatalf("got %d results for %d jobs", len(results), len(jobs))
+	}
+
+	// The client-side Stream call itself reports the context error.
+	sub, err := c.Submit(context.Background(), []engine.JobSpec{
+		{Simpoint: "gzip-1", Setup: engine.SetupSpec{Kind: "OP", NumClusters: 2}, Opts: engine.OptionsSpec{NumUops: 120_000}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() { errc <- c.Stream(ctx2, sub.ID, func(api.JobEvent) {}) }()
+	cancel2()
+	select {
+	case err := <-errc:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("stream error: %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("Stream did not return after cancellation")
+	}
+}
+
+// abortingStream wraps the service handler and kills the first stream
+// connection right after its first flush, simulating a transport drop;
+// the client must reconnect and still deliver every event exactly once.
+type abortingStream struct {
+	inner   http.Handler
+	streams atomic.Int64
+}
+
+type abortAfterFlush struct {
+	http.ResponseWriter
+	armed bool
+}
+
+func (w *abortAfterFlush) Flush() {
+	if w.armed {
+		// Drop the connection with the second flush's payload (the done
+		// event) still unflushed: the client sees EOF mid-stream.
+		panic(http.ErrAbortHandler)
+	}
+	w.armed = true
+	w.ResponseWriter.(http.Flusher).Flush()
+}
+
+func (h *abortingStream) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/v1/stats" && r.URL.Query().Get("raw") == "" &&
+		len(r.URL.Path) > len("/stream") && r.URL.Path[len(r.URL.Path)-len("/stream"):] == "/stream" {
+		if h.streams.Add(1) == 1 {
+			h.inner.ServeHTTP(&abortAfterFlush{ResponseWriter: w}, r)
+			return
+		}
+	}
+	h.inner.ServeHTTP(w, r)
+}
+
+func TestStreamReconnectAfterDrop(t *testing.T) {
+	disk, err := store.OpenDisk(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := store.NewTiered(store.NewMemory(64<<20), disk)
+	eng := engine.New(engine.Options{Parallelism: 2, ResultStore: st})
+	flaky := &abortingStream{inner: service.New(context.Background(), eng, st)}
+	ts := httptest.NewServer(flaky)
+	t.Cleanup(ts.Close)
+	c, err := client.New(ts.URL, client.WithBackoff(5*time.Millisecond, 20*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx := context.Background()
+	sub, err := c.Submit(ctx, []engine.JobSpec{
+		{Simpoint: "gzip-1", Setup: engine.SetupSpec{Kind: "OP", NumClusters: 2}, Opts: engine.OptionsSpec{NumUops: 2000}},
+		{Simpoint: "mcf", Setup: engine.SetupSpec{Kind: "OP", NumClusters: 2}, Opts: engine.OptionsSpec{NumUops: 2000}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Let the submission finish so the first (aborted) connection replays
+	// events and then dies before "done".
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		status, err := c.Status(ctx, sub.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if status.Done {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("submission never finished")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	seen := map[int]int{}
+	if err := c.Stream(ctx, sub.ID, func(ev api.JobEvent) { seen[ev.Index]++ }); err != nil {
+		t.Fatalf("stream with reconnect: %v", err)
+	}
+	if h := flaky.streams.Load(); h < 2 {
+		t.Fatalf("stream was never dropped and retried (%d connections)", h)
+	}
+	if len(seen) != 2 || seen[0] != 1 || seen[1] != 1 {
+		t.Fatalf("events not delivered exactly once: %v", seen)
+	}
+}
+
+// Version-mismatched and malformed server responses are rejected with
+// typed errors instead of being half-decoded.
+func TestServerResponseValidation(t *testing.T) {
+	ctx := context.Background()
+
+	// Wrong protocol version.
+	wrongVer := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set(api.VersionHeader, strconv.Itoa(api.Version+1))
+		fmt.Fprint(w, `{}`)
+	}))
+	t.Cleanup(wrongVer.Close)
+	c1, _ := client.New(wrongVer.URL)
+	if _, err := c1.Stats(ctx); !errors.Is(err, client.ErrVersionMismatch) {
+		t.Errorf("wrong version accepted: %v", err)
+	}
+	if err := c1.Health(ctx); !errors.Is(err, client.ErrVersionMismatch) {
+		t.Errorf("health ignored version: %v", err)
+	}
+
+	// No version header at all (not a clusterd server).
+	unversioned := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprint(w, `{"id":"sub-1","keys":[""],"total":1}`)
+	}))
+	t.Cleanup(unversioned.Close)
+	c2, _ := client.New(unversioned.URL)
+	if _, err := c2.Submit(ctx, []engine.JobSpec{{Simpoint: "gzip-1", Setup: engine.SetupSpec{Kind: "OP"}}}); !errors.Is(err, client.ErrVersionMismatch) {
+		t.Errorf("unversioned response accepted: %v", err)
+	}
+
+	// Right version, garbage JSON body.
+	garbage := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set(api.VersionHeader, strconv.Itoa(api.Version))
+		fmt.Fprint(w, `{"id": 42`)
+	}))
+	t.Cleanup(garbage.Close)
+	c3, _ := client.New(garbage.URL)
+	if _, err := c3.Stats(ctx); err == nil || errors.Is(err, client.ErrVersionMismatch) {
+		t.Errorf("garbage body: %v", err)
+	}
+
+	// Right version, garbage SSE event payload: Stream must fail cleanly,
+	// not call fn with junk.
+	badSSE := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set(api.VersionHeader, strconv.Itoa(api.Version))
+		w.Header().Set("Content-Type", "text/event-stream")
+		fmt.Fprint(w, "event: result\ndata: {not json}\n\n")
+	}))
+	t.Cleanup(badSSE.Close)
+	c4, _ := client.New(badSSE.URL, client.WithBackoff(time.Millisecond, 2*time.Millisecond), client.WithRetries(1))
+	calls := 0
+	if err := c4.Stream(ctx, "sub-1", func(api.JobEvent) { calls++ }); err == nil {
+		t.Error("garbage SSE accepted")
+	}
+	if calls != 0 {
+		t.Errorf("fn called %d times on garbage events", calls)
+	}
+
+	// An undecodable result blob (wrong codec version) errors.
+	badBlob := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set(api.VersionHeader, strconv.Itoa(api.Version))
+		w.Write([]byte{0xC5, 99, 2, 0, 0})
+	}))
+	t.Cleanup(badBlob.Close)
+	c5, _ := client.New(badBlob.URL)
+	if _, err := c5.Result(ctx, "k"); !errors.Is(err, engine.ErrCodecVersion) {
+		t.Errorf("bad blob error: %v", err)
+	}
+
+	// Streaming an unknown submission is a terminal API error — no retry
+	// storm against a 404.
+	_, real, _ := startServer(t)
+	var apiErr *api.Error
+	if err := real.Stream(ctx, "sub-404", func(api.JobEvent) {}); !errors.As(err, &apiErr) || apiErr.Code != api.CodeNotFound {
+		t.Errorf("unknown submission stream: %v", err)
+	}
+
+	if _, err := client.New("not a url"); err == nil {
+		t.Error("bad base URL accepted")
+	}
+}

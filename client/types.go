@@ -1,0 +1,37 @@
+package client
+
+import "clustersim/internal/api"
+
+// The wire types are defined once in internal/api (shared with the
+// server so the protocol can't drift) and aliased here so code outside
+// this module can name them: a Stream callback is written as
+// func(ev client.JobEvent), and server failures branch on *client.APIError
+// and the Code* constants.
+type (
+	// JobEvent is one completed job as delivered by Stream and listed in
+	// a StatusResponse.
+	JobEvent = api.JobEvent
+	// SubmitResponse acknowledges a submission (id, per-job result keys).
+	SubmitResponse = api.SubmitResponse
+	// StatusResponse is a submission progress snapshot.
+	StatusResponse = api.StatusResponse
+	// ResultResponse is the JSON rendering of a stored result.
+	ResultResponse = api.ResultResponse
+	// StatsResponse reports engine and per-tier store counters.
+	StatsResponse = api.StatsResponse
+	// APIError is the typed error decoded from every non-2xx response;
+	// its Code field is stable across releases.
+	APIError = api.Error
+)
+
+// Stable error codes carried by APIError.Code.
+const (
+	CodeBadRequest       = api.CodeBadRequest
+	CodeNotFound         = api.CodeNotFound
+	CodeMethodNotAllowed = api.CodeMethodNotAllowed
+	CodeInternal         = api.CodeInternal
+)
+
+// APIVersion is the wire-protocol version this client speaks; servers
+// advertising any other version are rejected with ErrVersionMismatch.
+const APIVersion = api.Version

@@ -29,6 +29,7 @@ package clustersim
 import (
 	"context"
 
+	"clustersim/client"
 	"clustersim/internal/engine"
 	"clustersim/internal/experiments"
 	"clustersim/internal/pipeline"
@@ -165,9 +166,58 @@ func NewTieredStore(fast, slow ResultStore) ResultStore { return store.NewTiered
 // wire format); resolve it with JobFromSpec.
 type JobSpec = engine.JobSpec
 
+// SetupSpec names a steering configuration declaratively (the Setup half
+// of a JobSpec).
+type SetupSpec = engine.SetupSpec
+
+// OptionsSpec is the serializable subset of RunOptions.
+type OptionsSpec = engine.OptionsSpec
+
 // JobFromSpec resolves a declarative job spec against the synthetic suite
 // and the named setup constructors.
 func JobFromSpec(spec JobSpec) (Job, error) { return sim.JobFromSpec(spec) }
+
+// SpecFromJob converts a runnable Job back to its declarative wire form —
+// the inverse of JobFromSpec. Jobs built around opaque closures or
+// non-suite workloads have no wire form and return an error; such jobs
+// execute locally only.
+func SpecFromJob(job Job) (JobSpec, error) { return sim.SpecFromJob(job) }
+
+// Runner is the execution seam every consumer submits jobs through: the
+// local Engine implements it, and NewRemoteRunner returns one that ships
+// jobs to a clusterd fleet. Code written against Runner — RunOn,
+// RunMatrixOn, ExperimentOptions.Runner — runs unchanged either way.
+type Runner = engine.Runner
+
+// NewRemoteRunner connects to the clusterd instance at baseURL
+// ("http://host:8080") and returns a Runner executing jobs there,
+// deduplicated against everything the daemon's content-addressed store
+// has ever computed. local, when non-nil, handles jobs that cannot travel
+// (custom closures, machine tweaks, non-suite workloads); with a nil
+// local such jobs fail. For streaming, backoff and progress options use
+// the clustersim/client package directly.
+func NewRemoteRunner(baseURL string, local Runner) (Runner, error) {
+	c, err := client.New(baseURL)
+	if err != nil {
+		return nil, err
+	}
+	var opts []client.RunnerOption
+	if local != nil {
+		opts = append(opts, client.WithFallback(local))
+	}
+	return client.NewRunner(c, opts...), nil
+}
+
+// RunOn executes one simulation on any Runner with cancellation.
+func RunOn(ctx context.Context, r Runner, w *Workload, setup Setup, opt RunOptions) *Result {
+	return sim.RunOneOn(ctx, r, w, setup, opt)
+}
+
+// RunMatrixOn fans the (workload × setup) matrix through any Runner;
+// results are indexed [workload][setup].
+func RunMatrixOn(ctx context.Context, r Runner, ws []*Workload, setups []Setup, opt RunOptions) ([][]*Result, error) {
+	return sim.RunMatrixOn(ctx, r, ws, setups, opt)
+}
 
 // RunContext executes one simulation on a shared engine with cancellation.
 func RunContext(ctx context.Context, e *Engine, w *Workload, setup Setup, opt RunOptions) *Result {

@@ -12,6 +12,12 @@
 //	curl -N localhost:8080/v1/jobs/sub-1/stream
 //	curl -G --data-urlencode "key=<key from submit>" localhost:8080/v1/results
 //	curl -s localhost:8080/v1/stats
+//	curl -s localhost:8080/metrics          # Prometheus text format
+//
+// The typed Go SDK for this API lives in clustersim/client; steerbench
+// -remote drives whole experiment suites against a clusterd instance.
+// Completed submissions are GC'd by count (retention) and age (-subttl);
+// their results remain fetchable by content key either way.
 //
 // SIGINT/SIGTERM cancels in-flight simulations and shuts down cleanly.
 package main
@@ -39,6 +45,7 @@ func main() {
 		cacheMax = flag.Int64("cachemax", 0, "bound the disk store to this many bytes (0 = unbounded)")
 		memMax   = flag.Int64("memmax", 256<<20, "bound the in-memory result tier to this many bytes")
 		par      = flag.Int("parallel", 0, "concurrent simulations (0 = all cores)")
+		subTTL   = flag.Duration("subttl", time.Hour, "GC completed submissions after this long (0 = count-based retention only)")
 	)
 	flag.Parse()
 
@@ -57,7 +64,9 @@ func main() {
 	}
 	eng := engine.New(engine.Options{Parallelism: *par, ResultStore: st})
 
-	srv := &http.Server{Addr: *addr, Handler: service.New(ctx, eng, st)}
+	svc := service.New(ctx, eng, st)
+	svc.SetTTL(*subTTL)
+	srv := &http.Server{Addr: *addr, Handler: svc}
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
 	fmt.Fprintf(os.Stderr, "clusterd: serving on %s\n", *addr)

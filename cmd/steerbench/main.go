@@ -14,12 +14,16 @@
 //	steerbench -out results.txt  # report + cache-stats footer to a file
 //	steerbench -cachedir ~/.cache/steerbench   # persist results on disk
 //	steerbench -progress         # live phase/ETA progress on stderr
+//	steerbench -remote http://host:8080        # execute on a clusterd fleet
 //
 // Experiments: table1 table2 table3 fig5 fig6 fig7 policyspace ablation all
 //
 // Reports written to stdout/-out are deterministic (timing goes to
 // stderr), so two invocations over the same cache directory produce
-// byte-identical reports.
+// byte-identical reports. With -remote, simulations execute on a clusterd
+// instance through the client SDK instead of in-process; the report is
+// byte-identical to a local run, and the daemon's content-addressed store
+// dedups repeated invocations across every client that ever submitted.
 //
 // Ctrl-C cancels in-flight simulations and exits cleanly with status 130.
 package main
@@ -37,6 +41,7 @@ import (
 	"time"
 
 	"clustersim"
+	"clustersim/client"
 	"clustersim/internal/experiments"
 )
 
@@ -76,9 +81,10 @@ func main() {
 		par      = flag.Int("parallel", 0, "concurrent simulations (0 = all cores)")
 		out      = flag.String("out", "", "also write the report to this file")
 		csvDir   = flag.String("csvdir", "", "write per-figure CSV files into this directory")
-		cacheDir = flag.String("cachedir", "", "persist completed results in this directory (reruns skip finished simulations)")
+		cacheDir = flag.String("cachedir", "", "persist completed results in this directory (reruns skip finished simulations; with -remote it only backs locally executed fallback jobs)")
 		cacheMax = flag.Int64("cachemax", 0, "bound the -cachedir store to this many bytes (0 = unbounded)")
 		progress = flag.Bool("progress", false, "print live phase/ETA progress and engine cache stats to stderr")
+		remote   = flag.String("remote", "", "execute simulations on the clusterd instance at this URL (http://host:port) instead of in-process; jobs that cannot travel run locally")
 	)
 	flag.Parse()
 
@@ -112,13 +118,35 @@ func main() {
 		engOpts.ResultStore = st
 	}
 	meter := newProgressMeter()
-	if *progress {
+	if *progress && *remote == "" {
 		engOpts.Progress = meter.print
 	}
 	eng := clustersim.NewEngine(engOpts)
+
+	// The runner is the execution seam: the local engine by default, a
+	// clusterd client when -remote is given (with the local engine as the
+	// fallback for jobs that have no declarative wire form, e.g. the
+	// machine-tweak ablations). Everything downstream is runner-agnostic.
+	var runner clustersim.Runner = eng
+	if *remote != "" {
+		c, err := client.New(*remote)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := c.Health(ctx); err != nil {
+			fmt.Fprintf(os.Stderr, "steerbench: clusterd at %s unreachable: %v\n", *remote, err)
+			os.Exit(1)
+		}
+		ropts := []client.RunnerOption{client.WithFallback(eng)}
+		if *progress {
+			ropts = append(ropts, client.WithProgress(meter.print))
+		}
+		runner = client.NewRunner(c, ropts...)
+	}
 	opt := clustersim.ExperimentOptions{
 		NumUops: *uops, Quick: *quick, Parallelism: *par,
-		Engine: eng, Context: ctx,
+		Runner: runner, Context: ctx,
 	}
 
 	var sink io.Writer = os.Stdout
@@ -276,7 +304,7 @@ func main() {
 	// in the saved report whenever one is being written ("# "-prefixed so
 	// consumers — and the CI byte-identity check — can strip it; the
 	// counters legitimately differ between a cold and a warm run).
-	report := experiments.EngineReport(eng.Stats())
+	report := experiments.EngineReport(runner.Stats())
 	if *progress {
 		fmt.Fprintln(os.Stderr, report)
 	}

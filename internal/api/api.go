@@ -1,0 +1,126 @@
+// Package api defines the versioned JSON wire types of the clusterd HTTP
+// API. Both sides of the wire build against this one package — the server
+// (internal/service) renders these shapes, the typed SDK (package client)
+// decodes them — so the protocol cannot drift apart silently: a field
+// exists for the client exactly when the server can produce it.
+//
+// The protocol is versioned as a whole: every server response carries
+// Version in the VersionHeader header, and clients must reject responses
+// advertising a different major version instead of mis-decoding them.
+// (Result blobs are separately versioned by the engine codec; Version
+// covers the JSON envelope.)
+package api
+
+import (
+	"fmt"
+
+	"clustersim/internal/engine"
+	"clustersim/internal/store"
+)
+
+const (
+	// Version is the wire-protocol version of the types in this package.
+	// Bump it on any incompatible change to the JSON shapes or routes.
+	Version = 1
+	// VersionHeader is the HTTP response header carrying Version.
+	VersionHeader = "Clustersim-Api-Version"
+)
+
+// Stable machine-readable error codes carried by Error.Code. Clients
+// branch on the code; Message is for humans and may change freely.
+const (
+	CodeBadRequest       = "bad_request"        // malformed body, unknown spec fields
+	CodeNotFound         = "not_found"          // unknown submission, route or result key
+	CodeMethodNotAllowed = "method_not_allowed" // known route, wrong HTTP method
+	CodeInternal         = "internal"           // server-side failure
+)
+
+// Error is the JSON body of every non-2xx response. It doubles as a Go
+// error so the client SDK can surface server failures verbatim.
+type Error struct {
+	// Code is one of the Code* constants — stable across releases.
+	Code string `json:"code"`
+	// Message is a human-readable description.
+	Message string `json:"error"`
+	// Status is the HTTP status the error traveled with (not serialized;
+	// filled in by the client from the response).
+	Status int `json:"-"`
+}
+
+// Error implements the error interface.
+func (e *Error) Error() string {
+	if e.Status != 0 {
+		return fmt.Sprintf("clusterd: %s (%s, http %d)", e.Message, e.Code, e.Status)
+	}
+	return fmt.Sprintf("clusterd: %s (%s)", e.Message, e.Code)
+}
+
+// SubmitRequest is the POST /v1/jobs body: a batch of declarative job
+// specs. Servers also accept a single bare engine.JobSpec object for
+// curl-friendliness; the SDK always sends the batch form.
+type SubmitRequest struct {
+	Jobs []engine.JobSpec `json:"jobs"`
+}
+
+// SubmitResponse acknowledges a submission.
+type SubmitResponse struct {
+	ID string `json:"id"`
+	// Keys holds each job's result content key, index-aligned with the
+	// submitted batch ("" for uncacheable jobs).
+	Keys []string `json:"keys"`
+	// Total is the number of jobs accepted.
+	Total int `json:"total"`
+}
+
+// JobEvent is one completed job, as streamed over SSE and as listed in a
+// StatusResponse.
+type JobEvent struct {
+	// Index is the job's position in the submitted batch.
+	Index int `json:"index"`
+	// Simpoint and Setup identify the run.
+	Simpoint string `json:"simpoint"`
+	Setup    string `json:"setup"`
+	// Key is the result's content address in the store ("" when the job
+	// is uncacheable).
+	Key string `json:"key,omitempty"`
+	// Error is non-empty for failed or canceled runs.
+	Error string `json:"error,omitempty"`
+	// Headline metrics for dashboards; fetch the key for everything.
+	IPC    float64 `json:"ipc,omitempty"`
+	Cycles int64   `json:"cycles,omitempty"`
+	Uops   int64   `json:"uops,omitempty"`
+	Copies int64   `json:"copies,omitempty"`
+}
+
+// StatusResponse reports a submission's progress.
+type StatusResponse struct {
+	ID        string     `json:"id"`
+	Total     int        `json:"total"`
+	Completed int        `json:"completed"`
+	Done      bool       `json:"done"`
+	Results   []JobEvent `json:"results"`
+}
+
+// ResultResponse is the JSON rendering of a stored result; add &raw=1 to
+// the fetch for the full codec blob instead.
+type ResultResponse struct {
+	Key        string  `json:"key"`
+	Simpoint   string  `json:"simpoint"`
+	Bench      string  `json:"bench"`
+	Setup      string  `json:"setup"`
+	IPC        float64 `json:"ipc"`
+	Cycles     int64   `json:"cycles"`
+	Uops       int64   `json:"uops"`
+	Copies     int64   `json:"copies"`
+	AllocStall int64   `json:"alloc_stall_cycles"`
+	Imbalance  float64 `json:"workload_imbalance"`
+}
+
+// StatsResponse reports the engine's cache counters and the store's
+// occupancy, with per-tier detail when the store is tiered.
+type StatsResponse struct {
+	Engine engine.CacheStats `json:"engine"`
+	Store  store.Stats       `json:"store"`
+	Memory *store.Stats      `json:"memory,omitempty"`
+	Disk   *store.Stats      `json:"disk,omitempty"`
+}

@@ -85,6 +85,12 @@ type Setup struct {
 	NumClusters int
 	// Pass is the compiler pass; nil for hardware-only configurations.
 	Pass *Pass
+	// Spec, when non-nil, is the declarative wire form this setup was (or
+	// could have been) built from. It is what lets a job cross a process
+	// boundary: SpecFromJob requires it, and the sim.Setup* constructors
+	// all populate it. Setups hand-built around custom closures leave it
+	// nil and stay local-only. Spec never participates in cache keys.
+	Spec *SetupSpec
 	// Annotate optionally runs an opaque compiler pass over the (cloned)
 	// program. It exists for custom user passes; because the engine cannot
 	// key its output, setups using it bypass every cache.
@@ -171,9 +177,9 @@ type Options struct {
 	Progress func(done, total int, label string)
 }
 
-// Engine is a caching, streaming simulation engine. One engine may be
-// shared by any number of concurrent submitters; all methods are safe for
-// concurrent use.
+// Engine is a caching, streaming simulation engine — the local Runner
+// implementation. One engine may be shared by any number of concurrent
+// submitters; all methods are safe for concurrent use.
 type Engine struct {
 	opts Options
 	sem  chan struct{}
@@ -288,23 +294,7 @@ func (e *Engine) Run(ctx context.Context, job Job) *Result {
 // finish; on cancellation the remaining cells hold Results with Err set
 // and the context's error is returned.
 func (e *Engine) RunMatrix(ctx context.Context, sps []*workload.Simpoint, setups []Setup, opt RunOptions) ([][]*Result, error) {
-	results := make([][]*Result, len(sps))
-	for i := range results {
-		results[i] = make([]*Result, len(setups))
-	}
-	var wg sync.WaitGroup
-	for si := range sps {
-		for ci := range setups {
-			si, ci := si, ci
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				results[si][ci] = e.Run(ctx, Job{Simpoint: sps[si], Setup: setups[ci], Opts: opt})
-			}()
-		}
-	}
-	wg.Wait()
-	return results, ctx.Err()
+	return RunMatrixOn(ctx, e, sps, setups, opt)
 }
 
 // Stream submits the jobs and returns a channel that yields each result as

@@ -30,11 +30,19 @@ type Options struct {
 	// Quick restricts the suite to eight representative simpoints (tests
 	// and smoke runs).
 	Quick bool
+	// Runner is where the experiment's simulations execute: a local
+	// *engine.Engine, a remote client.Runner fanning jobs out to a
+	// clusterd fleet, or any other engine.Runner implementation. Nil
+	// falls back to Engine, and then to a fresh private engine. The
+	// harness itself is execution-agnostic — every run goes through
+	// engine.RunMatrixOn over this runner.
+	Runner engine.Runner
 	// Engine optionally supplies a shared simulation engine. Passing one
 	// engine to several experiments (steerbench -exp all) dedups identical
 	// (simpoint, setup, options) runs across them — each is simulated
 	// exactly once per process. Nil means a fresh private engine per
-	// experiment invocation (runs are still cached within it).
+	// experiment invocation (runs are still cached within it). Ignored
+	// when Runner is set.
 	Engine *engine.Engine
 	// CacheDir, when non-empty and Engine is nil, backs the private
 	// engine's result cache with a persistent disk store rooted there, so
@@ -53,19 +61,22 @@ func (o Options) withDefaults() Options {
 	if o.NumUops == 0 {
 		o.NumUops = 120_000
 	}
-	if o.Engine == nil {
-		var rs store.Store
-		if o.CacheDir != "" {
-			disk, err := store.OpenDisk(o.CacheDir, o.CacheMaxBytes)
-			if err != nil {
-				// A broken cache dir degrades to an uncached run; the
-				// experiment itself must not fail over it.
-				fmt.Fprintf(os.Stderr, "experiments: result cache disabled: %v\n", err)
-			} else {
-				rs = disk
+	if o.Runner == nil {
+		if o.Engine == nil {
+			var rs store.Store
+			if o.CacheDir != "" {
+				disk, err := store.OpenDisk(o.CacheDir, o.CacheMaxBytes)
+				if err != nil {
+					// A broken cache dir degrades to an uncached run; the
+					// experiment itself must not fail over it.
+					fmt.Fprintf(os.Stderr, "experiments: result cache disabled: %v\n", err)
+				} else {
+					rs = disk
+				}
 			}
+			o.Engine = engine.New(engine.Options{Parallelism: o.Parallelism, ResultStore: rs})
 		}
-		o.Engine = engine.New(engine.Options{Parallelism: o.Parallelism, ResultStore: rs})
+		o.Runner = o.Engine
 	}
 	if o.Context == nil {
 		o.Context = context.Background()
@@ -84,10 +95,10 @@ func (o Options) runOpts() sim.RunOptions {
 	return sim.RunOptions{NumUops: o.NumUops}
 }
 
-// matrix fans the (suite × setups) runs through the experiment's engine
+// matrix fans the (suite × setups) runs through the experiment's runner
 // and surfaces cancellation and the first run error.
 func (o Options) matrix(sps []*workload.Simpoint, setups []sim.Setup, runOpts sim.RunOptions) ([][]*sim.Result, error) {
-	res, err := o.Engine.RunMatrix(o.Context, sps, setups, runOpts)
+	res, err := engine.RunMatrixOn(o.Context, o.Runner, sps, setups, runOpts)
 	if err != nil {
 		return nil, err
 	}

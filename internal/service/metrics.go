@@ -1,0 +1,109 @@
+// GET /metrics: the engine and store counters in Prometheus text
+// exposition format (version 0.0.4), hand-rendered — the daemon has no
+// business pulling in a metrics dependency for a dozen gauges. The same
+// numbers are available as JSON from /v1/stats; this endpoint exists so a
+// fleet of clusterd workers can be scraped by stock monitoring.
+package service
+
+import (
+	"fmt"
+	"net/http"
+	"strings"
+
+	"clustersim/internal/store"
+)
+
+// metric is one exposition family rendered with zero or one label pairs.
+type metric struct {
+	name string
+	help string
+	typ  string // "counter" or "gauge"
+	rows []metricRow
+}
+
+type metricRow struct {
+	labels string // rendered label set incl. braces, "" for none
+	value  float64
+}
+
+func (m metric) render(b *strings.Builder) {
+	fmt.Fprintf(b, "# HELP %s %s\n# TYPE %s %s\n", m.name, m.help, m.name, m.typ)
+	for _, r := range m.rows {
+		// %g keeps integers integral and avoids trailing zeros.
+		fmt.Fprintf(b, "%s%s %g\n", m.name, r.labels, r.value)
+	}
+}
+
+func one(v int64) []metricRow { return []metricRow{{value: float64(v)}} }
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	eng := s.eng.Stats()
+
+	s.mu.Lock()
+	active := len(s.subs) - len(s.retired)
+	retired := len(s.retired)
+	swept := s.swept
+	s.mu.Unlock()
+
+	metrics := []metric{
+		{"clusterd_engine_simulations_total", "Pipeline executions (cache misses all the way down).", "counter", one(eng.Simulations)},
+		{"clusterd_engine_result_hits_total", "Whole-result cache hits.", "counter", one(eng.ResultHits)},
+		{"clusterd_engine_result_misses_total", "Whole-result cache misses.", "counter", one(eng.ResultMisses)},
+		{"clusterd_engine_trace_hits_total", "Expanded-trace cache hits.", "counter", one(eng.TraceHits)},
+		{"clusterd_engine_trace_misses_total", "Expanded-trace cache misses.", "counter", one(eng.TraceMisses)},
+		{"clusterd_engine_program_hits_total", "Annotated-program cache hits.", "counter", one(eng.ProgramHits)},
+		{"clusterd_engine_program_misses_total", "Annotated-program cache misses.", "counter", one(eng.ProgramMisses)},
+		{"clusterd_engine_store_hits_total", "Persistent result-store hits.", "counter", one(eng.StoreHits)},
+		{"clusterd_engine_store_misses_total", "Persistent result-store misses.", "counter", one(eng.StoreMisses)},
+		{"clusterd_engine_store_errors_total", "Undecodable or unencodable result blobs.", "counter", one(eng.StoreErrors)},
+		{"clusterd_engine_trace_cache_bytes", "Approximate expanded-trace cache occupancy.", "gauge", one(eng.TraceBytes)},
+		{"clusterd_engine_trace_cache_bytes_high_water", "Maximum observed trace cache occupancy.", "gauge", one(eng.TraceBytesHighWater)},
+		{"clusterd_submissions_active", "Submissions with jobs still running.", "gauge", one(int64(active))},
+		{"clusterd_submissions_retained", "Completed submissions still queryable.", "gauge", one(int64(retired))},
+		{"clusterd_submissions_swept_total", "Completed submissions evicted by the TTL sweep.", "counter", one(swept)},
+	}
+
+	tiers := []struct {
+		label string
+		stats store.Stats
+	}{{"all", s.st.Stats()}}
+	if tiered, ok := s.st.(*store.Tiered); ok {
+		fast, slow := tiered.Layers()
+		tiers = append(tiers,
+			struct {
+				label string
+				stats store.Stats
+			}{"memory", fast},
+			struct {
+				label string
+				stats store.Stats
+			}{"disk", slow})
+	}
+	storeMetric := func(name, help, typ string, get func(store.Stats) int64) metric {
+		m := metric{name: name, help: help, typ: typ}
+		for _, t := range tiers {
+			m.rows = append(m.rows, metricRow{
+				labels: fmt.Sprintf(`{tier=%q}`, t.label),
+				value:  float64(get(t.stats)),
+			})
+		}
+		return m
+	}
+	metrics = append(metrics,
+		storeMetric("clusterd_store_hits_total", "Store Get hits by tier.", "counter", func(st store.Stats) int64 { return st.Hits }),
+		storeMetric("clusterd_store_misses_total", "Store Get misses by tier.", "counter", func(st store.Stats) int64 { return st.Misses }),
+		storeMetric("clusterd_store_puts_total", "Blobs accepted by tier.", "counter", func(st store.Stats) int64 { return st.Puts }),
+		storeMetric("clusterd_store_evictions_total", "Entries dropped by capacity bounds, by tier.", "counter", func(st store.Stats) int64 { return st.Evictions }),
+		storeMetric("clusterd_store_errors_total", "I/O failures and corrupt blobs, by tier.", "counter", func(st store.Stats) int64 { return st.Errors }),
+		storeMetric("clusterd_store_entries", "Stored blobs by tier.", "gauge", func(st store.Stats) int64 { return st.Entries }),
+		storeMetric("clusterd_store_bytes", "Payload occupancy by tier.", "gauge", func(st store.Stats) int64 { return st.Bytes }),
+	)
+
+	var b strings.Builder
+	for _, m := range metrics {
+		m.render(&b)
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	fmt.Fprint(w, b.String())
+}

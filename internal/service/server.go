@@ -3,14 +3,20 @@
 // Clients submit declarative job specs, stream per-job completions as
 // server-sent events (backed by Engine.Stream), fetch any result by its
 // content key, and read cache/engine statistics — the serve-results and
-// transport groundwork for distributed fan-out.
+// transport groundwork for distributed fan-out. The JSON shapes on the
+// wire live in internal/api, shared with the typed SDK in package client.
 //
 //	POST /v1/jobs                  submit {"jobs":[spec...]} or one spec
 //	GET  /v1/jobs/{id}             submission status + finished results
 //	GET  /v1/jobs/{id}/stream      SSE: one event per completed job
 //	GET  /v1/results?key=K         fetch a stored result by content key
 //	GET  /v1/stats                 engine + store counters
+//	GET  /metrics                  the same counters, Prometheus text format
 //	GET  /healthz                  liveness
+//
+// Every response carries the protocol version in the api.VersionHeader
+// header, and every error — including unknown routes and wrong methods —
+// is a JSON api.Error with a stable machine-readable code.
 package service
 
 import (
@@ -19,11 +25,25 @@ import (
 	"fmt"
 	"net/http"
 	"net/url"
+	"strconv"
+	"strings"
 	"sync"
+	"time"
 
+	"clustersim/internal/api"
 	"clustersim/internal/engine"
 	"clustersim/internal/sim"
 	"clustersim/internal/store"
+)
+
+// Aliases so existing callers keep compiling; the canonical definitions
+// live in internal/api where the client SDK shares them.
+type (
+	JobEvent       = api.JobEvent
+	SubmitResponse = api.SubmitResponse
+	StatusResponse = api.StatusResponse
+	ResultResponse = api.ResultResponse
+	StatsResponse  = api.StatsResponse
 )
 
 // Server is the clusterd HTTP handler. One server owns one engine (all
@@ -33,12 +53,16 @@ type Server struct {
 	eng *engine.Engine
 	st  store.Store
 	mux *http.ServeMux
+	now func() time.Time // injectable clock for TTL tests
 
 	mu      sync.Mutex
 	subs    map[string]*submission
 	retired []string // completed submission ids, oldest first
 	retain  int
+	ttl     time.Duration
+	ttlCh   chan struct{} // wakes the sweeper when the TTL changes
 	nextID  int
+	swept   int64 // completed submissions evicted by the TTL sweep
 }
 
 // defaultRetain bounds how many completed submissions stay queryable: the
@@ -47,28 +71,90 @@ type Server struct {
 // results remain fetchable by key — only its status/stream id expires.
 const defaultRetain = 256
 
+// defaultTTL is how long a completed submission stays queryable before
+// the sweep garbage-collects it. The retention count alone caps memory
+// but lets a burst of traffic pin stale entries for the daemon's
+// lifetime; the TTL drains them under sustained traffic too.
+const defaultTTL = time.Hour
+
 // New builds a server. ctx bounds every submission's simulations: cancel
-// it to drain the service. st is the store results are fetched from; wire
-// the same store into the engine's Options.ResultStore so computed
-// results become fetchable.
+// it to drain the service (the TTL sweeper also exits with it). st is the
+// store results are fetched from; wire the same store into the engine's
+// Options.ResultStore so computed results become fetchable.
 func New(ctx context.Context, eng *engine.Engine, st store.Store) *Server {
 	s := &Server{
-		ctx: ctx, eng: eng, st: st, mux: http.NewServeMux(),
-		subs: map[string]*submission{}, retain: defaultRetain,
+		ctx: ctx, eng: eng, st: st, mux: http.NewServeMux(), now: time.Now,
+		subs: map[string]*submission{}, retain: defaultRetain, ttl: defaultTTL,
+		ttlCh: make(chan struct{}, 1),
 	}
-	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
-	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobStatus)
-	s.mux.HandleFunc("GET /v1/jobs/{id}/stream", s.handleJobStream)
-	s.mux.HandleFunc("GET /v1/results", s.handleResult)
-	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
-	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
-		fmt.Fprintln(w, "ok")
+	// Methods are dispatched inside the handlers (not via "GET /path"
+	// patterns) so that wrong-method requests get the same JSON error
+	// shape as every other failure instead of the mux's bare-text 405.
+	s.mux.HandleFunc("/v1/jobs", s.methods(map[string]http.HandlerFunc{
+		http.MethodPost: s.handleSubmit,
+	}))
+	s.mux.HandleFunc("/v1/jobs/{id}", s.methods(map[string]http.HandlerFunc{
+		http.MethodGet: s.handleJobStatus,
+	}))
+	s.mux.HandleFunc("/v1/jobs/{id}/stream", s.methods(map[string]http.HandlerFunc{
+		http.MethodGet: s.handleJobStream,
+	}))
+	s.mux.HandleFunc("/v1/results", s.methods(map[string]http.HandlerFunc{
+		http.MethodGet: s.handleResult,
+	}))
+	s.mux.HandleFunc("/v1/stats", s.methods(map[string]http.HandlerFunc{
+		http.MethodGet: s.handleStats,
+	}))
+	s.mux.HandleFunc("/metrics", s.methods(map[string]http.HandlerFunc{
+		http.MethodGet: s.handleMetrics,
+	}))
+	s.mux.HandleFunc("/healthz", s.methods(map[string]http.HandlerFunc{
+		http.MethodGet: func(w http.ResponseWriter, r *http.Request) {
+			fmt.Fprintln(w, "ok")
+		},
+	}))
+	// Everything else is a JSON 404, not the mux's text one.
+	s.mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		httpError(w, http.StatusNotFound, api.CodeNotFound, "no such route %s", r.URL.Path)
 	})
+	go s.sweepLoop(ctx)
 	return s
 }
 
-// ServeHTTP implements http.Handler.
-func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+// ServeHTTP implements http.Handler. Every response, success or error,
+// advertises the wire-protocol version.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set(api.VersionHeader, strconv.Itoa(api.Version))
+	s.mux.ServeHTTP(w, r)
+}
+
+// methods dispatches by HTTP method, answering anything unlisted with a
+// JSON 405 that names the allowed methods. HEAD is served by the GET
+// handler (net/http discards the body), matching ServeMux's "GET /path"
+// semantics so health probes issuing HEAD keep working.
+func (s *Server) methods(handlers map[string]http.HandlerFunc) http.HandlerFunc {
+	allowed := make([]string, 0, len(handlers)+1)
+	for m := range handlers {
+		allowed = append(allowed, m)
+	}
+	if _, ok := handlers[http.MethodGet]; ok {
+		allowed = append(allowed, http.MethodHead)
+	}
+	allow := strings.Join(allowed, ", ")
+	return func(w http.ResponseWriter, r *http.Request) {
+		method := r.Method
+		if method == http.MethodHead {
+			method = http.MethodGet
+		}
+		if h, ok := handlers[method]; ok {
+			h(w, r)
+			return
+		}
+		w.Header().Set("Allow", allow)
+		httpError(w, http.StatusMethodNotAllowed, api.CodeMethodNotAllowed,
+			"method %s not allowed on %s (allowed: %s)", r.Method, r.URL.Path, allow)
+	}
+}
 
 // SetRetention overrides how many completed submissions stay queryable
 // (n < 1 keeps only in-flight ones). Call before serving traffic.
@@ -78,16 +164,87 @@ func (s *Server) SetRetention(n int) {
 	s.mu.Unlock()
 }
 
+// SetTTL overrides how long a completed submission stays queryable before
+// the sweep evicts it (d <= 0 disables the sweep; the retention count
+// still applies). The sweeper is woken to re-pace itself, so a shorter
+// TTL takes effect immediately even mid-sleep.
+func (s *Server) SetTTL(d time.Duration) {
+	s.mu.Lock()
+	s.ttl = d
+	s.mu.Unlock()
+	select {
+	case s.ttlCh <- struct{}{}:
+	default: // a wakeup is already pending
+	}
+}
+
 // retire marks a submission complete and evicts the oldest completed
 // submissions beyond the retention bound.
 func (s *Server) retire(id string) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if sub := s.subs[id]; sub != nil {
+		sub.completedAt = s.now()
+	}
 	s.retired = append(s.retired, id)
 	for len(s.retired) > s.retain && len(s.retired) > 0 {
 		delete(s.subs, s.retired[0])
 		s.retired = s.retired[1:]
 	}
+}
+
+// sweepLoop periodically expires completed submissions older than the
+// TTL. The retention count bounds the registry's size; the sweep bounds
+// its age, so under sustained traffic a completed submission is GC'd
+// even while the registry sits below the count bound.
+func (s *Server) sweepLoop(ctx context.Context) {
+	const minInterval = 50 * time.Millisecond
+	for {
+		s.mu.Lock()
+		ttl := s.ttl
+		s.mu.Unlock()
+		interval := ttl / 4
+		if interval < minInterval {
+			interval = minInterval
+		}
+		if ttl <= 0 {
+			// Sweeping disabled: idle until SetTTL re-enables it.
+			interval = time.Hour
+		}
+		select {
+		case <-ctx.Done():
+			return
+		case <-s.ttlCh:
+			continue // TTL changed: re-pace before sweeping
+		case <-time.After(interval):
+		}
+		s.sweep()
+	}
+}
+
+// sweep evicts completed submissions whose completion is older than the
+// TTL. In-flight submissions are never touched.
+func (s *Server) sweep() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ttl <= 0 {
+		return
+	}
+	cutoff := s.now().Add(-s.ttl)
+	kept := s.retired[:0]
+	for _, id := range s.retired {
+		sub := s.subs[id]
+		if sub == nil {
+			continue // already evicted by the retention count
+		}
+		if sub.completedAt.Before(cutoff) {
+			delete(s.subs, id)
+			s.swept++
+			continue
+		}
+		kept = append(kept, id)
+	}
+	s.retired = kept
 }
 
 // submission tracks one POST /v1/jobs batch as its jobs complete.
@@ -96,48 +253,14 @@ type submission struct {
 	specs []engine.JobSpec
 	keys  []string
 
+	// completedAt is set (under the server mutex) when the submission
+	// retires; the TTL sweep keys off it.
+	completedAt time.Time
+
 	mu      sync.Mutex
 	events  []JobEvent
 	done    bool
 	changed chan struct{} // closed and replaced on every state change
-}
-
-// JobEvent is one completed job, as streamed and as listed in status.
-type JobEvent struct {
-	// Index is the job's position in the submitted batch.
-	Index int `json:"index"`
-	// Simpoint and Setup identify the run.
-	Simpoint string `json:"simpoint"`
-	Setup    string `json:"setup"`
-	// Key is the result's content address in the store ("" when the job
-	// is uncacheable).
-	Key string `json:"key,omitempty"`
-	// Error is non-empty for failed or canceled runs.
-	Error string `json:"error,omitempty"`
-	// Headline metrics for dashboards; fetch the key for everything.
-	IPC    float64 `json:"ipc,omitempty"`
-	Cycles int64   `json:"cycles,omitempty"`
-	Uops   int64   `json:"uops,omitempty"`
-	Copies int64   `json:"copies,omitempty"`
-}
-
-// SubmitResponse acknowledges a submission.
-type SubmitResponse struct {
-	ID string `json:"id"`
-	// Keys holds each job's result content key, index-aligned with the
-	// submitted batch ("" for uncacheable jobs).
-	Keys []string `json:"keys"`
-	// Total is the number of jobs accepted.
-	Total int `json:"total"`
-}
-
-// StatusResponse reports a submission's progress.
-type StatusResponse struct {
-	ID        string     `json:"id"`
-	Total     int        `json:"total"`
-	Completed int        `json:"completed"`
-	Done      bool       `json:"done"`
-	Results   []JobEvent `json:"results"`
 }
 
 // snapshot returns the events from index from on, whether the submission
@@ -160,10 +283,13 @@ func (sub *submission) append(ev JobEvent, done bool) {
 	sub.mu.Unlock()
 }
 
-func httpError(w http.ResponseWriter, code int, format string, args ...any) {
+// httpError writes the uniform JSON error body: a stable machine-readable
+// code plus a human-readable message. Every error path in the package —
+// including route and method misses — funnels through here.
+func httpError(w http.ResponseWriter, status int, code, format string, args ...any) {
 	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(code)
-	json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(api.Error{Code: code, Message: fmt.Sprintf(format, args...)})
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {
@@ -185,13 +311,13 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&body); err != nil {
-		httpError(w, http.StatusBadRequest, "decoding request: %v", err)
+		httpError(w, http.StatusBadRequest, api.CodeBadRequest, "decoding request: %v", err)
 		return
 	}
 	specs := body.Jobs
 	if len(specs) == 0 {
 		if body.Simpoint == "" {
-			httpError(w, http.StatusBadRequest, "no jobs: send {\"jobs\":[...]} or a single spec")
+			httpError(w, http.StatusBadRequest, api.CodeBadRequest, "no jobs: send {\"jobs\":[...]} or a single spec")
 			return
 		}
 		specs = []engine.JobSpec{body.JobSpec}
@@ -202,7 +328,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	for i, spec := range specs {
 		job, err := sim.JobFromSpec(spec)
 		if err != nil {
-			httpError(w, http.StatusBadRequest, "job %d: %v", i, err)
+			httpError(w, http.StatusBadRequest, api.CodeBadRequest, "job %d: %v", i, err)
 			return
 		}
 		jobs[i] = job
@@ -259,7 +385,7 @@ func (s *Server) lookup(id string) *submission {
 func (s *Server) handleJobStatus(w http.ResponseWriter, r *http.Request) {
 	sub := s.lookup(r.PathValue("id"))
 	if sub == nil {
-		httpError(w, http.StatusNotFound, "unknown submission %q", r.PathValue("id"))
+		httpError(w, http.StatusNotFound, api.CodeNotFound, "unknown submission %q", r.PathValue("id"))
 		return
 	}
 	events, done, _ := sub.snapshot(0)
@@ -273,12 +399,12 @@ func (s *Server) handleJobStatus(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleJobStream(w http.ResponseWriter, r *http.Request) {
 	sub := s.lookup(r.PathValue("id"))
 	if sub == nil {
-		httpError(w, http.StatusNotFound, "unknown submission %q", r.PathValue("id"))
+		httpError(w, http.StatusNotFound, api.CodeNotFound, "unknown submission %q", r.PathValue("id"))
 		return
 	}
 	flusher, ok := w.(http.Flusher)
 	if !ok {
-		httpError(w, http.StatusInternalServerError, "streaming unsupported")
+		httpError(w, http.StatusInternalServerError, api.CodeInternal, "streaming unsupported")
 		return
 	}
 	w.Header().Set("Content-Type", "text/event-stream")
@@ -314,29 +440,15 @@ func (s *Server) handleJobStream(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-// ResultResponse is the JSON rendering of a stored result.
-type ResultResponse struct {
-	Key        string  `json:"key"`
-	Simpoint   string  `json:"simpoint"`
-	Bench      string  `json:"bench"`
-	Setup      string  `json:"setup"`
-	IPC        float64 `json:"ipc"`
-	Cycles     int64   `json:"cycles"`
-	Uops       int64   `json:"uops"`
-	Copies     int64   `json:"copies"`
-	AllocStall int64   `json:"alloc_stall_cycles"`
-	Imbalance  float64 `json:"workload_imbalance"`
-}
-
 func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 	key, err := url.QueryUnescape(r.URL.Query().Get("key"))
 	if err != nil || key == "" {
-		httpError(w, http.StatusBadRequest, "missing or malformed ?key=")
+		httpError(w, http.StatusBadRequest, api.CodeBadRequest, "missing or malformed ?key=")
 		return
 	}
 	blob, ok := s.st.Get(key)
 	if !ok {
-		httpError(w, http.StatusNotFound, "no result stored under key %q", key)
+		httpError(w, http.StatusNotFound, api.CodeNotFound, "no result stored under key %q", key)
 		return
 	}
 	if r.URL.Query().Get("raw") != "" {
@@ -346,7 +458,7 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 	}
 	res, err := engine.DecodeResult(blob)
 	if err != nil {
-		httpError(w, http.StatusInternalServerError, "stored blob undecodable: %v", err)
+		httpError(w, http.StatusInternalServerError, api.CodeInternal, "stored blob undecodable: %v", err)
 		return
 	}
 	writeJSON(w, http.StatusOK, ResultResponse{
@@ -361,15 +473,6 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 		AllocStall: res.Metrics.AllocStallCycles,
 		Imbalance:  res.Metrics.WorkloadImbalance(),
 	})
-}
-
-// StatsResponse reports the engine's cache counters and the store's
-// occupancy, with per-tier detail when the store is tiered.
-type StatsResponse struct {
-	Engine engine.CacheStats `json:"engine"`
-	Store  store.Stats       `json:"store"`
-	Memory *store.Stats      `json:"memory,omitempty"`
-	Disk   *store.Stats      `json:"disk,omitempty"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {

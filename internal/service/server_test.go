@@ -7,10 +7,12 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"net/url"
+	"strconv"
 	"strings"
 	"testing"
 	"time"
 
+	"clustersim/internal/api"
 	"clustersim/internal/engine"
 	"clustersim/internal/service"
 	"clustersim/internal/store"
@@ -359,5 +361,195 @@ func TestResultSurvivesRestart(t *testing.T) {
 	waitDone(t, ts2.URL, sub3.ID)
 	if st := eng2.Stats(); st.Simulations != 0 || st.StoreHits != 1 {
 		t.Errorf("restarted engine stats: %+v", st)
+	}
+}
+
+// Every error path — bad requests, unknown submissions, unknown routes,
+// wrong methods — returns a JSON body with a stable machine-readable code
+// and the right Content-Type; no path writes bare text.
+func TestUniformJSONErrors(t *testing.T) {
+	ts, _, _ := startServer(t)
+
+	check := func(name string, resp *http.Response, wantStatus int, wantCode string) {
+		t.Helper()
+		defer resp.Body.Close()
+		if resp.StatusCode != wantStatus {
+			t.Errorf("%s: status %d, want %d", name, resp.StatusCode, wantStatus)
+		}
+		if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+			t.Errorf("%s: content type %q", name, ct)
+		}
+		if v := resp.Header.Get(api.VersionHeader); v != strconv.Itoa(api.Version) {
+			t.Errorf("%s: version header %q", name, v)
+		}
+		var e api.Error
+		if err := json.NewDecoder(resp.Body).Decode(&e); err != nil {
+			t.Errorf("%s: body not JSON: %v", name, err)
+			return
+		}
+		if e.Code != wantCode || e.Message == "" {
+			t.Errorf("%s: error body %+v, want code %q", name, e, wantCode)
+		}
+	}
+
+	resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", strings.NewReader("junk"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	check("bad request", resp, http.StatusBadRequest, api.CodeBadRequest)
+
+	resp, err = http.Get(ts.URL + "/v1/jobs/sub-999")
+	if err != nil {
+		t.Fatal(err)
+	}
+	check("unknown submission", resp, http.StatusNotFound, api.CodeNotFound)
+
+	resp, err = http.Get(ts.URL + "/no/such/route")
+	if err != nil {
+		t.Fatal(err)
+	}
+	check("unknown route", resp, http.StatusNotFound, api.CodeNotFound)
+
+	resp, err = http.Get(ts.URL + "/v1/jobs") // GET on a POST-only route
+	if err != nil {
+		t.Fatal(err)
+	}
+	if allow := resp.Header.Get("Allow"); allow != "POST" {
+		t.Errorf("Allow header %q", allow)
+	}
+	check("wrong method", resp, http.StatusMethodNotAllowed, api.CodeMethodNotAllowed)
+
+	resp, err = http.Post(ts.URL+"/v1/stats", "application/json", strings.NewReader("{}"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	check("POST on GET route", resp, http.StatusMethodNotAllowed, api.CodeMethodNotAllowed)
+
+	resp, err = http.Get(ts.URL + "/v1/results")
+	if err != nil {
+		t.Fatal(err)
+	}
+	check("missing key", resp, http.StatusBadRequest, api.CodeBadRequest)
+
+	// HEAD is served by GET handlers (load-balancer health probes).
+	resp, err = http.Head(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("HEAD /healthz: %d", resp.StatusCode)
+	}
+}
+
+// Completed submissions are garbage-collected by age: under sustained
+// traffic the TTL sweep drains the registry even while it sits below the
+// retention count. Results stay fetchable by key.
+func TestSubmissionTTLSweep(t *testing.T) {
+	disk, err := store.OpenDisk(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := store.NewTiered(store.NewMemory(64<<20), disk)
+	eng := engine.New(engine.Options{Parallelism: 2, ResultStore: st})
+	srv := service.New(context.Background(), eng, st)
+	srv.SetTTL(30 * time.Millisecond)
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+
+	resp, raw := postJSON(t, ts.URL+"/v1/jobs",
+		`{"simpoint":"mcf","setup":{"kind":"OP"},"opts":{"num_uops":2000}}`)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: %d %s", resp.StatusCode, raw)
+	}
+	var sub service.SubmitResponse
+	if err := json.Unmarshal(raw, &sub); err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, ts.URL, sub.ID)
+
+	// The sweep (TTL 30ms, swept at least every 50ms) must evict the
+	// completed submission; in-flight ones are never touched, so poll.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		resp, err := http.Get(ts.URL + "/v1/jobs/" + sub.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusNotFound {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("completed submission never swept")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	// The result outlives its submission id.
+	resp2, err := http.Get(ts.URL + "/v1/results?key=" + url.QueryEscape(sub.Keys[0]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusOK {
+		t.Errorf("swept submission's result not fetchable: %d", resp2.StatusCode)
+	}
+
+	// The sweep shows up in the metrics endpoint.
+	resp3, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp3.Body.Close()
+	var body strings.Builder
+	if _, err := bufio.NewReader(resp3.Body).WriteTo(&body); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(body.String(), "clusterd_submissions_swept_total 1") {
+		t.Errorf("metrics missing sweep counter:\n%s", body.String())
+	}
+}
+
+// GET /metrics renders the engine and per-tier store counters in
+// Prometheus text exposition format.
+func TestMetricsEndpoint(t *testing.T) {
+	ts, _, _ := startServer(t)
+
+	resp, raw := postJSON(t, ts.URL+"/v1/jobs",
+		`{"simpoint":"gzip-1","setup":{"kind":"OP"},"opts":{"num_uops":2000}}`)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: %d %s", resp.StatusCode, raw)
+	}
+	var sub service.SubmitResponse
+	if err := json.Unmarshal(raw, &sub); err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, ts.URL, sub.ID)
+
+	mresp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mresp.Body.Close()
+	if ct := mresp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("metrics content type %q", ct)
+	}
+	var b strings.Builder
+	if _, err := bufio.NewReader(mresp.Body).WriteTo(&b); err != nil {
+		t.Fatal(err)
+	}
+	body := b.String()
+	for _, want := range []string{
+		"# TYPE clusterd_engine_simulations_total counter",
+		"clusterd_engine_simulations_total 1",
+		`clusterd_store_entries{tier="memory"}`,
+		`clusterd_store_entries{tier="disk"} 1`,
+		`clusterd_store_puts_total{tier="all"}`,
+		"clusterd_submissions_retained 1",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("metrics missing %q", want)
+		}
 	}
 }

@@ -35,6 +35,7 @@ func SetupOP(clusters int) Setup {
 	return Setup{
 		Label:       "OP",
 		NumClusters: clusters,
+		Spec:        &engine.SetupSpec{Kind: "OP", NumClusters: clusters},
 		NewPolicy:   func() steer.Policy { return &steer.OP{} },
 	}
 }
@@ -46,6 +47,7 @@ func SetupOPNoStall(clusters int) Setup {
 	return Setup{
 		Label:       "OP-nostall",
 		NumClusters: clusters,
+		Spec:        &engine.SetupSpec{Kind: "OP-nostall", NumClusters: clusters},
 		NewPolicy:   func() steer.Policy { return &steer.OP{NoStall: true} },
 	}
 }
@@ -55,6 +57,7 @@ func SetupOneCluster(clusters int) Setup {
 	return Setup{
 		Label:       "one-cluster",
 		NumClusters: clusters,
+		Spec:        &engine.SetupSpec{Kind: "one-cluster", NumClusters: clusters},
 		NewPolicy:   func() steer.Policy { return &steer.OneCluster{} },
 	}
 }
@@ -65,6 +68,7 @@ func SetupOB(clusters int) Setup {
 		Label:       "OB",
 		NumClusters: clusters,
 		Pass:        &Pass{Kind: "OB", NumTargets: clusters, Run: partition.AnnotateOB},
+		Spec:        &engine.SetupSpec{Kind: "OB", NumClusters: clusters},
 		NewPolicy:   func() steer.Policy { return &steer.Static{Label: "OB"} },
 	}
 }
@@ -75,6 +79,7 @@ func SetupRHOP(clusters int) Setup {
 		Label:       "RHOP",
 		NumClusters: clusters,
 		Pass:        &Pass{Kind: "RHOP", NumTargets: clusters, Run: partition.AnnotateRHOP},
+		Spec:        &engine.SetupSpec{Kind: "RHOP", NumClusters: clusters},
 		NewPolicy:   func() steer.Policy { return &steer.Static{Label: "RHOP"} },
 	}
 }
@@ -98,6 +103,7 @@ func SetupVCComm(numVC, clusters int) Setup {
 		Label:       label,
 		NumClusters: clusters,
 		Pass:        &Pass{Kind: "VC", NumTargets: numVC, Run: partition.AnnotateVC},
+		Spec:        &engine.SetupSpec{Kind: "VC-comm", NumClusters: clusters, NumVC: numVC},
 		NewPolicy:   func() steer.Policy { return steer.NewVCComm(numVC) },
 	}
 }
@@ -112,6 +118,7 @@ func SetupScoped(kind string, clusters, regionMaxOps int) Setup {
 			Label:       label,
 			NumClusters: clusters,
 			Pass:        &Pass{Kind: "OB", NumTargets: clusters, RegionMaxOps: regionMaxOps, Run: partition.AnnotateOB},
+			Spec:        &engine.SetupSpec{Kind: "OB", NumClusters: clusters, RegionMaxOps: regionMaxOps},
 			NewPolicy:   func() steer.Policy { return &steer.Static{Label: label} },
 		}
 	case "RHOP":
@@ -119,6 +126,7 @@ func SetupScoped(kind string, clusters, regionMaxOps int) Setup {
 			Label:       label,
 			NumClusters: clusters,
 			Pass:        &Pass{Kind: "RHOP", NumTargets: clusters, RegionMaxOps: regionMaxOps, Run: partition.AnnotateRHOP},
+			Spec:        &engine.SetupSpec{Kind: "RHOP", NumClusters: clusters, RegionMaxOps: regionMaxOps},
 			NewPolicy:   func() steer.Policy { return &steer.Static{Label: label} },
 		}
 	case "VC":
@@ -126,6 +134,7 @@ func SetupScoped(kind string, clusters, regionMaxOps int) Setup {
 			Label:       label,
 			NumClusters: clusters,
 			Pass:        &Pass{Kind: "VC", NumTargets: clusters, RegionMaxOps: regionMaxOps, Run: partition.AnnotateVC},
+			Spec:        &engine.SetupSpec{Kind: "VC", NumClusters: clusters, RegionMaxOps: regionMaxOps},
 			NewPolicy:   func() steer.Policy { return steer.NewVC(clusters) },
 		}
 	}
@@ -146,6 +155,7 @@ func SetupVCChain(numVC, clusters, maxChainLen int) Setup {
 		Label:       label,
 		NumClusters: clusters,
 		Pass:        &Pass{Kind: "VC", NumTargets: numVC, MaxChainLen: maxChainLen, Run: partition.AnnotateVC},
+		Spec:        &engine.SetupSpec{Kind: "VC", NumClusters: clusters, NumVC: numVC, MaxChainLen: maxChainLen},
 		NewPolicy:   func() steer.Policy { return steer.NewVC(numVC) },
 	}
 }
@@ -161,10 +171,23 @@ func RunOne(sp *workload.Simpoint, setup Setup, opt RunOptions) *Result {
 // returns results indexed as [simpoint][setup], matching the input order.
 // Parallelism ≤ 0 means GOMAXPROCS. Each call uses a private engine, so
 // annotated programs and traces are shared between the matrix's own cells
-// but nothing persists across calls; share an explicit engine.Engine to
-// cache across invocations.
+// but nothing persists across calls; share an explicit engine.Engine (or
+// any engine.Runner) via RunMatrixOn to cache across invocations.
 func RunMatrix(sps []*workload.Simpoint, setups []Setup, opt RunOptions, parallelism int) [][]*Result {
 	eng := engine.New(engine.Options{Parallelism: parallelism})
 	res, _ := eng.RunMatrix(context.Background(), sps, setups, opt)
 	return res
+}
+
+// RunOneOn executes one simulation on any Runner — a shared local engine
+// or a remote clusterd client — with cancellation.
+func RunOneOn(ctx context.Context, r engine.Runner, sp *workload.Simpoint, setup Setup, opt RunOptions) *Result {
+	return r.Run(ctx, engine.Job{Simpoint: sp, Setup: setup, Opts: opt})
+}
+
+// RunMatrixOn fans the (simpoint × setup) matrix through any Runner;
+// results are indexed [simpoint][setup]. Where the simulations execute —
+// this process or a clusterd fleet — is entirely the runner's concern.
+func RunMatrixOn(ctx context.Context, r engine.Runner, sps []*workload.Simpoint, setups []Setup, opt RunOptions) ([][]*Result, error) {
+	return engine.RunMatrixOn(ctx, r, sps, setups, opt)
 }

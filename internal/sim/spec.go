@@ -2,10 +2,71 @@ package sim
 
 import (
 	"fmt"
+	"sync"
 
 	"clustersim/internal/engine"
+	"clustersim/internal/prog"
 	"clustersim/internal/workload"
 )
+
+// suiteIdentity is the per-simpoint data SpecFromJob validates against.
+type suiteIdentity struct {
+	seed int64
+	fp   uint64
+}
+
+// suiteIndex memoizes the suite's (name → seed, program fingerprint) map:
+// workload.ByName regenerates all ~40 synthetic programs per call, far
+// too heavy for a remote runner that validates every job it submits.
+var suiteIndex = sync.OnceValue(func() map[string]suiteIdentity {
+	idx := map[string]suiteIdentity{}
+	for _, sp := range workload.Suite() {
+		idx[sp.Name] = suiteIdentity{seed: sp.Seed, fp: sp.Program.Fingerprint()}
+	}
+	return idx
+})
+
+// fingerprintOf memoizes Program.Fingerprint per program value (programs
+// are immutable once built), so a matrix submitting the same workload
+// under many setups hashes it once, not once per job. The memo is
+// bounded — a caller that resolves fresh program instances per request
+// must not have them pinned for process lifetime — by dropping the whole
+// map when it fills; steady-state workloads re-warm it in one pass.
+func fingerprintOf(p *prog.Program) uint64 {
+	const maxEntries = 512
+	fpMu.Lock()
+	fp, ok := fpMemo[p]
+	fpMu.Unlock()
+	if ok {
+		return fp
+	}
+	fp = p.Fingerprint() // outside the lock: the walk is the expensive part
+	fpMu.Lock()
+	if len(fpMemo) >= maxEntries {
+		fpMemo = make(map[*prog.Program]uint64, maxEntries)
+	}
+	fpMemo[p] = fp
+	fpMu.Unlock()
+	return fp
+}
+
+var (
+	fpMu   sync.Mutex
+	fpMemo = map[*prog.Program]uint64{}
+)
+
+// passEqual compares the cacheable signature of two compiler passes (the
+// same fields engine folds into result keys).
+func passEqual(a, b *engine.Pass) bool {
+	if (a == nil) != (b == nil) {
+		return false
+	}
+	if a == nil {
+		return true
+	}
+	return a.Kind == b.Kind && a.NumTargets == b.NumTargets &&
+		a.RegionMaxOps == b.RegionMaxOps && a.MaxChainLen == b.MaxChainLen
+}
 
 // SetupFromSpec resolves a declarative setup spec (the clusterd wire form)
 // into a runnable Setup. Unknown kinds are rejected so a typo in a request
@@ -45,6 +106,54 @@ func SetupFromSpec(s engine.SetupSpec) (engine.Setup, error) {
 		return SetupVCComm(numVC, clusters), nil
 	}
 	return engine.Setup{}, fmt.Errorf("sim: unknown setup kind %q", s.Kind)
+}
+
+// SpecFromJob converts a runnable job back to its declarative wire form —
+// the inverse of JobFromSpec, used by remote runners to ship a job to a
+// clusterd worker. Not every job can travel: setups built around opaque
+// closures (custom Annotate passes, hand-rolled policies), machine-tweak
+// closures, and workloads outside the synthetic suite have no declarative
+// form and must execute locally. The returned error says which constraint
+// failed so hybrid runners can route such jobs to a local fallback.
+func SpecFromJob(job engine.Job) (engine.JobSpec, error) {
+	if job.Simpoint == nil {
+		return engine.JobSpec{}, fmt.Errorf("sim: job has no simpoint")
+	}
+	if job.Setup.Annotate != nil || job.Setup.Spec == nil {
+		return engine.JobSpec{}, fmt.Errorf("sim: setup %q has no declarative spec (custom setups run locally only)", job.Setup.Label)
+	}
+	if job.Opts.MachineTweak != nil {
+		return engine.JobSpec{}, fmt.Errorf("sim: machine-tweak closures cannot cross a process boundary")
+	}
+	// The spec must still describe the setup: Setup fields are exported,
+	// so a caller may have mutated the setup after construction, and a
+	// remote worker resolving the stale spec would silently simulate the
+	// wrong configuration. Closure swaps (NewPolicy) are undetectable;
+	// everything the result key depends on is checked.
+	resolved, err := SetupFromSpec(*job.Setup.Spec)
+	if err != nil {
+		return engine.JobSpec{}, fmt.Errorf("sim: setup %q carries an unresolvable spec: %w", job.Setup.Label, err)
+	}
+	if resolved.Label != job.Setup.Label || resolved.NumClusters != job.Setup.NumClusters ||
+		!passEqual(resolved.Pass, job.Setup.Pass) {
+		return engine.JobSpec{}, fmt.Errorf("sim: setup %q was modified after construction; its declarative spec no longer describes it (rebuild it with a Setup* constructor)", job.Setup.Label)
+	}
+	suite, ok := suiteIndex()[job.Simpoint.Name]
+	if !ok {
+		return engine.JobSpec{}, fmt.Errorf("sim: workload %q is not a suite member (custom workloads run locally only)", job.Simpoint.Name)
+	}
+	// A remote worker resolves the spec against *its* suite by name, so a
+	// custom program that happens to share a suite name must be caught
+	// here — by seed and content — or the worker would silently simulate
+	// the wrong program.
+	if suite.seed != job.Simpoint.Seed || suite.fp != fingerprintOf(job.Simpoint.Program) {
+		return engine.JobSpec{}, fmt.Errorf("sim: workload %q does not match the suite's definition (custom workloads run locally only)", job.Simpoint.Name)
+	}
+	return engine.JobSpec{
+		Simpoint: job.Simpoint.Name,
+		Setup:    *job.Setup.Spec,
+		Opts:     engine.OptionsSpec{NumUops: job.Opts.NumUops, WarmupUops: job.Opts.WarmupUops},
+	}, nil
 }
 
 // JobFromSpec resolves a serialized job spec into a runnable engine job:
