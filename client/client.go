@@ -48,6 +48,7 @@ var ErrStreamEnded = errors.New("client: event stream ended before completion")
 type Client struct {
 	base       string
 	hc         *http.Client
+	token      string
 	minBackoff time.Duration
 	maxBackoff time.Duration
 	retries    int
@@ -70,6 +71,11 @@ func WithBackoff(min, max time.Duration) Option {
 // WithRetries sets how many consecutive failed connection attempts Stream
 // tolerates before giving up (progress resets the count).
 func WithRetries(n int) Option { return func(c *Client) { c.retries = n } }
+
+// WithToken attaches "Authorization: Bearer <token>" to every request —
+// the credential a clusterd started with -token requires. An empty token
+// sends no header.
+func WithToken(token string) Option { return func(c *Client) { c.token = token } }
 
 // New builds a client for the clusterd instance at baseURL
 // ("http://host:8080"). The constructor does not dial the server; the
@@ -119,6 +125,19 @@ func apiError(resp *http.Response) error {
 	return fmt.Errorf("client: http %d: %s", resp.StatusCode, strings.TrimSpace(string(body)))
 }
 
+// newRequest builds a request against the server, attaching the bearer
+// token when one is configured.
+func (c *Client) newRequest(ctx context.Context, method, path string, rd io.Reader) (*http.Request, error) {
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
+	if err != nil {
+		return nil, fmt.Errorf("client: building request: %w", err)
+	}
+	if c.token != "" {
+		req.Header.Set("Authorization", "Bearer "+c.token)
+	}
+	return req, nil
+}
+
 // do performs one JSON round trip: marshal body (if any), check the
 // protocol version, surface API errors, decode into out (if non-nil).
 func (c *Client) do(ctx context.Context, method, path string, body, out any) error {
@@ -130,9 +149,9 @@ func (c *Client) do(ctx context.Context, method, path string, body, out any) err
 		}
 		rd = bytes.NewReader(blob)
 	}
-	req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
+	req, err := c.newRequest(ctx, method, path, rd)
 	if err != nil {
-		return fmt.Errorf("client: building request: %w", err)
+		return err
 	}
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
@@ -158,14 +177,28 @@ func (c *Client) do(ctx context.Context, method, path string, body, out any) err
 	return nil
 }
 
+// SubmitOption adjusts one submission.
+type SubmitOption func(*api.SubmitRequest)
+
+// WithMaxParallel caps how many engine workers the batch may occupy on
+// the server at once; the server clamps the hint to its own limit. Use
+// it to keep a huge batch from monopolizing a shared worker.
+func WithMaxParallel(n int) SubmitOption {
+	return func(req *api.SubmitRequest) { req.MaxParallel = n }
+}
+
 // Submit sends a batch of job specs and returns the submission ack: the
 // submission id to stream, and each job's result content key.
-func (c *Client) Submit(ctx context.Context, specs []engine.JobSpec) (*api.SubmitResponse, error) {
+func (c *Client) Submit(ctx context.Context, specs []engine.JobSpec, opts ...SubmitOption) (*api.SubmitResponse, error) {
 	if len(specs) == 0 {
 		return nil, fmt.Errorf("client: empty submission")
 	}
+	req := api.SubmitRequest{Jobs: specs}
+	for _, o := range opts {
+		o(&req)
+	}
 	var resp api.SubmitResponse
-	if err := c.do(ctx, http.MethodPost, "/v1/jobs", api.SubmitRequest{Jobs: specs}, &resp); err != nil {
+	if err := c.do(ctx, http.MethodPost, "/v1/jobs", req, &resp); err != nil {
 		return nil, err
 	}
 	return &resp, nil
@@ -214,10 +247,10 @@ func (c *Client) ResultSummary(ctx context.Context, key string) (*api.ResultResp
 // Simpoint carries identity only — attach the local simpoint if row
 // matching matters (Runner does).
 func (c *Client) Result(ctx context.Context, key string) (*engine.Result, error) {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
-		c.base+"/v1/results?raw=1&key="+url.QueryEscape(key), nil)
+	req, err := c.newRequest(ctx, http.MethodGet,
+		"/v1/results?raw=1&key="+url.QueryEscape(key), nil)
 	if err != nil {
-		return nil, fmt.Errorf("client: building request: %w", err)
+		return nil, err
 	}
 	resp, err := c.hc.Do(req)
 	if err != nil {
@@ -291,10 +324,10 @@ func (c *Client) Stream(ctx context.Context, id string, fn func(api.JobEvent)) e
 // events (already delivered on a previous connection). It returns how
 // many new events it delivered and whether the server reported done.
 func (c *Client) streamOnce(ctx context.Context, id string, skip int, fn func(api.JobEvent)) (delivered int, done bool, err error) {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
-		c.base+"/v1/jobs/"+url.PathEscape(id)+"/stream", nil)
+	req, err := c.newRequest(ctx, http.MethodGet,
+		"/v1/jobs/"+url.PathEscape(id)+"/stream", nil)
 	if err != nil {
-		return 0, false, fmt.Errorf("client: building request: %w", err)
+		return 0, false, err
 	}
 	req.Header.Set("Accept", "text/event-stream")
 	resp, err := c.hc.Do(req)

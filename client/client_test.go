@@ -408,3 +408,50 @@ func TestServerResponseValidation(t *testing.T) {
 		t.Error("bad base URL accepted")
 	}
 }
+
+// The SDK attaches the configured bearer token on every path — JSON
+// round trips, the raw result fetch and the SSE stream — and without it
+// surfaces the typed unauthorized error instead of retrying.
+func TestClientBearerToken(t *testing.T) {
+	st := store.NewTiered(store.NewMemory(64<<20), store.NewMemory(64<<20))
+	eng := engine.New(engine.Options{Parallelism: 2, ResultStore: st})
+	svc := service.New(context.Background(), eng, st)
+	svc.SetToken("sesame")
+	ts := httptest.NewServer(svc)
+	t.Cleanup(ts.Close)
+	ctx := context.Background()
+
+	locked, _ := client.New(ts.URL)
+	var apiErr *api.Error
+	if _, err := locked.Stats(ctx); !errors.As(err, &apiErr) || apiErr.Code != api.CodeUnauthorized {
+		t.Fatalf("tokenless stats error: %v", err)
+	}
+	if err := locked.Stream(ctx, "sub-1", func(api.JobEvent) {}); !errors.As(err, &apiErr) || apiErr.Code != api.CodeUnauthorized {
+		t.Fatalf("tokenless stream error: %v", err)
+	}
+	// Health stays open so fleet liveness probes work without credentials.
+	if err := locked.Health(ctx); err != nil {
+		t.Fatalf("health demanded credentials: %v", err)
+	}
+
+	c, err := client.New(ts.URL, client.WithToken("sesame"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub, err := c.Submit(ctx, []engine.JobSpec{
+		{Simpoint: "gzip-1", Setup: engine.SetupSpec{Kind: "OP", NumClusters: 2}, Opts: engine.OptionsSpec{NumUops: 2000}},
+	}, client.WithMaxParallel(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	events := 0
+	if err := c.Stream(ctx, sub.ID, func(api.JobEvent) { events++ }); err != nil {
+		t.Fatal(err)
+	}
+	if events != 1 {
+		t.Fatalf("streamed %d events, want 1", events)
+	}
+	if _, err := c.Result(ctx, sub.Keys[0]); err != nil {
+		t.Fatalf("authenticated raw fetch: %v", err)
+	}
+}

@@ -25,15 +25,29 @@ import (
 // without one they fail with the conversion error. Safe for concurrent
 // use.
 type Runner struct {
-	c        *Client
-	local    engine.Runner
-	progress func(done, total int, label string)
+	c           *Client
+	local       engine.Runner
+	progress    func(done, total int, label string)
+	maxParallel int
 
 	submitted, completed atomic.Int64
 
 	baseOnce sync.Once
 	baseline engine.CacheStats // server counters when this runner first ran
 }
+
+// JobError is a job-level failure the server reported in a completion
+// event: the worker was reachable and executed (or refused) the job, and
+// the failure is deterministic — resubmitting the job elsewhere would
+// fail identically. Transport failures are never JobErrors, which is how
+// multi-worker runners tell a lost worker from a genuinely failing job.
+type JobError struct {
+	// Message is the server-reported failure text.
+	Message string
+}
+
+// Error implements the error interface.
+func (e *JobError) Error() string { return "clusterd: " + e.Message }
 
 // RunnerOption configures a Runner.
 type RunnerOption func(*Runner)
@@ -50,6 +64,14 @@ func WithFallback(local engine.Runner) RunnerOption {
 // It may be called concurrently.
 func WithProgress(fn func(done, total int, label string)) RunnerOption {
 	return func(r *Runner) { r.progress = fn }
+}
+
+// WithBatchParallel forwards a per-batch parallelism hint with every
+// submission this runner makes: the server caps how many of its workers
+// the batch occupies at once (clamped to the server's own limit). Useful
+// when several runners share one worker and none should monopolize it.
+func WithBatchParallel(n int) RunnerOption {
+	return func(r *Runner) { r.maxParallel = n }
 }
 
 // NewRunner wraps a Client as an engine.Runner.
@@ -152,7 +174,11 @@ func (r *Runner) streamRemote(ctx context.Context, jobs []engine.Job, specs []en
 			}})
 		}
 	}
-	sub, err := r.c.Submit(ctx, specs)
+	var sopts []SubmitOption
+	if r.maxParallel > 0 {
+		sopts = append(sopts, WithMaxParallel(r.maxParallel))
+	}
+	sub, err := r.c.Submit(ctx, specs, sopts...)
 	if err != nil {
 		fail(err)
 		return
@@ -203,7 +229,7 @@ func (r *Runner) streamRemote(ctx context.Context, jobs []engine.Job, specs []en
 func (r *Runner) fetch(ctx context.Context, job engine.Job, ev api.JobEvent) *engine.Result {
 	if ev.Error != "" {
 		return &engine.Result{Simpoint: job.Simpoint, Setup: job.Setup.Label,
-			Err: fmt.Errorf("clusterd: %s", ev.Error)}
+			Err: &JobError{Message: ev.Error}}
 	}
 	if ev.Key == "" {
 		return &engine.Result{Simpoint: job.Simpoint, Setup: job.Setup.Label,

@@ -29,6 +29,7 @@ const (
 	CodeBadRequest       = api.CodeBadRequest
 	CodeNotFound         = api.CodeNotFound
 	CodeMethodNotAllowed = api.CodeMethodNotAllowed
+	CodeUnauthorized     = api.CodeUnauthorized
 	CodeInternal         = api.CodeInternal
 )
 

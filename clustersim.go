@@ -30,6 +30,7 @@ import (
 	"context"
 
 	"clustersim/client"
+	"clustersim/fleet"
 	"clustersim/internal/engine"
 	"clustersim/internal/experiments"
 	"clustersim/internal/pipeline"
@@ -155,6 +156,14 @@ func OpenDiskStore(dir string, maxBytes int64) (ResultStore, error) {
 	return store.OpenDisk(dir, maxBytes)
 }
 
+// OpenCompressedDiskStore is OpenDiskStore with gzip-compressed records:
+// the same -cachemax budget holds several times more results. A store
+// opened this way still reads blobs written uncompressed (and vice
+// versa) — compression applies to new writes only.
+func OpenCompressedDiskStore(dir string, maxBytes int64) (ResultStore, error) {
+	return store.OpenDisk(dir, maxBytes, store.WithCompression())
+}
+
 // NewMemoryStore builds a byte-bounded in-memory result store.
 func NewMemoryStore(maxBytes int64) ResultStore { return store.NewMemory(maxBytes) }
 
@@ -206,6 +215,25 @@ func NewRemoteRunner(baseURL string, local Runner) (Runner, error) {
 		opts = append(opts, client.WithFallback(local))
 	}
 	return client.NewRunner(c, opts...), nil
+}
+
+// NewFleetRunner shards simulation batches across the clusterd workers
+// at urls by consistent hash of each job's result content key (every
+// worker's store stays hot for its key range), merges the per-worker
+// streams into one exactly-once result stream, and re-shards the jobs of
+// a worker lost mid-stream onto the survivors. A single URL degrades to
+// the plain single-host remote runner. local, when non-nil, handles jobs
+// that cannot travel. For auth, stealing, progress and health-check
+// options use the clustersim/fleet package directly.
+func NewFleetRunner(urls []string, local Runner) (Runner, error) {
+	if len(urls) == 1 {
+		return NewRemoteRunner(urls[0], local)
+	}
+	var opts []fleet.Option
+	if local != nil {
+		opts = append(opts, fleet.WithFallback(local))
+	}
+	return fleet.New(urls, opts...)
 }
 
 // RunOn executes one simulation on any Runner with cancellation.

@@ -1,9 +1,16 @@
 package clustersim
 
 import (
+	"context"
+	"net/http/httptest"
 	"testing"
 
+	"clustersim/client"
+	"clustersim/fleet"
+	"clustersim/internal/engine"
 	"clustersim/internal/prog"
+	"clustersim/internal/service"
+	"clustersim/internal/store"
 	"clustersim/internal/uarch"
 )
 
@@ -94,5 +101,46 @@ func TestDefaultMachineValidates(t *testing.T) {
 		if err := cfg.Validate(); err != nil {
 			t.Errorf("DefaultMachine(%d): %v", n, err)
 		}
+	}
+}
+
+// NewFleetRunner degrades gracefully: one URL yields the plain
+// single-host remote runner (no sharding layer), several yield the
+// fleet runner.
+func TestNewFleetRunnerDegradesToClientRunner(t *testing.T) {
+	st := store.NewMemory(16 << 20)
+	eng := engine.New(engine.Options{Parallelism: 1, ResultStore: st})
+	svc := service.New(context.Background(), eng, st)
+	ts := httptest.NewServer(svc)
+	defer ts.Close()
+
+	single, err := NewFleetRunner([]string{ts.URL}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := single.(*client.Runner); !ok {
+		t.Errorf("one URL built a %T, want *client.Runner", single)
+	}
+
+	// Slash-variants of one worker are canonicalized and rejected as
+	// duplicates rather than joining the ring twice.
+	if _, err := NewFleetRunner([]string{ts.URL, ts.URL + "/"}, nil); err == nil {
+		t.Error("slash-variant duplicate worker accepted")
+	}
+
+	st2 := store.NewMemory(16 << 20)
+	eng2 := engine.New(engine.Options{Parallelism: 1, ResultStore: st2})
+	ts2 := httptest.NewServer(service.New(context.Background(), eng2, st2))
+	defer ts2.Close()
+	multi, err := NewFleetRunner([]string{ts.URL, ts2.URL}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := multi.(*fleet.Runner); !ok {
+		t.Errorf("two URLs built a %T, want *fleet.Runner", multi)
+	}
+	res := RunOn(context.Background(), multi, WorkloadByName("crafty"), SetupOP(2), RunOptions{NumUops: 2000})
+	if res.Err != nil {
+		t.Fatal(res.Err)
 	}
 }

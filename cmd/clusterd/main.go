@@ -7,6 +7,7 @@
 // Usage:
 //
 //	clusterd -addr :8080 -cachedir /var/cache/clusterd
+//	clusterd -addr :8080 -cachedir /var/cache/clusterd -token s3cret -compress
 //
 //	curl -s localhost:8080/v1/jobs -d '{"simpoint":"gzip-1","setup":{"kind":"VC","num_vc":2,"clusters":2},"opts":{"num_uops":20000}}'
 //	curl -N localhost:8080/v1/jobs/sub-1/stream
@@ -46,6 +47,8 @@ func main() {
 		memMax   = flag.Int64("memmax", 256<<20, "bound the in-memory result tier to this many bytes")
 		par      = flag.Int("parallel", 0, "concurrent simulations (0 = all cores)")
 		subTTL   = flag.Duration("subttl", time.Hour, "GC completed submissions after this long (0 = count-based retention only)")
+		token    = flag.String("token", "", "require this bearer token on every request (empty = no auth; /healthz stays open)")
+		compress = flag.Bool("compress", false, "gzip result blobs in the disk store (old uncompressed blobs stay readable)")
 	)
 	flag.Parse()
 
@@ -54,7 +57,11 @@ func main() {
 
 	var st store.Store = store.NewMemory(*memMax)
 	if *cacheDir != "" {
-		disk, err := store.OpenDisk(*cacheDir, *cacheMax)
+		var dopts []store.DiskOption
+		if *compress {
+			dopts = append(dopts, store.WithCompression())
+		}
+		disk, err := store.OpenDisk(*cacheDir, *cacheMax, dopts...)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
@@ -66,6 +73,7 @@ func main() {
 
 	svc := service.New(ctx, eng, st)
 	svc.SetTTL(*subTTL)
+	svc.SetToken(*token)
 	srv := &http.Server{Addr: *addr, Handler: svc}
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()

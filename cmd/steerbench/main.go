@@ -14,7 +14,8 @@
 //	steerbench -out results.txt  # report + cache-stats footer to a file
 //	steerbench -cachedir ~/.cache/steerbench   # persist results on disk
 //	steerbench -progress         # live phase/ETA progress on stderr
-//	steerbench -remote http://host:8080        # execute on a clusterd fleet
+//	steerbench -remote http://host:8080        # execute on one clusterd worker
+//	steerbench -remote http://h1:8080,http://h2:8080   # shard across a fleet
 //
 // Experiments: table1 table2 table3 fig5 fig6 fig7 policyspace ablation all
 //
@@ -24,6 +25,10 @@
 // instance through the client SDK instead of in-process; the report is
 // byte-identical to a local run, and the daemon's content-addressed store
 // dedups repeated invocations across every client that ever submitted.
+// With several comma-separated URLs the batch shards across the fleet by
+// consistent hash of each job's result key, and a worker lost mid-run is
+// survived: its unfinished jobs re-shard onto the remaining workers (the
+// report stays byte-identical).
 //
 // Ctrl-C cancels in-flight simulations and exits cleanly with status 130.
 package main
@@ -42,8 +47,21 @@ import (
 
 	"clustersim"
 	"clustersim/client"
+	"clustersim/fleet"
 	"clustersim/internal/experiments"
 )
+
+// splitURLs parses the -remote value: a comma-separated URL list, blank
+// entries ignored so trailing commas don't create phantom workers.
+func splitURLs(remote string) []string {
+	var urls []string
+	for _, u := range strings.Split(remote, ",") {
+		if u = strings.TrimSpace(u); u != "" {
+			urls = append(urls, u)
+		}
+	}
+	return urls
+}
 
 // progressMeter renders the live stderr progress line: the experiment
 // phase currently submitting jobs, the engine-lifetime completed/submitted
@@ -84,7 +102,10 @@ func main() {
 		cacheDir = flag.String("cachedir", "", "persist completed results in this directory (reruns skip finished simulations; with -remote it only backs locally executed fallback jobs)")
 		cacheMax = flag.Int64("cachemax", 0, "bound the -cachedir store to this many bytes (0 = unbounded)")
 		progress = flag.Bool("progress", false, "print live phase/ETA progress and engine cache stats to stderr")
-		remote   = flag.String("remote", "", "execute simulations on the clusterd instance at this URL (http://host:port) instead of in-process; jobs that cannot travel run locally")
+		remote   = flag.String("remote", "", "execute simulations remotely: one clusterd URL, or a comma-separated list to shard across a fleet; jobs that cannot travel run locally")
+		token    = flag.String("token", "", "bearer token for clusterd workers started with -token")
+		compress = flag.Bool("compress", false, "gzip result blobs in the -cachedir store (old uncompressed blobs stay readable)")
+		steal    = flag.Int("steal", 0, "with a multi-worker -remote: let idle workers duplicate up to this many straggler jobs per batch (first result wins)")
 	)
 	flag.Parse()
 
@@ -110,7 +131,11 @@ func main() {
 
 	engOpts := clustersim.EngineOptions{Parallelism: *par}
 	if *cacheDir != "" {
-		st, err := clustersim.OpenDiskStore(*cacheDir, *cacheMax)
+		open := clustersim.OpenDiskStore
+		if *compress {
+			open = clustersim.OpenCompressedDiskStore
+		}
+		st, err := open(*cacheDir, *cacheMax)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
@@ -124,18 +149,37 @@ func main() {
 	eng := clustersim.NewEngine(engOpts)
 
 	// The runner is the execution seam: the local engine by default, a
-	// clusterd client when -remote is given (with the local engine as the
-	// fallback for jobs that have no declarative wire form, e.g. the
-	// machine-tweak ablations). Everything downstream is runner-agnostic.
+	// clusterd client when -remote is one URL, a sharded fleet runner when
+	// it is a comma-separated list (with the local engine as the fallback
+	// for jobs that have no declarative wire form, e.g. the machine-tweak
+	// ablations). Everything downstream is runner-agnostic.
 	var runner clustersim.Runner = eng
-	if *remote != "" {
-		c, err := client.New(*remote)
+	urls := splitURLs(*remote)
+	if *remote != "" && len(urls) == 0 {
+		// "-remote ," (e.g. from unset env vars) must not silently run the
+		// whole suite locally with the remote flags ignored.
+		fmt.Fprintf(os.Stderr, "steerbench: -remote %q contains no URLs\n", *remote)
+		os.Exit(1)
+	}
+	if len(urls) == 1 {
+		var copts []client.Option
+		if *token != "" {
+			copts = append(copts, client.WithToken(*token))
+		}
+		c, err := client.New(urls[0], copts...)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
 		if err := c.Health(ctx); err != nil {
-			fmt.Fprintf(os.Stderr, "steerbench: clusterd at %s unreachable: %v\n", *remote, err)
+			fmt.Fprintf(os.Stderr, "steerbench: clusterd at %s unreachable: %v\n", urls[0], err)
+			os.Exit(1)
+		}
+		// /healthz is deliberately auth-exempt, so verify the credential
+		// with an authenticated round trip — a wrong -token should fail
+		// here, not as per-job errors mid-run (fleet.New does the same).
+		if _, err := c.Stats(ctx); err != nil {
+			fmt.Fprintf(os.Stderr, "steerbench: clusterd at %s refused: %v\n", urls[0], err)
 			os.Exit(1)
 		}
 		ropts := []client.RunnerOption{client.WithFallback(eng)}
@@ -143,6 +187,29 @@ func main() {
 			ropts = append(ropts, client.WithProgress(meter.print))
 		}
 		runner = client.NewRunner(c, ropts...)
+	} else if len(urls) > 1 {
+		fopts := []fleet.Option{
+			fleet.WithFallback(eng),
+			fleet.WithLog(func(format string, args ...any) {
+				fmt.Fprintf(os.Stderr, format+"\n", args...)
+			}),
+		}
+		if *token != "" {
+			fopts = append(fopts, fleet.WithToken(*token))
+		}
+		if *steal > 0 {
+			fopts = append(fopts, fleet.WithSteal(*steal))
+		}
+		if *progress {
+			fopts = append(fopts, fleet.WithProgress(meter.print))
+		}
+		fl, err := fleet.New(urls, fopts...)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "steerbench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "steerbench: sharding across %d clusterd workers\n", len(urls))
+		runner = fl
 	}
 	opt := clustersim.ExperimentOptions{
 		NumUops: *uops, Quick: *quick, Parallelism: *par,

@@ -1,0 +1,387 @@
+package fleet_test
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"clustersim/client"
+	"clustersim/fleet"
+	"clustersim/internal/engine"
+	"clustersim/internal/pipeline"
+	"clustersim/internal/service"
+	"clustersim/internal/sim"
+	"clustersim/internal/store"
+	"clustersim/internal/workload"
+)
+
+// worker is one in-process clusterd: a real service stack behind an
+// interceptable handler, so tests can kill or delay it mid-protocol.
+type worker struct {
+	ts  *httptest.Server
+	eng *engine.Engine
+	svc http.Handler
+
+	dead        atomic.Bool  // every request aborts at the transport level
+	killOnIndex atomic.Int64 // arm: die right after the Nth submit (1-based)
+	submits     atomic.Int64
+	streamDelay time.Duration // slows SSE delivery: a straggler worker
+}
+
+func (w *worker) ServeHTTP(rw http.ResponseWriter, r *http.Request) {
+	if w.dead.Load() {
+		panic(http.ErrAbortHandler) // the transport dies, no HTTP answer
+	}
+	if w.streamDelay > 0 && strings.HasSuffix(r.URL.Path, "/stream") {
+		time.Sleep(w.streamDelay)
+	}
+	isSubmit := r.Method == http.MethodPost && r.URL.Path == "/v1/jobs"
+	w.svc.ServeHTTP(rw, r)
+	if isSubmit && w.submits.Add(1) == w.killOnIndex.Load() {
+		// The submission was accepted and its jobs are running; every
+		// request from here on — the SSE stream, result fetches — hits
+		// the dead check above. This is "worker lost mid-stream".
+		w.dead.Store(true)
+	}
+}
+
+func startWorker(t *testing.T) *worker {
+	t.Helper()
+	st := store.NewTiered(store.NewMemory(64<<20), store.NewMemory(64<<20))
+	eng := engine.New(engine.Options{Parallelism: 2, ResultStore: st})
+	w := &worker{eng: eng, svc: service.New(context.Background(), eng, st)}
+	w.ts = httptest.NewServer(w)
+	t.Cleanup(w.ts.Close)
+	return w
+}
+
+// fastClient makes failover quick enough for tests: tiny backoff, two
+// reconnect attempts before a worker counts as lost.
+func fastClient() fleet.Option {
+	return fleet.WithClientOptions(
+		client.WithBackoff(time.Millisecond, 5*time.Millisecond),
+		client.WithRetries(2),
+	)
+}
+
+// suiteJobs builds a unique-job matrix over n suite workloads × the two
+// base setups.
+func suiteJobs(t *testing.T, n int) ([]*workload.Simpoint, []engine.Setup, []engine.Job) {
+	t.Helper()
+	all := workload.QuickSuite()
+	if n > len(all) {
+		t.Fatalf("want %d workloads, quick suite has %d", n, len(all))
+	}
+	sps := all[:n]
+	setups := []engine.Setup{sim.SetupOP(2), sim.SetupVC(2, 2)}
+	var jobs []engine.Job
+	for _, sp := range sps {
+		for _, s := range setups {
+			jobs = append(jobs, engine.Job{Simpoint: sp, Setup: s, Opts: engine.RunOptions{NumUops: 2000}})
+		}
+	}
+	return sps, setups, jobs
+}
+
+// collect drains a result stream, failing on duplicate deliveries — the
+// exactly-once contract of the merged stream.
+func collect(t *testing.T, out <-chan engine.JobResult, want int) map[int]engine.JobResult {
+	t.Helper()
+	got := map[int]engine.JobResult{}
+	deadline := time.After(120 * time.Second)
+	for len(got) < want {
+		select {
+		case jr, ok := <-out:
+			if !ok {
+				t.Fatalf("stream closed after %d of %d results", len(got), want)
+			}
+			if _, dup := got[jr.Index]; dup {
+				t.Fatalf("job %d delivered twice", jr.Index)
+			}
+			got[jr.Index] = jr
+		case <-deadline:
+			t.Fatalf("timed out with %d of %d results", len(got), want)
+		}
+	}
+	if jr, ok := <-out; ok {
+		t.Fatalf("extra result for job %d after all %d arrived", jr.Index, want)
+	}
+	return got
+}
+
+// A two-worker fleet produces results indistinguishable from a local
+// engine's, spreads the work across both workers' stores, and a second
+// fleet over the same workers is served entirely from their caches.
+func TestFleetMatchesLocalEngine(t *testing.T) {
+	w1, w2 := startWorker(t), startWorker(t)
+	urls := []string{w1.ts.URL, w2.ts.URL}
+	ctx := context.Background()
+
+	f, err := fleet.New(urls, fastClient())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sps, setups, _ := suiteJobs(t, 8)
+	got, err := engine.RunMatrixOn(ctx, f, sps, setups, engine.RunOptions{NumUops: 2000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	local := engine.New(engine.Options{Parallelism: 2})
+	want, err := engine.RunMatrixOn(ctx, local, sps, setups, engine.RunOptions{NumUops: 2000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range sps {
+		for j := range setups {
+			g, w := got[i][j], want[i][j]
+			if g.Err != nil || w.Err != nil {
+				t.Fatalf("cell %d/%d errs: %v / %v", i, j, g.Err, w.Err)
+			}
+			if g.Simpoint != sps[i] {
+				t.Errorf("cell %d/%d not re-bound to the submitted simpoint", i, j)
+			}
+			if !reflect.DeepEqual(g.Metrics, w.Metrics) {
+				t.Errorf("cell %d/%d metrics diverge", i, j)
+			}
+		}
+	}
+
+	// The consistent hash spread the batch: both workers simulated, and
+	// together they covered every unique job exactly once.
+	s1, s2 := w1.eng.Stats().Simulations, w2.eng.Stats().Simulations
+	if s1 == 0 || s2 == 0 {
+		t.Errorf("shard split degenerate: worker sims %d / %d", s1, s2)
+	}
+	if total := int(s1 + s2); total != len(sps)*len(setups) {
+		t.Errorf("%d simulations across the fleet for %d unique jobs", total, len(sps)*len(setups))
+	}
+	if st := f.Stats(); st.Simulations != s1+s2 {
+		t.Errorf("fleet stats report %d simulations, workers executed %d", st.Simulations, s1+s2)
+	}
+
+	// A fresh fleet re-running the same matrix executes nothing: every
+	// key lands on the worker whose store already holds it.
+	f2, err := fleet.New(urls, fastClient())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := engine.RunMatrixOn(ctx, f2, sps, setups, engine.RunOptions{NumUops: 2000}); err != nil {
+		t.Fatal(err)
+	}
+	if st := f2.Stats(); st.Simulations != 0 {
+		t.Errorf("rerun executed %d simulations, want 0 (store affinity broken)", st.Simulations)
+	}
+}
+
+// Killing a worker mid-stream must not lose or duplicate work: its
+// unfinished jobs re-shard onto the survivor, every job yields exactly
+// one successful result, and the loss is logged.
+func TestFleetKillWorkerMidStream(t *testing.T) {
+	w1, w2 := startWorker(t), startWorker(t)
+	ctx := context.Background()
+
+	var logMu sync.Mutex
+	var logs []string
+	f, err := fleet.New([]string{w1.ts.URL, w2.ts.URL}, fastClient(),
+		fleet.WithLog(func(format string, args ...any) {
+			logMu.Lock()
+			logs = append(logs, fmt.Sprintf(format, args...))
+			logMu.Unlock()
+		}))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Arm worker 2: it accepts the fleet's shard submission, then its
+	// transport dies — jobs in flight, none of their results fetchable.
+	w2.killOnIndex.Store(1)
+
+	_, _, jobs := suiteJobs(t, 8)
+	got := collect(t, f.Stream(ctx, jobs), len(jobs))
+	for idx, jr := range got {
+		if jr.Result.Err != nil {
+			t.Errorf("job %d failed despite failover: %v", idx, jr.Result.Err)
+		}
+	}
+
+	// Every lost job re-ran exactly once, on the survivor: with worker
+	// 2's results unreachable, worker 1 must have executed the whole
+	// unique-job set (its engine dedups, so re-runs can't double-count).
+	if s1 := w1.eng.Stats().Simulations; int(s1) != len(jobs) {
+		t.Errorf("survivor executed %d simulations, want %d", s1, len(jobs))
+	}
+	if f.Alive() != 1 {
+		t.Errorf("fleet reports %d workers alive, want 1", f.Alive())
+	}
+	logMu.Lock()
+	defer logMu.Unlock()
+	joined := strings.Join(logs, "\n")
+	if !strings.Contains(joined, "lost") || !strings.Contains(joined, "re-sharding") {
+		t.Errorf("worker loss not logged; logs:\n%s", joined)
+	}
+
+	// The dead worker is sticky: a later batch routes entirely to the
+	// survivor without new failures.
+	_, _, more := suiteJobs(t, 4)
+	for idx, jr := range collect(t, f.Stream(ctx, more), len(more)) {
+		if jr.Result.Err != nil {
+			t.Errorf("post-loss job %d failed: %v", idx, jr.Result.Err)
+		}
+	}
+}
+
+// With every worker lost, pending jobs surface errors (exactly one per
+// job) instead of hanging.
+func TestFleetAllWorkersLost(t *testing.T) {
+	w1, w2 := startWorker(t), startWorker(t)
+	f, err := fleet.New([]string{w1.ts.URL, w2.ts.URL}, fastClient())
+	if err != nil {
+		t.Fatal(err)
+	}
+	w1.killOnIndex.Store(1)
+	w2.killOnIndex.Store(1)
+
+	_, _, jobs := suiteJobs(t, 4)
+	failed := 0
+	for _, jr := range collect(t, f.Stream(context.Background(), jobs), len(jobs)) {
+		if jr.Result.Err != nil {
+			failed++
+		}
+	}
+	if failed == 0 {
+		t.Error("every worker died yet no job reported an error")
+	}
+	if f.Alive() != 0 {
+		t.Errorf("fleet reports %d workers alive, want 0", f.Alive())
+	}
+}
+
+// Jobs with no declarative wire form run on the fallback; without one
+// they fail loudly. Deterministic job failures are never retried as
+// worker loss.
+func TestFleetFallback(t *testing.T) {
+	w1, w2 := startWorker(t), startWorker(t)
+	ctx := context.Background()
+	sp := workload.ByName("gzip-1")
+	tweaked := engine.Job{
+		Simpoint: sp,
+		Setup:    sim.SetupOP(2),
+		Opts: engine.RunOptions{NumUops: 2000, TweakKey: "lat9",
+			MachineTweak: func(cfg *pipeline.Config) { cfg.Net.Latency = 9 }},
+	}
+
+	bare, err := fleet.New([]string{w1.ts.URL, w2.ts.URL}, fastClient())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res := bare.Run(ctx, tweaked); res.Err == nil {
+		t.Fatal("non-remoteable job succeeded without a fallback")
+	}
+
+	local := engine.New(engine.Options{Parallelism: 1})
+	hybrid, err := fleet.New([]string{w1.ts.URL, w2.ts.URL}, fastClient(), fleet.WithFallback(local))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res := hybrid.Run(ctx, tweaked); res.Err != nil {
+		t.Fatalf("fallback run: %v", res.Err)
+	}
+	if local.Stats().Simulations != 1 {
+		t.Error("tweaked job did not run on the fallback engine")
+	}
+	if w1.eng.Stats().Simulations+w2.eng.Stats().Simulations != 0 {
+		t.Error("tweaked job leaked to the fleet")
+	}
+	// Both workers stay alive: a job-level refusal is not worker loss.
+	if hybrid.Alive() != 2 {
+		t.Errorf("fleet reports %d alive after a local-only job, want 2", hybrid.Alive())
+	}
+}
+
+// Construction health-checks every worker and names the unreachable or
+// unauthorized ones; a correct token passes.
+func TestFleetConstructionHealthCheck(t *testing.T) {
+	good := startWorker(t)
+	deadTS := httptest.NewServer(http.HandlerFunc(func(http.ResponseWriter, *http.Request) {}))
+	deadURL := deadTS.URL
+	deadTS.Close()
+
+	_, err := fleet.New([]string{good.ts.URL, deadURL},
+		fleet.WithHealthTimeout(2*time.Second))
+	if err == nil || !strings.Contains(err.Error(), deadURL) {
+		t.Fatalf("dead worker not named at construction: %v", err)
+	}
+
+	// An authenticated fleet: wrong token fails construction, right one
+	// passes and runs jobs.
+	st := store.NewMemory(64 << 20)
+	eng := engine.New(engine.Options{Parallelism: 2, ResultStore: st})
+	svc := service.New(context.Background(), eng, st)
+	svc.SetToken("sesame")
+	locked := httptest.NewServer(svc)
+	t.Cleanup(locked.Close)
+
+	if _, err := fleet.New([]string{locked.URL}, fleet.WithHealthTimeout(2*time.Second)); err == nil {
+		t.Fatal("tokenless fleet passed an authenticated worker's health check")
+	}
+	f, err := fleet.New([]string{locked.URL}, fastClient(), fleet.WithToken("sesame"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := f.Run(context.Background(),
+		engine.Job{Simpoint: workload.ByName("gzip-1"), Setup: sim.SetupOP(2), Opts: engine.RunOptions{NumUops: 2000}})
+	if res.Err != nil {
+		t.Fatalf("authenticated run: %v", res.Err)
+	}
+
+	if _, err := fleet.New(nil); err == nil {
+		t.Error("empty fleet accepted")
+	}
+	if _, err := fleet.New([]string{good.ts.URL, good.ts.URL}); err == nil {
+		t.Error("duplicate worker URL accepted")
+	}
+}
+
+// Work stealing: when one worker's event stream straggles, an idle
+// worker duplicates part of its tail; the merged stream still delivers
+// each job exactly once with correct results.
+func TestFleetStealTail(t *testing.T) {
+	w1, w2 := startWorker(t), startWorker(t)
+	w2.streamDelay = 700 * time.Millisecond // worker 2 reports late
+
+	var logMu sync.Mutex
+	var logs []string
+	f, err := fleet.New([]string{w1.ts.URL, w2.ts.URL}, fastClient(),
+		fleet.WithSteal(4),
+		fleet.WithLog(func(format string, args ...any) {
+			logMu.Lock()
+			logs = append(logs, fmt.Sprintf(format, args...))
+			logMu.Unlock()
+		}))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	_, _, jobs := suiteJobs(t, 8)
+	got := collect(t, f.Stream(context.Background(), jobs), len(jobs))
+	for idx, jr := range got {
+		if jr.Result.Err != nil {
+			t.Errorf("job %d failed: %v", idx, jr.Result.Err)
+		}
+	}
+	logMu.Lock()
+	defer logMu.Unlock()
+	if !strings.Contains(strings.Join(logs, "\n"), "stealing") {
+		t.Errorf("straggler tail was never stolen; logs:\n%s", strings.Join(logs, "\n"))
+	}
+	if f.Alive() != 2 {
+		t.Errorf("stealing marked a worker dead: %d alive", f.Alive())
+	}
+}

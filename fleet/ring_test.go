@@ -1,0 +1,153 @@
+package fleet
+
+import (
+	"fmt"
+	"testing"
+)
+
+// testKeys is a fixed, suite-shaped key set: shard assignment over it is
+// an external contract (each worker's store is warmed for its range), so
+// these tests pin its stability properties.
+func testKeys() []string {
+	keys := make([]string, 0, 240)
+	for i := 0; i < 40; i++ {
+		for _, setup := range []string{"OP", "1cl", "OB", "RHOP", "VC(2->2)", "VC(4->4)"} {
+			keys = append(keys, fmt.Sprintf("result|v1|bench-%d|s%d|%s|c2|u120000", i, i, setup))
+		}
+	}
+	return keys
+}
+
+func assignAll(r *ring, urls []string, alive func(int) bool) map[string]string {
+	if alive == nil {
+		alive = func(int) bool { return true }
+	}
+	got := map[string]string{}
+	for _, k := range testKeys() {
+		m := r.pick(k, alive)
+		if m < 0 {
+			got[k] = ""
+			continue
+		}
+		got[k] = urls[m]
+	}
+	return got
+}
+
+// The assignment is a pure function of the membership *set*: rebuilding
+// the ring, or permuting the URL slice, changes nothing — which is what
+// lets every client of the same fleet route a key to the same worker.
+func TestRingAssignmentDeterministic(t *testing.T) {
+	urls := []string{"http://w1:8080", "http://w2:8080", "http://w3:8080"}
+	perm := []string{"http://w3:8080", "http://w1:8080", "http://w2:8080"}
+
+	a := assignAll(newRing(urls), urls, nil)
+	b := assignAll(newRing(urls), urls, nil)
+	c := assignAll(newRing(perm), perm, nil)
+	for k, owner := range a {
+		if b[k] != owner {
+			t.Fatalf("rebuild moved %q: %s -> %s", k, owner, b[k])
+		}
+		if c[k] != owner {
+			t.Fatalf("permutation moved %q: %s -> %s", k, owner, c[k])
+		}
+	}
+
+	// Every worker owns a share: 64 virtual points per member keep a
+	// small fleet from starving any one worker on a suite-sized key set.
+	counts := map[string]int{}
+	for _, owner := range a {
+		counts[owner]++
+	}
+	for _, u := range urls {
+		if counts[u] == 0 {
+			t.Errorf("worker %s owns no keys", u)
+		}
+	}
+}
+
+// Adding one worker migrates only the key range the new worker takes
+// over: every key whose owner changed must now belong to the newcomer,
+// and the migration is partial — most keys stay put. This is the
+// consistent-hashing contract that keeps existing workers' stores hot
+// across a fleet resize.
+func TestRingResizeMigratesOnlyToNewWorker(t *testing.T) {
+	old := []string{"http://w1:8080", "http://w2:8080"}
+	grown := []string{"http://w1:8080", "http://w2:8080", "http://w3:8080"}
+
+	before := assignAll(newRing(old), old, nil)
+	after := assignAll(newRing(grown), grown, nil)
+
+	moved := 0
+	for k, owner := range before {
+		if after[k] == owner {
+			continue
+		}
+		moved++
+		if after[k] != "http://w3:8080" {
+			t.Errorf("key %q migrated between existing workers: %s -> %s", k, owner, after[k])
+		}
+	}
+	if moved == 0 {
+		t.Error("new worker took over no keys")
+	}
+	if moved == len(before) {
+		t.Error("every key moved: assignment is not consistent-hashed")
+	}
+	// The expected migrated share is ~1/3; allow a generous band so the
+	// fixture pins behavior, not hash-function luck.
+	if frac := float64(moved) / float64(len(before)); frac > 0.6 {
+		t.Errorf("%.0f%% of keys migrated on adding one of three workers", frac*100)
+	}
+}
+
+// A dead member's keys fail over to the clockwise survivors
+// deterministically, and surviving members' keys never move.
+func TestRingSkipsDeadMembers(t *testing.T) {
+	urls := []string{"http://w1:8080", "http://w2:8080", "http://w3:8080"}
+	r := newRing(urls)
+
+	all := assignAll(r, urls, nil)
+	w2Dead := assignAll(r, urls, func(i int) bool { return i != 1 })
+	for k, owner := range all {
+		switch owner {
+		case "http://w2:8080":
+			if w2Dead[k] == "http://w2:8080" {
+				t.Fatalf("dead worker still owns %q", k)
+			}
+		default:
+			if w2Dead[k] != owner {
+				t.Errorf("survivor's key %q moved: %s -> %s", k, owner, w2Dead[k])
+			}
+		}
+	}
+
+	if got := r.pick("anything", func(int) bool { return false }); got != -1 {
+		t.Errorf("pick with no members alive = %d, want -1", got)
+	}
+}
+
+// The steal pool hands out at most the configured budget, never
+// duplicates a task, and never steals from the thief itself.
+func TestRoundStateStealBudget(t *testing.T) {
+	rs := &roundState{
+		outstanding: map[int]map[int]task{
+			0: {1: {idx: 1}, 2: {idx: 2}, 3: {idx: 3}},
+			1: {4: {idx: 4}},
+		},
+		stolenFrom: map[int]bool{},
+		stealLeft:  2,
+	}
+	got := rs.stealFor(1)
+	if len(got) != 2 {
+		t.Fatalf("stole %d tasks, want budget of 2", len(got))
+	}
+	for _, tk := range got {
+		if tk.idx == 4 {
+			t.Error("thief stole its own task")
+		}
+	}
+	if more := rs.stealFor(0); len(more) != 0 {
+		t.Errorf("budget exhausted but stealFor handed out %d more", len(more))
+	}
+}

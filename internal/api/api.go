@@ -21,7 +21,13 @@ import (
 const (
 	// Version is the wire-protocol version of the types in this package.
 	// Bump it on any incompatible change to the JSON shapes or routes.
-	Version = 1
+	//
+	// v2: SubmitRequest gained max_parallel. Servers reject unknown
+	// fields, so a v1 server would answer a v2 submission that sets it
+	// with bad_request — the version bump turns that mixed-fleet hazard
+	// into a clean, detectable mismatch (which multi-worker runners
+	// treat as worker loss and route around).
+	Version = 2
 	// VersionHeader is the HTTP response header carrying Version.
 	VersionHeader = "Clustersim-Api-Version"
 )
@@ -32,6 +38,7 @@ const (
 	CodeBadRequest       = "bad_request"        // malformed body, unknown spec fields
 	CodeNotFound         = "not_found"          // unknown submission, route or result key
 	CodeMethodNotAllowed = "method_not_allowed" // known route, wrong HTTP method
+	CodeUnauthorized     = "unauthorized"       // missing or wrong bearer token
 	CodeInternal         = "internal"           // server-side failure
 )
 
@@ -60,6 +67,11 @@ func (e *Error) Error() string {
 // curl-friendliness; the SDK always sends the batch form.
 type SubmitRequest struct {
 	Jobs []engine.JobSpec `json:"jobs"`
+	// MaxParallel optionally caps how many engine workers this batch may
+	// occupy at once; the server clamps it to its own -parallel limit.
+	// Zero means no per-batch cap. Version-gated: introduced with
+	// protocol v2 (see Version).
+	MaxParallel int `json:"max_parallel,omitempty"`
 }
 
 // SubmitResponse acknowledges a submission.

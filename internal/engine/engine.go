@@ -247,6 +247,10 @@ func traceBytes(tr *trace.Trace) int64 {
 	return int64(len(tr.Uops))*32 + int64(len(tr.Name)) + 64
 }
 
+// Parallelism reports the engine's worker-pool size (the resolved value,
+// never zero). Services use it to clamp per-request parallelism hints.
+func (e *Engine) Parallelism() int { return e.opts.Parallelism }
+
 // Stats snapshots the cache counters.
 func (e *Engine) Stats() CacheStats {
 	traceBytes, traceHigh := e.traces.costStats()

@@ -21,6 +21,7 @@ package service
 
 import (
 	"context"
+	"crypto/subtle"
 	"encoding/json"
 	"fmt"
 	"net/http"
@@ -49,11 +50,12 @@ type (
 // Server is the clusterd HTTP handler. One server owns one engine (all
 // submissions share its caches and worker pool) and one result store.
 type Server struct {
-	ctx context.Context
-	eng *engine.Engine
-	st  store.Store
-	mux *http.ServeMux
-	now func() time.Time // injectable clock for TTL tests
+	ctx   context.Context
+	eng   *engine.Engine
+	st    store.Store
+	mux   *http.ServeMux
+	now   func() time.Time // injectable clock for TTL tests
+	token string           // required bearer token; "" disables auth
 
 	mu      sync.Mutex
 	subs    map[string]*submission
@@ -125,7 +127,34 @@ func New(ctx context.Context, eng *engine.Engine, st store.Store) *Server {
 // advertises the wire-protocol version.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set(api.VersionHeader, strconv.Itoa(api.Version))
+	if !s.authorized(r) {
+		w.Header().Set("WWW-Authenticate", `Bearer realm="clusterd"`)
+		httpError(w, http.StatusUnauthorized, api.CodeUnauthorized,
+			"missing or invalid bearer token")
+		return
+	}
 	s.mux.ServeHTTP(w, r)
+}
+
+// SetToken requires every request (except GET /healthz, so liveness
+// probes keep working without credentials) to carry "Authorization:
+// Bearer <token>". An empty token disables auth. Call before serving
+// traffic.
+func (s *Server) SetToken(token string) { s.token = token }
+
+// authorized checks the request's bearer token against the configured
+// one in constant time. /healthz stays open: it reveals nothing beyond
+// liveness, and orchestrator probes cannot attach credentials.
+func (s *Server) authorized(r *http.Request) bool {
+	if s.token == "" || r.URL.Path == "/healthz" {
+		return true
+	}
+	auth := r.Header.Get("Authorization")
+	const scheme = "Bearer "
+	if len(auth) < len(scheme) || !strings.EqualFold(auth[:len(scheme)], scheme) {
+		return false
+	}
+	return subtle.ConstantTimeCompare([]byte(auth[len(scheme):]), []byte(s.token)) == 1
 }
 
 // methods dispatches by HTTP method, answering anything unlisted with a
@@ -302,8 +331,22 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 
 // submitBody is the accepted request shape: a batch, or a bare spec.
 type submitBody struct {
-	Jobs []engine.JobSpec `json:"jobs"`
+	Jobs        []engine.JobSpec `json:"jobs"`
+	MaxParallel int              `json:"max_parallel,omitempty"`
 	engine.JobSpec
+}
+
+// clampParallel resolves a client's per-batch parallelism hint against
+// the server's own worker limit: hints are advisory, never an
+// escalation. Zero or negative means "no per-batch cap".
+func clampParallel(hint, limit int) int {
+	if hint <= 0 {
+		return 0
+	}
+	if limit > 0 && hint > limit {
+		return limit
+	}
+	return hint
 }
 
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
@@ -346,9 +389,35 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	s.subs[sub.id] = sub
 	s.mu.Unlock()
 
+	par := clampParallel(body.MaxParallel, s.eng.Parallelism())
 	go func() {
-		for jr := range s.eng.Stream(s.ctx, jobs) {
-			sub.append(jobEvent(jr, keys[jr.Index]), false)
+		if par > 0 && par < len(jobs) {
+			// The batch asked for fewer workers than it has jobs: par
+			// batch-local workers drain an index queue, so this submission
+			// never occupies more than par engine slots at once (the
+			// engine's global limit still applies on top) and never holds
+			// more than par goroutines however wide the batch is.
+			idx := make(chan int)
+			var wg sync.WaitGroup
+			for w := 0; w < par; w++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for i := range idx {
+						res := s.eng.Run(s.ctx, jobs[i])
+						sub.append(jobEvent(engine.JobResult{Index: i, Job: jobs[i], Result: res}, keys[i]), false)
+					}
+				}()
+			}
+			for i := range jobs {
+				idx <- i
+			}
+			close(idx)
+			wg.Wait()
+		} else {
+			for jr := range s.eng.Stream(s.ctx, jobs) {
+				sub.append(jobEvent(jr, keys[jr.Index]), false)
+			}
 		}
 		sub.append(JobEvent{}, true)
 		s.retire(sub.id)

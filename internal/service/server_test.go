@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"context"
 	"encoding/json"
+	"fmt"
 	"net/http"
 	"net/http/httptest"
 	"net/url"
@@ -551,5 +552,123 @@ func TestMetricsEndpoint(t *testing.T) {
 		if !strings.Contains(body, want) {
 			t.Errorf("metrics missing %q", want)
 		}
+	}
+}
+
+// A server started with a token answers every request that lacks it (or
+// presents the wrong one) with a JSON 401 carrying the stable
+// "unauthorized" code. /healthz stays open: orchestrator liveness probes
+// cannot attach credentials.
+func TestBearerTokenEnforced(t *testing.T) {
+	st := store.NewMemory(64 << 20)
+	eng := engine.New(engine.Options{Parallelism: 2, ResultStore: st})
+	svc := service.New(context.Background(), eng, st)
+	svc.SetToken("sesame")
+	ts := httptest.NewServer(svc)
+	t.Cleanup(ts.Close)
+
+	get := func(path, auth string) (*http.Response, []byte) {
+		t.Helper()
+		req, err := http.NewRequest(http.MethodGet, ts.URL+path, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if auth != "" {
+			req.Header.Set("Authorization", auth)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var b strings.Builder
+		bufio.NewReader(resp.Body).WriteTo(&b)
+		return resp, []byte(b.String())
+	}
+
+	for name, auth := range map[string]string{
+		"no credentials": "",
+		"wrong token":    "Bearer open",
+		"wrong scheme":   "Basic sesame",
+	} {
+		resp, raw := get("/v1/stats", auth)
+		if resp.StatusCode != http.StatusUnauthorized {
+			t.Errorf("%s: status %d, want 401", name, resp.StatusCode)
+		}
+		var e api.Error
+		if err := json.Unmarshal(raw, &e); err != nil || e.Code != api.CodeUnauthorized {
+			t.Errorf("%s: error body %s", name, raw)
+		}
+		if resp.Header.Get(api.VersionHeader) == "" {
+			t.Errorf("%s: 401 lost the version header", name)
+		}
+	}
+
+	if resp, raw := get("/v1/stats", "Bearer sesame"); resp.StatusCode != http.StatusOK {
+		t.Errorf("correct token refused: %d %s", resp.StatusCode, raw)
+	}
+	if resp, _ := get("/healthz", ""); resp.StatusCode != http.StatusOK {
+		t.Errorf("healthz demanded credentials: %d", resp.StatusCode)
+	}
+
+	// Submission requires the token too.
+	resp, raw := postJSON(t, ts.URL+"/v1/jobs",
+		`{"simpoint":"gzip-1","setup":{"kind":"OP"},"opts":{"num_uops":2000}}`)
+	if resp.StatusCode != http.StatusUnauthorized {
+		t.Errorf("unauthenticated submit: %d %s", resp.StatusCode, raw)
+	}
+}
+
+// The per-batch parallelism hint is accepted (and clamped server-side):
+// a capped batch still completes every job correctly, and a hint beyond
+// the server's own limit is not an escalation vector.
+func TestSubmitMaxParallelHint(t *testing.T) {
+	ts, eng, _ := startServer(t)
+
+	for _, hint := range []int{1, 99} {
+		body := fmt.Sprintf(`{"max_parallel":%d,"jobs":[
+			{"simpoint":"gzip-1","setup":{"kind":"OP","clusters":2},"opts":{"num_uops":2000}},
+			{"simpoint":"mcf","setup":{"kind":"OP","clusters":2},"opts":{"num_uops":2000}},
+			{"simpoint":"crafty","setup":{"kind":"OP","clusters":2},"opts":{"num_uops":2000}}
+		]}`, hint)
+		resp, raw := postJSON(t, ts.URL+"/v1/jobs", body)
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("hint %d: submit status %d %s", hint, resp.StatusCode, raw)
+		}
+		var sub service.SubmitResponse
+		if err := json.Unmarshal(raw, &sub); err != nil {
+			t.Fatal(err)
+		}
+		waitDone(t, ts.URL, sub.ID)
+
+		sresp, err := http.Get(ts.URL + "/v1/jobs/" + sub.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var status service.StatusResponse
+		err = json.NewDecoder(sresp.Body).Decode(&status)
+		sresp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if status.Completed != 3 {
+			t.Fatalf("hint %d: %d of 3 jobs completed", hint, status.Completed)
+		}
+		for _, ev := range status.Results {
+			if ev.Error != "" {
+				t.Errorf("hint %d: job %d failed: %s", hint, ev.Index, ev.Error)
+			}
+		}
+	}
+	if eng.Stats().Simulations == 0 {
+		t.Error("no simulations ran")
+	}
+
+	// Typos in the hint field are still rejected: the gate on unknown
+	// fields did not loosen with the new optional one.
+	resp, _ := postJSON(t, ts.URL+"/v1/jobs",
+		`{"maxparallel":1,"jobs":[{"simpoint":"mcf","setup":{"kind":"OP"}}]}`)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("unknown field accepted: %d", resp.StatusCode)
 	}
 }

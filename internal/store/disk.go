@@ -1,9 +1,12 @@
 package store
 
 import (
+	"bytes"
+	"compress/gzip"
 	"encoding/binary"
 	"fmt"
 	"hash/crc32"
+	"io"
 	"io/fs"
 	"os"
 	"path/filepath"
@@ -12,10 +15,21 @@ import (
 	"sync/atomic"
 )
 
-// diskFormat is the on-disk record layout version. It names the version
-// directory (v1/...) so a directory written by a different layout is
-// simply invisible to this store — stale schemas are ignored, not misread.
+// diskFormat is the on-disk directory layout version. It names the
+// version directory (v1/...) so a directory written by a different
+// layout is simply invisible to this store — stale schemas are ignored,
+// not misread.
 const diskFormat = 1
+
+// Record payload encodings, carried per record in the header's format
+// field. The directory version stays 1 across this bump: raw and gzip
+// records coexist in one store, so enabling compression on an existing
+// cache directory keeps every old blob readable — only new writes are
+// compressed.
+const (
+	recordFormatRaw  = 1 // payload stored verbatim
+	recordFormatGzip = 2 // payload gzip-compressed; CRC covers the stored bytes
+)
 
 // diskMagic brands every record file.
 const diskMagic = 0x43535354 // "CSST"
@@ -29,6 +43,7 @@ const diskMagic = 0x43535354 // "CSST"
 type Disk struct {
 	root     string // <dir>/v<diskFormat>
 	maxBytes int64
+	compress bool // write new records gzip-compressed
 
 	mu      sync.Mutex // serializes occupancy bookkeeping and GC
 	bytes   int64
@@ -38,13 +53,25 @@ type Disk struct {
 	highWater                       atomic.Int64
 }
 
+// DiskOption configures a disk store.
+type DiskOption func(*Disk)
+
+// WithCompression gzip-compresses every newly written record's payload,
+// stretching the same -cachemax budget over more results. Reads are
+// format-tagged per record, so a store opened with compression still
+// serves raw records written before the option (and vice versa).
+func WithCompression() DiskOption { return func(d *Disk) { d.compress = true } }
+
 // OpenDisk opens (creating if needed) a disk store rooted at dir, bounded
 // to maxBytes of record payload; maxBytes <= 0 means unbounded. Existing
 // records from a previous process are reused.
-func OpenDisk(dir string, maxBytes int64) (*Disk, error) {
+func OpenDisk(dir string, maxBytes int64, opts ...DiskOption) (*Disk, error) {
 	d := &Disk{
 		root:     filepath.Join(dir, fmt.Sprintf("v%d", diskFormat)),
 		maxBytes: maxBytes,
+	}
+	for _, o := range opts {
+		o(d)
 	}
 	if err := os.MkdirAll(d.root, 0o755); err != nil {
 		return nil, fmt.Errorf("store: opening %s: %w", dir, err)
@@ -101,7 +128,7 @@ func (d *Disk) Put(key string, blob []byte) {
 		d.errs.Add(1)
 		return
 	}
-	rec := buildRecord(key, blob)
+	rec := buildRecord(key, blob, d.compress)
 	_, werr := tmp.Write(rec)
 	cerr := tmp.Close()
 	if werr != nil || cerr != nil {
@@ -240,24 +267,43 @@ func (d *Disk) gc(keep string) {
 	d.entries = remaining
 }
 
-// buildRecord frames a blob: magic, format, key (for verification against
-// hash collisions and foreign files), CRC32 of the payload, payload.
-func buildRecord(key string, blob []byte) []byte {
-	rec := make([]byte, 0, 20+len(key)+len(blob))
+// buildRecord frames a blob: magic, record format, key (for verification
+// against hash collisions and foreign files), CRC32 of the stored
+// payload, payload — gzip-compressed when compress is set. The CRC
+// always covers the bytes as stored, so corruption is caught before any
+// decompression is attempted.
+func buildRecord(key string, blob []byte, compress bool) []byte {
+	format := uint32(recordFormatRaw)
+	payload := blob
+	if compress {
+		var buf bytes.Buffer
+		zw := gzip.NewWriter(&buf)
+		zw.Write(blob)
+		// Keep the raw form when gzip doesn't actually shrink the blob
+		// (high-entropy payloads): the format field is per record, so a
+		// compressing store may mix both.
+		if err := zw.Close(); err == nil && buf.Len() < len(blob) {
+			format = recordFormatGzip
+			payload = buf.Bytes()
+		}
+	}
+	rec := make([]byte, 0, 20+len(key)+len(payload))
 	var hdr [20]byte
 	le := binary.LittleEndian
 	le.PutUint32(hdr[0:], diskMagic)
-	le.PutUint32(hdr[4:], diskFormat)
+	le.PutUint32(hdr[4:], format)
 	le.PutUint32(hdr[8:], uint32(len(key)))
-	le.PutUint32(hdr[12:], crc32.ChecksumIEEE(blob))
-	le.PutUint32(hdr[16:], uint32(len(blob)))
+	le.PutUint32(hdr[12:], crc32.ChecksumIEEE(payload))
+	le.PutUint32(hdr[16:], uint32(len(payload)))
 	rec = append(rec, hdr[:]...)
 	rec = append(rec, key...)
-	rec = append(rec, blob...)
+	rec = append(rec, payload...)
 	return rec
 }
 
-// parseRecord validates a record file and returns its payload.
+// parseRecord validates a record file and returns its payload,
+// decompressing records written by a compressing store. Both record
+// formats are always readable regardless of how this store writes.
 func parseRecord(data []byte, key string) ([]byte, error) {
 	le := binary.LittleEndian
 	if len(data) < 20 {
@@ -266,8 +312,9 @@ func parseRecord(data []byte, key string) ([]byte, error) {
 	if m := le.Uint32(data[0:]); m != diskMagic {
 		return nil, fmt.Errorf("store: bad magic %#x", m)
 	}
-	if v := le.Uint32(data[4:]); v != diskFormat {
-		return nil, fmt.Errorf("store: record format %d, want %d", v, diskFormat)
+	format := le.Uint32(data[4:])
+	if format != recordFormatRaw && format != recordFormatGzip {
+		return nil, fmt.Errorf("store: record format %d, want %d or %d", format, recordFormatRaw, recordFormatGzip)
 	}
 	keyLen := int(le.Uint32(data[8:]))
 	crc := le.Uint32(data[12:])
@@ -281,6 +328,20 @@ func parseRecord(data []byte, key string) ([]byte, error) {
 	blob := data[20+keyLen:]
 	if crc32.ChecksumIEEE(blob) != crc {
 		return nil, fmt.Errorf("store: payload CRC mismatch")
+	}
+	if format == recordFormatGzip {
+		zr, err := gzip.NewReader(bytes.NewReader(blob))
+		if err != nil {
+			return nil, fmt.Errorf("store: opening compressed payload: %w", err)
+		}
+		raw, err := io.ReadAll(zr)
+		if cerr := zr.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return nil, fmt.Errorf("store: decompressing payload: %w", err)
+		}
+		return raw, nil
 	}
 	return blob, nil
 }
