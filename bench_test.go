@@ -11,6 +11,7 @@ package clustersim
 // copy ratios, and steering-logic rates.
 
 import (
+	"runtime"
 	"testing"
 
 	"clustersim/internal/experiments"
@@ -163,6 +164,56 @@ func benchTrace(b *testing.B, name string, uops int) *trace.Trace {
 	p := sp.Program.Clone()
 	partition.AnnotateVC(p, partition.Options{NumVC: 2})
 	return trace.Expand(p, trace.Options{NumUops: uops, Seed: sp.Seed})
+}
+
+// BenchmarkCoreHotLoop is the regression-gated microbenchmark of the
+// pipeline's cycle loop: one full 10k-uop simulation per iteration under
+// each steering policy family, reporting simulated uops per second and
+// allocations per simulated uop (windowed core state and the event wheel
+// keep the steady-state loop allocation-free; what remains is core
+// construction amortized over the trace). CI runs this bench, converts the
+// output to BENCH_5.json via cmd/benchjson, and fails on throughput or
+// allocation regressions against the committed baseline.
+func BenchmarkCoreHotLoop(b *testing.B) {
+	// Each policy runs on a trace annotated by its own compiler pass (a
+	// Static policy over VC annotations would degenerate to one cluster).
+	policies := []struct {
+		name     string
+		annotate func(*prog.Program, partition.Options)
+		make     func() steer.Policy
+	}{
+		{"OP", partition.AnnotateVC, func() steer.Policy { return &steer.OP{} }},
+		{"VC", partition.AnnotateVC, func() steer.Policy { return steer.NewVC(2) }},
+		{"OB", partition.AnnotateOB, func() steer.Policy { return &steer.Static{Label: "OB"} }},
+	}
+	for _, pol := range policies {
+		pol := pol
+		b.Run(pol.name, func(b *testing.B) {
+			sp := workload.ByName("crafty")
+			p := sp.Program.Clone()
+			pol.annotate(p, partition.Options{NumVC: 2, NumClusters: 2})
+			tr := trace.Expand(p, trace.Options{NumUops: 10_000, Seed: sp.Seed})
+			b.ReportAllocs()
+			var before, after runtime.MemStats
+			runtime.GC()
+			runtime.ReadMemStats(&before)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				core, err := pipeline.NewCore(pipeline.DefaultConfig(2), pol.make(), tr)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := core.Run(); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			runtime.ReadMemStats(&after)
+			uops := float64(len(tr.Uops)) * float64(b.N)
+			b.ReportMetric(uops/b.Elapsed().Seconds(), "uops/s")
+			b.ReportMetric(float64(after.Mallocs-before.Mallocs)/uops, "allocs/uop")
+		})
+	}
 }
 
 // BenchmarkPipelineOP measures raw simulation throughput under the

@@ -1,0 +1,141 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"os"
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: clustersim
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkCoreHotLoop/OP-8         	     165	   7140881 ns/op	   0.352 allocs/uop	   1394810 uops/s	  732355 B/op	    3524 allocs/op
+BenchmarkCoreHotLoop/VC-8         	     154	   7769799 ns/op	   0.357 allocs/uop	   1287036 uops/s	  750798 B/op	    3572 allocs/op
+PASS
+ok  	clustersim	7.816s
+`
+
+func parseSample(t *testing.T, s string) map[string]Metrics {
+	t.Helper()
+	m, err := parse(bufio.NewScanner(strings.NewReader(s)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestParseBenchOutput(t *testing.T) {
+	m := parseSample(t, sample)
+	if len(m) != 2 {
+		t.Fatalf("parsed %d benchmarks, want 2: %+v", len(m), m)
+	}
+	op, ok := m["CoreHotLoop/OP"]
+	if !ok {
+		t.Fatalf("missing CoreHotLoop/OP (GOMAXPROCS suffix not stripped?): %+v", m)
+	}
+	if op.NsPerOp != 7140881 || op.UopsPerSec != 1394810 || op.AllocsPerOp != 3524 {
+		t.Errorf("bad metrics: %+v", op)
+	}
+	if op.AllocsPerUop != 0.352 {
+		t.Errorf("allocs/uop = %v", op.AllocsPerUop)
+	}
+}
+
+func TestParsePreservesDigitNamesWithoutProcsSuffix(t *testing.T) {
+	// A 1-CPU run has no "-8" decoration; a benchmark legitimately named
+	// "gzip-1" must survive. Suffixes are stripped only when uniform
+	// across the whole run.
+	out := `BenchmarkTrace/gzip-1 	 100	 50 ns/op
+BenchmarkCoreHotLoop/OP 	 100	 60 ns/op
+`
+	m := parseSample(t, out)
+	if _, ok := m["Trace/gzip-1"]; !ok {
+		t.Errorf("benchmark name mangled on suffix-less run: %+v", m)
+	}
+	if _, ok := m["CoreHotLoop/OP"]; !ok {
+		t.Errorf("plain name lost: %+v", m)
+	}
+
+	// Uniform decoration still strips.
+	out8 := `BenchmarkTrace/gzip-1-8 	 100	 50 ns/op
+BenchmarkCoreHotLoop/OP-8 	 100	 60 ns/op
+`
+	m = parseSample(t, out8)
+	if _, ok := m["Trace/gzip-1"]; !ok {
+		t.Errorf("uniform -8 suffix not stripped: %+v", m)
+	}
+}
+
+func TestCompareGates(t *testing.T) {
+	base := parseSample(t, sample)
+
+	// Identical run: clean.
+	if p := compare(base, base, 0.20, 0.25); len(p) != 0 {
+		t.Errorf("self-comparison flagged: %v", p)
+	}
+
+	// 30% throughput drop against a 20% budget: flagged.
+	slow := parseSample(t, sample)
+	m := slow["CoreHotLoop/OP"]
+	m.UopsPerSec *= 0.7
+	slow["CoreHotLoop/OP"] = m
+	if p := compare(slow, base, 0.20, 0.25); len(p) != 1 || !strings.Contains(p[0], "throughput") {
+		t.Errorf("want one throughput failure, got %v", p)
+	}
+
+	// Allocation growth beyond budget: flagged.
+	leaky := parseSample(t, sample)
+	m = leaky["CoreHotLoop/VC"]
+	m.AllocsPerUop = 2.5
+	leaky["CoreHotLoop/VC"] = m
+	if p := compare(leaky, base, 0.20, 0.25); len(p) != 1 || !strings.Contains(p[0], "allocations") {
+		t.Errorf("want one allocation failure, got %v", p)
+	}
+
+	// Disjoint benchmark sets: the gate must refuse to pass vacuously.
+	if p := compare(map[string]Metrics{"Other": {}}, base, 0.20, 0.25); len(p) != 1 {
+		t.Errorf("want a no-match failure, got %v", p)
+	}
+}
+
+func TestOutRefreshPreservesHistory(t *testing.T) {
+	dir := t.TempDir()
+	path := dir + "/snap.json"
+	old := Snapshot{
+		Schema:     1,
+		Note:       "keep me",
+		Benchmarks: map[string]Metrics{"CoreHotLoop/OP": {UopsPerSec: 1}},
+		Before:     map[string]Metrics{"CoreHotLoop/OP": {UopsPerSec: 0.5}},
+	}
+	blob, err := json.Marshal(old)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, blob, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := writeSnapshot(path, "", parseSample(t, sample)); err != nil {
+		t.Fatal(err)
+	}
+	written, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(written, &snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Note != "keep me" {
+		t.Errorf("note lost on refresh: %q", snap.Note)
+	}
+	if snap.Before["CoreHotLoop/OP"].UopsPerSec != 0.5 {
+		t.Errorf("before block lost on refresh: %+v", snap.Before)
+	}
+	if snap.Benchmarks["CoreHotLoop/OP"].UopsPerSec == 1 {
+		t.Error("benchmarks not refreshed")
+	}
+}

@@ -16,8 +16,15 @@
 //	steerbench -progress         # live phase/ETA progress on stderr
 //	steerbench -remote http://host:8080        # execute on one clusterd worker
 //	steerbench -remote http://h1:8080,http://h2:8080   # shard across a fleet
+//	steerbench -cpuprofile cpu.prof -memprofile mem.prof   # profile the run
 //
 // Experiments: table1 table2 table3 fig5 fig6 fig7 policyspace ablation all
+//
+// -cpuprofile and -memprofile write pprof profiles of the whole run
+// (inspect with `go tool pprof`); profiles flush on clean exits only. The
+// "# engine:" footer records cache effectiveness including the compressed
+// trace cache's peak occupancy and compression ratio, so cache-sizing
+// regressions show up in CI report diffs.
 //
 // Reports written to stdout/-out are deterministic (timing goes to
 // stderr), so two invocations over the same cache directory produce
@@ -40,6 +47,8 @@ import (
 	"io"
 	"os"
 	"os/signal"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"sync"
 	"syscall"
@@ -106,8 +115,46 @@ func main() {
 		token    = flag.String("token", "", "bearer token for clusterd workers started with -token")
 		compress = flag.Bool("compress", false, "gzip result blobs in the -cachedir store (old uncompressed blobs stay readable)")
 		steal    = flag.Int("steal", 0, "with a multi-worker -remote: let idle workers duplicate up to this many straggler jobs per batch (first result wins)")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the run to this file (pprof format; profiles are flushed on clean exit)")
+		memProf  = flag.String("memprofile", "", "write a heap profile to this file after the run (pprof format)")
 	)
 	flag.Parse()
+
+	// Profiling hooks for hot-loop work: profiles flush on a normal exit
+	// (error and interrupt paths skip them — profile complete runs).
+	finishProfiles := func() {}
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		finishProfiles = func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}
+	}
+	if *memProf != "" {
+		stopCPU := finishProfiles
+		finishProfiles = func() {
+			stopCPU()
+			f, err := os.Create(*memProf)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			runtime.GC() // settle the heap so the profile shows retained memory
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		}
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -378,4 +425,5 @@ func main() {
 	if *out != "" {
 		fmt.Fprintf(sink, "# %s\n", report)
 	}
+	finishProfiles()
 }

@@ -74,8 +74,12 @@ func New(cfg Config) (*Cache, error) {
 	}
 	nsets := cfg.SizeBytes / (cfg.LineBytes * cfg.Assoc)
 	c := &Cache{cfg: cfg, sets: make([][]line, nsets)}
+	// One flat backing array for all sets: building a simulated core is on
+	// the experiment hot path, and per-set slices cost thousands of
+	// allocations for a large L2.
+	backing := make([]line, nsets*cfg.Assoc)
 	for i := range c.sets {
-		c.sets[i] = make([]line, cfg.Assoc)
+		c.sets[i] = backing[i*cfg.Assoc : (i+1)*cfg.Assoc : (i+1)*cfg.Assoc]
 	}
 	shift := uint(0)
 	for 1<<shift != cfg.LineBytes {

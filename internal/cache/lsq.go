@@ -13,8 +13,14 @@ import "fmt"
 // data forwards from the store (store-to-load forwarding), otherwise the
 // load reads the cache.
 type LSQ struct {
-	cap     int
-	entries []lsqEntry // program order (ascending seq)
+	cap int
+	// buf is a ring holding the live entries in program order (ascending
+	// seq): logical entry i lives at buf[(head+i)&mask]. The ring is sized
+	// once at construction, so allocate/release cycles never allocate.
+	buf  []lsqEntry
+	mask int
+	head int
+	n    int
 
 	// ForwardHits counts successful store-to-load forwards.
 	ForwardHits uint64
@@ -33,17 +39,24 @@ func NewLSQ(capacity int) *LSQ {
 	if capacity <= 0 {
 		panic(fmt.Sprintf("cache: LSQ capacity %d", capacity))
 	}
-	return &LSQ{cap: capacity}
+	size := 1
+	for size < capacity {
+		size <<= 1
+	}
+	return &LSQ{cap: capacity, buf: make([]lsqEntry, size), mask: size - 1}
 }
 
+// at returns the logical i-th oldest live entry.
+func (q *LSQ) at(i int) *lsqEntry { return &q.buf[(q.head+i)&q.mask] }
+
 // Len returns the live entry count; Cap the capacity.
-func (q *LSQ) Len() int { return len(q.entries) }
+func (q *LSQ) Len() int { return q.n }
 
 // Cap returns the configured capacity.
 func (q *LSQ) Cap() int { return q.cap }
 
 // Full reports whether allocation would fail.
-func (q *LSQ) Full() bool { return len(q.entries) >= q.cap }
+func (q *LSQ) Full() bool { return q.n >= q.cap }
 
 // Allocate reserves a slot for the memory op with the given sequence
 // number at dispatch. Sequence numbers must arrive in increasing order.
@@ -51,26 +64,27 @@ func (q *LSQ) Allocate(seq int64, isStore bool) bool {
 	if q.Full() {
 		return false
 	}
-	if n := len(q.entries); n > 0 && q.entries[n-1].seq >= seq {
-		panic(fmt.Sprintf("cache: LSQ allocation out of order: %d after %d", seq, q.entries[n-1].seq))
+	if q.n > 0 && q.at(q.n-1).seq >= seq {
+		panic(fmt.Sprintf("cache: LSQ allocation out of order: %d after %d", seq, q.at(q.n-1).seq))
 	}
-	q.entries = append(q.entries, lsqEntry{seq: seq, isStore: isStore})
+	*q.at(q.n) = lsqEntry{seq: seq, isStore: isStore}
+	q.n++
 	return true
 }
 
 func (q *LSQ) find(seq int64) *lsqEntry {
-	// Binary search by seq.
-	lo, hi := 0, len(q.entries)
+	// Binary search by seq over the logical order.
+	lo, hi := 0, q.n
 	for lo < hi {
 		mid := (lo + hi) / 2
-		if q.entries[mid].seq < seq {
+		if q.at(mid).seq < seq {
 			lo = mid + 1
 		} else {
 			hi = mid
 		}
 	}
-	if lo < len(q.entries) && q.entries[lo].seq == seq {
-		return &q.entries[lo]
+	if lo < q.n && q.at(lo).seq == seq {
+		return q.at(lo)
 	}
 	return nil
 }
@@ -129,8 +143,8 @@ func (s LoadStatus) String() string {
 // only when this returns LoadForward.
 func (q *LSQ) ProbeLoad(seq int64, addr uint64) LoadStatus {
 	var match *lsqEntry
-	for i := range q.entries {
-		e := &q.entries[i]
+	for i := 0; i < q.n; i++ {
+		e := q.at(i)
 		if e.seq >= seq {
 			break
 		}
@@ -157,21 +171,22 @@ func (q *LSQ) ProbeLoad(seq int64, addr uint64) LoadStatus {
 // Release drops the entry at commit. Entries must be released in program
 // order (the ROB guarantees this).
 func (q *LSQ) Release(seq int64) {
-	if len(q.entries) == 0 || q.entries[0].seq != seq {
+	if q.n == 0 || q.at(0).seq != seq {
 		panic(fmt.Sprintf("cache: LSQ release out of order: head=%v want %d", q.headSeq(), seq))
 	}
-	q.entries = q.entries[1:]
+	q.head = (q.head + 1) & q.mask
+	q.n--
 }
 
 func (q *LSQ) headSeq() int64 {
-	if len(q.entries) == 0 {
+	if q.n == 0 {
 		return -1
 	}
-	return q.entries[0].seq
+	return q.at(0).seq
 }
 
 // Reset clears all entries (between runs).
 func (q *LSQ) Reset() {
-	q.entries = q.entries[:0]
+	q.head, q.n = 0, 0
 	q.ForwardHits = 0
 }

@@ -22,13 +22,23 @@ type Entry struct {
 func (e *Entry) Ready() bool { return e.pending == 0 }
 
 // IQ is an issue queue with capacity, per-cycle issue width, oldest-first
-// selection and tag-based wakeup.
+// selection and tag-based wakeup. Entries and the per-tag waiter lists are
+// pooled across the queue's lifetime, so steady-state insert/wakeup/select
+// cycles allocate nothing.
 type IQ struct {
 	name    string
 	cap     int
 	width   int
 	entries []*Entry           // age order (insertion order)
 	waiting map[int64][]*Entry // operand tag → waiting entries
+
+	// picked is the reusable SelectReady result buffer; its entries are
+	// recycled into free at the start of the next SelectReady call, so a
+	// returned slice is valid only until then.
+	picked []*Entry
+	// free pools retired Entry objects; wfree pools drained waiter lists.
+	free  []*Entry
+	wfree [][]*Entry
 
 	// Issued counts selections; WakeupEvents counts tag broadcasts that
 	// woke at least one entry.
@@ -40,7 +50,25 @@ func NewIQ(name string, capacity, width int) *IQ {
 	if capacity <= 0 || width <= 0 {
 		panic(fmt.Sprintf("cluster: IQ %q capacity %d width %d", name, capacity, width))
 	}
-	return &IQ{name: name, cap: capacity, width: width, waiting: make(map[int64][]*Entry)}
+	q := &IQ{name: name, cap: capacity, width: width, waiting: make(map[int64][]*Entry)}
+	// Pre-populate the entry pool from one flat array: at most cap queued
+	// plus width freshly selected entries are ever live, so inserts never
+	// allocate.
+	ents := make([]Entry, capacity+width)
+	q.free = make([]*Entry, len(ents))
+	for i := range ents {
+		q.free[i] = &ents[i]
+	}
+	// Likewise seed the waiter-list pool: at most cap tags are waited on at
+	// once, and most have one or two waiters, so chunks of a flat backing
+	// array absorb nearly all waiting-map appends.
+	const waiterSeedCap = 2
+	wbacking := make([]*Entry, waiterSeedCap*capacity)
+	q.wfree = make([][]*Entry, capacity)
+	for i := range q.wfree {
+		q.wfree[i] = wbacking[i*waiterSeedCap : i*waiterSeedCap : (i+1)*waiterSeedCap]
+	}
+	return q
 }
 
 // Name returns the queue's label.
@@ -59,15 +87,32 @@ func (q *IQ) Width() int { return q.width }
 func (q *IQ) Full() bool { return len(q.entries) >= q.cap }
 
 // Insert queues the micro-op with the given unready operand tags. Tags
-// already ready must be omitted by the caller. Returns false when full.
+// already ready must be omitted by the caller; the tag slice is not
+// retained. Returns false when full.
 func (q *IQ) Insert(seq int64, aux int, unreadyTags []int64) bool {
 	if q.Full() {
 		return false
 	}
-	e := &Entry{Seq: seq, Aux: aux, pending: len(unreadyTags)}
+	var e *Entry
+	if n := len(q.free); n > 0 {
+		e = q.free[n-1]
+		q.free[n-1] = nil
+		q.free = q.free[:n-1]
+		*e = Entry{Seq: seq, Aux: aux, pending: len(unreadyTags)}
+	} else {
+		e = &Entry{Seq: seq, Aux: aux, pending: len(unreadyTags)}
+	}
 	q.entries = append(q.entries, e)
 	for _, tag := range unreadyTags {
-		q.waiting[tag] = append(q.waiting[tag], e)
+		ws, ok := q.waiting[tag]
+		if !ok {
+			if n := len(q.wfree); n > 0 {
+				ws = q.wfree[n-1]
+				q.wfree[n-1] = nil
+				q.wfree = q.wfree[:n-1]
+			}
+		}
+		q.waiting[tag] = append(ws, e)
 	}
 	return true
 }
@@ -79,25 +124,34 @@ func (q *IQ) Wakeup(tag int64) {
 	if len(ws) == 0 {
 		return
 	}
-	for _, e := range ws {
+	for i, e := range ws {
 		e.pending--
 		if e.pending < 0 {
 			panic(fmt.Sprintf("cluster: IQ %q double wakeup of %d", q.name, e.Seq))
 		}
+		ws[i] = nil
 	}
 	delete(q.waiting, tag)
+	q.wfree = append(q.wfree, ws[:0])
 	q.WakeupEvents++
 }
 
 // SelectReady pops up to max ready entries, oldest first. A max of zero or
 // a negative value selects up to the configured width. Accept filters
 // candidates (e.g. FU availability, link bandwidth); returning false leaves
-// the entry queued without consuming a selection slot.
+// the entry queued without consuming a selection slot. The returned slice
+// is reused: it is valid only until the next SelectReady call on this
+// queue.
 func (q *IQ) SelectReady(max int, accept func(*Entry) bool) []*Entry {
 	if max <= 0 || max > q.width {
 		max = q.width
 	}
-	var picked []*Entry
+	// Entries handed out by the previous call are done with: recycle them.
+	for i, e := range q.picked {
+		q.free = append(q.free, e)
+		q.picked[i] = nil
+	}
+	picked := q.picked[:0]
 	kept := q.entries[:0]
 	for _, e := range q.entries {
 		if len(picked) < max && e.Ready() && (accept == nil || accept(e)) {
@@ -112,12 +166,24 @@ func (q *IQ) SelectReady(max int, accept func(*Entry) bool) []*Entry {
 		q.entries[i] = nil
 	}
 	q.entries = kept
+	q.picked = picked
 	return picked
 }
 
-// Reset clears the queue (between runs).
+// Reset clears the queue (between runs). Live entries return to the pool
+// (every entry is on the age list exactly once, so this collects them all).
 func (q *IQ) Reset() {
+	for i, e := range q.entries {
+		q.free = append(q.free, e)
+		q.entries[i] = nil
+	}
 	q.entries = q.entries[:0]
+	for i, e := range q.picked {
+		q.free = append(q.free, e)
+		q.picked[i] = nil
+	}
+	q.picked = q.picked[:0]
 	q.waiting = make(map[int64][]*Entry)
+	q.wfree = q.wfree[:0]
 	q.Issued, q.WakeupEvents = 0, 0
 }

@@ -19,9 +19,15 @@ type flightCache[V any] struct {
 	order   *list.List // completed keys, most recently used at back
 	maxCost int64
 	costOf  func(V) int64
+	// auxOf, if set, tracks a second gauge alongside cost (e.g. the raw
+	// byte size of entries whose cost is their compressed size). It never
+	// influences eviction.
+	auxOf func(V) int64
 
 	cost          int64
 	costHighWater int64
+	aux           int64
+	auxHighWater  int64
 
 	hits, misses atomic.Int64
 }
@@ -30,6 +36,7 @@ type flightEntry[V any] struct {
 	done chan struct{}
 	val  V
 	cost int64
+	aux  int64
 	keep bool
 	elem *list.Element
 }
@@ -84,10 +91,17 @@ func (c *flightCache[V]) get(abort <-chan struct{}, key string, fn func() (V, bo
 			if c.costOf != nil {
 				e.cost = c.costOf(e.val)
 			}
+			if c.auxOf != nil {
+				e.aux = c.auxOf(e.val)
+			}
 			e.elem = c.order.PushBack(key)
 			c.cost += e.cost
 			if c.cost > c.costHighWater {
 				c.costHighWater = c.cost
+			}
+			c.aux += e.aux
+			if c.aux > c.auxHighWater {
+				c.auxHighWater = c.aux
 			}
 			// Evict oldest completed entries until back under budget; the
 			// entry just published always survives (the cache must remain
@@ -98,6 +112,7 @@ func (c *flightCache[V]) get(abort <-chan struct{}, key string, fn func() (V, bo
 				c.order.Remove(front)
 				delete(c.entries, front.Value.(string))
 				c.cost -= victim.cost
+				c.aux -= victim.aux
 			}
 		}
 		c.mu.Unlock()
@@ -121,4 +136,11 @@ func (c *flightCache[V]) costStats() (cost, highWater int64) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.cost, c.costHighWater
+}
+
+// auxStats snapshots the current and high-water secondary gauge.
+func (c *flightCache[V]) auxStats() (aux, highWater int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.aux, c.auxHighWater
 }

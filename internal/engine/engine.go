@@ -155,11 +155,11 @@ type Options struct {
 	// Parallelism bounds concurrently executing simulations; ≤ 0 means
 	// GOMAXPROCS. Cache hits are served without occupying a worker slot.
 	Parallelism int
-	// TraceCacheBytes bounds the expanded-trace cache by approximate
-	// payload bytes (traces are the largest cached artifact, ~32 bytes per
-	// micro-op, so the old entry bound conflated 4k-uop test traces with
-	// 120k-uop suite traces). Zero means 256 MiB; negative means
-	// unbounded.
+	// TraceCacheBytes bounds the expanded-trace cache by payload bytes.
+	// Traces are stored gzip-compressed (they are the largest cached
+	// artifact, and dynamic uop streams compress severalfold), so the
+	// bound governs the compressed footprint — the bytes actually held in
+	// memory. Zero means 256 MiB; negative means unbounded.
 	TraceCacheBytes int64
 	// ResultStore, if set, persists whole results behind the in-memory
 	// result cache: misses consult the store before simulating, and every
@@ -184,8 +184,10 @@ type Engine struct {
 	opts Options
 	sem  chan struct{}
 
-	progs   *flightCache[*prog.Program]
-	traces  *flightCache[*trace.Trace]
+	progs *flightCache[*prog.Program]
+	// traces holds expanded dynamic traces gzip-compressed (see
+	// tracecache.go); TraceCacheBytes budgets the compressed footprint.
+	traces  *flightCache[packedTrace]
 	results *flightCache[*Result]
 
 	// fps memoizes program content hashes per *prog.Program (programs are
@@ -213,8 +215,22 @@ type CacheStats struct {
 	// blobs that failed to decode or encode.
 	StoreHits, StoreMisses, StoreErrors int64
 	// TraceBytes and TraceBytesHighWater track the expanded-trace cache's
-	// approximate payload occupancy (current and maximum observed).
+	// compressed payload occupancy (current and maximum observed) — the
+	// figure TraceCacheBytes bounds.
 	TraceBytes, TraceBytesHighWater int64
+	// TraceRawBytes and TraceRawBytesHighWater track the same entries'
+	// pre-compression size: TraceRawBytes/TraceBytes is the trace cache's
+	// live compression ratio.
+	TraceRawBytes, TraceRawBytesHighWater int64
+}
+
+// TraceCompressionRatio returns raw/compressed for the currently cached
+// traces, or 0 when the cache is empty.
+func (s CacheStats) TraceCompressionRatio() float64 {
+	if s.TraceBytes <= 0 {
+		return 0
+	}
+	return float64(s.TraceRawBytes) / float64(s.TraceBytes)
 }
 
 // New builds an engine.
@@ -228,23 +244,15 @@ func New(opts Options) *Engine {
 	if opts.TraceCacheBytes < 0 {
 		opts.TraceCacheBytes = 0 // unbounded
 	}
+	traces := newFlightCache[packedTrace](opts.TraceCacheBytes, packedTraceBytes)
+	traces.auxOf = packedTraceRawBytes
 	return &Engine{
 		opts:    opts,
 		sem:     make(chan struct{}, opts.Parallelism),
 		progs:   newFlightCache[*prog.Program](0, nil),
-		traces:  newFlightCache[*trace.Trace](opts.TraceCacheBytes, traceBytes),
+		traces:  traces,
 		results: newFlightCache[*Result](0, nil),
 	}
-}
-
-// traceBytes approximates a trace's memory footprint: the dynamic stream
-// dominates (~32 bytes per micro-op: a static-op pointer, PC, flags and
-// address, padded), plus the shared static ops it references.
-func traceBytes(tr *trace.Trace) int64 {
-	if tr == nil {
-		return 0
-	}
-	return int64(len(tr.Uops))*32 + int64(len(tr.Name)) + 64
 }
 
 // Parallelism reports the engine's worker-pool size (the resolved value,
@@ -254,19 +262,22 @@ func (e *Engine) Parallelism() int { return e.opts.Parallelism }
 // Stats snapshots the cache counters.
 func (e *Engine) Stats() CacheStats {
 	traceBytes, traceHigh := e.traces.costStats()
+	traceRaw, traceRawHigh := e.traces.auxStats()
 	return CacheStats{
-		Simulations:         e.simulations.Load(),
-		ResultHits:          e.results.hits.Load(),
-		ResultMisses:        e.results.misses.Load(),
-		TraceHits:           e.traces.hits.Load(),
-		TraceMisses:         e.traces.misses.Load(),
-		ProgramHits:         e.progs.hits.Load(),
-		ProgramMisses:       e.progs.misses.Load(),
-		StoreHits:           e.storeHits.Load(),
-		StoreMisses:         e.storeMisses.Load(),
-		StoreErrors:         e.storeErrors.Load(),
-		TraceBytes:          traceBytes,
-		TraceBytesHighWater: traceHigh,
+		Simulations:            e.simulations.Load(),
+		ResultHits:             e.results.hits.Load(),
+		ResultMisses:           e.results.misses.Load(),
+		TraceHits:              e.traces.hits.Load(),
+		TraceMisses:            e.traces.misses.Load(),
+		ProgramHits:            e.progs.hits.Load(),
+		ProgramMisses:          e.progs.misses.Load(),
+		StoreHits:              e.storeHits.Load(),
+		StoreMisses:            e.storeMisses.Load(),
+		StoreErrors:            e.storeErrors.Load(),
+		TraceBytes:             traceBytes,
+		TraceBytesHighWater:    traceHigh,
+		TraceRawBytes:          traceRaw,
+		TraceRawBytesHighWater: traceRawHigh,
 	}
 }
 
@@ -553,15 +564,32 @@ func (e *Engine) annotated(sp *workload.Simpoint, s Setup, cfg *pipeline.Config)
 }
 
 // expand returns the dynamic trace for the annotated program, cached by
-// (annotated-program key, NumUops, seed).
+// (annotated-program key, NumUops, seed). Cached traces are stored
+// compressed: the computing caller hands back the freshly expanded trace
+// directly, while cache hits decompress (still far cheaper than
+// re-expanding). A pack or unpack failure degrades to a plain expansion.
 func (e *Engine) expand(p *prog.Program, progKey string, sp *workload.Simpoint, opt RunOptions) *trace.Trace {
 	topts := trace.Options{NumUops: opt.NumUops, Seed: sp.Seed}
 	if progKey == "" || e.opts.DisableCache {
 		return trace.Expand(p, topts)
 	}
 	key := fmt.Sprintf("%s|u%d|s%d", progKey, opt.NumUops, sp.Seed)
-	tr, _, _ := e.traces.get(nil, key, func() (*trace.Trace, bool) {
-		return trace.Expand(p, topts), true
+	var fresh *trace.Trace
+	pt, _, _ := e.traces.get(nil, key, func() (packedTrace, bool) {
+		fresh = trace.Expand(p, topts)
+		packed, err := packTrace(fresh)
+		if err != nil {
+			return packedTrace{}, false
+		}
+		return packed, true
 	})
+	if fresh != nil {
+		return fresh
+	}
+	tr, err := unpackTrace(pt)
+	if err != nil {
+		// Joined a failed flight or hit a corrupt entry: expand directly.
+		return trace.Expand(p, topts)
+	}
 	return tr
 }

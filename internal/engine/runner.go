@@ -65,18 +65,20 @@ func RunMatrixOn(ctx context.Context, r Runner, sps []*workload.Simpoint, setups
 // describe occupancy, not activity.
 func (s CacheStats) Delta(base CacheStats) CacheStats {
 	return CacheStats{
-		Simulations:         s.Simulations - base.Simulations,
-		ResultHits:          s.ResultHits - base.ResultHits,
-		ResultMisses:        s.ResultMisses - base.ResultMisses,
-		TraceHits:           s.TraceHits - base.TraceHits,
-		TraceMisses:         s.TraceMisses - base.TraceMisses,
-		ProgramHits:         s.ProgramHits - base.ProgramHits,
-		ProgramMisses:       s.ProgramMisses - base.ProgramMisses,
-		StoreHits:           s.StoreHits - base.StoreHits,
-		StoreMisses:         s.StoreMisses - base.StoreMisses,
-		StoreErrors:         s.StoreErrors - base.StoreErrors,
-		TraceBytes:          s.TraceBytes,
-		TraceBytesHighWater: s.TraceBytesHighWater,
+		Simulations:            s.Simulations - base.Simulations,
+		ResultHits:             s.ResultHits - base.ResultHits,
+		ResultMisses:           s.ResultMisses - base.ResultMisses,
+		TraceHits:              s.TraceHits - base.TraceHits,
+		TraceMisses:            s.TraceMisses - base.TraceMisses,
+		ProgramHits:            s.ProgramHits - base.ProgramHits,
+		ProgramMisses:          s.ProgramMisses - base.ProgramMisses,
+		StoreHits:              s.StoreHits - base.StoreHits,
+		StoreMisses:            s.StoreMisses - base.StoreMisses,
+		StoreErrors:            s.StoreErrors - base.StoreErrors,
+		TraceBytes:             s.TraceBytes,
+		TraceBytesHighWater:    s.TraceBytesHighWater,
+		TraceRawBytes:          s.TraceRawBytes,
+		TraceRawBytesHighWater: s.TraceRawBytesHighWater,
 	}
 }
 
@@ -85,17 +87,19 @@ func (s CacheStats) Delta(base CacheStats) CacheStats {
 // meaningfully across runners; the larger one is kept.
 func (s CacheStats) Add(other CacheStats) CacheStats {
 	return CacheStats{
-		Simulations:         s.Simulations + other.Simulations,
-		ResultHits:          s.ResultHits + other.ResultHits,
-		ResultMisses:        s.ResultMisses + other.ResultMisses,
-		TraceHits:           s.TraceHits + other.TraceHits,
-		TraceMisses:         s.TraceMisses + other.TraceMisses,
-		ProgramHits:         s.ProgramHits + other.ProgramHits,
-		ProgramMisses:       s.ProgramMisses + other.ProgramMisses,
-		StoreHits:           s.StoreHits + other.StoreHits,
-		StoreMisses:         s.StoreMisses + other.StoreMisses,
-		StoreErrors:         s.StoreErrors + other.StoreErrors,
-		TraceBytes:          s.TraceBytes + other.TraceBytes,
-		TraceBytesHighWater: max(s.TraceBytesHighWater, other.TraceBytesHighWater),
+		Simulations:            s.Simulations + other.Simulations,
+		ResultHits:             s.ResultHits + other.ResultHits,
+		ResultMisses:           s.ResultMisses + other.ResultMisses,
+		TraceHits:              s.TraceHits + other.TraceHits,
+		TraceMisses:            s.TraceMisses + other.TraceMisses,
+		ProgramHits:            s.ProgramHits + other.ProgramHits,
+		ProgramMisses:          s.ProgramMisses + other.ProgramMisses,
+		StoreHits:              s.StoreHits + other.StoreHits,
+		StoreMisses:            s.StoreMisses + other.StoreMisses,
+		StoreErrors:            s.StoreErrors + other.StoreErrors,
+		TraceBytes:             s.TraceBytes + other.TraceBytes,
+		TraceBytesHighWater:    max(s.TraceBytesHighWater, other.TraceBytesHighWater),
+		TraceRawBytes:          s.TraceRawBytes + other.TraceRawBytes,
+		TraceRawBytesHighWater: max(s.TraceRawBytesHighWater, other.TraceRawBytesHighWater),
 	}
 }

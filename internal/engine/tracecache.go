@@ -1,0 +1,79 @@
+package engine
+
+import (
+	"bytes"
+	"compress/gzip"
+	"fmt"
+	"io"
+
+	"clustersim/internal/trace"
+)
+
+// The expanded-trace cache stores traces gzip-compressed: a packedTrace is
+// the trace's binary serialization (internal/trace format, annotations
+// included) run through gzip. Dynamic uop streams are highly repetitive —
+// the same static ops recur with striding addresses — so compression
+// typically shrinks the dominant cache tier severalfold, letting the same
+// TraceCacheBytes budget hold several times more simulation points. The
+// cost is one decompression per cache hit, which is far cheaper than
+// re-expanding the trace from the program.
+type packedTrace struct {
+	// data is the gzip-compressed serialized trace; nil marks a failed
+	// pack (the flight is not retained, so callers re-expand).
+	data []byte
+	// rawBytes is the serialized (uncompressed) size, for the compression
+	// ratio stat.
+	rawBytes int64
+}
+
+// packedTraceBytes is the cost function for the trace cache: compressed
+// payload plus bookkeeping overhead.
+func packedTraceBytes(pt packedTrace) int64 { return int64(len(pt.data)) + 64 }
+
+// packedTraceRawBytes is the secondary gauge: pre-compression bytes.
+func packedTraceRawBytes(pt packedTrace) int64 { return pt.rawBytes }
+
+// countWriter counts the bytes flowing through it.
+type countWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (c *countWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
+}
+
+// packTrace serializes and compresses a trace for caching. Serialization
+// streams straight through the gzip writer — no transient full raw copy —
+// with the raw size taken from a counting shim.
+func packTrace(tr *trace.Trace) (packedTrace, error) {
+	var buf bytes.Buffer
+	zw, err := gzip.NewWriterLevel(&buf, gzip.BestSpeed)
+	if err != nil {
+		return packedTrace{}, err
+	}
+	cw := &countWriter{w: zw}
+	if err := trace.Save(cw, tr); err != nil {
+		return packedTrace{}, fmt.Errorf("engine: serializing trace: %w", err)
+	}
+	if err := zw.Close(); err != nil {
+		return packedTrace{}, err
+	}
+	return packedTrace{data: buf.Bytes(), rawBytes: cw.n}, nil
+}
+
+// unpackTrace decompresses and deserializes a cached trace. The round trip
+// is exact — the binary format carries every field the pipeline and the
+// steering policies read (serialize round-trip tests pin this), so a
+// simulation over an unpacked trace is byte-identical to one over the
+// original.
+func unpackTrace(pt packedTrace) (*trace.Trace, error) {
+	zr, err := gzip.NewReader(bytes.NewReader(pt.data))
+	if err != nil {
+		return nil, err
+	}
+	defer zr.Close()
+	return trace.Load(zr)
+}

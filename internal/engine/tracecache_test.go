@@ -1,0 +1,100 @@
+package engine_test
+
+import (
+	"bytes"
+	"context"
+	"testing"
+
+	"clustersim/internal/engine"
+	"clustersim/internal/sim"
+	"clustersim/internal/workload"
+)
+
+// A simulation over a decompressed cache hit must be byte-identical to one
+// over the freshly expanded trace: OP and one-cluster share the clean
+// (pass-less) annotated program, so the second setup's trace comes out of
+// the compressed tier.
+func TestCompressedTraceHitByteIdentical(t *testing.T) {
+	sp := workload.ByName("crafty")
+	opts := sim.RunOptions{NumUops: 4000}
+
+	refOP := sim.RunOne(sp, sim.SetupOP(2), opts)
+	refOne := sim.RunOne(sp, sim.SetupOneCluster(2), opts)
+	if refOP.Err != nil || refOne.Err != nil {
+		t.Fatalf("reference runs: %v %v", refOP.Err, refOne.Err)
+	}
+
+	eng := engine.New(engine.Options{Parallelism: 1})
+	gotOP := eng.Run(context.Background(), engine.Job{Simpoint: sp, Setup: sim.SetupOP(2), Opts: opts})
+	gotOne := eng.Run(context.Background(), engine.Job{Simpoint: sp, Setup: sim.SetupOneCluster(2), Opts: opts})
+	if gotOP.Err != nil || gotOne.Err != nil {
+		t.Fatalf("engine runs: %v %v", gotOP.Err, gotOne.Err)
+	}
+
+	st := eng.Stats()
+	if st.TraceHits != 1 {
+		t.Fatalf("trace hits = %d, want 1 (second setup must reuse the clean trace)", st.TraceHits)
+	}
+	if !bytes.Equal(encode(t, gotOP.Metrics), encode(t, refOP.Metrics)) {
+		t.Error("OP metrics differ from uncached reference")
+	}
+	if !bytes.Equal(encode(t, gotOne.Metrics), encode(t, refOne.Metrics)) {
+		t.Error("one-cluster metrics (simulated over a decompressed trace) differ from uncached reference")
+	}
+}
+
+// The trace cache must account compressed bytes (the figure the budget
+// bounds) and expose the raw size so the compression ratio is observable.
+func TestTraceCacheCompressionStats(t *testing.T) {
+	eng := engine.New(engine.Options{Parallelism: 1})
+	res := eng.Run(context.Background(), quickJob("swim", sim.SetupOP(2)))
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	st := eng.Stats()
+	if st.TraceBytes <= 0 || st.TraceRawBytes <= 0 {
+		t.Fatalf("expected nonzero trace cache occupancy, got %d gz / %d raw", st.TraceBytes, st.TraceRawBytes)
+	}
+	if st.TraceBytes >= st.TraceRawBytes {
+		t.Errorf("compressed %d bytes not smaller than raw %d bytes", st.TraceBytes, st.TraceRawBytes)
+	}
+	if r := st.TraceCompressionRatio(); r <= 1 {
+		t.Errorf("compression ratio %.2f, want > 1", r)
+	}
+	if st.TraceBytesHighWater < st.TraceBytes || st.TraceRawBytesHighWater < st.TraceRawBytes {
+		t.Errorf("high-water marks below current occupancy: %+v", st)
+	}
+}
+
+// A tiny TraceCacheBytes budget must bound the *compressed* footprint:
+// filling the cache with more traces than fit evicts, and current
+// occupancy stays at or under the budget once over it.
+func TestTraceCacheBoundsCompressedBytes(t *testing.T) {
+	const budget = 8 << 10 // far smaller than a few 4000-uop traces
+	eng := engine.New(engine.Options{Parallelism: 1, TraceCacheBytes: budget})
+	for _, name := range []string{"crafty", "swim", "mcf", "gzip-1"} {
+		res := eng.Run(context.Background(), quickJob(name, sim.SetupOP(2)))
+		if res.Err != nil {
+			t.Fatal(res.Err)
+		}
+	}
+	st := eng.Stats()
+	if st.TraceMisses != 4 {
+		t.Fatalf("trace misses = %d, want 4 distinct expansions", st.TraceMisses)
+	}
+	if st.TraceBytesHighWater <= 0 {
+		t.Fatal("no trace bytes accounted")
+	}
+	// Four distinct traces against a budget smaller than any one of them:
+	// every publication evicts its predecessors (only the newest entry may
+	// stand over budget), so current occupancy must sit strictly below the
+	// high-water mark and hold at most one trace.
+	if st.TraceBytes >= st.TraceBytesHighWater {
+		t.Errorf("occupancy %d never dropped below high water %d; eviction didn't run",
+			st.TraceBytes, st.TraceBytesHighWater)
+	}
+	if st.TraceRawBytes >= st.TraceRawBytesHighWater {
+		t.Errorf("raw gauge %d not reduced by eviction (high water %d)",
+			st.TraceRawBytes, st.TraceRawBytesHighWater)
+	}
+}

@@ -130,8 +130,10 @@ func (nw *Network) reserveRing(cycle int64, src, dst int) (int64, bool) {
 		step = n - 1 // i.e. -1 mod n
 		hops = ccw
 	}
-	// Gather the segment indices, then reserve all or nothing.
-	segs := make([]int, 0, hops)
+	// Gather the segment indices, then reserve all or nothing. The array
+	// stays on the stack (clusters are capped at 32, so hops ≤ 16).
+	var segArr [16]int
+	segs := segArr[:0]
 	at := src
 	for h := 0; h < hops; h++ {
 		next := (at + step) % n

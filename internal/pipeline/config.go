@@ -9,6 +9,12 @@
 // memory addresses come from the trace, mispredictions stall fetch until
 // the branch resolves (no wrong-path execution), and every steering policy
 // sees the identical micro-op stream.
+//
+// The cycle loop is allocation-free in steady state: in-flight micro-op
+// and value state live in rings indexed by sequence number modulo a
+// power-of-two window, scheduled events in a fixed-horizon event wheel,
+// and the ROB/fetch pipe are head-tail rings — see Core in core.go and the
+// README's Performance section for the design and its measured effect.
 package pipeline
 
 import (

@@ -16,12 +16,15 @@ import (
 // value: ready in every cluster, occupying no physical register.
 const initialValue int64 = -1
 
-// uopState is the in-flight state of one dynamic micro-op.
+// uopState is the in-flight state of one dynamic micro-op. States live in a
+// ring buffer indexed by seq mod window, so the struct carries its own seq
+// and liveness to disambiguate slot reuse.
 type uopState struct {
 	seq     int64
 	u       *trace.Uop
 	cluster int
 
+	live      bool
 	completed bool
 	// mispredicted marks a conditional branch whose prediction was wrong;
 	// its completion releases the fetch stall.
@@ -34,10 +37,15 @@ type uopState struct {
 	srcValues [2]int64
 }
 
-// valueState tracks one produced register value across clusters.
+// valueState tracks one produced register value across clusters. Values
+// normally live in a ring window indexed by seq; the rare value that
+// outlives the window (a register not overwritten for a whole window of
+// dispatches) is evicted to an overflow map.
 type valueState struct {
+	seq  int64
 	reg  uarch.Reg
 	home int
+	live bool
 	// locMask marks clusters where the value is or will become available
 	// (home plus any copy destinations, pending or arrived).
 	locMask uint32
@@ -79,8 +87,33 @@ type fetchSlot struct {
 	cluster int
 }
 
+// plannedCopy is one operand copy the dispatch stage intends to insert: the
+// value, its home cluster, and the architectural register (for free-list
+// accounting in the target cluster).
+type plannedCopy struct {
+	vseq int64
+	home int
+	reg  uarch.Reg
+}
+
+// eventWheelStats counts event-wheel activity; the bounded-memory
+// regression test reads it, and it is cheap enough to keep always on.
+type eventWheelStats struct {
+	// scheduled counts all scheduled events; overflowed counts the subset
+	// that landed beyond the wheel horizon (far-future overflow bucket).
+	scheduled, overflowed int64
+}
+
 // Core is one simulated machine instance. It is single-goroutine; run many
 // cores in parallel for experiment sweeps.
+//
+// The per-cycle working set is held in dense, index-addressed structures so
+// the steady-state loop allocates nothing: in-flight micro-op state lives
+// in a ring indexed by seq mod window (in-order dispatch and commit keep
+// the live range within ROB size), value state in a larger ring with a
+// small overflow map for values that outlive it, scheduled events in a
+// fixed-horizon wheel of reusable slices, and the ROB itself is just the
+// contiguous live seq range [robHead, robHead+robLen).
 type Core struct {
 	cfg    Config
 	policy steer.Policy
@@ -90,23 +123,52 @@ type Core struct {
 	nextFetch int
 	nextSeq   int64
 
-	// fetchPipe holds fetched-but-not-dispatched micro-ops (bounded by
-	// width × depth + steer backlog).
+	// fetchPipe is a ring of fetched-but-not-dispatched micro-ops, bounded
+	// by fetchCap (width × depth + steer backlog).
 	fetchPipe []fetchSlot
+	fetchMask int64
+	fetchHead int64
+	fetchLen  int
+	fetchCap  int
 	// fetchStalled marks fetch frozen on an unresolved misprediction.
 	fetchStalled bool
 
-	rob      []*uopState // FIFO, head at index 0
-	uops     map[int64]*uopState
-	regVal   [uarch.NumRegs]int64
-	values   map[int64]*valueState
+	// uops is the in-flight micro-op window: a ring indexed by seq&uopMask.
+	// Dispatch and commit are both in program order, so the live entries
+	// are exactly the ROB contents — seqs [robHead, robHead+robLen).
+	uops    []uopState
+	uopMask int64
+	robHead int64
+	robLen  int
+
+	regVal [uarch.NumRegs]int64
+	// values is the value window ring indexed by seq&valMask; valOverflow
+	// holds the rare values still live when their slot is reclaimed.
+	values      []valueState
+	valMask     int64
+	valOverflow map[int64]*valueState
+
 	clusters []*cluster.Cluster
 	net      *interconnect.Network
 	lsq      *cache.LSQ
 	mem      *cache.Hierarchy
 	bp       *gshare
 
-	events map[int64][]event
+	// wheel is the event wheel: wheel[cycle&wheelMask] holds the events due
+	// that cycle, with backing arrays reused after draining. Events beyond
+	// the horizon go to the evOverflow bucket (evOverflowLen counts them so
+	// the per-cycle check is a plain integer compare).
+	wheel         [][]event
+	wheelMask     int64
+	evOverflow    map[int64][]event
+	evOverflowLen int
+	evStats       eventWheelStats
+
+	// planCopies, unready and copyTags are dispatch-stage scratch buffers,
+	// reused across cycles so steering/dispatch never allocates.
+	planCopies []plannedCopy
+	unready    []int64
+	copyTags   []int64
 
 	// copyInserted records copy-queue insertion cycles for the optional
 	// copy-latency histogram (nil unless TrackHistograms).
@@ -120,6 +182,41 @@ type Core struct {
 type copyKey struct {
 	seq int64
 	dst int
+}
+
+// nextPow2 returns the smallest power of two ≥ n (and ≥ 1).
+func nextPow2(n int) int {
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
+// maxWheelHorizon caps the event wheel's slot count. It is a variable
+// only so tests can raise it to run an overflow-free control of the same
+// configuration; simulation code treats it as a constant.
+var maxWheelHorizon = 4096
+
+// wheelHorizon sizes the event wheel to cover every latency the machine
+// can schedule in one hop — the memory hierarchy's worst case (L2 miss to
+// DRAM) dominates. Anything beyond (e.g. an ablation with an extreme
+// memory latency) falls into the overflow bucket, which is correct but
+// slower, so the horizon errs generously — while staying capped so an
+// extreme configuration costs overflow lookups instead of memory.
+func wheelHorizon(cfg *Config) int {
+	worst := cfg.Mem.L1.HitLatency + cfg.Mem.L2.HitLatency + cfg.Mem.MemLatency
+	if net := cfg.Net.Latency * cfg.NumClusters; net > worst {
+		worst = net
+	}
+	h := nextPow2(worst + 2)
+	if h < 64 {
+		h = 64
+	}
+	if h > maxWheelHorizon {
+		h = maxWheelHorizon
+	}
+	return h
 }
 
 // NewCore builds a machine for the given trace and policy.
@@ -138,17 +235,32 @@ func NewCore(cfg Config, pol steer.Policy, tr *trace.Trace) (*Core, error) {
 	if err != nil {
 		return nil, err
 	}
+	fetchCap := cfg.FetchWidth * (cfg.FetchToDispatch + 4)
 	c := &Core{
-		cfg:    cfg,
-		policy: pol,
-		tr:     tr,
-		uops:   make(map[int64]*uopState),
-		values: make(map[int64]*valueState),
-		net:    net,
-		lsq:    cache.NewLSQ(cfg.LSQSize),
-		mem:    mem,
-		bp:     newGShare(cfg.BPredBits),
-		events: make(map[int64][]event),
+		cfg:       cfg,
+		policy:    pol,
+		tr:        tr,
+		fetchPipe: make([]fetchSlot, nextPow2(fetchCap)),
+		fetchCap:  fetchCap,
+		uops:      make([]uopState, nextPow2(cfg.ROBSize)),
+		values:    make([]valueState, nextPow2(2*cfg.ROBSize)),
+		wheel:     make([][]event, wheelHorizon(&cfg)),
+		net:       net,
+		lsq:       cache.NewLSQ(cfg.LSQSize),
+		mem:       mem,
+		bp:        newGShare(cfg.BPredBits),
+	}
+	c.fetchMask = int64(len(c.fetchPipe) - 1)
+	c.uopMask = int64(len(c.uops) - 1)
+	c.valMask = int64(len(c.values) - 1)
+	c.wheelMask = int64(len(c.wheel) - 1)
+	// Seed every wheel slot with a small chunk of one flat backing array:
+	// the average cycle carries a handful of events, so most slots never
+	// regrow and per-run warm-up allocation stays O(1) instead of O(slots).
+	const slotSeedCap = 8
+	backing := make([]event, slotSeedCap*len(c.wheel))
+	for i := range c.wheel {
+		c.wheel[i] = backing[i*slotSeedCap : i*slotSeedCap : (i+1)*slotSeedCap]
 	}
 	for i := 0; i < cfg.NumClusters; i++ {
 		c.clusters = append(c.clusters, cluster.New(i, cfg.Cluster))
@@ -169,6 +281,57 @@ func NewCore(cfg Config, pol steer.Policy, tr *trace.Trace) (*Core, error) {
 	}
 	pol.Reset()
 	return c, nil
+}
+
+// --- windowed state access -------------------------------------------------
+
+// uop returns the in-flight state for seq, or nil if it already committed.
+func (c *Core) uop(seq int64) *uopState {
+	st := &c.uops[seq&c.uopMask]
+	if st.live && st.seq == seq {
+		return st
+	}
+	return nil
+}
+
+// robHeadState returns the oldest in-flight micro-op (ROB head).
+func (c *Core) robHeadState() *uopState {
+	return &c.uops[c.robHead&c.uopMask]
+}
+
+// value returns the live value state for seq, or nil if it was freed. The
+// ring slot is the hot path; the overflow map holds only values that
+// outlived the window.
+func (c *Core) value(seq int64) *valueState {
+	v := &c.values[seq&c.valMask]
+	if v.live && v.seq == seq {
+		return v
+	}
+	if c.valOverflow != nil {
+		if ov, ok := c.valOverflow[seq]; ok {
+			return ov
+		}
+	}
+	return nil
+}
+
+// newValue claims the window slot for seq. A slot still occupied by a live
+// out-of-window value (its register was not overwritten for a whole window
+// of dispatches) evicts that value to the overflow map first.
+func (c *Core) newValue(seq int64, reg uarch.Reg, home int) *valueState {
+	v := &c.values[seq&c.valMask]
+	if v.live {
+		if c.valOverflow == nil {
+			c.valOverflow = make(map[int64]*valueState)
+		}
+		old := *v
+		c.valOverflow[old.seq] = &old
+	}
+	*v = valueState{
+		seq: seq, reg: reg, home: home, live: true,
+		locMask: 1 << uint(home), allocMask: 1 << uint(home),
+	}
+	return v
 }
 
 // --- steering context ------------------------------------------------------
@@ -196,7 +359,7 @@ func (s steerCtx) ValueClusters(r uarch.Reg) uint32 {
 	if seq == initialValue {
 		return (1 << uint(s.c.cfg.NumClusters)) - 1
 	}
-	if v, ok := s.c.values[seq]; ok {
+	if v := s.c.value(seq); v != nil {
 		return v.locMask
 	}
 	return (1 << uint(s.c.cfg.NumClusters)) - 1
@@ -206,7 +369,7 @@ func (s steerCtx) ValueClusters(r uarch.Reg) uint32 {
 
 // valueReadyIn marks value seq readable in cluster ci and wakes its waiters.
 func (c *Core) valueReadyIn(seq int64, ci int) {
-	v := c.values[seq]
+	v := c.value(seq)
 	if v == nil {
 		panic(fmt.Sprintf("pipeline: ready for dead value %d", seq))
 	}
@@ -226,8 +389,8 @@ func (c *Core) valueIsReadyIn(seq int64, ci int) bool {
 	if seq == initialValue {
 		return true
 	}
-	v, ok := c.values[seq]
-	if !ok {
+	v := c.value(seq)
+	if v == nil {
 		return true // producer already committed and freed: architecturally visible
 	}
 	return v.readyMask&(1<<uint(ci)) != 0
@@ -238,8 +401,8 @@ func (c *Core) freeValue(seq int64) {
 	if seq == initialValue {
 		return
 	}
-	v, ok := c.values[seq]
-	if !ok {
+	v := c.value(seq)
+	if v == nil {
 		return
 	}
 	for ci := 0; ci < c.cfg.NumClusters; ci++ {
@@ -247,7 +410,11 @@ func (c *Core) freeValue(seq int64) {
 			c.clusters[ci].FreeReg(v.reg)
 		}
 	}
-	delete(c.values, seq)
+	if ring := &c.values[seq&c.valMask]; ring == v {
+		ring.live = false
+	} else {
+		delete(c.valOverflow, seq)
+	}
 }
 
 // Metrics returns the accumulated metrics (valid after Run).

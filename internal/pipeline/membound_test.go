@@ -1,0 +1,118 @@
+package pipeline
+
+import (
+	"testing"
+
+	"clustersim/internal/prog"
+	"clustersim/internal/steer"
+	"clustersim/internal/trace"
+	"clustersim/internal/uarch"
+)
+
+// memboundTrace builds a load-heavy program with a working set far beyond
+// the L2, so most loads miss to memory and the run spends hundreds of
+// thousands of cycles with long-latency events in flight — the workload
+// that made the old cycle-keyed event map grow without bound (drained
+// buckets were never deleted).
+func memboundTrace(uops int) *trace.Trace {
+	b := prog.NewBuilder("membound")
+	b.Load(uarch.IntReg(1), uarch.IntReg(10), prog.MemRef{
+		Pattern: prog.MemStride, Stream: 0, StrideBytes: 256, WorkingSet: 64 << 20,
+	})
+	b.Int(uarch.OpAdd, uarch.IntReg(2), uarch.IntReg(1), uarch.IntReg(2))
+	return trace.Expand(b.MustBuild(), trace.Options{NumUops: uops, Seed: 7})
+}
+
+// TestEventWheelBoundedOverLongRun pins the event-wheel memory bound: over
+// a 200k+ cycle simulation the wheel's total buffered capacity must stay a
+// small multiple of the machine's concurrency, not grow with simulated
+// cycles. The old map-of-slices leaked one bucket per cycle that ever held
+// an event; the wheel reuses a fixed ring of slices.
+func TestEventWheelBoundedOverLongRun(t *testing.T) {
+	tr := memboundTrace(80_000)
+	core, err := NewCore(DefaultConfig(2), &steer.OP{}, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := core.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Cycles < 200_000 {
+		t.Fatalf("run too short to exercise the bound: %d cycles", m.Cycles)
+	}
+	if core.evStats.scheduled < int64(m.Uops) {
+		t.Fatalf("implausible event count %d for %d uops", core.evStats.scheduled, m.Uops)
+	}
+
+	// The wheel footprint is the sum of its slice capacities: pooled
+	// backing arrays that stop growing once they cover the steady-state
+	// per-cycle event burst. Bound it by a generous constant that is
+	// nevertheless thousands of times smaller than one-slice-per-cycle
+	// leakage would produce.
+	footprint := 0
+	for _, slot := range core.wheel {
+		footprint += cap(slot)
+	}
+	maxFootprint := len(core.wheel) * 64
+	if footprint > maxFootprint {
+		t.Errorf("event wheel footprint %d entries after %d cycles (cap %d): backing arrays growing without bound",
+			footprint, m.Cycles, maxFootprint)
+	}
+
+	// The far-future overflow bucket must fully drain: every scheduled
+	// event was either handled or intentionally dropped, never parked.
+	if core.evOverflowLen != 0 || len(core.evOverflow) != 0 {
+		t.Errorf("overflow bucket still holds %d events in %d cycles after completion",
+			core.evOverflowLen, len(core.evOverflow))
+	}
+}
+
+// TestEventWheelOverflowPath forces events beyond the wheel horizon (an
+// ablation-scale memory latency) and checks they are delivered at the
+// exact cycles a wheel large enough to hold them directly would deliver
+// them: the overflow run's metrics must equal an overflow-free control of
+// the identical machine.
+func TestEventWheelOverflowPath(t *testing.T) {
+	run := func(horizonCap int) (*Metrics, *Core) {
+		old := maxWheelHorizon
+		maxWheelHorizon = horizonCap
+		defer func() { maxWheelHorizon = old }()
+		tr := memboundTrace(4_000)
+		cfg := DefaultConfig(2)
+		cfg.Mem.MemLatency = 5000 // beyond the default 4096-slot cap
+		core, err := NewCore(cfg, &steer.OP{}, tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := core.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m, core
+	}
+
+	// Overflow run: the 5000-cycle memory latency exceeds the capped wheel,
+	// so L2-miss completion events take the far-future overflow bucket.
+	over, c1 := run(4096)
+	if len(c1.wheel) != 4096 {
+		t.Fatalf("wheel not capped: %d slots", len(c1.wheel))
+	}
+	if c1.evStats.overflowed == 0 {
+		t.Fatal("overflow path never fired despite a latency beyond the horizon")
+	}
+
+	// Control run: same machine, wheel raised to cover the latency — no
+	// overflow. Cycle-exact equality pins the bucket's delivery timing.
+	ctl, c2 := run(1 << 14)
+	if c2.evStats.overflowed != 0 {
+		t.Fatalf("control run unexpectedly overflowed %d events", c2.evStats.overflowed)
+	}
+	if over.Cycles != ctl.Cycles || over.Uops != ctl.Uops || over.Copies != ctl.Copies {
+		t.Errorf("overflow delivery drifted from in-wheel delivery: %d/%d/%d vs %d/%d/%d cycles/uops/copies",
+			over.Cycles, over.Uops, over.Copies, ctl.Cycles, ctl.Uops, ctl.Copies)
+	}
+	if over.Uops != 4000 {
+		t.Errorf("committed %d of 4000 uops with overflow events", over.Uops)
+	}
+}

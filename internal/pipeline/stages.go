@@ -107,25 +107,48 @@ func subtractCounters(a, b Metrics) Metrics {
 
 // describeHead renders the ROB head for deadlock diagnostics.
 func (c *Core) describeHead() string {
-	if len(c.rob) == 0 {
+	if c.robLen == 0 {
 		return "empty ROB"
 	}
-	st := c.rob[0]
+	st := c.robHeadState()
 	return fmt.Sprintf("seq=%d op=%v cluster=%d completed=%v",
 		st.seq, st.u.Static.Opcode, st.cluster, st.completed)
 }
 
-// schedule enqueues an event for the given cycle.
+// schedule enqueues an event for the given cycle: into the wheel when the
+// cycle is within the horizon, into the far-future overflow bucket
+// otherwise. Events within one cycle drain in insertion order, and all
+// overflow insertions for a cycle necessarily predate all wheel insertions
+// for it (they were scheduled at least a horizon earlier), so draining
+// overflow first preserves the exact order a single per-cycle list had.
 func (c *Core) schedule(cycle int64, ev event) {
-	c.events[cycle] = append(c.events[cycle], ev)
+	c.evStats.scheduled++
+	d := cycle - c.cycle
+	if d <= 0 {
+		// An event due the current cycle arrives after this cycle's drain
+		// already ran (only possible with zero-latency configurations); the
+		// old per-cycle map never processed such events either.
+		return
+	}
+	if d > c.wheelMask {
+		if c.evOverflow == nil {
+			c.evOverflow = make(map[int64][]event)
+		}
+		c.evOverflow[cycle] = append(c.evOverflow[cycle], ev)
+		c.evOverflowLen++
+		c.evStats.overflowed++
+		return
+	}
+	idx := cycle & c.wheelMask
+	c.wheel[idx] = append(c.wheel[idx], ev)
 }
 
 // --- commit ----------------------------------------------------------------
 
 func (c *Core) commit() {
 	budget := c.cfg.CommitWidth
-	for budget > 0 && len(c.rob) > 0 {
-		st := c.rob[0]
+	for budget > 0 && c.robLen > 0 {
+		st := c.robHeadState()
 		if !st.completed {
 			return
 		}
@@ -146,8 +169,9 @@ func (c *Core) commit() {
 			c.freeValue(st.prevValue)
 		}
 		c.clusters[st.cluster].InFlight--
-		delete(c.uops, st.seq)
-		c.rob = c.rob[1:]
+		st.live = false
+		c.robHead++
+		c.robLen--
 		c.committed++
 		budget--
 	}
@@ -156,34 +180,54 @@ func (c *Core) commit() {
 // --- events (writeback / copy delivery / memory progress) -------------------
 
 func (c *Core) processEvents() {
-	evs := c.events[c.cycle]
-	if evs == nil {
+	if c.evOverflowLen > 0 {
+		if over, ok := c.evOverflow[c.cycle]; ok {
+			delete(c.evOverflow, c.cycle)
+			c.evOverflowLen -= len(over)
+			for i := range over {
+				c.handleEvent(over[i])
+			}
+		}
+	}
+	idx := c.cycle & c.wheelMask
+	evs := c.wheel[idx]
+	if len(evs) == 0 {
 		return
 	}
-	delete(c.events, c.cycle)
-	for _, ev := range evs {
-		switch ev.kind {
-		case evComplete:
-			c.finish(ev.seq)
-		case evAgen:
-			c.agen(ev.seq)
-		case evMemTry:
-			if st, ok := c.uops[ev.seq]; ok {
-				c.memTry(st)
+	// Detach the slot while draining. In-window schedules during the drain
+	// always land in other slots (a same-slot target would be exactly one
+	// horizon ahead, which goes to overflow), so the backing array can be
+	// put straight back for reuse.
+	c.wheel[idx] = nil
+	for i := range evs {
+		c.handleEvent(evs[i])
+	}
+	c.wheel[idx] = evs[:0]
+}
+
+// handleEvent dispatches one drained event to its handler.
+func (c *Core) handleEvent(ev event) {
+	switch ev.kind {
+	case evComplete:
+		c.finish(ev.seq)
+	case evAgen:
+		c.agen(ev.seq)
+	case evMemTry:
+		if st := c.uop(ev.seq); st != nil {
+			c.memTry(st)
+		}
+	case evCopyArrive:
+		c.valueReadyIn(ev.seq, ev.aux)
+		if c.copyInserted != nil {
+			key := copyKey{ev.seq, ev.aux}
+			if t0, ok := c.copyInserted[key]; ok {
+				c.m.Histograms.CopyLatency.Observe(c.cycle - t0)
+				delete(c.copyInserted, key)
 			}
-		case evCopyArrive:
-			c.valueReadyIn(ev.seq, ev.aux)
-			if c.copyInserted != nil {
-				key := copyKey{ev.seq, ev.aux}
-				if t0, ok := c.copyInserted[key]; ok {
-					c.m.Histograms.CopyLatency.Observe(c.cycle - t0)
-					delete(c.copyInserted, key)
-				}
-			}
-		case evStoreData:
-			if st, ok := c.uops[ev.seq]; ok {
-				c.storeDataCheck(st)
-			}
+		}
+	case evStoreData:
+		if st := c.uop(ev.seq); st != nil {
+			c.storeDataCheck(st)
 		}
 	}
 }
@@ -205,13 +249,13 @@ func (c *Core) storeDataCheck(st *uopState) {
 
 // finish completes execution of a micro-op.
 func (c *Core) finish(seq int64) {
-	st, ok := c.uops[seq]
-	if !ok || st.completed {
+	st := c.uop(seq)
+	if st == nil || st.completed {
 		return
 	}
 	st.completed = true
 	if st.u.Static.Dst != uarch.RegNone {
-		v := c.values[seq]
+		v := c.value(seq)
 		v.produced = true
 		c.valueReadyIn(seq, st.cluster)
 	}
@@ -224,8 +268,8 @@ func (c *Core) finish(seq int64) {
 
 // agen finishes address generation for a memory op.
 func (c *Core) agen(seq int64) {
-	st, ok := c.uops[seq]
-	if !ok {
+	st := c.uop(seq)
+	if st == nil {
 		return
 	}
 	c.lsq.SetAddress(seq, st.u.Addr)
@@ -267,11 +311,11 @@ func (c *Core) issue() {
 		cl := cl
 		for _, q := range [2]*cluster.IQ{cl.IntQ, cl.FPQ} {
 			picked := q.SelectReady(0, func(e *cluster.Entry) bool {
-				st := c.uops[e.Seq]
+				st := c.uop(e.Seq)
 				return cl.DividerFree(st.u.Static.Opcode, c.cycle)
 			})
 			for _, e := range picked {
-				c.startExec(c.uops[e.Seq], cl)
+				c.startExec(c.uop(e.Seq), cl)
 			}
 		}
 		// Copies: one per cycle, gated on link bandwidth. The reservation
@@ -304,8 +348,11 @@ func (c *Core) startExec(st *uopState, cl *cluster.Cluster) {
 func (c *Core) dispatchStage() {
 	budget := c.cfg.SteerWidth
 	reason := StallNone
-	for budget > 0 && len(c.fetchPipe) > 0 && c.fetchPipe[0].readyAt <= c.cycle {
-		slot := &c.fetchPipe[0]
+	for budget > 0 && c.fetchLen > 0 {
+		slot := &c.fetchPipe[c.fetchHead&c.fetchMask]
+		if slot.readyAt > c.cycle {
+			break
+		}
 		if !slot.steered {
 			d := c.policy.Steer(steerCtx{c}, slot.u)
 			if d.Stall {
@@ -323,7 +370,8 @@ func (c *Core) dispatchStage() {
 			reason = r
 			break
 		}
-		c.fetchPipe = c.fetchPipe[1:]
+		c.fetchHead++
+		c.fetchLen--
 		budget--
 	}
 	if reason != StallNone {
@@ -342,7 +390,7 @@ func (c *Core) tryDispatch(slot *fetchSlot) StallReason {
 	cl := c.clusters[ci]
 	class := u.Static.Opcode.Class()
 
-	if len(c.rob) >= c.cfg.ROBSize {
+	if c.robLen >= c.cfg.ROBSize {
 		return StallROB
 	}
 	if cl.QueueFor(class).Full() {
@@ -354,13 +402,8 @@ func (c *Core) tryDispatch(slot *fetchSlot) StallReason {
 
 	// Plan operand copies: a source value not present (nor en route) in the
 	// target cluster needs an explicit copy micro-op in its home cluster.
-	type plannedCopy struct {
-		vseq int64
-		home int
-		reg  uarch.Reg
-	}
-	var copies []plannedCopy
-	var unready []int64
+	copies := c.planCopies[:0]
+	unready := c.unready[:0]
 	needRegInt, needRegFP := 0, 0
 	if u.Static.Dst != uarch.RegNone {
 		if u.Static.Dst.IsFP() {
@@ -381,7 +424,7 @@ func (c *Core) tryDispatch(slot *fetchSlot) StallReason {
 		if vseq == initialValue {
 			continue
 		}
-		v := c.values[vseq]
+		v := c.value(vseq)
 		if v == nil {
 			continue
 		}
@@ -405,6 +448,7 @@ func (c *Core) tryDispatch(slot *fetchSlot) StallReason {
 					}
 				}
 				if home.CopyQ.Len()+pendingToHome >= home.CopyQ.Cap() {
+					c.planCopies = copies[:0]
 					return StallCopyQ
 				}
 				copies = append(copies, plannedCopy{vseq, v.home, src})
@@ -416,6 +460,7 @@ func (c *Core) tryDispatch(slot *fetchSlot) StallReason {
 			}
 		}
 	}
+	c.planCopies = copies[:0]
 	if needRegInt > cl.FreeRegs(uarch.IntReg(0)) || needRegFP > cl.FreeRegs(uarch.FPReg(0)) {
 		if len(copies) > 0 {
 			return StallCopyRegs
@@ -426,14 +471,15 @@ func (c *Core) tryDispatch(slot *fetchSlot) StallReason {
 	// All resources available: perform the dispatch.
 	seq := slot.seq
 	for _, pc := range copies {
-		v := c.values[pc.vseq]
-		var tags []int64
+		v := c.value(pc.vseq)
+		tags := c.copyTags[:0]
 		if !c.valueIsReadyIn(pc.vseq, pc.home) {
-			tags = []int64{pc.vseq}
+			tags = append(tags, pc.vseq)
 		}
 		if !c.clusters[pc.home].CopyQ.Insert(pc.vseq, ci, tags) {
 			panic("pipeline: copy queue insert failed after capacity check")
 		}
+		c.copyTags = tags[:0]
 		v.locMask |= 1 << uint(ci)
 		v.allocMask |= 1 << uint(ci)
 		cl.AllocReg(pc.reg)
@@ -468,6 +514,7 @@ func (c *Core) tryDispatch(slot *fetchSlot) StallReason {
 			unready = append(unready, vseqs[i])
 		}
 	}
+	c.unready = unready[:0]
 	if !cl.QueueFor(class).Insert(seq, 0, unready) {
 		panic("pipeline: IQ insert failed after capacity check")
 	}
@@ -476,8 +523,12 @@ func (c *Core) tryDispatch(slot *fetchSlot) StallReason {
 			panic("pipeline: LSQ allocate failed after capacity check")
 		}
 	}
-	st := &uopState{
-		seq: seq, u: u, cluster: ci,
+	if want := c.robHead + int64(c.robLen); seq != want {
+		panic(fmt.Sprintf("pipeline: out-of-order dispatch: seq %d, ROB tail %d", seq, want))
+	}
+	st := &c.uops[seq&c.uopMask]
+	*st = uopState{
+		seq: seq, u: u, cluster: ci, live: true,
 		mispredicted: slot.mispred, prevValue: initialValue,
 		srcValues: vseqs,
 	}
@@ -485,13 +536,9 @@ func (c *Core) tryDispatch(slot *fetchSlot) StallReason {
 		cl.AllocReg(u.Static.Dst)
 		st.prevValue = c.regVal[u.Static.Dst]
 		c.regVal[u.Static.Dst] = seq
-		c.values[seq] = &valueState{
-			reg: u.Static.Dst, home: ci,
-			locMask: 1 << uint(ci), allocMask: 1 << uint(ci),
-		}
+		c.newValue(seq, u.Static.Dst, ci)
 	}
-	c.rob = append(c.rob, st)
-	c.uops[seq] = st
+	c.robLen++
 	cl.InFlight++
 	cl.DispatchedUops++
 	c.m.PerCluster[ci].Dispatched++
@@ -505,11 +552,11 @@ func (c *Core) fetch() {
 		c.m.FetchStallCycles++
 		return
 	}
-	pipeCap := c.cfg.FetchWidth * (c.cfg.FetchToDispatch + 4)
 	budget := c.cfg.FetchWidth
-	for budget > 0 && c.nextFetch < len(c.tr.Uops) && len(c.fetchPipe) < pipeCap {
+	for budget > 0 && c.nextFetch < len(c.tr.Uops) && c.fetchLen < c.fetchCap {
 		u := &c.tr.Uops[c.nextFetch]
-		slot := fetchSlot{
+		slot := &c.fetchPipe[(c.fetchHead+int64(c.fetchLen))&c.fetchMask]
+		*slot = fetchSlot{
 			seq: c.nextSeq, u: u,
 			readyAt: c.cycle + int64(c.cfg.FetchToDispatch),
 		}
@@ -524,7 +571,7 @@ func (c *Core) fetch() {
 				stop = true
 			}
 		}
-		c.fetchPipe = append(c.fetchPipe, slot)
+		c.fetchLen++
 		c.nextFetch++
 		c.nextSeq++
 		budget--
@@ -551,7 +598,7 @@ func (c *Core) accountOccupancy() {
 		}
 	}
 	if h := c.m.Histograms; h != nil {
-		h.ROB.Observe(int64(len(c.rob)))
+		h.ROB.Observe(int64(c.robLen))
 	}
 }
 

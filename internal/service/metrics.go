@@ -56,8 +56,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		{"clusterd_engine_store_hits_total", "Persistent result-store hits.", "counter", one(eng.StoreHits)},
 		{"clusterd_engine_store_misses_total", "Persistent result-store misses.", "counter", one(eng.StoreMisses)},
 		{"clusterd_engine_store_errors_total", "Undecodable or unencodable result blobs.", "counter", one(eng.StoreErrors)},
-		{"clusterd_engine_trace_cache_bytes", "Approximate expanded-trace cache occupancy.", "gauge", one(eng.TraceBytes)},
-		{"clusterd_engine_trace_cache_bytes_high_water", "Maximum observed trace cache occupancy.", "gauge", one(eng.TraceBytesHighWater)},
+		{"clusterd_engine_trace_cache_bytes", "Compressed expanded-trace cache occupancy.", "gauge", one(eng.TraceBytes)},
+		{"clusterd_engine_trace_cache_bytes_high_water", "Maximum observed trace cache occupancy (compressed).", "gauge", one(eng.TraceBytesHighWater)},
+		{"clusterd_engine_trace_cache_raw_bytes", "Pre-compression size of the cached traces.", "gauge", one(eng.TraceRawBytes)},
 		{"clusterd_submissions_active", "Submissions with jobs still running.", "gauge", one(int64(active))},
 		{"clusterd_submissions_retained", "Completed submissions still queryable.", "gauge", one(int64(retired))},
 		{"clusterd_submissions_swept_total", "Completed submissions evicted by the TTL sweep.", "counter", one(swept)},

@@ -1,0 +1,107 @@
+package sim
+
+import (
+	"bytes"
+	"context"
+	"testing"
+
+	"clustersim/internal/engine"
+	"clustersim/internal/steer"
+	"clustersim/internal/workload"
+)
+
+// determinismSetups is every steering configuration the reports exercise:
+// the paper's schemes plus the hardware-heuristic extras of the policy
+// survey. A new policy should be added here so the byte-identity contract
+// covers it.
+func determinismSetups() []Setup {
+	bare := func(label string, newPolicy func() steer.Policy) Setup {
+		return Setup{Label: label, NumClusters: 2, NewPolicy: newPolicy}
+	}
+	return []Setup{
+		SetupOP(2),
+		SetupOPNoStall(2),
+		SetupOneCluster(2),
+		SetupOB(2),
+		SetupRHOP(2),
+		SetupVC(2, 2),
+		SetupVC(2, 4),
+		SetupVCComm(2, 2),
+		SetupVCChain(2, 2, 4),
+		bare("ADV", func() steer.Policy { return &steer.DependenceBalanced{} }),
+		bare("LC", func() steer.Policy { return &steer.LeastLoaded{} }),
+		bare("SLC", func() steer.Policy { return &steer.Slice{} }),
+		bare("MOD", func() steer.Policy { return &steer.ModN{} }),
+	}
+}
+
+// TestPolicyDeterminismSuite runs every steering policy on reduced-suite
+// points through two independent engines and requires byte-identical
+// Result encodings and identical result content keys. This is the
+// contract the hot-loop rewrite (windowed state, event wheel) must not
+// disturb: identical wire bytes means identical reports, and identical
+// keys means a warm content-addressed store still answers every job.
+func TestPolicyDeterminismSuite(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-policy suite sweep")
+	}
+	sps := []*workload.Simpoint{workload.ByName("crafty"), workload.ByName("swim"), workload.ByName("mcf")}
+	opts := RunOptions{NumUops: 3000}
+
+	for _, setup := range determinismSetups() {
+		setup := setup
+		t.Run(setup.Label, func(t *testing.T) {
+			t.Parallel()
+			engA := engine.New(engine.Options{Parallelism: 1})
+			engB := engine.New(engine.Options{Parallelism: 1})
+			for _, sp := range sps {
+				job := engine.Job{Simpoint: sp, Setup: setup, Opts: opts}
+				a := engA.Run(context.Background(), job)
+				b := engB.Run(context.Background(), job)
+				if a.Err != nil || b.Err != nil {
+					t.Fatalf("%s: %v %v", sp.Name, a.Err, b.Err)
+				}
+				encA, errA := engine.EncodeResult(a)
+				encB, errB := engine.EncodeResult(b)
+				if errA != nil || errB != nil {
+					t.Fatalf("%s: encoding: %v %v", sp.Name, errA, errB)
+				}
+				if !bytes.Equal(encA, encB) {
+					t.Errorf("%s: result encodings differ across engines (nondeterministic simulation)", sp.Name)
+				}
+				keyA, okA := engA.ResultKey(job)
+				keyB, okB := engB.ResultKey(job)
+				if okA != okB || keyA != keyB {
+					t.Errorf("%s: result keys differ: %q(%v) vs %q(%v)", sp.Name, keyA, okA, keyB, okB)
+				}
+			}
+		})
+	}
+}
+
+// TestResultKeysStableAcrossRewrite pins the exact result content keys of
+// a representative job set. A key change silently orphans every blob in
+// existing content-addressed stores (all cached results re-simulate), so
+// it must be a deliberate decision, not a side effect.
+func TestResultKeysStableAcrossRewrite(t *testing.T) {
+	eng := engine.New(engine.Options{})
+	want := map[string]string{
+		"OP":   "result|v1|crafty|s2698591577689284590|h66f41a72d268c871|OP|p|c2|u3000|w0|t",
+		"VC":   "result|v1|crafty|s2698591577689284590|h66f41a72d268c871|VC|pVC/2/0/0|c2|u3000|w0|t",
+		"OB":   "result|v1|crafty|s2698591577689284590|h66f41a72d268c871|OB|pOB/2/0/0|c2|u3000|w0|t",
+		"RHOP": "result|v1|crafty|s2698591577689284590|h66f41a72d268c871|RHOP|pRHOP/2/0/0|c2|u3000|w0|t",
+	}
+	setups := map[string]Setup{
+		"OP": SetupOP(2), "VC": SetupVC(2, 2), "OB": SetupOB(2), "RHOP": SetupRHOP(2),
+	}
+	for label, setup := range setups {
+		job := engine.Job{Simpoint: workload.ByName("crafty"), Setup: setup, Opts: RunOptions{NumUops: 3000}}
+		key, ok := eng.ResultKey(job)
+		if !ok {
+			t.Fatalf("%s: job unexpectedly uncacheable", label)
+		}
+		if key != want[label] {
+			t.Errorf("%s: result key drifted:\n got %q\nwant %q", label, key, want[label])
+		}
+	}
+}

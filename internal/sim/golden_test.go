@@ -33,10 +33,41 @@ func goldenSetups() map[string]Setup {
 	}
 }
 
+// goldenExpect pins exact cycle and copy counts recorded before the
+// allocation-free hot-loop rewrite (windowed core state + event wheel):
+// the rewrite is required to be byte-identical, and any future drift here
+// means the machine model changed.
+var goldenExpect = []goldenEntry{
+	{"crafty", "OP", 3404, 198},
+	{"crafty", "one-cluster", 4727, 0},
+	{"crafty", "OB", 3904, 2291},
+	{"crafty", "RHOP", 4334, 218},
+	{"crafty", "VC", 3403, 611},
+	{"crafty", "VC(2->4)", 3217, 862},
+	{"gzip-1", "OP", 3883, 94},
+	{"gzip-1", "one-cluster", 4440, 0},
+	{"gzip-1", "OB", 3980, 2113},
+	{"gzip-1", "RHOP", 4215, 124},
+	{"gzip-1", "VC", 3904, 595},
+	{"gzip-1", "VC(2->4)", 3330, 778},
+	{"swim", "OP", 3595, 84},
+	{"swim", "one-cluster", 4535, 0},
+	{"swim", "OB", 4220, 2580},
+	{"swim", "RHOP", 4203, 130},
+	{"swim", "VC", 3611, 807},
+	{"swim", "VC(2->4)", 3583, 1102},
+	{"mcf", "OP", 170400, 86},
+	{"mcf", "one-cluster", 197956, 0},
+	{"mcf", "OB", 168699, 2041},
+	{"mcf", "RHOP", 197896, 172},
+	{"mcf", "VC", 172188, 362},
+	{"mcf", "VC(2->4)", 165235, 519},
+}
+
 func TestGoldenDeterminism(t *testing.T) {
-	// The table below was recorded from the current model. If this test
-	// fails after an intentional model change, re-record via the loop that
-	// prints current values (set goldenPrint = true locally).
+	// If this test fails after an intentional model change, re-record the
+	// goldenExpect table via the loop that prints current values (set
+	// goldenPrint = true locally) and note the shift in EXPERIMENTS.md.
 	entries := []goldenEntry{}
 	setups := goldenSetups()
 	names := []string{"crafty", "gzip-1", "swim", "mcf"}
@@ -64,13 +95,25 @@ func TestGoldenDeterminism(t *testing.T) {
 		}
 	}
 
-	// Second pass: coarse sanity bounds that must survive reasonable model
-	// tuning (exact values intentionally not pinned to keep the table from
-	// rotting; determinism is asserted above).
+	// Second pass: exact equality against the recorded table.
 	byKey := map[string]goldenEntry{}
 	for _, e := range entries {
 		byKey[e.workload+"/"+e.setup] = e
 	}
+	for _, want := range goldenExpect {
+		got, ok := byKey[want.workload+"/"+want.setup]
+		if !ok {
+			t.Errorf("%s/%s: missing from run", want.workload, want.setup)
+			continue
+		}
+		if got.cycles != want.cycles || got.copies != want.copies {
+			t.Errorf("%s/%s: (%d cycles, %d copies), golden (%d, %d) — machine model drifted",
+				want.workload, want.setup, got.cycles, got.copies, want.cycles, want.copies)
+		}
+	}
+
+	// Third pass: coarse sanity bounds that must survive intentional model
+	// tuning (these outlive table re-records).
 	if byKey["crafty/one-cluster"].cycles <= byKey["crafty/OP"].cycles {
 		t.Error("one-cluster must be slower than OP on crafty")
 	}
