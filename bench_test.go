@@ -172,7 +172,7 @@ func benchTrace(b *testing.B, name string, uops int) *trace.Trace {
 // allocations per simulated uop (windowed core state and the event wheel
 // keep the steady-state loop allocation-free; what remains is core
 // construction amortized over the trace). CI runs this bench, converts the
-// output to BENCH_5.json via cmd/benchjson, and fails on throughput or
+// output to BENCH_6.json via cmd/benchjson, and fails on throughput or
 // allocation regressions against the committed baseline.
 func BenchmarkCoreHotLoop(b *testing.B) {
 	// Each policy runs on a trace annotated by its own compiler pass (a
@@ -214,6 +214,43 @@ func BenchmarkCoreHotLoop(b *testing.B) {
 			b.ReportMetric(float64(after.Mallocs-before.Mallocs)/uops, "allocs/uop")
 		})
 	}
+}
+
+// BenchmarkCoreConstruction is the regression-gated microbenchmark of
+// per-run fixed cost: building a machine fresh (NewCore — every ring,
+// cache and queue allocated) versus rewinding a pooled one (Reset — the
+// engine's sweep path, which zeroes state in place). The pooled path must
+// stay at least an order of magnitude below fresh construction in
+// allocations; CI gates allocs/op for both via cmd/benchjson.
+func BenchmarkCoreConstruction(b *testing.B) {
+	tr := benchTrace(b, "crafty", 2_000)
+	cfg := pipeline.DefaultConfig(2)
+	b.Run("Fresh", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := pipeline.NewCore(cfg, steer.NewVC(2), tr); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("Pooled", func(b *testing.B) {
+		core, err := pipeline.NewCore(cfg, steer.NewVC(2), tr)
+		if err != nil {
+			b.Fatal(err)
+		}
+		// Dirty the core once so the first measured Reset rewinds real
+		// post-run state, as every pooled reuse does.
+		if _, err := core.Run(); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := core.Reset(cfg, steer.NewVC(2), tr); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 // BenchmarkPipelineOP measures raw simulation throughput under the

@@ -2,22 +2,25 @@
 // snapshot and gates regressions against a committed baseline. It is the
 // measurement half of the allocation-free hot-loop work: the benchmarks
 // report simulated uops per second and allocations per simulated uop, and
-// this tool turns a run into BENCH_5.json (or compares a fresh run to the
+// this tool turns a run into BENCH_6.json (or compares a fresh run to the
 // checked-in one and fails CI when the hot loop regresses).
 //
 // Usage:
 //
-//	go test -run '^$' -bench CoreHotLoop -benchmem . | benchjson -out BENCH_5.json
-//	go test -run '^$' -bench CoreHotLoop -benchmem . | benchjson -baseline BENCH_5.json
+//	go test -run '^$' -bench CoreHotLoop -benchmem . | benchjson -out BENCH_6.json
+//	go test -run '^$' -bench CoreHotLoop -benchmem . | benchjson -baseline BENCH_6.json
 //
 // -out refreshes a snapshot in place: when the file already exists, its
 // note (unless -note overrides it) and its "before" block are preserved.
 //
 // With -baseline, the exit status is non-zero when any benchmark present
-// in both runs regresses: uops/s below (1 - maxregress) × baseline, or
-// allocs/uop above baseline × (1 + allocsgrow) + 0.05. Throughput depends
-// on the machine — refresh the committed baseline (-out) when the CI
-// hardware generation changes; the allocation gate is hardware-independent.
+// in both runs regresses: uops/s below (1 - maxregress) × baseline,
+// allocs/uop above baseline × (1 + allocsgrow) + 0.05, allocs/op above
+// baseline × (1 + allocsgrow) + 2 for fixed-cost benchmarks (those with
+// no uops/s figure), or unpacks/op above baseline × (1 + allocsgrow) +
+// 0.15. Throughput depends on the machine — refresh the committed
+// baseline (-out) when the CI hardware generation changes; the
+// allocation and decompression gates are hardware-independent.
 package main
 
 import (
@@ -39,9 +42,10 @@ type Metrics struct {
 	AllocsPerOp  float64 `json:"allocs_per_op"`
 	UopsPerSec   float64 `json:"uops_per_sec,omitempty"`
 	AllocsPerUop float64 `json:"allocs_per_uop,omitempty"`
+	UnpacksPerOp float64 `json:"unpacks_per_op,omitempty"`
 }
 
-// Snapshot is the BENCH_5.json schema. Before optionally preserves the
+// Snapshot is the BENCH_6.json schema. Before optionally preserves the
 // numbers recorded before an optimization for the historical record; only
 // Benchmarks participates in comparisons.
 type Snapshot struct {
@@ -94,6 +98,8 @@ func parse(r *bufio.Scanner) (map[string]Metrics, error) {
 				met.UopsPerSec = v
 			case "allocs/uop":
 				met.AllocsPerUop = v
+			case "unpacks/op":
+				met.UnpacksPerOp = v
 			}
 		}
 		rows = append(rows, row{name, met})
@@ -146,6 +152,30 @@ func compare(fresh, base map[string]Metrics, maxRegress, allocsGrow float64) []s
 			problems = append(problems, fmt.Sprintf(
 				"%s: allocations grew: %.3f allocs/uop vs baseline %.3f (budget %.3f)",
 				name, f.AllocsPerUop, b.AllocsPerUop, allocBudget))
+		}
+		if b.UopsPerSec == 0 {
+			// Fixed-cost benchmarks (construction, cache hits) have no
+			// per-uop figures; gate their raw allocation count instead. The
+			// +2 absolute slack keeps near-zero baselines (a pooled Reset is
+			// a couple of allocations) from failing on noise.
+			opBudget := b.AllocsPerOp*(1+allocsGrow) + 2
+			if f.AllocsPerOp > opBudget {
+				problems = append(problems, fmt.Sprintf(
+					"%s: allocations grew: %.1f allocs/op vs baseline %.1f (budget %.1f)",
+					name, f.AllocsPerOp, b.AllocsPerOp, opBudget))
+			}
+		}
+		if b.UnpacksPerOp > 0 {
+			// Decompressions per trace-cache hit. The 0.15 absolute slack
+			// absorbs scheduling jitter in the parallel sharing benchmark
+			// (whose baseline is near zero) without letting a broken
+			// single-flight path — every hit unpacking privately — pass.
+			unpackBudget := b.UnpacksPerOp*(1+allocsGrow) + 0.15
+			if f.UnpacksPerOp > unpackBudget {
+				problems = append(problems, fmt.Sprintf(
+					"%s: decompression sharing regressed: %.4f unpacks/op vs baseline %.4f (budget %.4f)",
+					name, f.UnpacksPerOp, b.UnpacksPerOp, unpackBudget))
+			}
 		}
 	}
 	if matched == 0 {
@@ -227,10 +257,21 @@ func main() {
 		problems := compare(fresh, snap.Benchmarks, *maxRegress, *allocsGrow)
 		for _, name := range sortedNames(fresh) {
 			f := fresh[name]
-			if b, ok := snap.Benchmarks[name]; ok && b.UopsPerSec > 0 {
+			b, ok := snap.Benchmarks[name]
+			if !ok {
+				continue
+			}
+			switch {
+			case b.UopsPerSec > 0:
 				fmt.Printf("%s: %.0f uops/s (baseline %.0f, %+.1f%%), %.3f allocs/uop (baseline %.3f)\n",
 					name, f.UopsPerSec, b.UopsPerSec, 100*(f.UopsPerSec/b.UopsPerSec-1),
 					f.AllocsPerUop, b.AllocsPerUop)
+			case b.UnpacksPerOp > 0:
+				fmt.Printf("%s: %.4f unpacks/op (baseline %.4f), %.1f allocs/op (baseline %.1f)\n",
+					name, f.UnpacksPerOp, b.UnpacksPerOp, f.AllocsPerOp, b.AllocsPerOp)
+			default:
+				fmt.Printf("%s: %.1f allocs/op (baseline %.1f), %.0f ns/op (baseline %.0f)\n",
+					name, f.AllocsPerOp, b.AllocsPerOp, f.NsPerOp, b.NsPerOp)
 			}
 		}
 		if len(problems) > 0 {

@@ -203,3 +203,18 @@ func (c *Cache) Fill(addr uint64) bool {
 func (c *Cache) LineAddr(addr uint64) uint64 {
 	return addr &^ (uint64(c.cfg.LineBytes) - 1)
 }
+
+// Reset restores post-construction state (between runs) without
+// reallocating: the flat line backing is zeroed in place.
+func (c *Cache) Reset() {
+	for i := range c.sets {
+		set := c.sets[i]
+		for j := range set {
+			set[j] = line{}
+		}
+	}
+	c.useClock = 0
+	c.stats = Stats{}
+	c.portCycle = 0
+	c.readsUsed, c.writesUsed = 0, 0
+}

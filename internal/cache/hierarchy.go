@@ -198,3 +198,15 @@ func (h *Hierarchy) OutstandingMisses(cycle int64) int {
 	h.expireMSHRs(cycle)
 	return len(h.mshrs)
 }
+
+// Reset restores post-construction state (between runs) without
+// reallocating: cache contents are zeroed in place, the MSHR backing and
+// prefetch map are kept.
+func (h *Hierarchy) Reset() {
+	h.l1.Reset()
+	h.l2.Reset()
+	h.mshrs = h.mshrs[:0]
+	clear(h.prefetches)
+	h.L1Hits, h.L2Hits, h.MemAccesses = 0, 0, 0
+	h.MSHRFullEvents, h.Prefetches = 0, 0
+}

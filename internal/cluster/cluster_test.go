@@ -255,6 +255,139 @@ func TestIQIssuedCounter(t *testing.T) {
 	}
 }
 
+// Out-of-order wakeups must still surface entries oldest-first: a younger
+// entry waking before an older one cannot jump the selection order.
+func TestIQWakeupOrderIndependence(t *testing.T) {
+	q := NewIQ("t", 8, 4)
+	q.Insert(10, 0, []int64{100}) // oldest
+	q.Insert(11, 0, []int64{101})
+	q.Insert(12, 0, []int64{102}) // youngest
+	// Wake youngest-first.
+	q.Wakeup(102)
+	q.Wakeup(101)
+	q.Wakeup(100)
+	got := q.SelectReady(0, nil)
+	if len(got) != 3 || got[0].Seq != 10 || got[1].Seq != 11 || got[2].Seq != 12 {
+		t.Fatalf("selection order %v, want oldest-first 10,11,12", got)
+	}
+}
+
+// An entry refused by the accept filter stays on the ready list and is
+// re-offered, still in age position, on the next select.
+func TestIQRefusedEntryStaysReady(t *testing.T) {
+	q := NewIQ("t", 8, 4)
+	q.Insert(1, 0, nil)
+	q.Insert(2, 0, nil)
+	got := q.SelectReady(0, func(e *Entry) bool { return e.Seq != 1 })
+	if len(got) != 1 || got[0].Seq != 2 {
+		t.Fatalf("got %v, want only seq 2", got)
+	}
+	got = q.SelectReady(0, nil)
+	if len(got) != 1 || got[0].Seq != 1 {
+		t.Fatalf("refused entry not re-offered: %v", got)
+	}
+}
+
+// Property: interleaved inserts, out-of-order wakeups and selects always
+// pick ready entries oldest-first (insertion order), mirroring what a full
+// age-list scan would produce.
+func TestIQReadyListMatchesScanProperty(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw)%40 + 5
+		rng := rand.New(rand.NewSource(seed))
+		q := NewIQ("q", 64, 3)
+		type slot struct {
+			seq  int64
+			tag  int64
+			woke bool
+		}
+		var pendingSlots []slot
+		var order []int64 // insertion order of currently-queued entries
+		picked := map[int64]bool{}
+		for i := 0; i < n; i++ {
+			switch rng.Intn(3) {
+			case 0: // insert, sometimes with a dependency
+				seq := int64(i)
+				if rng.Intn(2) == 0 {
+					tag := int64(1000 + i)
+					q.Insert(seq, 0, []int64{tag})
+					pendingSlots = append(pendingSlots, slot{seq: seq, tag: tag})
+				} else {
+					q.Insert(seq, 0, nil)
+				}
+				order = append(order, seq)
+			case 1: // wake a random still-pending entry
+				if len(pendingSlots) > 0 {
+					j := rng.Intn(len(pendingSlots))
+					if !pendingSlots[j].woke {
+						q.Wakeup(pendingSlots[j].tag)
+						pendingSlots[j].woke = true
+					}
+				}
+			case 2:
+				for _, e := range q.SelectReady(0, nil) {
+					picked[e.Seq] = true
+				}
+			}
+		}
+		// Drain: wake everything, then selection order must equal the
+		// insertion order of whatever is still queued.
+		for _, s := range pendingSlots {
+			if !s.woke {
+				q.Wakeup(s.tag)
+			}
+		}
+		var want []int64
+		for _, seq := range order {
+			if !picked[seq] {
+				want = append(want, seq)
+			}
+		}
+		for len(want) > 0 {
+			got := q.SelectReady(0, nil)
+			if len(got) == 0 {
+				return false
+			}
+			for _, e := range got {
+				if len(want) == 0 || e.Seq != want[0] {
+					return false
+				}
+				want = want[1:]
+			}
+		}
+		return q.Len() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Steady-state insert/wakeup/select cycles must not allocate, including
+// the no-ready-work early-out path.
+func TestIQSteadyStateAllocFree(t *testing.T) {
+	q := NewIQ("t", 32, 4)
+	allocs := testing.AllocsPerRun(200, func() {
+		for i := int64(0); i < 8; i++ {
+			q.Insert(i, 0, []int64{100 + i})
+		}
+		q.SelectReady(0, nil) // nothing ready: early-out
+		for i := int64(0); i < 8; i++ {
+			q.Wakeup(100 + i)
+		}
+		for q.Len() > 0 {
+			q.SelectReady(0, nil)
+		}
+	})
+	if allocs > 0 {
+		t.Errorf("steady-state cycle allocates %v times per run", allocs)
+	}
+	q.Reset()
+	allocs = testing.AllocsPerRun(50, func() { q.Reset() })
+	if allocs > 0 {
+		t.Errorf("Reset allocates %v times per run", allocs)
+	}
+}
+
 func TestOccupancySumsQueues(t *testing.T) {
 	c := New(0, DefaultConfig())
 	c.IntQ.Insert(1, 0, nil)

@@ -195,9 +195,19 @@ type Engine struct {
 	// artifact caches.
 	fps sync.Map
 
+	// cores pools idle pipeline cores keyed by their config Shape, bounded
+	// per shape at Parallelism (more can never be in use at once). A sweep
+	// of same-shaped jobs reuses a handful of cores via Reset instead of
+	// constructing one per job. Disabled together with the caches.
+	coresMu sync.Mutex
+	cores   map[pipeline.Config][]*pipeline.Core
+
 	simulations                         atomic.Int64
 	submitted, completed                atomic.Int64
 	storeHits, storeMisses, storeErrors atomic.Int64
+	corePoolHits, corePoolMisses        atomic.Int64
+	traceUnpacks, traceSharedHits       atomic.Int64
+	traceUnpackedLive                   atomic.Int64
 }
 
 // CacheStats is a snapshot of the engine's cache counters.
@@ -222,6 +232,17 @@ type CacheStats struct {
 	// pre-compression size: TraceRawBytes/TraceBytes is the trace cache's
 	// live compression ratio.
 	TraceRawBytes, TraceRawBytesHighWater int64
+	// CorePoolHits counts simulations served by a pooled, Reset core;
+	// CorePoolMisses counts fresh core constructions on the cached path.
+	CorePoolHits, CorePoolMisses int64
+	// TraceUnpacks counts actual decompressions of cached traces;
+	// TraceSharedHits counts trace-cache hits that instead shared an
+	// already-unpacked trace with a concurrent user.
+	TraceUnpacks, TraceSharedHits int64
+	// TraceUnpackedLive gauges cached traces currently held in unpacked
+	// form by running simulations (each returns to compressed-only when
+	// its last user finishes).
+	TraceUnpackedLive int64
 }
 
 // TraceCompressionRatio returns raw/compressed for the currently cached
@@ -252,6 +273,7 @@ func New(opts Options) *Engine {
 		progs:   newFlightCache[*prog.Program](0, nil),
 		traces:  traces,
 		results: newFlightCache[*Result](0, nil),
+		cores:   make(map[pipeline.Config][]*pipeline.Core),
 	}
 }
 
@@ -278,6 +300,11 @@ func (e *Engine) Stats() CacheStats {
 		TraceBytesHighWater:    traceHigh,
 		TraceRawBytes:          traceRaw,
 		TraceRawBytesHighWater: traceRawHigh,
+		CorePoolHits:           e.corePoolHits.Load(),
+		CorePoolMisses:         e.corePoolMisses.Load(),
+		TraceUnpacks:           e.traceUnpacks.Load(),
+		TraceSharedHits:        e.traceSharedHits.Load(),
+		TraceUnpackedLive:      e.traceUnpackedLive.Load(),
 	}
 }
 
@@ -510,11 +537,12 @@ func (e *Engine) execute(ctx context.Context, job Job) *Result {
 		opt.MachineTweak(&cfg)
 	}
 	p, progKey := e.annotated(sp, s, &cfg)
-	tr := e.expand(p, progKey, sp, opt)
+	tr, releaseTrace := e.expand(p, progKey, sp, opt)
+	defer releaseTrace()
 
 	cfg.Cancel = ctx.Done()
 	pol := s.NewPolicy()
-	core, err := pipeline.NewCore(cfg, pol, tr)
+	core, err := e.acquireCore(cfg, pol, tr)
 	if err != nil {
 		return &Result{Simpoint: sp, Setup: s.Label, Err: err}
 	}
@@ -523,13 +551,62 @@ func (e *Engine) execute(ctx context.Context, job Job) *Result {
 	if err == pipeline.ErrCanceled && ctx.Err() != nil {
 		err = ctx.Err()
 	}
-	return &Result{
+	res := &Result{
 		Simpoint:   sp,
 		Setup:      s.Label,
 		Metrics:    m,
 		Complexity: core.ComplexityOf(),
 		Err:        err,
 	}
+	e.releaseCore(core)
+	return res
+}
+
+// acquireCore returns a core ready to run the job: a pooled core of the
+// same config shape, rewound via Reset, when one is idle; a freshly
+// constructed one otherwise. With caching disabled every job constructs
+// fresh — that keeps Execute the pristine reference the pooled path is
+// tested against.
+func (e *Engine) acquireCore(cfg pipeline.Config, pol steer.Policy, tr *trace.Trace) (*pipeline.Core, error) {
+	if e.opts.DisableCache {
+		return pipeline.NewCore(cfg, pol, tr)
+	}
+	shape := cfg.Shape()
+	var core *pipeline.Core
+	e.coresMu.Lock()
+	if pool := e.cores[shape]; len(pool) > 0 {
+		core = pool[len(pool)-1]
+		pool[len(pool)-1] = nil
+		e.cores[shape] = pool[:len(pool)-1]
+	}
+	e.coresMu.Unlock()
+	if core != nil {
+		if err := core.Reset(cfg, pol, tr); err == nil {
+			e.corePoolHits.Add(1)
+			return core, nil
+		}
+		// Reset refused (invalid config): drop the core and let NewCore
+		// report the same validation error.
+	}
+	e.corePoolMisses.Add(1)
+	return pipeline.NewCore(cfg, pol, tr)
+}
+
+// releaseCore parks an idle core for reuse, dropping its trace/policy
+// references first. Pool occupancy per shape is bounded by Parallelism —
+// more cores can never be running at once, so anything beyond that is
+// garbage from a shape the workload moved away from.
+func (e *Engine) releaseCore(core *pipeline.Core) {
+	if e.opts.DisableCache {
+		return
+	}
+	shape := core.Shape()
+	core.Release()
+	e.coresMu.Lock()
+	if len(e.cores[shape]) < e.opts.Parallelism {
+		e.cores[shape] = append(e.cores[shape], core)
+	}
+	e.coresMu.Unlock()
 }
 
 // annotated returns the annotated program clone for the job, cached by
@@ -564,14 +641,17 @@ func (e *Engine) annotated(sp *workload.Simpoint, s Setup, cfg *pipeline.Config)
 }
 
 // expand returns the dynamic trace for the annotated program, cached by
-// (annotated-program key, NumUops, seed). Cached traces are stored
-// compressed: the computing caller hands back the freshly expanded trace
-// directly, while cache hits decompress (still far cheaper than
-// re-expanding). A pack or unpack failure degrades to a plain expansion.
-func (e *Engine) expand(p *prog.Program, progKey string, sp *workload.Simpoint, opt RunOptions) *trace.Trace {
+// (annotated-program key, NumUops, seed), plus a release func the caller
+// must invoke once done with the trace. Cached traces are stored
+// compressed; hits share one refcounted unpacked form, so N concurrent
+// users of the same trace pay one decompression and hold one *trace.Trace
+// between them, and the release of the last user drops the entry back to
+// compressed-only. A pack or unpack failure degrades to a plain expansion
+// (release is then a no-op).
+func (e *Engine) expand(p *prog.Program, progKey string, sp *workload.Simpoint, opt RunOptions) (*trace.Trace, func()) {
 	topts := trace.Options{NumUops: opt.NumUops, Seed: sp.Seed}
 	if progKey == "" || e.opts.DisableCache {
-		return trace.Expand(p, topts)
+		return trace.Expand(p, topts), func() {}
 	}
 	key := fmt.Sprintf("%s|u%d|s%d", progKey, opt.NumUops, sp.Seed)
 	var fresh *trace.Trace
@@ -583,13 +663,75 @@ func (e *Engine) expand(p *prog.Program, progKey string, sp *workload.Simpoint, 
 		}
 		return packed, true
 	})
+	if pt.shared == nil {
+		// Pack failed (ours or a joined flight's): nothing was cached. Use
+		// the fresh expansion if we made one, else expand privately.
+		if fresh != nil {
+			return fresh, func() {}
+		}
+		return trace.Expand(p, topts), func() {}
+	}
 	if fresh != nil {
-		return fresh
+		// Computing caller: seed the shared form with the trace just
+		// expanded so concurrent hits skip even the first decompression.
+		return e.shareTrace(pt.shared, fresh)
 	}
-	tr, err := unpackTrace(pt)
+	tr, release, err := e.acquireUnpacked(pt)
 	if err != nil {
-		// Joined a failed flight or hit a corrupt entry: expand directly.
-		return trace.Expand(p, topts)
+		// Corrupt entry: expand directly.
+		return trace.Expand(p, topts), func() {}
 	}
-	return tr
+	return tr, release
+}
+
+// acquireUnpacked returns the unpacked form of a cached trace, sharing one
+// decompression across concurrent users: the first user gunzips under the
+// entry's mutex while later users block on it, then take a reference to
+// the same *trace.Trace. The returned release drops the reference.
+func (e *Engine) acquireUnpacked(pt packedTrace) (*trace.Trace, func(), error) {
+	sh := pt.shared
+	sh.mu.Lock()
+	if sh.tr == nil {
+		tr, err := unpackTrace(pt)
+		if err != nil {
+			sh.mu.Unlock()
+			return nil, nil, err
+		}
+		sh.tr = tr
+		e.traceUnpacks.Add(1)
+		e.traceUnpackedLive.Add(1)
+	} else {
+		e.traceSharedHits.Add(1)
+	}
+	sh.refs++
+	tr := sh.tr
+	sh.mu.Unlock()
+	return tr, func() { e.releaseShared(sh) }, nil
+}
+
+// shareTrace seeds a cache entry's shared form with an already-expanded
+// trace (the computing caller's) and takes a reference to it. If a
+// concurrent hit unpacked first, its copy wins and the seed is discarded.
+func (e *Engine) shareTrace(sh *sharedTrace, tr *trace.Trace) (*trace.Trace, func()) {
+	sh.mu.Lock()
+	if sh.tr == nil {
+		sh.tr = tr
+		e.traceUnpackedLive.Add(1)
+	}
+	tr = sh.tr
+	sh.refs++
+	sh.mu.Unlock()
+	return tr, func() { e.releaseShared(sh) }
+}
+
+// releaseShared drops one reference to a shared unpacked trace; the last
+// release frees the unpacked form, returning the entry to compressed-only.
+func (e *Engine) releaseShared(sh *sharedTrace) {
+	sh.mu.Lock()
+	sh.refs--
+	if sh.refs == 0 && sh.tr != nil {
+		sh.tr = nil
+		e.traceUnpackedLive.Add(-1)
+	}
+	sh.mu.Unlock()
 }

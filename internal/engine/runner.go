@@ -79,6 +79,11 @@ func (s CacheStats) Delta(base CacheStats) CacheStats {
 		TraceBytesHighWater:    s.TraceBytesHighWater,
 		TraceRawBytes:          s.TraceRawBytes,
 		TraceRawBytesHighWater: s.TraceRawBytesHighWater,
+		CorePoolHits:           s.CorePoolHits - base.CorePoolHits,
+		CorePoolMisses:         s.CorePoolMisses - base.CorePoolMisses,
+		TraceUnpacks:           s.TraceUnpacks - base.TraceUnpacks,
+		TraceSharedHits:        s.TraceSharedHits - base.TraceSharedHits,
+		TraceUnpackedLive:      s.TraceUnpackedLive,
 	}
 }
 
@@ -101,5 +106,10 @@ func (s CacheStats) Add(other CacheStats) CacheStats {
 		TraceBytesHighWater:    max(s.TraceBytesHighWater, other.TraceBytesHighWater),
 		TraceRawBytes:          s.TraceRawBytes + other.TraceRawBytes,
 		TraceRawBytesHighWater: max(s.TraceRawBytesHighWater, other.TraceRawBytesHighWater),
+		CorePoolHits:           s.CorePoolHits + other.CorePoolHits,
+		CorePoolMisses:         s.CorePoolMisses + other.CorePoolMisses,
+		TraceUnpacks:           s.TraceUnpacks + other.TraceUnpacks,
+		TraceSharedHits:        s.TraceSharedHits + other.TraceSharedHits,
+		TraceUnpackedLive:      s.TraceUnpackedLive + other.TraceUnpackedLive,
 	}
 }

@@ -1,0 +1,140 @@
+package engine_test
+
+import (
+	"context"
+	"sync"
+	"testing"
+
+	"clustersim/internal/engine"
+	"clustersim/internal/steer"
+	"clustersim/internal/trace"
+	"clustersim/internal/workload"
+)
+
+// barrierPolicy steers like ModN but parks the run at its first steering
+// decision until every participant has reached theirs. It pins N engine
+// runs in flight simultaneously, so the test can assert how many of them
+// actually decompressed the shared cached trace.
+type barrierPolicy struct {
+	steer.ModN
+	gate *sync.WaitGroup
+	held bool
+}
+
+func (p *barrierPolicy) Name() string { return "barrier" }
+
+func (p *barrierPolicy) Steer(ctx steer.Context, u *trace.Uop) steer.Decision {
+	if !p.held {
+		p.held = true
+		p.gate.Done()
+		p.gate.Wait()
+	}
+	return p.ModN.Steer(ctx, u)
+}
+
+// TestConcurrentRunsShareOneDecompression: N concurrent engine runs over
+// the same cached trace must perform exactly one decompression between
+// them — the rest share the refcounted unpacked form — and the unpacked
+// form must be released once the last run finishes. Run under -race in the
+// engine-race CI lane, this also exercises the sharing path for data races.
+func TestConcurrentRunsShareOneDecompression(t *testing.T) {
+	const n = 4
+	eng := engine.New(engine.Options{Parallelism: n})
+	sp := workload.ByName("crafty")
+	opts := engine.RunOptions{NumUops: 3000}
+
+	// Warm the trace cache: this run expands and packs the trace; its
+	// release drops the unpacked form, leaving a compressed-only entry.
+	warm := eng.Run(context.Background(), engine.Job{
+		Simpoint: sp,
+		Setup:    engine.Setup{Label: "warm", NumClusters: 2, NewPolicy: func() steer.Policy { return &steer.ModN{} }},
+		Opts:     opts,
+	})
+	if warm.Err != nil {
+		t.Fatal(warm.Err)
+	}
+	base := eng.Stats()
+	if base.TraceUnpacks != 0 {
+		t.Fatalf("warm run decompressed (%d unpacks): computing caller should seed the shared form", base.TraceUnpacks)
+	}
+	if base.TraceUnpackedLive != 0 {
+		t.Fatalf("unpacked form still live after warm run: %d", base.TraceUnpackedLive)
+	}
+
+	// N runs with distinct labels (distinct result keys, same trace key),
+	// each blocking at its first steering decision until all have started —
+	// so all N provably hold the shared trace at once.
+	var gate sync.WaitGroup
+	gate.Add(n)
+	var wg sync.WaitGroup
+	results := make([]*engine.Result, n)
+	for i := 0; i < n; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			results[i] = eng.Run(context.Background(), engine.Job{
+				Simpoint: sp,
+				Setup: engine.Setup{
+					Label:       "sf" + string(rune('0'+i)),
+					NumClusters: 2,
+					NewPolicy:   func() steer.Policy { return &barrierPolicy{gate: &gate} },
+				},
+				Opts: opts,
+			})
+		}()
+	}
+	wg.Wait()
+	for i, r := range results {
+		if r.Err != nil {
+			t.Fatalf("run %d: %v", i, r.Err)
+		}
+	}
+
+	d := eng.Stats().Delta(base)
+	if d.TraceUnpacks != 1 {
+		t.Errorf("TraceUnpacks = %d, want exactly 1 for %d concurrent hits", d.TraceUnpacks, n)
+	}
+	if d.TraceSharedHits != n-1 {
+		t.Errorf("TraceSharedHits = %d, want %d", d.TraceSharedHits, n-1)
+	}
+	if d.TraceHits != n {
+		t.Errorf("TraceHits = %d, want %d", d.TraceHits, n)
+	}
+	if live := eng.Stats().TraceUnpackedLive; live != 0 {
+		t.Errorf("TraceUnpackedLive = %d after all runs finished, want 0", live)
+	}
+}
+
+// TestSequentialHitsReleaseUnpackedForm: with no concurrency each cache
+// hit decompresses afresh (nothing to share) and the unpacked form never
+// outlives the run — the budgeted steady-state footprint stays compressed.
+func TestSequentialHitsReleaseUnpackedForm(t *testing.T) {
+	eng := engine.New(engine.Options{Parallelism: 1})
+	sp := workload.ByName("swim")
+	opts := engine.RunOptions{NumUops: 2000}
+	for i := 0; i < 3; i++ {
+		r := eng.Run(context.Background(), engine.Job{
+			Simpoint: sp,
+			Setup: engine.Setup{
+				Label:       "seq" + string(rune('0'+i)),
+				NumClusters: 2,
+				NewPolicy:   func() steer.Policy { return &steer.ModN{} },
+			},
+			Opts: opts,
+		})
+		if r.Err != nil {
+			t.Fatal(r.Err)
+		}
+		if live := eng.Stats().TraceUnpackedLive; live != 0 {
+			t.Fatalf("run %d: TraceUnpackedLive = %d, want 0 between runs", i, live)
+		}
+	}
+	st := eng.Stats()
+	if st.TraceUnpacks != 2 {
+		t.Errorf("TraceUnpacks = %d, want 2 (two sequential hits, no sharing)", st.TraceUnpacks)
+	}
+	if st.TraceSharedHits != 0 {
+		t.Errorf("TraceSharedHits = %d, want 0 without concurrency", st.TraceSharedHits)
+	}
+}

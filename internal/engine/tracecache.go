@@ -5,6 +5,7 @@ import (
 	"compress/gzip"
 	"fmt"
 	"io"
+	"sync"
 
 	"clustersim/internal/trace"
 )
@@ -24,6 +25,23 @@ type packedTrace struct {
 	// rawBytes is the serialized (uncompressed) size, for the compression
 	// ratio stat.
 	rawBytes int64
+	// shared is the entry's refcounted unpacked form: concurrent users of
+	// the same cached trace share one decompression and one in-memory
+	// *trace.Trace through it. The pointer is part of the cached value, so
+	// every hit on this entry sees the same sharedTrace.
+	shared *sharedTrace
+}
+
+// sharedTrace holds the transient unpacked form of one cached trace. The
+// first user decompresses under the mutex (concurrent users of the same
+// entry block on it — that is the single-flight), later users take a
+// reference to the already-unpacked trace, and the last release drops the
+// unpacked form so the entry's steady-state footprint stays compressed-only
+// (the cache budget keeps counting compressed bytes).
+type sharedTrace struct {
+	mu   sync.Mutex
+	tr   *trace.Trace
+	refs int
 }
 
 // packedTraceBytes is the cost function for the trace cache: compressed
@@ -61,7 +79,7 @@ func packTrace(tr *trace.Trace) (packedTrace, error) {
 	if err := zw.Close(); err != nil {
 		return packedTrace{}, err
 	}
-	return packedTrace{data: buf.Bytes(), rawBytes: cw.n}, nil
+	return packedTrace{data: buf.Bytes(), rawBytes: cw.n, shared: &sharedTrace{}}, nil
 }
 
 // unpackTrace decompresses and deserializes a cached trace. The round trip

@@ -22,6 +22,14 @@ func newGShare(bits int) *gshare {
 	return g
 }
 
+// reset restores the freshly-constructed predictor state in place.
+func (g *gshare) reset() {
+	for i := range g.table {
+		g.table[i] = 2
+	}
+	g.history = 0
+}
+
 func (g *gshare) index(pc uint32) uint32 {
 	return (pc ^ g.history) & g.mask
 }

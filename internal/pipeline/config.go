@@ -83,6 +83,20 @@ func DefaultConfig(numClusters int) Config {
 	}
 }
 
+// Shape returns the structural fingerprint of the configuration: every
+// field that determines the size of a Core's internal state, with the
+// purely per-run fields (cycle budget, warmup window, histogram tracking,
+// cancellation) zeroed. Two configs with equal Shapes can share a pooled
+// Core via Core.Reset; Config is comparable, so the Shape can key a map
+// directly.
+func (c Config) Shape() Config {
+	c.MaxCycles = 0
+	c.WarmupUops = 0
+	c.TrackHistograms = false
+	c.Cancel = nil
+	return c
+}
+
 // Validate checks internal consistency.
 func (c Config) Validate() error {
 	if c.NumClusters <= 0 || c.NumClusters > 32 {

@@ -118,6 +118,10 @@ type Core struct {
 	cfg    Config
 	policy steer.Policy
 	tr     *trace.Trace
+	// shape is cfg.Shape() frozen at construction: the structural
+	// fingerprint every Reset config must match, since ring and wheel
+	// sizes were derived from it.
+	shape Config
 
 	cycle     int64
 	nextFetch int
@@ -240,6 +244,7 @@ func NewCore(cfg Config, pol steer.Policy, tr *trace.Trace) (*Core, error) {
 		cfg:       cfg,
 		policy:    pol,
 		tr:        tr,
+		shape:     cfg.Shape(),
 		fetchPipe: make([]fetchSlot, nextPow2(fetchCap)),
 		fetchCap:  fetchCap,
 		uops:      make([]uopState, nextPow2(cfg.ROBSize)),
@@ -417,5 +422,109 @@ func (c *Core) freeValue(seq int64) {
 	}
 }
 
-// Metrics returns the accumulated metrics (valid after Run).
+// Metrics returns the accumulated metrics (valid after Run). The returned
+// pointer aliases core-owned state; use the detached copy Run returns when
+// the metrics must outlive a pooled Reset.
 func (c *Core) Metrics() *Metrics { return &c.m }
+
+// Shape returns the structural fingerprint the core was built for.
+func (c *Core) Shape() Config { return c.shape }
+
+// Reset rewinds the core to post-construction state for a new run with the
+// given configuration, policy and trace — without reallocating rings,
+// freelists, the event wheel, caches or cluster state. The configuration
+// must have the same Shape the core was built with (ring and wheel sizes
+// were derived from it); per-run fields (MaxCycles, WarmupUops, Cancel) may
+// differ freely. A reset core produces byte-identical results to a freshly
+// constructed one.
+func (c *Core) Reset(cfg Config, pol steer.Policy, tr *trace.Trace) error {
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+	if cfg.Shape() != c.shape {
+		return fmt.Errorf("pipeline: Reset config shape differs from construction shape")
+	}
+	if cfg.MaxCycles == 0 {
+		cfg.MaxCycles = 200_000_000
+	}
+	c.cfg = cfg
+	c.policy = pol
+	c.tr = tr
+
+	c.cycle, c.nextFetch, c.nextSeq = 0, 0, 0
+	c.fetchHead, c.fetchLen = 0, 0
+	c.fetchStalled = false
+	// A canceled or aborted run leaves live entries behind, and the next
+	// run's seqs restart at zero — so every ring slot must be scrubbed, not
+	// just the nominally-live range.
+	for i := range c.fetchPipe {
+		c.fetchPipe[i] = fetchSlot{}
+	}
+	for i := range c.uops {
+		c.uops[i] = uopState{}
+	}
+	c.robHead, c.robLen = 0, 0
+	for r := range c.regVal {
+		c.regVal[r] = initialValue
+	}
+	for i := range c.values {
+		c.values[i] = valueState{}
+	}
+	clear(c.valOverflow)
+
+	for _, cl := range c.clusters {
+		cl.Reset()
+	}
+	c.net.Reset()
+	c.lsq.Reset()
+	c.mem.Reset()
+	c.bp.reset()
+
+	for i := range c.wheel {
+		c.wheel[i] = c.wheel[i][:0]
+	}
+	clear(c.evOverflow)
+	c.evOverflowLen = 0
+	c.evStats = eventWheelStats{}
+
+	c.planCopies = c.planCopies[:0]
+	c.unready = c.unready[:0]
+	c.copyTags = c.copyTags[:0]
+
+	c.committed = 0
+	// The previous run's detached metrics may still be referenced by
+	// callers, so PerCluster is the one piece of metrics state the core
+	// reuses: zero it in place. Histograms are per-run heap objects.
+	per := c.m.PerCluster
+	for i := range per {
+		per[i] = ClusterMetrics{}
+	}
+	c.m = Metrics{PerCluster: per}
+	if cfg.TrackHistograms {
+		c.m.Histograms = &OccupancyHistograms{
+			ROB:         stats.NewHistogram(cfg.ROBSize),
+			IntIQ:       stats.NewHistogram(cfg.Cluster.IQInt),
+			FPIQ:        stats.NewHistogram(cfg.Cluster.IQFP),
+			CopyQ:       stats.NewHistogram(cfg.Cluster.IQCopy),
+			CopyLatency: stats.NewHistogram(128),
+		}
+		if c.copyInserted == nil {
+			c.copyInserted = make(map[copyKey]int64)
+		} else {
+			clear(c.copyInserted)
+		}
+	} else {
+		c.copyInserted = nil
+	}
+	pol.Reset()
+	return nil
+}
+
+// Release drops the references a pooled core must not pin between runs:
+// the trace (often a large shared object), the policy, and the cancel
+// channel. Call before parking the core in a pool.
+func (c *Core) Release() {
+	c.tr = nil
+	c.policy = nil
+	c.cfg.Cancel = nil
+}

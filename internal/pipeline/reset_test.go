@@ -1,0 +1,161 @@
+package pipeline
+
+import (
+	"reflect"
+	"testing"
+
+	"clustersim/internal/prog"
+	"clustersim/internal/steer"
+	"clustersim/internal/trace"
+	"clustersim/internal/uarch"
+)
+
+// mixedProgram exercises every subsystem Reset must rewind: integer and FP
+// chains (issue queues, register files), an unpipelined divide (divider
+// occupancy), loads and stores (LSQ, cache hierarchy, MSHRs), and a
+// biased branch (predictor table and history).
+func mixedProgram() *prog.Program {
+	b := prog.NewBuilder("mixed")
+	b.Int(uarch.OpAdd, uarch.IntReg(1), uarch.IntReg(1), uarch.IntReg(2))
+	b.FP(uarch.OpFAdd, uarch.FPReg(1), uarch.FPReg(1), uarch.FPReg(2))
+	b.Int(uarch.OpDiv, uarch.IntReg(3), uarch.IntReg(3), uarch.IntReg(1))
+	b.Load(uarch.IntReg(4), uarch.IntReg(1), prog.MemRef{})
+	b.Store(uarch.IntReg(4), uarch.IntReg(2), prog.MemRef{})
+	b.Branch(uarch.IntReg(1), 0.7, 0.5)
+	b.Edge(0, 1)
+	return b.MustBuild()
+}
+
+// TestCoreResetRunIdentity is the pooling contract: a Reset core must
+// produce exactly the metrics a freshly constructed one does, including
+// after running a different workload in between (state bleed-through would
+// show up as a metrics diff).
+func TestCoreResetRunIdentity(t *testing.T) {
+	cfg := DefaultConfig(2)
+	trA := trace.Expand(mixedProgram(), trace.Options{NumUops: 4000, Seed: 7})
+	trB := trace.Expand(ilpProgram(6), trace.Options{NumUops: 2500, Seed: 3})
+
+	fresh := func(tr *trace.Trace) *Metrics {
+		core, err := NewCore(cfg, &steer.OP{}, tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := core.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	wantA, wantB := fresh(trA), fresh(trB)
+
+	core, err := NewCore(cfg, &steer.OP{}, trA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotA1, err := core.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(gotA1, wantA) {
+		t.Fatalf("first run differs from fresh core:\n got %+v\nwant %+v", gotA1, wantA)
+	}
+	// Different trace on the same pooled core.
+	if err := core.Reset(cfg, &steer.OP{}, trB); err != nil {
+		t.Fatal(err)
+	}
+	gotB, err := core.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(gotB, wantB) {
+		t.Fatalf("reset core run differs from fresh core:\n got %+v\nwant %+v", gotB, wantB)
+	}
+	// And back to the first trace: any state bleed from trB shows here.
+	if err := core.Reset(cfg, &steer.OP{}, trA); err != nil {
+		t.Fatal(err)
+	}
+	gotA2, err := core.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(gotA2, wantA) {
+		t.Fatalf("second reset run differs from fresh core:\n got %+v\nwant %+v", gotA2, wantA)
+	}
+	// The detached metrics of earlier runs must not have been clobbered by
+	// later Resets (result caches retain them).
+	if !reflect.DeepEqual(gotA1, wantA) || !reflect.DeepEqual(gotB, wantB) {
+		t.Error("earlier detached metrics mutated by a later Reset/Run")
+	}
+}
+
+// TestCoreResetShapeMismatch: a config whose structural shape differs from
+// the construction shape must be refused (ring sizes were derived from it),
+// while per-run fields may change freely.
+func TestCoreResetShapeMismatch(t *testing.T) {
+	cfg := DefaultConfig(2)
+	tr := trace.Expand(chainProgram(), trace.Options{NumUops: 100, Seed: 1})
+	core, err := NewCore(cfg, &steer.OP{}, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bigger := cfg
+	bigger.ROBSize *= 2
+	if err := core.Reset(bigger, &steer.OP{}, tr); err == nil {
+		t.Error("Reset accepted a different ROB size")
+	}
+	perRun := cfg
+	perRun.MaxCycles = 12345
+	perRun.WarmupUops = 10
+	perRun.Cancel = make(chan struct{})
+	if err := core.Reset(perRun, &steer.OP{}, tr); err != nil {
+		t.Errorf("Reset refused per-run-only changes: %v", err)
+	}
+}
+
+// TestCoreResetAfterHistograms: a histogram-tracking run followed by a
+// plain run must not leave histogram state behind, and vice versa.
+func TestCoreResetAfterHistograms(t *testing.T) {
+	cfg := DefaultConfig(2)
+	tr := trace.Expand(mixedProgram(), trace.Options{NumUops: 1500, Seed: 2})
+	hcfg := cfg
+	hcfg.TrackHistograms = true
+
+	core, err := NewCore(hcfg, &steer.OP{}, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mh, err := core.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mh.Histograms == nil {
+		t.Fatal("histogram run produced no histograms")
+	}
+	if err := core.Reset(cfg, &steer.OP{}, tr); err != nil {
+		t.Fatal(err)
+	}
+	m, err := core.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Histograms != nil {
+		t.Error("plain run on reset core inherited histograms")
+	}
+	// The detached histogram result survives the reset untouched.
+	if mh.Histograms == nil {
+		t.Error("detached histogram pointer lost")
+	}
+	if err := core.Reset(hcfg, &steer.OP{}, tr); err != nil {
+		t.Fatal(err)
+	}
+	mh2, err := core.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mh2.Histograms == nil {
+		t.Error("histogram run on reset core produced no histograms")
+	}
+	if mh2.Histograms == mh.Histograms {
+		t.Error("reset reused the previous run's histogram objects")
+	}
+}

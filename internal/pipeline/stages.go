@@ -18,6 +18,10 @@ var ErrCanceled = errors.New("pipeline: run canceled")
 // (complete execution, deliver copies, wake consumers), issue, steer +
 // dispatch, fetch. This ordering gives back-to-back issue of single-cycle
 // dependence chains and a one-cycle dispatch-to-issue gap.
+//
+// The returned Metrics is detached from the core: it stays valid (and
+// immutable) after the core is Reset for its next pooled run, so result
+// caches may retain it indefinitely.
 func (c *Core) Run() (*Metrics, error) {
 	total := int64(len(c.tr.Uops))
 	lastCommit := int64(0)
@@ -27,13 +31,13 @@ func (c *Core) Run() (*Metrics, error) {
 		if c.cfg.Cancel != nil && c.cycle&0xfff == 0 {
 			select {
 			case <-c.cfg.Cancel:
-				return &c.m, ErrCanceled
+				return c.detachMetrics(), ErrCanceled
 			default:
 			}
 		}
 		if c.cycle >= c.cfg.MaxCycles {
 			c.m.MaxCyclesExceeded = true
-			return &c.m, fmt.Errorf("pipeline: exceeded %d cycles at %d/%d uops",
+			return c.detachMetrics(), fmt.Errorf("pipeline: exceeded %d cycles at %d/%d uops",
 				c.cfg.MaxCycles, c.committed, total)
 		}
 		c.commit()
@@ -47,7 +51,7 @@ func (c *Core) Run() (*Metrics, error) {
 			lastCommitted = c.committed
 			lastCommit = c.cycle
 		} else if c.cycle-lastCommit > 500_000 {
-			return &c.m, fmt.Errorf("pipeline: no commit for 500000 cycles at cycle %d (%d/%d uops); head=%s",
+			return c.detachMetrics(), fmt.Errorf("pipeline: no commit for 500000 cycles at cycle %d (%d/%d uops); head=%s",
 				c.cycle, c.committed, total, c.describeHead())
 		}
 		if warmup == nil && c.cfg.WarmupUops > 0 && c.committed >= c.cfg.WarmupUops {
@@ -63,7 +67,18 @@ func (c *Core) Run() (*Metrics, error) {
 	final.PerCluster = c.m.PerCluster
 	final.MaxCyclesExceeded = c.m.MaxCyclesExceeded
 	c.m = final
-	return &c.m, nil
+	return c.detachMetrics(), nil
+}
+
+// detachMetrics copies the accumulated metrics off the core's reusable
+// state: the copy and its PerCluster slice are freshly allocated, so a
+// caller (or result cache) can retain them across a pooled Reset. The
+// histograms pointer transfers as-is — Reset allocates fresh histograms
+// rather than reusing them.
+func (c *Core) detachMetrics() *Metrics {
+	m := c.m
+	m.PerCluster = append([]ClusterMetrics(nil), c.m.PerCluster...)
+	return &m
 }
 
 // captureCounters snapshots every cumulative counter into a Metrics value

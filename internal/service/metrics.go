@@ -59,6 +59,11 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		{"clusterd_engine_trace_cache_bytes", "Compressed expanded-trace cache occupancy.", "gauge", one(eng.TraceBytes)},
 		{"clusterd_engine_trace_cache_bytes_high_water", "Maximum observed trace cache occupancy (compressed).", "gauge", one(eng.TraceBytesHighWater)},
 		{"clusterd_engine_trace_cache_raw_bytes", "Pre-compression size of the cached traces.", "gauge", one(eng.TraceRawBytes)},
+		{"clusterd_engine_core_pool_hits_total", "Simulations served by a pooled core (Reset, no construction).", "counter", one(eng.CorePoolHits)},
+		{"clusterd_engine_core_pool_misses_total", "Simulations that constructed a fresh core.", "counter", one(eng.CorePoolMisses)},
+		{"clusterd_engine_trace_unpacks_total", "Cached-trace decompressions actually performed.", "counter", one(eng.TraceUnpacks)},
+		{"clusterd_engine_trace_shared_hits_total", "Cached-trace hits that shared a live unpacked form instead of decompressing.", "counter", one(eng.TraceSharedHits)},
+		{"clusterd_engine_trace_unpacked_live", "Cached traces currently held in unpacked form by running jobs.", "gauge", one(eng.TraceUnpackedLive)},
 		{"clusterd_submissions_active", "Submissions with jobs still running.", "gauge", one(int64(active))},
 		{"clusterd_submissions_retained", "Completed submissions still queryable.", "gauge", one(int64(retired))},
 		{"clusterd_submissions_swept_total", "Completed submissions evicted by the TTL sweep.", "counter", one(swept)},

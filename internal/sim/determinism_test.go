@@ -79,6 +79,48 @@ func TestPolicyDeterminismSuite(t *testing.T) {
 	}
 }
 
+// TestPooledCoreByteIdentity is the core-pooling contract at system level:
+// one engine running the full policy suite — its cores flowing through the
+// per-shape pool, reset between jobs — must produce byte-identical Result
+// encodings to engine.Execute, the pristine fresh-core-per-job reference.
+// Every setup here shares one config shape, so beyond the first job the
+// engine runs almost entirely on reused cores.
+func TestPooledCoreByteIdentity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-policy suite sweep")
+	}
+	sps := []*workload.Simpoint{workload.ByName("crafty"), workload.ByName("swim"), workload.ByName("mcf")}
+	opts := RunOptions{NumUops: 3000}
+	eng := engine.New(engine.Options{Parallelism: 2})
+
+	for _, setup := range determinismSetups() {
+		for _, sp := range sps {
+			job := engine.Job{Simpoint: sp, Setup: setup, Opts: opts}
+			got := eng.Run(context.Background(), job)
+			want := engine.Execute(context.Background(), job)
+			if got.Err != nil || want.Err != nil {
+				t.Fatalf("%s/%s: %v %v", setup.Label, sp.Name, got.Err, want.Err)
+			}
+			encGot, errG := engine.EncodeResult(got)
+			encWant, errW := engine.EncodeResult(want)
+			if errG != nil || errW != nil {
+				t.Fatalf("%s/%s: encoding: %v %v", setup.Label, sp.Name, errG, errW)
+			}
+			if !bytes.Equal(encGot, encWant) {
+				t.Errorf("%s/%s: pooled-core result differs from fresh-core reference", setup.Label, sp.Name)
+			}
+		}
+	}
+	st := eng.Stats()
+	if st.CorePoolHits == 0 {
+		t.Error("suite ran without a single core-pool hit: pooling inactive")
+	}
+	if st.CorePoolHits+st.CorePoolMisses != st.Simulations {
+		t.Errorf("pool accounting: hits %d + misses %d != simulations %d",
+			st.CorePoolHits, st.CorePoolMisses, st.Simulations)
+	}
+}
+
 // TestResultKeysStableAcrossRewrite pins the exact result content keys of
 // a representative job set. A key change silently orphans every blob in
 // existing content-addressed stores (all cached results re-simulate), so
