@@ -44,6 +44,22 @@ var ErrVersionMismatch = errors.New("client: server wire-protocol version mismat
 // reporting the submission done, after reconnect attempts were exhausted.
 var ErrStreamEnded = errors.New("client: event stream ended before completion")
 
+// DefaultTransport is the HTTP transport shared by every Client built
+// without WithHTTPClient — including every member of a fleet.Runner — so
+// all traffic to a worker flows over one warm connection pool. The stock
+// http.DefaultTransport keeps only 2 idle connections per host, which
+// makes a batch of concurrent submits/fetches against a small fleet
+// open and close a TCP connection per request; this transport raises the
+// per-host idle pool to match serving-tier concurrency.
+var DefaultTransport = newDefaultTransport()
+
+func newDefaultTransport() *http.Transport {
+	tr := http.DefaultTransport.(*http.Transport).Clone()
+	tr.MaxIdleConns = 256
+	tr.MaxIdleConnsPerHost = 64
+	return tr
+}
+
 // Client is a typed clusterd API client. It is safe for concurrent use.
 type Client struct {
 	base       string
@@ -87,7 +103,7 @@ func New(baseURL string, opts ...Option) (*Client, error) {
 	}
 	c := &Client{
 		base:       strings.TrimRight(baseURL, "/"),
-		hc:         &http.Client{},
+		hc:         &http.Client{Transport: DefaultTransport},
 		minBackoff: 100 * time.Millisecond,
 		maxBackoff: 5 * time.Second,
 		retries:    5,

@@ -21,6 +21,12 @@
 // 0.15. Throughput depends on the machine — refresh the committed
 // baseline (-out) when the CI hardware generation changes; the
 // allocation and decompression gates are hardware-independent.
+//
+// Serving benchmarks (cmd/loadgen) report req/s and p50-ms / p99-ms
+// percentiles in the same line format and gate symmetrically: req/s below
+// (1 - maxregress) × baseline fails, and either percentile above
+// (1 + maxregress) × baseline + 1 ms fails (the absolute slack keeps
+// microsecond-scale 304 baselines from tripping on scheduler noise).
 package main
 
 import (
@@ -43,6 +49,9 @@ type Metrics struct {
 	UopsPerSec   float64 `json:"uops_per_sec,omitempty"`
 	AllocsPerUop float64 `json:"allocs_per_uop,omitempty"`
 	UnpacksPerOp float64 `json:"unpacks_per_op,omitempty"`
+	ReqPerSec    float64 `json:"req_per_sec,omitempty"`
+	P50Ms        float64 `json:"p50_ms,omitempty"`
+	P99Ms        float64 `json:"p99_ms,omitempty"`
 }
 
 // Snapshot is the BENCH_6.json schema. Before optionally preserves the
@@ -100,6 +109,12 @@ func parse(r *bufio.Scanner) (map[string]Metrics, error) {
 				met.AllocsPerUop = v
 			case "unpacks/op":
 				met.UnpacksPerOp = v
+			case "req/s":
+				met.ReqPerSec = v
+			case "p50-ms":
+				met.P50Ms = v
+			case "p99-ms":
+				met.P99Ms = v
 			}
 		}
 		rows = append(rows, row{name, met})
@@ -164,6 +179,25 @@ func compare(fresh, base map[string]Metrics, maxRegress, allocsGrow float64) []s
 					"%s: allocations grew: %.1f allocs/op vs baseline %.1f (budget %.1f)",
 					name, f.AllocsPerOp, b.AllocsPerOp, opBudget))
 			}
+		}
+		if b.ReqPerSec > 0 && f.ReqPerSec < b.ReqPerSec*(1-maxRegress) {
+			problems = append(problems, fmt.Sprintf(
+				"%s: throughput regressed: %.0f req/s vs baseline %.0f (-%.1f%%, budget %.0f%%)",
+				name, f.ReqPerSec, b.ReqPerSec,
+				100*(1-f.ReqPerSec/b.ReqPerSec), 100*maxRegress))
+		}
+		// Latency gates mirror the throughput one but in the other
+		// direction, with 1 ms absolute slack so sub-millisecond baselines
+		// (a warm 304 is microseconds) do not fail on scheduler noise.
+		if b.P50Ms > 0 && f.P50Ms > b.P50Ms*(1+maxRegress)+1.0 {
+			problems = append(problems, fmt.Sprintf(
+				"%s: p50 latency regressed: %.2f ms vs baseline %.2f (budget %.2f)",
+				name, f.P50Ms, b.P50Ms, b.P50Ms*(1+maxRegress)+1.0))
+		}
+		if b.P99Ms > 0 && f.P99Ms > b.P99Ms*(1+maxRegress)+1.0 {
+			problems = append(problems, fmt.Sprintf(
+				"%s: p99 latency regressed: %.2f ms vs baseline %.2f (budget %.2f)",
+				name, f.P99Ms, b.P99Ms, b.P99Ms*(1+maxRegress)+1.0))
 		}
 		if b.UnpacksPerOp > 0 {
 			// Decompressions per trace-cache hit. The 0.15 absolute slack
@@ -262,6 +296,10 @@ func main() {
 				continue
 			}
 			switch {
+			case b.ReqPerSec > 0:
+				fmt.Printf("%s: %.0f req/s (baseline %.0f, %+.1f%%), p50 %.2f ms (baseline %.2f), p99 %.2f ms (baseline %.2f)\n",
+					name, f.ReqPerSec, b.ReqPerSec, 100*(f.ReqPerSec/b.ReqPerSec-1),
+					f.P50Ms, b.P50Ms, f.P99Ms, b.P99Ms)
 			case b.UopsPerSec > 0:
 				fmt.Printf("%s: %.0f uops/s (baseline %.0f, %+.1f%%), %.3f allocs/uop (baseline %.3f)\n",
 					name, f.UopsPerSec, b.UopsPerSec, 100*(f.UopsPerSec/b.UopsPerSec-1),

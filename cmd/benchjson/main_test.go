@@ -147,6 +147,65 @@ func TestCompareGatesFixedCostBenchmarks(t *testing.T) {
 	}
 }
 
+const servingSample = `BenchmarkServingWarmFetch-64     	   12000	   82000 ns/op	   12100 req/s	   4.10 p50-ms	  11.30 p99-ms
+BenchmarkServingWarmFetchETag-64 	   48000	   20000 ns/op	   49000 req/s	   0.90 p50-ms	   3.10 p99-ms
+BenchmarkServingSSEFanout-64     	     600	 1600000 ns/op	     610 req/s	  90.00 p50-ms	 210.00 p99-ms
+`
+
+func TestParseServingMetrics(t *testing.T) {
+	m := parseSample(t, servingSample)
+	f, ok := m["ServingWarmFetch"]
+	if !ok {
+		t.Fatalf("missing ServingWarmFetch: %+v", m)
+	}
+	if f.ReqPerSec != 12100 || f.P50Ms != 4.10 || f.P99Ms != 11.30 {
+		t.Errorf("serving metrics = %+v", f)
+	}
+}
+
+func TestCompareGatesServingBenchmarks(t *testing.T) {
+	base := parseSample(t, servingSample)
+
+	if p := compare(base, base, 0.20, 0.25); len(p) != 0 {
+		t.Errorf("self-comparison flagged: %v", p)
+	}
+
+	// 30% req/s drop against a 20% budget: flagged.
+	slow := parseSample(t, servingSample)
+	m := slow["ServingWarmFetch"]
+	m.ReqPerSec *= 0.7
+	slow["ServingWarmFetch"] = m
+	if p := compare(slow, base, 0.20, 0.25); len(p) != 1 || !strings.Contains(p[0], "req/s") {
+		t.Errorf("want one req/s failure, got %v", p)
+	}
+
+	// p99 blown past budget: flagged.
+	spiky := parseSample(t, servingSample)
+	m = spiky["ServingSSEFanout"]
+	m.P99Ms = 400
+	spiky["ServingSSEFanout"] = m
+	if p := compare(spiky, base, 0.20, 0.25); len(p) != 1 || !strings.Contains(p[0], "p99") {
+		t.Errorf("want one p99 failure, got %v", p)
+	}
+
+	// Sub-millisecond baselines ride the 1 ms absolute slack: a 0.90 ms
+	// p50 drifting to 1.8 ms is noise, not a regression.
+	drift := parseSample(t, servingSample)
+	m = drift["ServingWarmFetchETag"]
+	m.P50Ms = 1.8
+	drift["ServingWarmFetchETag"] = m
+	if p := compare(drift, base, 0.20, 0.25); len(p) != 0 {
+		t.Errorf("sub-ms drift within slack flagged: %v", p)
+	}
+
+	// But a real latency explosion on the same benchmark still trips.
+	m.P50Ms = 6.0
+	drift["ServingWarmFetchETag"] = m
+	if p := compare(drift, base, 0.20, 0.25); len(p) != 1 || !strings.Contains(p[0], "p50") {
+		t.Errorf("want one p50 failure, got %v", p)
+	}
+}
+
 func TestOutRefreshPreservesHistory(t *testing.T) {
 	dir := t.TempDir()
 	path := dir + "/snap.json"

@@ -13,6 +13,12 @@
 // the per-worker streams are merged into a single exactly-once result
 // stream.
 //
+// All members share one HTTP transport (client.DefaultTransport, whose
+// per-host idle pool is sized for serving-tier concurrency) unless
+// WithClientOptions substitutes another, so concurrent batches reuse warm
+// connections per worker instead of redialing under the stock transport's
+// 2-idle-connections-per-host limit.
+//
 // Resilience is layered on top of the client's reconnect machinery:
 // every worker is health-checked at construction, a worker whose
 // transport fails for good mid-stream is marked dead and its unfinished

@@ -128,11 +128,27 @@ type ResultResponse struct {
 	Imbalance  float64 `json:"workload_imbalance"`
 }
 
+// ServingStats counts the request-path work the server shared or avoided:
+// encode-once SSE streaming and If-None-Match result fetches.
+type ServingStats struct {
+	// SSEMarshals counts job-event JSON encodes — exactly one per
+	// completed job, however many subscribers replay it.
+	SSEMarshals int64 `json:"sse_marshals"`
+	// SSEFrames and SSEBytes count the shared result frames (and their
+	// bytes) actually written to SSE subscribers.
+	SSEFrames int64 `json:"sse_frames"`
+	SSEBytes  int64 `json:"sse_bytes"`
+	// NotModified counts result fetches answered 304 from the ETag
+	// protocol — no store read, no body.
+	NotModified int64 `json:"result_not_modified"`
+}
+
 // StatsResponse reports the engine's cache counters and the store's
 // occupancy, with per-tier detail when the store is tiered.
 type StatsResponse struct {
-	Engine engine.CacheStats `json:"engine"`
-	Store  store.Stats       `json:"store"`
-	Memory *store.Stats      `json:"memory,omitempty"`
-	Disk   *store.Stats      `json:"disk,omitempty"`
+	Engine  engine.CacheStats `json:"engine"`
+	Store   store.Stats       `json:"store"`
+	Memory  *store.Stats      `json:"memory,omitempty"`
+	Disk    *store.Stats      `json:"disk,omitempty"`
+	Serving ServingStats      `json:"serving"`
 }

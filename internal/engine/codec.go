@@ -12,11 +12,28 @@ import (
 	"encoding/gob"
 	"errors"
 	"fmt"
+	"sync"
 
 	"clustersim/internal/pipeline"
 	"clustersim/internal/steer"
 	"clustersim/internal/workload"
 )
+
+// encodeBufs pools the staging buffers behind EncodeResult/EncodeJobSpec:
+// a serving tier persisting many results concurrently would otherwise pay
+// a fresh growing buffer per encode. The encoded bytes are copied out to
+// an exact-size slice before the buffer returns to the pool, so callers
+// still own immutable blobs.
+var encodeBufs = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
+// sealBuf copies a pooled buffer's contents into an exact-size blob and
+// recycles the buffer.
+func sealBuf(b *bytes.Buffer) []byte {
+	out := make([]byte, b.Len())
+	copy(out, b.Bytes())
+	encodeBufs.Put(b)
+	return out
+}
 
 const (
 	// codecMagic brands every engine blob.
@@ -85,9 +102,10 @@ func EncodeResult(res *Result) ([]byte, error) {
 	if res.Simpoint == nil {
 		return nil, fmt.Errorf("engine: result has no simpoint")
 	}
-	var b bytes.Buffer
+	b := encodeBufs.Get().(*bytes.Buffer)
+	b.Reset()
 	b.Write(header(kindResult))
-	err := gob.NewEncoder(&b).Encode(wireResult{
+	err := gob.NewEncoder(b).Encode(wireResult{
 		Simpoint: wireSimpoint{
 			Name: res.Simpoint.Name, Bench: res.Simpoint.Bench,
 			FP: res.Simpoint.FP, Weight: res.Simpoint.Weight, Seed: res.Simpoint.Seed,
@@ -97,9 +115,10 @@ func EncodeResult(res *Result) ([]byte, error) {
 		Complexity: res.Complexity,
 	})
 	if err != nil {
+		encodeBufs.Put(b)
 		return nil, fmt.Errorf("engine: encoding result: %w", err)
 	}
-	return b.Bytes(), nil
+	return sealBuf(b), nil
 }
 
 // DecodeResult deserializes a result blob. The returned result's Simpoint
@@ -173,12 +192,14 @@ func (o OptionsSpec) RunOptions() RunOptions {
 
 // EncodeJobSpec serializes a job spec with the codec header.
 func EncodeJobSpec(spec JobSpec) ([]byte, error) {
-	var b bytes.Buffer
+	b := encodeBufs.Get().(*bytes.Buffer)
+	b.Reset()
 	b.Write(header(kindJob))
-	if err := gob.NewEncoder(&b).Encode(spec); err != nil {
+	if err := gob.NewEncoder(b).Encode(spec); err != nil {
+		encodeBufs.Put(b)
 		return nil, fmt.Errorf("engine: encoding job spec: %w", err)
 	}
-	return b.Bytes(), nil
+	return sealBuf(b), nil
 }
 
 // DecodeJobSpec deserializes a job spec blob.

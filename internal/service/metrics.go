@@ -67,6 +67,11 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		{"clusterd_submissions_active", "Submissions with jobs still running.", "gauge", one(int64(active))},
 		{"clusterd_submissions_retained", "Completed submissions still queryable.", "gauge", one(int64(retired))},
 		{"clusterd_submissions_swept_total", "Completed submissions evicted by the TTL sweep.", "counter", one(swept)},
+		{"clusterd_sse_marshals_total", "Job events JSON-encoded (once per event, shared by all subscribers).", "counter", one(s.sseMarshals.Load())},
+		{"clusterd_sse_frames_total", "Shared SSE result frames written to subscribers.", "counter", one(s.sseFrames.Load())},
+		{"clusterd_sse_bytes_total", "Bytes of SSE result frames written to subscribers.", "counter", one(s.sseBytes.Load())},
+		{"clusterd_result_not_modified_total", "Result fetches answered 304 via If-None-Match (no store read, no body).", "counter", one(s.notModified.Load())},
+		{"clusterd_store_get_collapses_total", "Cold store Gets that joined another caller's in-flight slow-tier fetch.", "counter", one(s.st.Stats().Collapses)},
 	}
 
 	tiers := []struct {
@@ -103,6 +108,8 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		storeMetric("clusterd_store_errors_total", "I/O failures and corrupt blobs, by tier.", "counter", func(st store.Stats) int64 { return st.Errors }),
 		storeMetric("clusterd_store_entries", "Stored blobs by tier.", "gauge", func(st store.Stats) int64 { return st.Entries }),
 		storeMetric("clusterd_store_bytes", "Payload occupancy by tier.", "gauge", func(st store.Stats) int64 { return st.Bytes }),
+		storeMetric("clusterd_store_shards", "Lock stripes by tier (0 = unstriped).", "gauge", func(st store.Stats) int64 { return st.Shards }),
+		storeMetric("clusterd_store_shard_bytes_high_water", "Maximum occupancy any single shard reached, by tier.", "gauge", func(st store.Stats) int64 { return st.ShardBytesHighWater }),
 	)
 
 	var b strings.Builder

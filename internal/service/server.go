@@ -29,6 +29,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"clustersim/internal/api"
@@ -65,6 +66,14 @@ type Server struct {
 	ttlCh   chan struct{} // wakes the sweeper when the TTL changes
 	nextID  int
 	swept   int64 // completed submissions evicted by the TTL sweep
+
+	// Serving-path counters (see api.ServingStats): sseMarshals counts
+	// JSON encodes of job events — exactly one per completed job, however
+	// many subscribers replay it; sseFrames/sseBytes count the shared
+	// result frames actually written to subscribers; notModified counts
+	// result fetches satisfied by an If-None-Match 304 with no store read
+	// and no body.
+	sseMarshals, sseFrames, sseBytes, notModified atomic.Int64
 }
 
 // defaultRetain bounds how many completed submissions stay queryable: the
@@ -288,6 +297,7 @@ type submission struct {
 
 	mu      sync.Mutex
 	events  []JobEvent
+	frames  [][]byte // pre-rendered SSE frames, index-aligned with events
 	done    bool
 	changed chan struct{} // closed and replaced on every state change
 }
@@ -301,15 +311,45 @@ func (sub *submission) snapshot(from int) ([]JobEvent, bool, <-chan struct{}) {
 	return evs, sub.done, sub.changed
 }
 
-func (sub *submission) append(ev JobEvent, done bool) {
+// snapshotFrames is snapshot for the SSE path: the already-encoded frames
+// every subscriber shares. Frames are immutable once appended, so the
+// returned slices may be written without holding the lock.
+func (sub *submission) snapshotFrames(from int) ([][]byte, bool, <-chan struct{}) {
+	sub.mu.Lock()
+	defer sub.mu.Unlock()
+	frames := sub.frames[min(from, len(sub.frames)):]
+	return frames, sub.done, sub.changed
+}
+
+func (sub *submission) append(ev JobEvent, frame []byte, done bool) {
 	sub.mu.Lock()
 	if !done {
 		sub.events = append(sub.events, ev)
+		sub.frames = append(sub.frames, frame)
 	}
 	sub.done = sub.done || done
 	close(sub.changed)
 	sub.changed = make(chan struct{})
 	sub.mu.Unlock()
+}
+
+// appendResult records one completed job on the submission: the event for
+// status queries, and its SSE frame — marshaled exactly once, here, at
+// append time — for every current and future subscriber to share.
+func (s *Server) appendResult(sub *submission, jr engine.JobResult, key string) {
+	ev := jobEvent(jr, key)
+	data, err := json.Marshal(ev)
+	if err != nil {
+		// JobEvent is plain data; Marshal cannot fail on it. Keep the
+		// stream well-formed regardless.
+		data = []byte("{}")
+	}
+	s.sseMarshals.Add(1)
+	frame := make([]byte, 0, len(data)+len("event: result\ndata: \n\n"))
+	frame = append(frame, "event: result\ndata: "...)
+	frame = append(frame, data...)
+	frame = append(frame, "\n\n"...)
+	sub.append(ev, frame, false)
 }
 
 // httpError writes the uniform JSON error body: a stable machine-readable
@@ -405,7 +445,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 					defer wg.Done()
 					for i := range idx {
 						res := s.eng.Run(s.ctx, jobs[i])
-						sub.append(jobEvent(engine.JobResult{Index: i, Job: jobs[i], Result: res}, keys[i]), false)
+						s.appendResult(sub, engine.JobResult{Index: i, Job: jobs[i], Result: res}, keys[i])
 					}
 				}()
 			}
@@ -416,10 +456,10 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 			wg.Wait()
 		} else {
 			for jr := range s.eng.Stream(s.ctx, jobs) {
-				sub.append(jobEvent(jr, keys[jr.Index]), false)
+				s.appendResult(sub, jr, keys[jr.Index])
 			}
 		}
-		sub.append(JobEvent{}, true)
+		sub.append(JobEvent{}, nil, true)
 		s.retire(sub.id)
 	}()
 
@@ -482,16 +522,18 @@ func (s *Server) handleJobStream(w http.ResponseWriter, r *http.Request) {
 
 	sent := 0
 	for {
-		events, done, changed := sub.snapshot(sent)
-		for _, ev := range events {
-			data, err := json.Marshal(ev)
-			if err != nil {
+		frames, done, changed := sub.snapshotFrames(sent)
+		for _, frame := range frames {
+			// Frames were encoded once at append time; every subscriber
+			// writes the same shared bytes.
+			if _, err := w.Write(frame); err != nil {
 				return
 			}
-			fmt.Fprintf(w, "event: result\ndata: %s\n\n", data)
+			s.sseFrames.Add(1)
+			s.sseBytes.Add(int64(len(frame)))
 			sent++
 		}
-		if len(events) > 0 {
+		if len(frames) > 0 {
 			flusher.Flush()
 		}
 		if done {
@@ -509,10 +551,38 @@ func (s *Server) handleJobStream(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// etagMatch reports whether an If-None-Match header value matches the
+// representation's entity tag: "*", or any member of the comma-separated
+// list equal to the tag (weak comparison — a W/ prefix on a member is
+// ignored, which is safe here because a content-addressed representation
+// never changes byte-wise under its key).
+func etagMatch(header, etag string) bool {
+	for _, cand := range strings.Split(header, ",") {
+		cand = strings.TrimSpace(cand)
+		cand = strings.TrimPrefix(cand, "W/")
+		if cand == "*" || cand == etag {
+			return true
+		}
+	}
+	return false
+}
+
 func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 	key, err := url.QueryUnescape(r.URL.Query().Get("key"))
 	if err != nil || key == "" {
 		httpError(w, http.StatusBadRequest, api.CodeBadRequest, "missing or malformed ?key=")
+		return
+	}
+	// Results are content-addressed: the bytes under a key never change,
+	// so the key's address is a permanent strong ETag. A warm client that
+	// already holds the result sends it back as If-None-Match and the
+	// server answers 304 without touching the store or encoding a body.
+	etag := `"` + store.Addr(key) + `"`
+	w.Header().Set("ETag", etag)
+	w.Header().Set("Cache-Control", "public, max-age=31536000, immutable")
+	if inm := r.Header.Get("If-None-Match"); inm != "" && etagMatch(inm, etag) {
+		s.notModified.Add(1)
+		w.WriteHeader(http.StatusNotModified)
 		return
 	}
 	blob, ok := s.st.Get(key)
@@ -544,8 +614,18 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// servingStats snapshots the request-path counters.
+func (s *Server) servingStats() api.ServingStats {
+	return api.ServingStats{
+		SSEMarshals: s.sseMarshals.Load(),
+		SSEFrames:   s.sseFrames.Load(),
+		SSEBytes:    s.sseBytes.Load(),
+		NotModified: s.notModified.Load(),
+	}
+}
+
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
-	resp := StatsResponse{Engine: s.eng.Stats(), Store: s.st.Stats()}
+	resp := StatsResponse{Engine: s.eng.Stats(), Store: s.st.Stats(), Serving: s.servingStats()}
 	if tiered, ok := s.st.(*store.Tiered); ok {
 		fast, slow := tiered.Layers()
 		resp.Memory, resp.Disk = &fast, &slow

@@ -267,6 +267,16 @@ func (d *Disk) gc(keep string) {
 	d.entries = remaining
 }
 
+// Pooled compression machinery: a hot serving path writes and reads many
+// records concurrently, and gzip writers/readers plus their staging
+// buffers are the dominant per-call allocations. All three pools hand the
+// object back only after its bytes have been copied out.
+var (
+	gzipWriters = sync.Pool{New: func() any { return gzip.NewWriter(io.Discard) }}
+	gzipReaders = sync.Pool{New: func() any { return new(gzip.Reader) }}
+	recordBufs  = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+)
+
 // buildRecord frames a blob: magic, record format, key (for verification
 // against hash collisions and foreign files), CRC32 of the stored
 // payload, payload — gzip-compressed when compress is set. The CRC
@@ -275,14 +285,19 @@ func (d *Disk) gc(keep string) {
 func buildRecord(key string, blob []byte, compress bool) []byte {
 	format := uint32(recordFormatRaw)
 	payload := blob
+	var buf *bytes.Buffer
 	if compress {
-		var buf bytes.Buffer
-		zw := gzip.NewWriter(&buf)
+		buf = recordBufs.Get().(*bytes.Buffer)
+		buf.Reset()
+		zw := gzipWriters.Get().(*gzip.Writer)
+		zw.Reset(buf)
 		zw.Write(blob)
+		err := zw.Close()
+		gzipWriters.Put(zw)
 		// Keep the raw form when gzip doesn't actually shrink the blob
 		// (high-entropy payloads): the format field is per record, so a
 		// compressing store may mix both.
-		if err := zw.Close(); err == nil && buf.Len() < len(blob) {
+		if err == nil && buf.Len() < len(blob) {
 			format = recordFormatGzip
 			payload = buf.Bytes()
 		}
@@ -298,6 +313,11 @@ func buildRecord(key string, blob []byte, compress bool) []byte {
 	rec = append(rec, hdr[:]...)
 	rec = append(rec, key...)
 	rec = append(rec, payload...)
+	if buf != nil {
+		// The payload was copied into rec above; the staging buffer is
+		// free to be reused.
+		recordBufs.Put(buf)
+	}
 	return rec
 }
 
@@ -330,14 +350,16 @@ func parseRecord(data []byte, key string) ([]byte, error) {
 		return nil, fmt.Errorf("store: payload CRC mismatch")
 	}
 	if format == recordFormatGzip {
-		zr, err := gzip.NewReader(bytes.NewReader(blob))
-		if err != nil {
+		zr := gzipReaders.Get().(*gzip.Reader)
+		if err := zr.Reset(bytes.NewReader(blob)); err != nil {
+			gzipReaders.Put(zr)
 			return nil, fmt.Errorf("store: opening compressed payload: %w", err)
 		}
 		raw, err := io.ReadAll(zr)
 		if cerr := zr.Close(); err == nil {
 			err = cerr
 		}
+		gzipReaders.Put(zr)
 		if err != nil {
 			return nil, fmt.Errorf("store: decompressing payload: %w", err)
 		}

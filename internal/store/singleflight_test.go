@@ -1,0 +1,200 @@
+package store
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// gatedStore wraps a Store, counting Gets and optionally holding them on
+// a gate so a test can pile concurrent callers onto one in-flight read.
+type gatedStore struct {
+	Store
+	reads atomic.Int64
+	gate  chan struct{} // Gets block until closed (nil = no gate)
+}
+
+func (g *gatedStore) Get(key string) ([]byte, bool) {
+	g.reads.Add(1)
+	if g.gate != nil {
+		<-g.gate
+	}
+	return g.Store.Get(key)
+}
+
+// TestTieredColdGetSingleFlight pins the collapse contract: N concurrent
+// Gets on one cold key pay exactly one slow-tier read; the other N-1 join
+// the flight and share its bytes.
+func TestTieredColdGetSingleFlight(t *testing.T) {
+	const n = 16
+	slow := &gatedStore{Store: NewMemory(0), gate: make(chan struct{})}
+	slow.Store.Put("k", []byte("payload"))
+	ti := NewTiered(NewMemory(0), slow)
+
+	var wg sync.WaitGroup
+	results := make([][]byte, n)
+	oks := make([]bool, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], oks[i] = ti.Get("k")
+		}(i)
+	}
+	// Collapses are counted at join time, so once n-1 joins are visible
+	// every waiter is parked on the single flight — release it.
+	deadline := time.Now().Add(5 * time.Second)
+	for ti.Stats().Collapses < n-1 {
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d of %d collapses materialized", ti.Stats().Collapses, n-1)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(slow.gate)
+	wg.Wait()
+
+	if got := slow.reads.Load(); got != 1 {
+		t.Errorf("slow-tier reads = %d, want exactly 1", got)
+	}
+	if got := ti.Stats().Collapses; got != n-1 {
+		t.Errorf("collapses = %d, want %d", got, n-1)
+	}
+	for i := range results {
+		if !oks[i] || !bytes.Equal(results[i], []byte("payload")) {
+			t.Fatalf("caller %d got %q, %v", i, results[i], oks[i])
+		}
+	}
+	// The flight's promotion landed: the next Get is a pure fast hit.
+	if _, ok := ti.Get("k"); !ok {
+		t.Error("promoted entry missing from fast tier")
+	}
+	if got := slow.reads.Load(); got != 1 {
+		t.Errorf("warm Get consulted the slow tier (reads = %d)", got)
+	}
+}
+
+// TestTieredColdMissSingleFlight: collapsing must also cover misses — N
+// concurrent Gets on an absent key still read the slow tier once, and the
+// flight result is not cached (a later Get retries).
+func TestTieredColdMissSingleFlight(t *testing.T) {
+	const n = 8
+	slow := &gatedStore{Store: NewMemory(0), gate: make(chan struct{})}
+	ti := NewTiered(NewMemory(0), slow)
+
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, ok := ti.Get("absent"); ok {
+				t.Error("miss reported as hit")
+			}
+		}()
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for ti.Stats().Collapses < n-1 {
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d of %d collapses materialized", ti.Stats().Collapses, n-1)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(slow.gate)
+	wg.Wait()
+	if got := slow.reads.Load(); got != 1 {
+		t.Errorf("slow-tier reads = %d, want exactly 1", got)
+	}
+	// After the flight drains, a fresh Get consults the slow tier again:
+	// negative results are never pinned.
+	ti.Get("absent")
+	if got := slow.reads.Load(); got != 2 {
+		t.Errorf("post-flight Get did not retry the slow tier (reads = %d)", got)
+	}
+}
+
+// TestTieredConcurrentMixed hammers a Tiered store with overlapping warm
+// and cold keys; run under -race this guards the flight bookkeeping.
+func TestTieredConcurrentMixed(t *testing.T) {
+	slow := NewMemory(0)
+	for i := 0; i < 8; i++ {
+		slow.Put(fmt.Sprintf("k%d", i), []byte(fmt.Sprintf("v%d", i)))
+	}
+	ti := NewTiered(NewMemoryShards(1<<16, 4), slow)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 400; i++ {
+				k := i % 10 // two of these are permanent misses
+				want := fmt.Sprintf("v%d", k)
+				blob, ok := ti.Get(fmt.Sprintf("k%d", k))
+				if ok && string(blob) != want {
+					t.Errorf("k%d = %q, want %q", k, blob, want)
+				}
+				if i%7 == 0 {
+					ti.Put(fmt.Sprintf("k%d", k), []byte(want))
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+// TestDiskParallelGetPutGC hammers one disk-store key with concurrent
+// readers, writers and GC pressure (filler keys over a tiny budget force
+// collections mid-traffic). Readers must only ever observe a miss or the
+// exact current payload — never torn or foreign bytes.
+func TestDiskParallelGetPutGC(t *testing.T) {
+	d, err := OpenDisk(t.TempDir(), 4<<10, WithCompression())
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := bytes.Repeat([]byte("hot-key-payload "), 16)
+	d.Put("hot", payload)
+
+	var readers, writers sync.WaitGroup
+	stop := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if blob, ok := d.Get("hot"); ok && !bytes.Equal(blob, payload) {
+					t.Errorf("hot key corrupted: %d bytes", len(blob))
+					return
+				}
+			}
+		}()
+	}
+	for g := 0; g < 2; g++ {
+		writers.Add(1)
+		go func(g int) {
+			defer writers.Done()
+			for i := 0; i < 50; i++ {
+				d.Put("hot", payload)
+				// Filler churn overflows the 4 KiB budget and drives gc
+				// concurrently with the hot-key traffic.
+				d.Put(fmt.Sprintf("filler-%d-%d", g, i), bytes.Repeat([]byte{byte(i)}, 512))
+			}
+		}(g)
+	}
+	writers.Wait()
+	close(stop)
+	readers.Wait()
+
+	st := d.Stats()
+	if st.Evictions == 0 {
+		t.Error("filler churn never triggered GC — test exercised nothing")
+	}
+	if st.Errors != 0 {
+		t.Errorf("store reported %d errors under parallel traffic", st.Errors)
+	}
+}

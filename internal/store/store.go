@@ -50,6 +50,16 @@ type Stats struct {
 	Bytes int64
 	// BytesHighWater is the maximum Bytes ever observed.
 	BytesHighWater int64
+	// Collapses counts Gets that joined another caller's in-flight
+	// slow-tier fetch instead of reading the slow tier themselves
+	// (Tiered only).
+	Collapses int64
+	// Shards is the store's lock-stripe count (Memory only; 0 for
+	// unstriped stores).
+	Shards int64
+	// ShardBytesHighWater is the maximum occupancy any single shard ever
+	// reached — the hot-stripe gauge of a striped store (Memory only).
+	ShardBytesHighWater int64
 }
 
 // add accumulates other into s (for tiered aggregation).
@@ -62,6 +72,11 @@ func (s *Stats) add(other Stats) {
 	s.Entries += other.Entries
 	s.Bytes += other.Bytes
 	s.BytesHighWater += other.BytesHighWater
+	s.Collapses += other.Collapses
+	s.Shards += other.Shards
+	if other.ShardBytesHighWater > s.ShardBytesHighWater {
+		s.ShardBytesHighWater = other.ShardBytesHighWater
+	}
 }
 
 // Addr is the content address of a logical key: the hex SHA-256 of the key

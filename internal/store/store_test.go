@@ -23,7 +23,9 @@ func TestMemoryBasicAndStats(t *testing.T) {
 }
 
 func TestMemoryByteBoundedLRU(t *testing.T) {
-	m := NewMemory(100)
+	// One shard pins the seed's global-LRU semantics: a single eviction
+	// order over the whole budget.
+	m := NewMemoryShards(100, 1)
 	pay := make([]byte, 40)
 	m.Put("a", pay)
 	m.Put("b", pay)
@@ -83,6 +85,43 @@ func TestTieredPromotesAndAggregates(t *testing.T) {
 	}
 	if total := ti.Stats(); total.Entries != 4 {
 		t.Errorf("aggregate entries = %d, want 4", total.Entries)
+	}
+}
+
+func TestMemoryShardedStatsRollUp(t *testing.T) {
+	m := NewMemoryShards(0, 4)
+	if got := m.Stats().Shards; got != 4 {
+		t.Fatalf("shards = %d, want 4", got)
+	}
+	for i := 0; i < 64; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		m.Put(key, make([]byte, 10))
+		if _, ok := m.Get(key); !ok {
+			t.Fatalf("lost key %q", key)
+		}
+	}
+	st := m.Stats()
+	if st.Hits != 64 || st.Puts != 64 || st.Entries != 64 || st.Bytes != 640 {
+		t.Errorf("rolled-up stats = %+v", st)
+	}
+	if st.ShardBytesHighWater <= 0 || st.ShardBytesHighWater > st.BytesHighWater {
+		t.Errorf("shard high water %d out of range (total high water %d)",
+			st.ShardBytesHighWater, st.BytesHighWater)
+	}
+	// 64 keys over 4 shards: FNV must not have funneled everything into
+	// one stripe (that would re-create the global lock this store
+	// exists to remove).
+	if st.ShardBytesHighWater == st.BytesHighWater {
+		t.Errorf("all %d keys hashed to one shard", 64)
+	}
+}
+
+func TestMemoryShardCountRounding(t *testing.T) {
+	if got := NewMemoryShards(0, 3).Stats().Shards; got != 4 {
+		t.Errorf("3 shards rounded to %d, want 4", got)
+	}
+	if got := NewMemory(0).Stats().Shards; got < 1 {
+		t.Errorf("default shards = %d", got)
 	}
 }
 
