@@ -20,6 +20,14 @@
 // Completed submissions are GC'd by count (retention) and age (-subttl);
 // their results remain fetchable by content key either way.
 //
+// With -coordinator the daemon additionally serves the fleet membership
+// register (GET/POST /v1/ring): an epoch-guarded compare-and-swap view
+// of which workers are alive, draining, dead, or removed, which N
+// concurrent fleet runners converge on so they shard identically. A
+// coordinator is an ordinary worker too — it can serve jobs alongside
+// the register, or run with -parallel 1 as a dedicated control-plane
+// node.
+//
 // SIGINT/SIGTERM cancels in-flight simulations and shuts down cleanly.
 package main
 
@@ -49,6 +57,7 @@ func main() {
 		subTTL   = flag.Duration("subttl", time.Hour, "GC completed submissions after this long (0 = count-based retention only)")
 		token    = flag.String("token", "", "require this bearer token on every request (empty = no auth; /healthz stays open)")
 		compress = flag.Bool("compress", false, "gzip result blobs in the disk store (old uncompressed blobs stay readable)")
+		coord    = flag.Bool("coordinator", false, "serve the fleet membership register on /v1/ring (for fleets sharing one placement view)")
 	)
 	flag.Parse()
 
@@ -74,6 +83,10 @@ func main() {
 	svc := service.New(ctx, eng, st)
 	svc.SetTTL(*subTTL)
 	svc.SetToken(*token)
+	if *coord {
+		svc.EnableCoordinator()
+		fmt.Fprintln(os.Stderr, "clusterd: coordinator mode: serving the fleet ring register")
+	}
 	srv := &http.Server{Addr: *addr, Handler: svc}
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()

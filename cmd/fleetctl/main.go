@@ -1,0 +1,146 @@
+// Command fleetctl operates a clusterd fleet's control plane: inspect
+// membership, drain a worker out of the fleet without losing cache
+// affinity, scale up with a pre-warmed newcomer, or re-admit recovered
+// workers on demand.
+//
+// Usage:
+//
+//	fleetctl -workers http://h1:8080,http://h2:8080 status
+//	fleetctl -workers http://h1:8080,http://h2:8080 drain http://h2:8080
+//	fleetctl -workers http://h1:8080 add http://h3:8080
+//	fleetctl -workers http://h1:8080,http://h2:8080 readmit
+//	fleetctl -workers ... -coordinator http://coord:8080 drain http://h2:8080
+//
+// drain migrates every result blob the departing worker holds to its
+// consistent-hash successors before removing it, so the survivors
+// inherit its key range warm and nothing re-simulates. add health-checks
+// the newcomer and backfills the key ranges it will steal from their
+// current owners before announcing it. readmit probes workers the fleet
+// marked dead and restores the ones that answer.
+//
+// With -coordinator, every transition is compare-and-swapped through the
+// shared ring register (a clusterd started with -coordinator), so fleet
+// runners pointing at the same register observe the change on their next
+// batch — drain a worker here while steerbench runs elsewhere, and the
+// run routes around it without duplicating work.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"clustersim/client"
+	"clustersim/fleet"
+)
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `usage: fleetctl -workers URL[,URL...] [flags] <command> [arg]
+
+commands:
+  status          print the membership view and lifecycle counters
+  drain <url>     migrate a worker's results to its ring successors, then remove it
+  add <url>       health-check a new worker, backfill its key ranges, then admit it
+  readmit         probe dead workers now and re-admit the ones that recovered
+
+flags:
+`)
+	flag.PrintDefaults()
+	os.Exit(2)
+}
+
+func main() {
+	var (
+		workers  = flag.String("workers", "", "comma-separated clusterd worker URLs (the current fleet)")
+		coordURL = flag.String("coordinator", "", "clusterd -coordinator URL: transitions go through the shared ring register")
+		token    = flag.String("token", "", "bearer token for workers started with -token")
+		timeout  = flag.Duration("timeout", 10*time.Minute, "bound the whole operation (drains move every blob the worker holds)")
+	)
+	flag.Usage = usage
+	flag.Parse()
+
+	var urls []string
+	for _, u := range strings.Split(*workers, ",") {
+		if u = strings.TrimSpace(u); u != "" {
+			urls = append(urls, u)
+		}
+	}
+	if len(urls) == 0 || flag.NArg() == 0 {
+		usage()
+	}
+	cmd, arg := flag.Arg(0), flag.Arg(1)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	ctx, cancel := context.WithTimeout(ctx, *timeout)
+	defer cancel()
+
+	fopts := []fleet.Option{
+		fleet.WithLog(func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		}),
+		// Fail fast: fleetctl talks to workers an operator believes are up.
+		fleet.WithClientOptions(client.WithRetries(2)),
+	}
+	if *token != "" {
+		fopts = append(fopts, fleet.WithToken(*token))
+	}
+	if *coordURL != "" {
+		fopts = append(fopts, fleet.WithCoordinator(*coordURL))
+	}
+	f, err := fleet.New(urls, fopts...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "fleetctl: %v\n", err)
+		os.Exit(1)
+	}
+
+	switch cmd {
+	case "status":
+		// Construction already synced with the coordinator when one is set.
+	case "drain":
+		if arg == "" {
+			usage()
+		}
+		if err := f.Drain(ctx, arg); err != nil {
+			fmt.Fprintf(os.Stderr, "fleetctl: drain: %v\n", err)
+			os.Exit(1)
+		}
+	case "add":
+		if arg == "" {
+			usage()
+		}
+		if err := f.AddWorker(ctx, arg); err != nil {
+			fmt.Fprintf(os.Stderr, "fleetctl: add: %v\n", err)
+			os.Exit(1)
+		}
+	case "readmit":
+		f.Readmit(ctx)
+	default:
+		usage()
+	}
+
+	printStatus(f.FleetStats())
+}
+
+func printStatus(fs fleet.Stats) {
+	assignable := 0
+	for _, m := range fs.Members {
+		if m.State == "alive" || m.State == "draining" {
+			assignable++
+		}
+	}
+	fmt.Printf("fleet: epoch %d, %d/%d workers assignable, readmissions %d, drain-migrated %d, backfilled %d\n",
+		fs.Epoch, assignable, len(fs.Members), fs.Readmissions, fs.DrainMigrated, fs.Backfilled)
+	for _, m := range fs.Members {
+		fmt.Printf("  %-8s %s (epoch %d)", m.State, m.URL, m.Epoch)
+		if m.LastError != "" {
+			fmt.Printf("  last error: %s", m.LastError)
+		}
+		fmt.Println()
+	}
+}

@@ -35,7 +35,12 @@
 // With several comma-separated URLs the batch shards across the fleet by
 // consistent hash of each job's result key, and a worker lost mid-run is
 // survived: its unfinished jobs re-shard onto the remaining workers (the
-// report stays byte-identical).
+// report stays byte-identical). -readmit re-probes dead workers and
+// re-admits the recovered ones mid-suite; -coordinator converges
+// membership with other concurrent runners through a clusterd started
+// with -coordinator. Fleet runs append a "# fleet:" footer (membership
+// epoch plus per-worker state) next to the "# engine:" one — consumers
+// diffing saved reports strip the "# "-prefixed lines.
 //
 // Ctrl-C cancels in-flight simulations and exits cleanly with status 130.
 package main
@@ -115,6 +120,8 @@ func main() {
 		token    = flag.String("token", "", "bearer token for clusterd workers started with -token")
 		compress = flag.Bool("compress", false, "gzip result blobs in the -cachedir store (old uncompressed blobs stay readable)")
 		steal    = flag.Int("steal", 0, "with a multi-worker -remote: let idle workers duplicate up to this many straggler jobs per batch (first result wins)")
+		coordURL = flag.String("coordinator", "", "with a multi-worker -remote: share one membership view with other runners through this clusterd -coordinator URL")
+		readmit  = flag.Duration("readmit", 0, "with a multi-worker -remote: re-probe dead workers at this interval and re-admit the ones that recovered (0 = leave dead workers dead)")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the run to this file (pprof format; profiles are flushed on clean exit)")
 		memProf  = flag.String("memprofile", "", "write a heap profile to this file after the run (pprof format)")
 	)
@@ -201,6 +208,7 @@ func main() {
 	// for jobs that have no declarative wire form, e.g. the machine-tweak
 	// ablations). Everything downstream is runner-agnostic.
 	var runner clustersim.Runner = eng
+	var fl *fleet.Runner // non-nil when sharding, for the fleet footer
 	urls := splitURLs(*remote)
 	if *remote != "" && len(urls) == 0 {
 		// "-remote ," (e.g. from unset env vars) must not silently run the
@@ -250,11 +258,19 @@ func main() {
 		if *progress {
 			fopts = append(fopts, fleet.WithProgress(meter.print))
 		}
-		fl, err := fleet.New(urls, fopts...)
+		if *coordURL != "" {
+			fopts = append(fopts, fleet.WithCoordinator(*coordURL))
+		}
+		if *readmit > 0 {
+			fopts = append(fopts, fleet.WithReadmit(*readmit))
+		}
+		var err error
+		fl, err = fleet.New(urls, fopts...)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "steerbench: %v\n", err)
 			os.Exit(1)
 		}
+		defer fl.Close()
 		fmt.Fprintf(os.Stderr, "steerbench: sharding across %d clusterd workers\n", len(urls))
 		runner = fl
 	}
@@ -425,5 +441,33 @@ func main() {
 	if *out != "" {
 		fmt.Fprintf(sink, "# %s\n", report)
 	}
+	// Fleet runs also record the control plane: the membership epoch, the
+	// lifecycle counters, and each worker's state — so a saved report shows
+	// which workers actually served it and why any were excluded.
+	if fl != nil {
+		footer := fleetFooter(fl.FleetStats())
+		if *progress {
+			fmt.Fprint(os.Stderr, footer)
+		}
+		if *out != "" {
+			fmt.Fprint(sink, footer)
+		}
+	}
 	finishProfiles()
+}
+
+// fleetFooter renders the "# fleet:" report footer: one summary line and
+// one line per worker the fleet has ever admitted.
+func fleetFooter(fs fleet.Stats) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# fleet: epoch %d, readmissions %d, drain-migrated %d, backfilled %d\n",
+		fs.Epoch, fs.Readmissions, fs.DrainMigrated, fs.Backfilled)
+	for _, m := range fs.Members {
+		fmt.Fprintf(&b, "# fleet: worker %s %s (epoch %d)", m.URL, m.State, m.Epoch)
+		if m.LastError != "" {
+			fmt.Fprintf(&b, " last error: %s", m.LastError)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
 }

@@ -6,11 +6,17 @@
 // killed mid-run is survived by re-sharding its unfinished jobs onto the
 // rest.
 //
+// With -drain the example then walks a planned scale-down: the last
+// worker's results migrate to its ring successors before it is removed,
+// and the matrix re-runs against the shrunken fleet without a single
+// re-simulation — the survivors inherited the departing worker's key
+// range warm.
+//
 // Start two workers first, then point the example at both:
 //
 //	go run ./cmd/clusterd -addr :8080 -cachedir /tmp/fleet-w1
 //	go run ./cmd/clusterd -addr :8081 -cachedir /tmp/fleet-w2
-//	go run ./examples/fleet -workers http://localhost:8080,http://localhost:8081
+//	go run ./examples/fleet -workers http://localhost:8080,http://localhost:8081 -drain
 package main
 
 import (
@@ -28,6 +34,7 @@ import (
 func main() {
 	workers := flag.String("workers", "http://localhost:8080,http://localhost:8081",
 		"comma-separated clusterd base URLs")
+	drain := flag.Bool("drain", false, "after the matrix, drain the last worker and re-run against the survivors")
 	flag.Parse()
 
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Minute)
@@ -78,4 +85,34 @@ func main() {
 	st := runner.Stats()
 	fmt.Printf("\nfleet stats: %d simulations executed, %d served from worker caches, %d/%d workers alive\n",
 		st.Simulations, st.ResultHits+st.StoreHits, runner.Alive(), len(urls))
+
+	if !*drain || len(urls) < 2 {
+		return
+	}
+
+	// Planned scale-down: the departing worker keeps serving while every
+	// result blob it holds migrates to the workers that will inherit its
+	// key range, and only then is it removed from the ring.
+	leaving := urls[len(urls)-1]
+	fmt.Printf("\ndraining %s out of the fleet...\n", leaving)
+	if err := runner.Drain(ctx, leaving); err != nil {
+		log.Fatalf("drain: %v", err)
+	}
+	fs := runner.FleetStats()
+	fmt.Printf("drained: %d result blobs migrated to ring successors (membership epoch %d)\n",
+		fs.DrainMigrated, fs.Epoch)
+	for _, m := range fs.Members {
+		fmt.Printf("  %-8s %s\n", m.State, m.URL)
+	}
+
+	// The same matrix against the shrunken fleet: every key now routes to
+	// a survivor whose store already holds the migrated result, so this
+	// re-run executes zero simulations.
+	before := runner.Stats().Simulations
+	if _, err := clustersim.RunMatrixOn(ctx, runner, workloads, setups,
+		clustersim.RunOptions{NumUops: 20_000}); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nre-run after drain: %d new simulations (want 0 — the survivors inherited the range warm)\n",
+		runner.Stats().Simulations-before)
 }

@@ -1,0 +1,432 @@
+package controlplane
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+
+	"clustersim/internal/api"
+)
+
+func TestMembershipLifecycle(t *testing.T) {
+	m := NewMembership("http://a", "http://b")
+	if m.Epoch() != 1 {
+		t.Fatalf("seed epoch = %d, want 1", m.Epoch())
+	}
+
+	// alive -> dead -> alive (crash + re-admission).
+	if ch, err := m.Transition(api.RingMarkDead, "http://a", "connection refused"); err != nil || !ch {
+		t.Fatalf("mark_dead: changed=%v err=%v", ch, err)
+	}
+	if m.State("http://a") != api.MemberDead || m.Assignable("http://a") {
+		t.Fatalf("dead member state=%q assignable=%v", m.State("http://a"), m.Assignable("http://a"))
+	}
+	v := m.View()
+	if v.Members[0].LastError != "connection refused" {
+		t.Errorf("dead member LastError = %q", v.Members[0].LastError)
+	}
+	if ch, err := m.Transition(api.RingReadmit, "http://a", ""); err != nil || !ch {
+		t.Fatalf("readmit: changed=%v err=%v", ch, err)
+	}
+	if m.State("http://a") != api.MemberAlive || m.View().Members[0].LastError != "" {
+		t.Error("re-admitted member not alive with cleared error")
+	}
+
+	// alive -> draining -> removed (planned drain). Draining stays
+	// assignable; removed does not.
+	if ch, err := m.Transition(api.RingDrain, "http://b", ""); err != nil || !ch {
+		t.Fatalf("drain: changed=%v err=%v", ch, err)
+	}
+	if !m.Assignable("http://b") {
+		t.Error("draining member must remain assignable until removed")
+	}
+	if ch, err := m.Transition(api.RingRemove, "http://b", ""); err != nil || !ch {
+		t.Fatalf("remove: changed=%v err=%v", ch, err)
+	}
+	if m.Assignable("http://b") || m.State("http://b") != api.MemberRemoved {
+		t.Error("removed member still assignable")
+	}
+
+	// removed -> alive (scale the worker back in).
+	if ch, err := m.Transition(api.RingAdd, "http://b", ""); err != nil || !ch {
+		t.Fatalf("re-add: changed=%v err=%v", ch, err)
+	}
+	if m.State("http://b") != api.MemberAlive {
+		t.Errorf("re-added member state = %q", m.State("http://b"))
+	}
+}
+
+func TestMembershipInvalidTransitions(t *testing.T) {
+	m := NewMembership("http://a")
+	// Removing an alive member must be refused: a remove cuts the ring
+	// over, and an undrained alive member still owns live keys.
+	if _, err := m.Transition(api.RingRemove, "http://a", ""); err == nil {
+		t.Error("remove of alive member succeeded")
+	}
+	m.Transition(api.RingMarkDead, "http://a", "x")
+	// A dead member's store is unreachable, so it cannot be drained.
+	if _, err := m.Transition(api.RingDrain, "http://a", ""); err == nil {
+		t.Error("drain of dead member succeeded")
+	}
+	// But a dead member can be retired directly (no keys to save).
+	if ch, err := m.Transition(api.RingRemove, "http://a", ""); err != nil || !ch {
+		t.Errorf("remove of dead member: changed=%v err=%v", ch, err)
+	}
+	for _, action := range []string{api.RingMarkDead, api.RingReadmit, api.RingDrain, api.RingRemove} {
+		if _, err := m.Transition(action, "http://nope", ""); err == nil {
+			t.Errorf("%s of unknown member succeeded", action)
+		}
+	}
+	if _, err := m.Transition("bogus", "http://a", ""); err == nil {
+		t.Error("unknown action succeeded")
+	}
+}
+
+// No-op transitions succeed without bumping the epoch — the property
+// that lets N runners report the same observation idempotently.
+func TestMembershipIdempotentNoOps(t *testing.T) {
+	cases := []struct{ action, setup string }{
+		{api.RingAdd, ""},     // already alive
+		{api.RingReadmit, ""}, // readmit of alive member
+		{api.RingMarkDead, api.RingMarkDead},
+		{api.RingDrain, api.RingDrain},
+	}
+	for _, c := range cases {
+		m2 := NewMembership("http://a")
+		if c.setup != "" {
+			if _, err := m2.Transition(c.setup, "http://a", ""); err != nil {
+				t.Fatal(err)
+			}
+		}
+		before := m2.Epoch()
+		ch, err := m2.Transition(c.action, "http://a", "")
+		if err != nil || ch {
+			t.Errorf("%s twice: changed=%v err=%v", c.action, ch, err)
+		}
+		if m2.Epoch() != before {
+			t.Errorf("%s no-op bumped epoch %d -> %d", c.action, before, m2.Epoch())
+		}
+	}
+}
+
+func TestViewApplyNewestWins(t *testing.T) {
+	m := NewMembership("http://a", "http://b")
+	m.Transition(api.RingMarkDead, "http://b", "boom") // epoch 2
+	v := m.View()
+	if !sort.SliceIsSorted(v.Members, func(i, j int) bool { return v.Members[i].URL < v.Members[j].URL }) {
+		t.Error("view members not sorted by URL")
+	}
+
+	// A stale view must not roll the table back.
+	stale := api.RingView{Epoch: 1, Members: []api.MemberState{{URL: "http://b", State: api.MemberAlive, Epoch: 1}}}
+	if m.Apply(stale) {
+		t.Error("stale view applied")
+	}
+	if m.State("http://b") != api.MemberDead {
+		t.Error("stale view clobbered local state")
+	}
+
+	// A fresher view replaces the table wholesale.
+	fresh := api.RingView{Epoch: 9, Members: []api.MemberState{
+		{URL: "http://b", State: api.MemberAlive, Epoch: 9},
+		{URL: "http://c", State: api.MemberAlive, Epoch: 8},
+	}}
+	if !m.Apply(fresh) {
+		t.Fatal("fresh view rejected")
+	}
+	if m.Epoch() != 9 || m.State("http://a") != "" || m.State("http://c") != api.MemberAlive {
+		t.Errorf("after apply: epoch=%d a=%q c=%q", m.Epoch(), m.State("http://a"), m.State("http://c"))
+	}
+
+	// Round trip: applying a view onto an empty table reproduces it.
+	m2 := NewMembership()
+	m2.Apply(m.View())
+	if got, want := fmt.Sprint(m2.View()), fmt.Sprint(m.View()); got != want {
+		t.Errorf("view round trip: %s != %s", got, want)
+	}
+}
+
+func TestSatisfied(t *testing.T) {
+	m := NewMembership("http://a", "http://b")
+	m.Transition(api.RingMarkDead, "http://b", "x")
+	checks := []struct {
+		action, url string
+		want        bool
+	}{
+		{api.RingAdd, "http://a", true},
+		{api.RingAdd, "http://new", false},
+		{api.RingMarkDead, "http://b", true},
+		{api.RingMarkDead, "http://a", false},
+		{api.RingReadmit, "http://a", true},
+		{api.RingReadmit, "http://b", false},
+		{api.RingDrain, "http://a", false},
+		{api.RingRemove, "http://b", false},
+	}
+	for _, c := range checks {
+		if got := m.Satisfied(c.action, c.url); got != c.want {
+			t.Errorf("Satisfied(%s, %s) = %v, want %v", c.action, c.url, got, c.want)
+		}
+	}
+}
+
+func TestProberReadmitsRecovered(t *testing.T) {
+	m := NewMembership("http://up", "http://down")
+	m.Transition(api.RingMarkDead, "http://up", "was down")
+	m.Transition(api.RingMarkDead, "http://down", "still down")
+
+	var probed []string
+	p := &Prober{
+		Dead: func() []string {
+			var dead []string
+			for _, ms := range m.View().Members {
+				if ms.State == api.MemberDead {
+					dead = append(dead, ms.URL)
+				}
+			}
+			return dead
+		},
+		Probe: func(_ context.Context, url string) error {
+			probed = append(probed, url)
+			if strings.Contains(url, "down") {
+				return errors.New("refused")
+			}
+			return nil
+		},
+		Readmit: func(_ context.Context, url string) {
+			m.Transition(api.RingReadmit, url, "")
+		},
+	}
+	p.Tick(context.Background())
+	if len(probed) != 2 {
+		t.Fatalf("probed %v, want both dead members", probed)
+	}
+	if m.State("http://up") != api.MemberAlive {
+		t.Error("recovered member not re-admitted")
+	}
+	if m.State("http://down") != api.MemberDead {
+		t.Error("unreachable member re-admitted")
+	}
+	// The recovered member leaves the probe set.
+	probed = nil
+	p.Tick(context.Background())
+	if len(probed) != 1 || probed[0] != "http://down" {
+		t.Errorf("second tick probed %v, want only the still-dead member", probed)
+	}
+}
+
+// fakeCoord is an in-memory coordinator implementing CoordClient over a
+// server-side Membership — the same CAS semantics the service exposes.
+type fakeCoord struct {
+	mu        sync.Mutex
+	m         *Membership
+	conflicts int // inject n leading conflicts regardless of epoch
+	proposals int
+}
+
+func (f *fakeCoord) Ring(ctx context.Context) (*api.RingView, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	v := f.m.View()
+	return &v, nil
+}
+
+func (f *fakeCoord) ProposeRing(ctx context.Context, tr api.RingTransition) (*api.RingView, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.proposals++
+	if f.conflicts > 0 || tr.BaseEpoch != f.m.Epoch() {
+		f.conflicts--
+		v := f.m.View()
+		return &v, &api.Error{Code: api.CodeEpochConflict, Message: "stale epoch", Status: 409}
+	}
+	if _, err := f.m.Transition(tr.Action, tr.URL, tr.Error); err != nil {
+		return nil, &api.Error{Code: api.CodeBadRequest, Message: err.Error(), Status: 400}
+	}
+	v := f.m.View()
+	return &v, nil
+}
+
+func TestCoordinatorProposeRetriesConflicts(t *testing.T) {
+	server := NewMembership("http://a", "http://b")
+	local := NewMembership("http://a", "http://b")
+	fc := &fakeCoord{m: server, conflicts: 2}
+	co := NewCoordinator(fc, local)
+
+	if err := co.Propose(context.Background(), api.RingMarkDead, "http://b", "gone"); err != nil {
+		t.Fatalf("Propose: %v", err)
+	}
+	if server.State("http://b") != api.MemberDead {
+		t.Error("transition never landed on the coordinator")
+	}
+	if local.Epoch() != server.Epoch() {
+		t.Errorf("local epoch %d != coordinator epoch %d after propose", local.Epoch(), server.Epoch())
+	}
+}
+
+// Losing the race to a runner that made the same observation is success:
+// the conflict response shows the goal satisfied and Propose stops.
+func TestCoordinatorProposeSatisfiedByRival(t *testing.T) {
+	server := NewMembership("http://a", "http://b")
+	server.Transition(api.RingMarkDead, "http://b", "rival saw it first")
+	local := NewMembership("http://a", "http://b") // stale: thinks epoch 1
+	fc := &fakeCoord{m: server}
+	co := NewCoordinator(fc, local)
+
+	if err := co.Propose(context.Background(), api.RingMarkDead, "http://b", "me too"); err != nil {
+		t.Fatalf("Propose after rival: %v", err)
+	}
+	if fc.proposals != 1 {
+		t.Errorf("proposals = %d, want 1 (conflict view already satisfied the goal)", fc.proposals)
+	}
+	if local.State("http://b") != api.MemberDead {
+		t.Error("local table did not adopt the rival's observation")
+	}
+}
+
+func TestCoordinatorNilIsLocal(t *testing.T) {
+	local := NewMembership("http://a")
+	co := NewCoordinator(nil, local)
+	if co.Enabled() {
+		t.Fatal("nil client reports enabled")
+	}
+	if err := co.Propose(context.Background(), api.RingMarkDead, "http://a", "x"); err != nil {
+		t.Fatalf("local propose: %v", err)
+	}
+	if local.State("http://a") != api.MemberDead {
+		t.Error("local propose did not apply")
+	}
+}
+
+func TestCoordinatorSeed(t *testing.T) {
+	server := NewMembership() // fresh coordinator: empty, epoch 0
+	local := NewMembership("http://a", "http://b")
+	local.Transition(api.RingMarkDead, "http://b", "down") // dead members are not seeded
+	co := NewCoordinator(&fakeCoord{m: server}, local)
+	if err := co.Seed(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if server.State("http://a") != api.MemberAlive {
+		t.Error("alive member not seeded")
+	}
+	if server.State("http://b") != "" {
+		t.Error("dead member seeded")
+	}
+}
+
+// fakeStore is an in-memory Source+Sink with configurable paging and
+// injected fetch failures.
+type fakeStore struct {
+	mu       sync.Mutex
+	blobs    map[string][]byte
+	failKeys map[string]bool
+}
+
+func newFakeStore(keys ...string) *fakeStore {
+	f := &fakeStore{blobs: map[string][]byte{}, failKeys: map[string]bool{}}
+	for _, k := range keys {
+		f.blobs[k] = []byte("blob:" + k)
+	}
+	return f
+}
+
+func (f *fakeStore) Keys(_ context.Context, limit int, cursor string) ([]string, string, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	var all []string
+	for k := range f.blobs {
+		if k > cursor {
+			all = append(all, k)
+		}
+	}
+	sort.Strings(all)
+	// Force tiny pages so Migrate's paging loop is exercised even with
+	// the production page size.
+	pageLen := 3
+	if limit > 0 && limit < pageLen {
+		pageLen = limit
+	}
+	if len(all) > pageLen {
+		return all[:pageLen], all[pageLen-1], nil
+	}
+	return all, "", nil
+}
+
+func (f *fakeStore) RawResult(_ context.Context, key string) ([]byte, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.failKeys[key] {
+		return nil, errors.New("injected fetch failure")
+	}
+	b, ok := f.blobs[key]
+	if !ok {
+		return nil, errors.New("no such key")
+	}
+	return b, nil
+}
+
+func (f *fakeStore) PutResult(_ context.Context, key string, blob []byte) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.blobs[key] = append([]byte(nil), blob...)
+	return nil
+}
+
+func TestMigrateRoutesEveryKey(t *testing.T) {
+	src := newFakeStore("k01", "k02", "k03", "k04", "k05", "k06", "k07")
+	a, b := newFakeStore(), newFakeStore()
+	moved, failed, err := Migrate(context.Background(), src, func(key string) Sink {
+		if key == "k04" {
+			return nil // route says: this key stays put
+		}
+		if key < "k04" {
+			return a
+		}
+		return b
+	}, t.Logf)
+	if err != nil || failed != 0 {
+		t.Fatalf("Migrate: moved=%d failed=%d err=%v", moved, failed, err)
+	}
+	if moved != 6 {
+		t.Errorf("moved = %d, want 6 (one key routed nil)", moved)
+	}
+	for _, k := range []string{"k01", "k02", "k03"} {
+		if string(a.blobs[k]) != "blob:"+k {
+			t.Errorf("sink a missing %s", k)
+		}
+	}
+	for _, k := range []string{"k05", "k06", "k07"} {
+		if string(b.blobs[k]) != "blob:"+k {
+			t.Errorf("sink b missing %s", k)
+		}
+	}
+	if _, ok := a.blobs["k04"]; ok {
+		t.Error("nil-routed key migrated anyway")
+	}
+}
+
+func TestMigrateCountsFailuresWithoutAborting(t *testing.T) {
+	src := newFakeStore("k1", "k2", "k3")
+	src.failKeys["k2"] = true
+	sink := newFakeStore()
+	moved, failed, err := Migrate(context.Background(), src, func(string) Sink { return sink }, t.Logf)
+	if err != nil {
+		t.Fatalf("Migrate: %v", err)
+	}
+	if moved != 2 || failed != 1 {
+		t.Errorf("moved=%d failed=%d, want 2/1", moved, failed)
+	}
+}
+
+func TestMigrateHonorsContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	src := newFakeStore("k1", "k2")
+	_, _, err := Migrate(ctx, src, func(string) Sink { return newFakeStore() }, t.Logf)
+	if err == nil {
+		t.Error("canceled Migrate returned nil error")
+	}
+}

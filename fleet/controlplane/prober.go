@@ -1,0 +1,60 @@
+package controlplane
+
+import (
+	"context"
+	"time"
+)
+
+// Prober is the liveness layer: it periodically re-probes dead members
+// and hands the ones that answer to a readmit callback. It is what turns
+// the fleet's sticky-dead policy into a bounded outage — a worker that
+// crashes and restarts is back on the ring within one probe interval,
+// its virtual points restored and its warm store serving again.
+//
+// The prober only ever touches members the membership table says are
+// dead, so it costs nothing while the fleet is healthy.
+type Prober struct {
+	// Interval is the probe period (default 2s when zero).
+	Interval time.Duration
+	// Dead returns the URLs currently worth probing.
+	Dead func() []string
+	// Probe health-checks one worker; nil error means it recovered.
+	Probe func(ctx context.Context, url string) error
+	// Readmit is called for each worker whose probe succeeded.
+	Readmit func(ctx context.Context, url string)
+}
+
+// Run probes until ctx is canceled. Probes within a tick run serially —
+// the dead set is small by construction, and a serial pass keeps the
+// prober trivially free of shutdown races.
+func (p *Prober) Run(ctx context.Context) {
+	interval := p.Interval
+	if interval <= 0 {
+		interval = 2 * time.Second
+	}
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-ticker.C:
+			p.Tick(ctx)
+		}
+	}
+}
+
+// Tick runs one probe pass: every currently-dead member is probed, and
+// the recovered ones are re-admitted. Exposed so tests (and drain paths
+// that want an immediate recheck) can drive the prober synchronously.
+func (p *Prober) Tick(ctx context.Context) {
+	for _, url := range p.Dead() {
+		if ctx.Err() != nil {
+			return
+		}
+		if err := p.Probe(ctx, url); err != nil {
+			continue // still down; LastError already records the original failure
+		}
+		p.Readmit(ctx, url)
+	}
+}

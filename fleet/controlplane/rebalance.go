@@ -1,0 +1,95 @@
+package controlplane
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// Source is a worker whose stored results can be enumerated and fetched
+// raw; Sink is one that accepts validated uploads. Both are satisfied by
+// *client.Client. A drain reads the departing worker as a Source and
+// warms its ring successors as Sinks; a scale-up backfill reads the
+// previous owners and warms the newcomer.
+type Source interface {
+	Keys(ctx context.Context, limit int, cursor string) (keys []string, next string, err error)
+	RawResult(ctx context.Context, key string) ([]byte, error)
+}
+
+// Sink accepts one encoded result blob under its logical key. Uploads
+// are idempotent — the store is content-addressed, so re-putting an
+// already-present key is a cheap overwrite with identical bytes.
+type Sink interface {
+	PutResult(ctx context.Context, key string, blob []byte) error
+}
+
+const (
+	// migratePageSize is how many keys one /v1/keys page requests.
+	migratePageSize = 256
+	// migrateParallel bounds concurrent blob copies within a page.
+	migrateParallel = 4
+)
+
+// Migrate streams every key the source holds to the sink route chooses
+// for it, returning how many blobs actually moved. route returns nil to
+// skip a key (it already lives where it should, or nobody wants it).
+// Individual copy failures are logged and counted, not fatal — a drain
+// should move everything it can and report what it couldn't; err is
+// non-nil only when the enumeration itself fails or ctx is canceled.
+func Migrate(ctx context.Context, src Source, route func(key string) Sink, logf func(string, ...any)) (moved int, failed int, err error) {
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	var movedN, failedN atomic.Int64
+	cursor := ""
+	for {
+		keys, next, err := src.Keys(ctx, migratePageSize, cursor)
+		if err != nil {
+			return int(movedN.Load()), int(failedN.Load()), fmt.Errorf("controlplane: listing keys: %w", err)
+		}
+		var wg sync.WaitGroup
+		sem := make(chan struct{}, migrateParallel)
+		for _, key := range keys {
+			sink := route(key)
+			if sink == nil {
+				continue
+			}
+			if ctx.Err() != nil {
+				break
+			}
+			wg.Add(1)
+			sem <- struct{}{}
+			go func(key string, sink Sink) {
+				defer wg.Done()
+				defer func() { <-sem }()
+				if err := copyOne(ctx, src, sink, key); err != nil {
+					failedN.Add(1)
+					logf("fleet: migrate %s: %v", key, err)
+					return
+				}
+				movedN.Add(1)
+			}(key, sink)
+		}
+		wg.Wait()
+		if err := ctx.Err(); err != nil {
+			return int(movedN.Load()), int(failedN.Load()), err
+		}
+		if next == "" {
+			return int(movedN.Load()), int(failedN.Load()), nil
+		}
+		cursor = next
+	}
+}
+
+// copyOne moves a single blob source -> sink.
+func copyOne(ctx context.Context, src Source, sink Sink, key string) error {
+	blob, err := src.RawResult(ctx, key)
+	if err != nil {
+		return fmt.Errorf("fetch: %w", err)
+	}
+	if err := sink.PutResult(ctx, key, blob); err != nil {
+		return fmt.Errorf("upload: %w", err)
+	}
+	return nil
+}

@@ -26,6 +26,19 @@
 // once — deterministic job failures are never retried), and an optional
 // bounded work-stealing policy lets idle workers duplicate the tail of a
 // straggler's shard, first result wins.
+//
+// Membership is live, not frozen (see lifecycle.go): a worker marked
+// dead is periodically re-probed and re-admitted when it recovers
+// (WithReadmit), Drain migrates a departing worker's key range to its
+// ring successors before removing it, AddWorker backfills a newcomer's
+// stolen ranges from the previous owners, and WithCoordinator makes N
+// concurrent runners converge on one membership view through a shared
+// epoch register. Placement is a pure function of the membership view:
+// the ring's points depend only on member URLs, and non-assignable
+// members are skipped by the clockwise walk — which is exactly
+// equivalent to a ring without their points, so every state transition
+// except adding a brand-new URL changes placement without rebuilding
+// anything.
 package fleet
 
 import (
@@ -38,20 +51,19 @@ import (
 	"time"
 
 	"clustersim/client"
+	"clustersim/fleet/controlplane"
 	"clustersim/internal/api"
 	"clustersim/internal/engine"
 	"clustersim/internal/sim"
 )
 
-// member is one clusterd worker: its transport, its runner, and whether
-// the fleet still considers it reachable. dead is sticky for the
-// runner's lifetime — a worker that failed mid-stream is not retried by
-// later batches (restart the fleet runner to re-admit it).
+// member is one clusterd worker: its transport and its runner. Liveness
+// lives in the Runner's membership table, not here — the member itself
+// is just the connection.
 type member struct {
 	url    string
 	c      *client.Client
 	runner *client.Runner
-	dead   atomic.Bool
 }
 
 // config collects construction options.
@@ -64,6 +76,8 @@ type config struct {
 	steal         int
 	healthTimeout time.Duration
 	clientOpts    []client.Option
+	coordURL      string
+	readmit       time.Duration
 }
 
 // Option configures a fleet Runner.
@@ -85,7 +99,8 @@ func WithProgress(fn func(done, total int, label string)) Option {
 }
 
 // WithLog sets the sink for operational messages — worker loss,
-// re-sharding, work stealing. The default discards them.
+// re-sharding, work stealing, membership transitions. The default
+// discards them.
 func WithLog(fn func(format string, args ...any)) Option {
 	return func(c *config) { c.logf = fn }
 }
@@ -123,11 +138,48 @@ func WithClientOptions(opts ...client.Option) Option {
 	return func(c *config) { c.clientOpts = append(c.clientOpts, opts...) }
 }
 
+// WithCoordinator points the runner at a clusterd running in
+// -coordinator mode. Membership transitions are compare-and-swapped
+// through the coordinator's epoch register instead of applied locally,
+// and the view is re-synced before every batch, so N concurrent runners
+// sharing a coordinator converge on the same placement at the same
+// epoch. A fresh (empty) coordinator is seeded with this runner's
+// worker list.
+func WithCoordinator(url string) Option {
+	return func(c *config) { c.coordURL = strings.TrimRight(url, "/") }
+}
+
+// WithReadmit starts the liveness prober: every interval, workers the
+// fleet marked dead are health-probed, and the ones that answer are
+// re-admitted — their virtual ring points come back, restoring their
+// exact pre-death placement. Zero (the default) leaves dead workers
+// dead for the runner's lifetime. Stop the prober with Close.
+func WithReadmit(interval time.Duration) Option {
+	return func(c *config) { c.readmit = interval }
+}
+
+// placement is one consistent snapshot of the routable fleet: the member
+// slice and the ring built over exactly those members' URLs, index-
+// aligned. Reads take the snapshot once and use it throughout; member
+// additions swap in a new one.
+type placement struct {
+	members []*member
+	ring    *ring
+}
+
 // Runner shards engine jobs across a fleet of clusterd workers. Safe for
 // concurrent use.
 type Runner struct {
-	members  []*member
-	ring     *ring
+	mu    sync.RWMutex
+	pl    placement
+	byURL map[string]*member
+
+	// mship is the membership table placement filters through;
+	// coordinator binds it to the shared epoch register (and degrades to
+	// local-only transitions when none is configured — never nil).
+	mship       *controlplane.Membership
+	coordinator *controlplane.Coordinator
+
 	fallback engine.Runner
 	progress func(done, total int, label string)
 	logf     func(format string, args ...any)
@@ -141,10 +193,28 @@ type Runner struct {
 	// anything: only its fingerprint memo and key derivation are used.
 	keyer *engine.Engine
 
+	// copts/ropts rebuild clients for workers that join after
+	// construction (AddWorker, coordinator adoption).
+	copts []client.Option
+	ropts []client.RunnerOption
+
 	submitted, completed atomic.Int64
+
+	// Control-plane counters surfaced by FleetStats.
+	readmissions, drainMigrated, backfilled atomic.Int64
+
+	proberStop context.CancelFunc
+	proberDone chan struct{}
 }
 
 var _ engine.Runner = (*Runner)(nil)
+
+// *client.Client is the wire implementation of every controlplane seam.
+var (
+	_ controlplane.CoordClient = (*client.Client)(nil)
+	_ controlplane.Source      = (*client.Client)(nil)
+	_ controlplane.Sink        = (*client.Client)(nil)
+)
 
 // New builds a fleet runner over the clusterd instances at urls. Every
 // worker is health-checked (a stats round trip, which also exercises the
@@ -175,6 +245,7 @@ func New(urls []string, opts ...Option) (*Runner, error) {
 	canon := make([]string, 0, len(urls))
 	seen := map[string]bool{}
 	members := make([]*member, 0, len(urls))
+	byURL := make(map[string]*member, len(urls))
 	for _, u := range urls {
 		u = strings.TrimRight(u, "/")
 		if seen[u] {
@@ -186,7 +257,9 @@ func New(urls []string, opts ...Option) (*Runner, error) {
 		if err != nil {
 			return nil, err
 		}
-		members = append(members, &member{url: u, c: c, runner: client.NewRunner(c, ropts...)})
+		m := &member{url: u, c: c, runner: client.NewRunner(c, ropts...)}
+		members = append(members, m)
+		byURL[u] = m
 	}
 
 	ctx, cancel := context.WithTimeout(context.Background(), cfg.healthTimeout)
@@ -207,32 +280,66 @@ func New(urls []string, opts ...Option) (*Runner, error) {
 		return nil, err
 	}
 
-	return &Runner{
-		members:    members,
-		ring:       newRing(canon),
+	f := &Runner{
+		pl:         placement{members: members, ring: newRing(canon)},
+		byURL:      byURL,
+		mship:      controlplane.NewMembership(canon...),
 		fallback:   cfg.fallback,
 		progress:   cfg.progress,
 		logf:       cfg.logf,
 		steal:      cfg.steal,
 		maxRetries: len(members) + 2,
 		keyer:      engine.New(engine.Options{Parallelism: 1, DisableCache: true}),
-	}, nil
+		copts:      copts,
+		ropts:      ropts,
+	}
+	f.coordinator = controlplane.NewCoordinator(nil, f.mship)
+
+	if cfg.coordURL != "" {
+		if err := f.connectCoordinator(ctx, cfg.coordURL); err != nil {
+			return nil, err
+		}
+	}
+	if cfg.readmit > 0 {
+		f.startProber(cfg.readmit)
+	}
+	return f, nil
 }
 
-// Members returns the worker URLs, in construction order.
+// placementSnapshot returns the current (members, ring) pair.
+func (f *Runner) placementSnapshot() placement {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	return f.pl
+}
+
+// lookupMember resolves a canonical URL to its member.
+func (f *Runner) lookupMember(url string) *member {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	return f.byURL[url]
+}
+
+// assignable reports whether the membership table allows routing new
+// work to url.
+func (f *Runner) assignable(url string) bool { return f.mship.Assignable(url) }
+
+// Members returns the worker URLs, in construction/admission order.
 func (f *Runner) Members() []string {
-	urls := make([]string, len(f.members))
-	for i, m := range f.members {
+	pl := f.placementSnapshot()
+	urls := make([]string, len(pl.members))
+	for i, m := range pl.members {
 		urls[i] = m.url
 	}
 	return urls
 }
 
-// Alive reports how many workers the fleet still considers reachable.
+// Alive reports how many workers the fleet can currently route to
+// (alive or draining).
 func (f *Runner) Alive() int {
 	n := 0
-	for _, m := range f.members {
-		if !m.dead.Load() {
+	for _, m := range f.placementSnapshot().members {
+		if f.assignable(m.url) {
 			n++
 		}
 	}
@@ -249,20 +356,21 @@ func (f *Runner) Run(ctx context.Context, job engine.Job) *engine.Result {
 }
 
 // Stats aggregates the work attributable to this runner: the sum of
-// every live member runner's server-counter deltas, plus the fallback's
-// counters when one is configured. Dead members are skipped — their
-// counters are unreachable, so work a member completed and delivered
-// before it was lost drops out of the aggregate (its *unfinished* jobs
-// re-ran on survivors and are counted there). After a mid-run worker
-// loss the totals therefore undercount rather than block on a dead
-// host.
+// every routable member runner's server-counter deltas, plus the
+// fallback's counters when one is configured. Dead and removed members
+// are skipped — their counters are unreachable, so work a member
+// completed and delivered before it was lost drops out of the aggregate
+// (its *unfinished* jobs re-ran on survivors and are counted there).
+// After a mid-run worker loss the totals therefore undercount rather
+// than block on a dead host.
 func (f *Runner) Stats() engine.CacheStats {
-	// One stats round trip per live member, in parallel: a single slow
-	// member costs its own latency, not N-cumulative timeouts.
-	parts := make([]engine.CacheStats, len(f.members))
+	// One stats round trip per routable member, in parallel: a single
+	// slow member costs its own latency, not N-cumulative timeouts.
+	members := f.placementSnapshot().members
+	parts := make([]engine.CacheStats, len(members))
 	var wg sync.WaitGroup
-	for i, m := range f.members {
-		if m.dead.Load() {
+	for i, m := range members {
+		if !f.assignable(m.url) {
 			continue
 		}
 		wg.Add(1)
@@ -296,12 +404,16 @@ type task struct {
 // Stream submits the jobs and returns a channel yielding each result
 // exactly once as it completes. Remoteable jobs shard across the fleet;
 // the rest go to the fallback concurrently. The channel is buffered to
-// hold every result and closed once all jobs finish.
+// hold every result and closed once all jobs finish. When a coordinator
+// is configured the membership view is re-synced first, so a runner
+// never submits a batch against an epoch another runner has already
+// moved past.
 func (f *Runner) Stream(ctx context.Context, jobs []engine.Job) <-chan engine.JobResult {
 	out := make(chan engine.JobResult, len(jobs))
 	f.submitted.Add(int64(len(jobs)))
 	go func() {
 		defer close(out)
+		f.syncMembership(ctx)
 
 		var tasks []task
 		var localJobs []engine.Job
@@ -458,7 +570,10 @@ func (rs *roundState) stealFor(thief int) []task {
 // Termination: every re-queue burns one of its task's bounded retry
 // attempts (tasks that exhaust them deliver their error), so the round
 // loop cannot spin — at most maxRetries+1 rounds, and in the common
-// worker-loss case each round also shrinks the alive set.
+// worker-loss case each round also shrinks the alive set. Each round
+// takes a fresh placement snapshot, so workers re-admitted by the
+// prober (or added by another runner through the coordinator) rejoin
+// the sharding between rounds.
 func (f *Runner) runSharded(ctx context.Context, jobs []engine.Job, tasks []task, out chan<- engine.JobResult) {
 	var mu sync.Mutex
 	delivered := make(map[int]bool, len(tasks))
@@ -484,11 +599,12 @@ func (f *Runner) runSharded(ctx context.Context, jobs []engine.Job, tasks []task
 	pending := tasks
 	stealBudget := f.steal // spans rounds: the WithSteal bound is per Stream call
 	for round := 0; len(pending) > 0; round++ {
-		alive := func(i int) bool { return !f.members[i].dead.Load() }
+		pl := f.placementSnapshot()
+		alive := func(i int) bool { return f.assignable(pl.members[i].url) }
 		groups := map[int][]task{}
 		var stranded []task
 		for _, t := range pending {
-			if m := f.ring.pick(t.key, alive); m >= 0 {
+			if m := pl.ring.pick(t.key, alive); m >= 0 {
 				groups[m] = append(groups[m], t)
 			} else {
 				stranded = append(stranded, t)
@@ -531,7 +647,7 @@ func (f *Runner) runSharded(ctx context.Context, jobs []engine.Job, tasks []task
 			wg.Add(1)
 			go func(m int, ts []task) {
 				defer wg.Done()
-				f.runGroup(ctx, m, ts, jobs, rs, deliver, isDelivered)
+				f.runGroup(ctx, pl, m, ts, jobs, rs, deliver, isDelivered)
 			}(m, ts)
 		}
 		wg.Wait()
@@ -547,6 +663,11 @@ func (f *Runner) runSharded(ctx context.Context, jobs []engine.Job, tasks []task
 				pending = append(pending, t)
 			}
 		}
+		if len(pending) > 0 {
+			// Between failover rounds, pull the freshest view: a worker
+			// another runner re-admitted or added may take the strays.
+			f.syncMembership(ctx)
+		}
 	}
 }
 
@@ -559,10 +680,10 @@ func (f *Runner) runSharded(ctx context.Context, jobs []engine.Job, tasks []task
 // still in flight on other members. Stolen attempts never requeue: the
 // owning member remains responsible for each of its tasks, so a failed
 // duplicate is simply dropped.
-func (f *Runner) runGroup(ctx context.Context, m int, ts []task, jobs []engine.Job,
+func (f *Runner) runGroup(ctx context.Context, pl placement, m int, ts []task, jobs []engine.Job,
 	rs *roundState, deliver func(engine.JobResult), isDelivered func(int) bool) {
-	mem := f.members[m]
-	if f.streamTasks(ctx, m, ts, jobs, rs, deliver, true) {
+	mem := pl.members[m]
+	if f.streamTasks(ctx, pl, m, ts, jobs, rs, deliver, true) {
 		return // lost mid-shard: its own unfinished tasks are requeued
 	}
 
@@ -582,12 +703,12 @@ func (f *Runner) runGroup(ctx context.Context, m int, ts []task, jobs []engine.J
 			break
 		}
 		f.logf("fleet: worker %s adopting %d job(s) from lost worker(s)", mem.url, len(kept))
-		if f.streamTasks(ctx, m, kept, jobs, rs, deliver, false) {
+		if f.streamTasks(ctx, pl, m, kept, jobs, rs, deliver, false) {
 			return // this member died too; its leftovers are back in the pool
 		}
 	}
 
-	if f.steal <= 0 || ctx.Err() != nil || mem.dead.Load() {
+	if f.steal <= 0 || ctx.Err() != nil || !f.assignable(mem.url) {
 		return
 	}
 	stolen := rs.stealFor(m)
@@ -609,9 +730,8 @@ func (f *Runner) runGroup(ctx context.Context, m int, ts []task, jobs []engine.J
 			// Dead-marking needs the same liveness probe as streamTasks:
 			// a transient blip on a stolen job must not cost the fleet a
 			// healthy worker.
-			if retryable(err) && !mem.dead.Load() && !f.probeAlive(mem) &&
-				mem.dead.CompareAndSwap(false, true) {
-				f.logf("fleet: worker %s lost while stealing (%v)", mem.url, err)
+			if retryable(err) && f.assignable(mem.url) && !f.probeAlive(mem) {
+				f.markLost(mem, fmt.Errorf("lost while stealing: %w", err))
 			}
 			continue
 		}
@@ -627,10 +747,10 @@ func (f *Runner) runGroup(ctx context.Context, m int, ts []task, jobs []engine.J
 // each task's retries are bounded so a flapping-but-alive worker cannot
 // loop a job forever. own marks the member's originally sharded tasks,
 // which are tracked in the steal pool and must be resolved out of it.
-// Reports whether the member was marked dead along the way.
-func (f *Runner) streamTasks(ctx context.Context, m int, ts []task, jobs []engine.Job,
+// Reports whether the member became unroutable along the way.
+func (f *Runner) streamTasks(ctx context.Context, pl placement, m int, ts []task, jobs []engine.Job,
 	rs *roundState, deliver func(engine.JobResult), own bool) (died bool) {
-	mem := f.members[m]
+	mem := pl.members[m]
 	batch := make([]engine.Job, len(ts))
 	for i, t := range ts {
 		batch[i] = jobs[t.idx]
@@ -651,20 +771,20 @@ func (f *Runner) streamTasks(ctx context.Context, m int, ts []task, jobs []engin
 				}})
 				continue
 			}
-			if !probed && !mem.dead.Load() {
+			if !probed && f.assignable(mem.url) {
 				probed, alive = true, f.probeAlive(mem)
 			}
 			if alive {
 				f.logf("fleet: transient failure on %s (%v); retrying job", mem.url, err)
-			} else if mem.dead.CompareAndSwap(false, true) {
-				f.logf("fleet: worker %s lost (%v); re-sharding its unfinished jobs", mem.url, err)
+			} else {
+				f.markLost(mem, err)
 			}
 			rs.requeue(t)
 			continue
 		}
 		deliver(engine.JobResult{Index: t.idx, Job: jobs[t.idx], Result: jr.Result})
 	}
-	return mem.dead.Load()
+	return !f.assignable(mem.url)
 }
 
 // probeAlive asks whether a worker that just failed a request is still

@@ -1,0 +1,450 @@
+package fleet
+
+// This file is the fleet's live-membership surface: coordinator wiring,
+// the liveness prober that re-admits recovered workers, planned drains
+// that migrate a departing worker's key range to its ring successors,
+// scale-up backfills that warm a newcomer from the previous owners, and
+// the FleetStats snapshot operators read to see why a worker is
+// excluded.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"clustersim/client"
+	"clustersim/fleet/controlplane"
+	"clustersim/internal/api"
+)
+
+// transitionTimeout bounds membership proposals issued from failure
+// paths, where no caller context is available (or the caller's is
+// already canceled).
+const transitionTimeout = 5 * time.Second
+
+// drainMaxPasses bounds Drain's migrate-until-stable loop: each pass
+// moves the keys that landed on the drainer since the previous listing,
+// so a second pass normally finds nothing and the bound exists only to
+// keep a worker that fails every upload from looping forever.
+const drainMaxPasses = 8
+
+// MemberStatus is one worker's entry in FleetStats: its state on the
+// ring, the membership epoch of its last state change, and — for dead
+// workers — the failure that got it excluded.
+type MemberStatus struct {
+	URL       string
+	State     string // alive | dead | draining | removed
+	Epoch     int64
+	LastError string
+}
+
+// Stats is the fleet's control-plane snapshot, distinct from the
+// engine.CacheStats aggregate Stats() returns.
+type Stats struct {
+	// Epoch is the current membership epoch.
+	Epoch int64
+	// Members lists every worker the fleet has ever admitted (including
+	// removed ones), sorted by URL.
+	Members []MemberStatus
+	// Readmissions counts dead workers the prober brought back.
+	Readmissions int64
+	// DrainMigrated counts result blobs moved off draining workers;
+	// Backfilled counts blobs copied onto newly added ones.
+	DrainMigrated int64
+	Backfilled    int64
+}
+
+// FleetStats snapshots the control plane: the membership view plus the
+// lifetime re-admission and migration counters.
+func (f *Runner) FleetStats() Stats {
+	v := f.mship.View()
+	s := Stats{
+		Epoch:         v.Epoch,
+		Members:       make([]MemberStatus, len(v.Members)),
+		Readmissions:  f.readmissions.Load(),
+		DrainMigrated: f.drainMigrated.Load(),
+		Backfilled:    f.backfilled.Load(),
+	}
+	for i, ms := range v.Members {
+		s.Members[i] = MemberStatus{URL: ms.URL, State: ms.State, Epoch: ms.Epoch, LastError: ms.LastError}
+	}
+	return s
+}
+
+// transition drives one membership change through the coordinator (or
+// the local table when none is configured) and logs actual state
+// changes.
+func (f *Runner) transition(ctx context.Context, action, url, errMsg string) error {
+	before := f.mship.State(url)
+	if err := f.coordinator.Propose(ctx, action, url, errMsg); err != nil {
+		return err
+	}
+	if after := f.mship.State(url); after != before {
+		f.logf("fleet: membership: %s %s (%s -> %s, epoch %d)", action, url, before, after, f.mship.Epoch())
+	}
+	return nil
+}
+
+// markLost excludes a worker whose transport failed and whose liveness
+// probe agreed it is gone. Runs on failure paths, so it carries its own
+// deadline; if the coordinator itself is unreachable the exclusion is
+// applied locally — keeping a known-dead worker routable would be worse
+// than briefly diverging from the register.
+func (f *Runner) markLost(mem *member, cause error) {
+	if !f.assignable(mem.url) {
+		return // someone else already excluded it
+	}
+	msg := ""
+	if cause != nil {
+		msg = cause.Error()
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), transitionTimeout)
+	defer cancel()
+	if err := f.transition(ctx, api.RingMarkDead, mem.url, msg); err != nil {
+		f.mship.Transition(api.RingMarkDead, mem.url, msg)
+		f.logf("fleet: coordinator unreachable while reporting %s dead (%v); excluded locally", mem.url, err)
+	}
+	f.logf("fleet: worker %s lost (%v); re-sharding its unfinished jobs", mem.url, cause)
+}
+
+// syncMembership pulls the coordinator's view (when one is configured)
+// and adopts any workers other runners admitted that this one has no
+// connection to yet. Called before each batch and between failover
+// rounds; a sync failure is logged, never fatal — the fleet keeps
+// running on its last-known view.
+func (f *Runner) syncMembership(ctx context.Context) {
+	if !f.coordinator.Enabled() {
+		return
+	}
+	if _, err := f.coordinator.Sync(ctx); err != nil {
+		f.logf("fleet: coordinator sync failed: %v", err)
+		return
+	}
+	f.adoptFromView()
+}
+
+// adoptFromView builds connections for assignable members present in
+// the membership table but missing from the placement — workers another
+// runner added through the shared coordinator.
+func (f *Runner) adoptFromView() {
+	for _, ms := range f.mship.View().Members {
+		if ms.State != api.MemberAlive && ms.State != api.MemberDraining {
+			continue
+		}
+		if f.lookupMember(ms.URL) != nil {
+			continue
+		}
+		c, err := client.New(ms.URL, f.copts...)
+		if err != nil {
+			f.logf("fleet: cannot adopt coordinator member %s: %v", ms.URL, err)
+			continue
+		}
+		f.admit(&member{url: ms.URL, c: c, runner: client.NewRunner(c, f.ropts...)})
+		f.logf("fleet: adopted worker %s from coordinator view (epoch %d)", ms.URL, f.mship.Epoch())
+	}
+}
+
+// admit appends a member and swaps in a placement whose ring includes
+// its virtual points. Adding a URL is the one membership change that
+// rebuilds the ring — every other transition only changes which points
+// the clockwise walk skips.
+func (f *Runner) admit(m *member) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.byURL[m.url] != nil {
+		return
+	}
+	members := append(append([]*member(nil), f.pl.members...), m)
+	urls := make([]string, len(members))
+	for i, mm := range members {
+		urls[i] = mm.url
+	}
+	f.pl = placement{members: members, ring: newRing(urls)}
+	f.byURL[m.url] = m
+}
+
+// connectCoordinator binds the runner to a clusterd -coordinator:
+// adopt its view, announce every constructed worker it doesn't know
+// (seeding a fresh register on first contact), and adopt workers it
+// knows that we don't. Workers the register lists as removed stay
+// removed — a runner restarted with a stale worker list must not
+// resurrect a drained worker; that is what AddWorker is for.
+func (f *Runner) connectCoordinator(ctx context.Context, url string) error {
+	cc, err := client.New(url, f.copts...)
+	if err != nil {
+		return fmt.Errorf("fleet: coordinator: %w", err)
+	}
+	f.coordinator = controlplane.NewCoordinator(cc, f.mship)
+	view, err := f.coordinator.Sync(ctx)
+	if err != nil {
+		return fmt.Errorf("fleet: coordinator %s unreachable: %w", url, err)
+	}
+	for _, m := range f.placementSnapshot().members {
+		switch controlplane.StateIn(view, m.url) {
+		case "":
+			if err := f.coordinator.Propose(ctx, api.RingAdd, m.url, ""); err != nil {
+				return fmt.Errorf("fleet: announcing %s to coordinator: %w", m.url, err)
+			}
+		case api.MemberRemoved:
+			f.logf("fleet: coordinator lists %s as removed; not re-adding (use AddWorker)", m.url)
+		}
+	}
+	f.adoptFromView()
+	return nil
+}
+
+// startProber runs the liveness loop that turns sticky-dead into a
+// bounded outage: every interval, dead members are health-probed and
+// recovered ones re-admitted. Re-admission restores the worker's
+// virtual ring points exactly as they were — placement with the member
+// filtered out is identical to a ring without its points, so bringing
+// it back restores the exact pre-death placement and the worker's still-
+// warm store picks up right where it left off.
+func (f *Runner) startProber(interval time.Duration) {
+	ctx, cancel := context.WithCancel(context.Background())
+	f.proberStop = cancel
+	f.proberDone = make(chan struct{})
+	p := &controlplane.Prober{
+		Interval: interval,
+		Dead: func() []string {
+			var dead []string
+			for _, ms := range f.mship.View().Members {
+				if ms.State == api.MemberDead {
+					dead = append(dead, ms.URL)
+				}
+			}
+			return dead
+		},
+		Probe: func(ctx context.Context, url string) error {
+			mem := f.lookupMember(url)
+			if mem == nil {
+				return fmt.Errorf("fleet: no connection to %s", url)
+			}
+			pctx, cancel := context.WithTimeout(ctx, 2*time.Second)
+			defer cancel()
+			return mem.c.Health(pctx)
+		},
+		Readmit: func(ctx context.Context, url string) {
+			if err := f.transition(ctx, api.RingReadmit, url, ""); err != nil {
+				f.logf("fleet: re-admitting %s: %v", url, err)
+				return
+			}
+			if f.mship.State(url) == api.MemberAlive {
+				f.readmissions.Add(1)
+				f.logf("fleet: worker %s recovered; re-admitted at epoch %d", url, f.mship.Epoch())
+			}
+		},
+	}
+	go func() {
+		defer close(f.proberDone)
+		p.Run(ctx)
+	}()
+}
+
+// Readmit runs one synchronous probe pass over the dead members —
+// what the background prober does every interval, exposed for callers
+// that know a worker just came back and don't want to wait out the
+// tick.
+func (f *Runner) Readmit(ctx context.Context) {
+	for _, ms := range f.mship.View().Members {
+		if ms.State != api.MemberDead || ctx.Err() != nil {
+			continue
+		}
+		mem := f.lookupMember(ms.URL)
+		if mem == nil || !f.probeAlive(mem) {
+			continue
+		}
+		if err := f.transition(ctx, api.RingReadmit, ms.URL, ""); err != nil {
+			f.logf("fleet: re-admitting %s: %v", ms.URL, err)
+			continue
+		}
+		if f.mship.State(ms.URL) == api.MemberAlive {
+			f.readmissions.Add(1)
+			f.logf("fleet: worker %s recovered; re-admitted at epoch %d", ms.URL, f.mship.Epoch())
+		}
+	}
+}
+
+// Close stops the background prober (if WithReadmit started one). The
+// runner remains usable afterwards; it just stops re-admitting dead
+// workers on its own.
+func (f *Runner) Close() {
+	if f.proberStop != nil {
+		f.proberStop()
+		<-f.proberDone
+		f.proberStop = nil
+	}
+}
+
+// recordedSink marks keys moved only after their upload succeeds, so a
+// failed copy stays eligible for the next migration pass.
+type recordedSink struct {
+	sink controlplane.Sink
+	mark func(key string)
+}
+
+func (r recordedSink) PutResult(ctx context.Context, key string, blob []byte) error {
+	if err := r.sink.PutResult(ctx, key, blob); err != nil {
+		return err
+	}
+	r.mark(key)
+	return nil
+}
+
+// Drain removes a worker from the fleet without losing cache affinity:
+// the worker keeps serving its key range while every result it holds is
+// copied to the worker's ring successors (the members that will own
+// those keys once it is gone), and only then is it removed. Because the
+// draining worker stays assignable until the cutover, a batch running
+// concurrently keeps hitting its warm store, and the successors' stores
+// are warm the moment they inherit the range — zero duplicate
+// simulations on either side of the removal.
+func (f *Runner) Drain(ctx context.Context, url string) error {
+	url = strings.TrimRight(url, "/")
+	mem := f.lookupMember(url)
+	if mem == nil {
+		return fmt.Errorf("fleet: unknown worker %s", url)
+	}
+	f.syncMembership(ctx)
+	if st := f.mship.State(url); st != api.MemberAlive && st != api.MemberDraining {
+		return fmt.Errorf("fleet: cannot drain %s worker %s", st, url)
+	}
+	pl := f.placementSnapshot()
+	successors := func(i int) bool {
+		return pl.members[i].url != url && f.assignable(pl.members[i].url)
+	}
+	hasSuccessor := false
+	for i := range pl.members {
+		if successors(i) {
+			hasSuccessor = true
+			break
+		}
+	}
+	if !hasSuccessor {
+		return errors.New("fleet: no assignable worker to drain to")
+	}
+
+	if err := f.transition(ctx, api.RingDrain, url, ""); err != nil {
+		return err
+	}
+
+	// Migrate until a pass moves nothing new: results that land on the
+	// drainer after a listing was served are caught by the next pass.
+	var mu sync.Mutex
+	moved := map[string]bool{}
+	mark := func(key string) { mu.Lock(); moved[key] = true; mu.Unlock() }
+	total := 0
+	for pass := 0; pass < drainMaxPasses; pass++ {
+		route := func(key string) controlplane.Sink {
+			mu.Lock()
+			done := moved[key]
+			mu.Unlock()
+			if done {
+				return nil
+			}
+			succ := pl.ring.pick(key, successors)
+			if succ < 0 {
+				return nil
+			}
+			return recordedSink{sink: pl.members[succ].c, mark: mark}
+		}
+		n, failed, err := controlplane.Migrate(ctx, mem.c, route, f.logf)
+		total += n
+		f.drainMigrated.Add(int64(n))
+		if err != nil {
+			return fmt.Errorf("fleet: draining %s after %d blob(s): %w", url, total, err)
+		}
+		if n == 0 {
+			if failed > 0 {
+				f.logf("fleet: drain of %s: %d blob(s) failed to migrate; their keys lose cache affinity", url, failed)
+			}
+			break
+		}
+	}
+	f.logf("fleet: drained %s: migrated %d blob(s) to ring successors", url, total)
+
+	return f.transition(ctx, api.RingRemove, url, "")
+}
+
+// AddWorker scales the fleet up: health-check the newcomer, warm its
+// store by copying over the key ranges it will steal from the current
+// owners (computed against a candidate ring that already includes it),
+// and only then announce it — so the first batch after the ring grows
+// finds the newcomer's store already holding its range, and nothing is
+// re-simulated. Re-adding a previously removed worker takes the same
+// path.
+func (f *Runner) AddWorker(ctx context.Context, url string) error {
+	url = strings.TrimRight(url, "/")
+	f.syncMembership(ctx)
+	if st := f.mship.State(url); st == api.MemberAlive || st == api.MemberDraining {
+		return nil // already serving
+	}
+
+	mem := f.lookupMember(url)
+	if mem == nil {
+		c, err := client.New(url, f.copts...)
+		if err != nil {
+			return err
+		}
+		mem = &member{url: url, c: c, runner: client.NewRunner(c, f.ropts...)}
+	}
+	hctx, cancel := context.WithTimeout(ctx, 10*time.Second)
+	defer cancel()
+	if _, err := mem.c.Stats(hctx); err != nil {
+		return fmt.Errorf("fleet: worker %s failed its health check: %w", url, err)
+	}
+
+	// The candidate ring: today's members plus the newcomer. Keys whose
+	// candidate owner is the newcomer are exactly its stolen ranges.
+	pl := f.placementSnapshot()
+	urls := make([]string, 0, len(pl.members)+1)
+	newIdx := -1
+	for i, m := range pl.members {
+		urls = append(urls, m.url)
+		if m.url == url {
+			newIdx = i
+		}
+	}
+	if newIdx < 0 {
+		urls = append(urls, url)
+		newIdx = len(urls) - 1
+	}
+	cand := newRing(urls)
+	candAssignable := func(i int) bool {
+		if i == newIdx {
+			return true
+		}
+		return f.assignable(urls[i])
+	}
+
+	total := 0
+	for _, src := range pl.members {
+		if src.url == url || !f.assignable(src.url) {
+			continue
+		}
+		route := func(key string) controlplane.Sink {
+			if cand.pick(key, candAssignable) == newIdx {
+				return mem.c
+			}
+			return nil
+		}
+		n, failed, err := controlplane.Migrate(ctx, src.c, route, f.logf)
+		total += n
+		f.backfilled.Add(int64(n))
+		if err != nil {
+			return fmt.Errorf("fleet: backfilling %s from %s after %d blob(s): %w", url, src.url, total, err)
+		}
+		if failed > 0 {
+			f.logf("fleet: backfill of %s from %s: %d blob(s) failed; those keys re-simulate on first use", url, src.url, failed)
+		}
+	}
+	f.logf("fleet: backfilled %s with %d blob(s) from previous owners", url, total)
+
+	// Announce last: the ring grows only once the newcomer's store holds
+	// its range.
+	f.admit(mem)
+	return f.transition(ctx, api.RingAdd, url, "")
+}

@@ -2,7 +2,11 @@ package fleet
 
 import (
 	"fmt"
+	"reflect"
 	"testing"
+
+	"clustersim/fleet/controlplane"
+	"clustersim/internal/api"
 )
 
 // testKeys is a fixed, suite-shaped key set: shard assignment over it is
@@ -124,6 +128,108 @@ func TestRingSkipsDeadMembers(t *testing.T) {
 
 	if got := r.pick("anything", func(int) bool { return false }); got != -1 {
 		t.Errorf("pick with no members alive = %d, want -1", got)
+	}
+}
+
+// assignFiltered routes the fixed key set through a ring whose liveness
+// comes from a membership table — placement exactly as the Runner
+// computes it.
+func assignFiltered(r *ring, urls []string, m *controlplane.Membership) map[string]string {
+	return assignAll(r, urls, func(i int) bool { return m.Assignable(urls[i]) })
+}
+
+// Re-admission is placement-exact: marking a member dead and re-admitting
+// it restores precisely the assignment that held before the death,
+// because the member's virtual points never left the ring — the walk
+// merely skipped them. Each transition advances the epoch.
+func TestRingReadmitRestoresExactPlacement(t *testing.T) {
+	urls := []string{"http://w1:8080", "http://w2:8080", "http://w3:8080"}
+	r := newRing(urls)
+	m := controlplane.NewMembership(urls...)
+
+	before := assignFiltered(r, urls, m)
+	e0 := m.Epoch()
+
+	if _, err := m.Transition(api.RingMarkDead, urls[1], "probe timeout"); err != nil {
+		t.Fatal(err)
+	}
+	during := assignFiltered(r, urls, m)
+	for k, owner := range during {
+		if owner == urls[1] {
+			t.Fatalf("dead member still owns %q", k)
+		}
+		if before[k] != urls[1] && owner != before[k] {
+			t.Fatalf("death moved a survivor's key %q: %s -> %s", k, before[k], owner)
+		}
+	}
+
+	if _, err := m.Transition(api.RingReadmit, urls[1], ""); err != nil {
+		t.Fatal(err)
+	}
+	after := assignFiltered(r, urls, m)
+	if !reflect.DeepEqual(before, after) {
+		t.Error("re-admission did not restore the exact pre-death placement")
+	}
+	if e := m.Epoch(); e != e0+2 {
+		t.Errorf("epoch advanced %d -> %d across death+readmit, want +2", e0, e)
+	}
+}
+
+// Drain and scale-up move only the ranges that change hands: a draining
+// member keeps its assignment until the removal cutover; removal moves
+// exactly its keys (to survivors); adding a member moves keys only onto
+// the newcomer, and never resurrects a removed member.
+func TestRingDrainAndAddMoveOnlyTheirRanges(t *testing.T) {
+	urls := []string{"http://w1:8080", "http://w2:8080", "http://w3:8080"}
+	r := newRing(urls)
+	m := controlplane.NewMembership(urls...)
+	before := assignFiltered(r, urls, m)
+
+	// Draining is not yet a placement change: the worker keeps serving
+	// its range while its blobs migrate.
+	if _, err := m.Transition(api.RingDrain, urls[1], ""); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(before, assignFiltered(r, urls, m)) {
+		t.Fatal("draining moved keys before the removal cutover")
+	}
+
+	// Removal is the cutover: exactly the drained member's keys move.
+	if _, err := m.Transition(api.RingRemove, urls[1], ""); err != nil {
+		t.Fatal(err)
+	}
+	after := assignFiltered(r, urls, m)
+	for k, owner := range after {
+		switch {
+		case before[k] == urls[1] && owner == urls[1]:
+			t.Fatalf("removed member still owns %q", k)
+		case before[k] != urls[1] && owner != before[k]:
+			t.Fatalf("removal moved a survivor's key %q: %s -> %s", k, before[k], owner)
+		}
+	}
+
+	// Scale-up: the grown ring moves keys only onto the newcomer, and the
+	// removed member stays out even though its URL is still on the ring.
+	grown := append(append([]string(nil), urls...), "http://w4:8080")
+	r2 := newRing(grown)
+	if _, err := m.Transition(api.RingAdd, "http://w4:8080", ""); err != nil {
+		t.Fatal(err)
+	}
+	final := assignFiltered(r2, grown, m)
+	moved := 0
+	for k, owner := range final {
+		if owner == urls[1] {
+			t.Fatalf("removed member re-acquired %q through the resize", k)
+		}
+		if owner != after[k] {
+			moved++
+			if owner != "http://w4:8080" {
+				t.Fatalf("resize moved %q between existing members: %s -> %s", k, after[k], owner)
+			}
+		}
+	}
+	if moved == 0 {
+		t.Error("newcomer took over no keys")
 	}
 }
 

@@ -27,7 +27,15 @@ const (
 	// with bad_request — the version bump turns that mixed-fleet hazard
 	// into a clean, detectable mismatch (which multi-worker runners
 	// treat as worker loss and route around).
-	Version = 2
+	//
+	// v3: the fleet control plane. New routes a v2 server answers with
+	// not_found: GET /v1/keys (store key enumeration, the substrate of
+	// planned drains and scale-up backfills), PUT /v1/results (validated
+	// result upload, how a drain warms a successor's store), and
+	// GET/POST /v1/ring (the coordinator's membership register). The
+	// version bump makes a mixed-version fleet fail cleanly at the
+	// client instead of half-supporting migrations.
+	Version = 3
 	// VersionHeader is the HTTP response header carrying Version.
 	VersionHeader = "Clustersim-Api-Version"
 )
@@ -40,6 +48,8 @@ const (
 	CodeMethodNotAllowed = "method_not_allowed" // known route, wrong HTTP method
 	CodeUnauthorized     = "unauthorized"       // missing or wrong bearer token
 	CodeInternal         = "internal"           // server-side failure
+	CodeEpochConflict    = "epoch_conflict"     // ring transition based on a stale epoch
+	CodeUnsupported      = "unsupported"        // server cannot serve this (e.g. unlistable store, coordinator disabled)
 )
 
 // Error is the JSON body of every non-2xx response. It doubles as a Go
@@ -128,6 +138,78 @@ type ResultResponse struct {
 	Imbalance  float64 `json:"workload_imbalance"`
 }
 
+// KeysResponse is one page of GET /v1/keys: the logical keys the server's
+// result store currently holds, in a stable store-defined order. Next is
+// the cursor for the following page ("" when the listing is exhausted).
+// Introduced with protocol v3; it is what lets a drain or backfill
+// enumerate a worker's key range without knowing what was ever submitted.
+type KeysResponse struct {
+	Keys []string `json:"keys"`
+	Next string   `json:"next,omitempty"`
+}
+
+// Member states carried by MemberState.State. The assignable states —
+// the ones a ring placement may route new work to — are alive and
+// draining (a draining worker keeps serving its range until its keys
+// have migrated and it is removed).
+const (
+	MemberAlive    = "alive"
+	MemberDead     = "dead"
+	MemberDraining = "draining"
+	MemberRemoved  = "removed"
+)
+
+// MemberState is one worker's entry in the published ring membership.
+type MemberState struct {
+	// URL is the worker's canonical base URL — its identity on the ring.
+	URL string `json:"url"`
+	// State is one of the Member* constants.
+	State string `json:"state"`
+	// Epoch is the membership epoch at which the member last changed
+	// state (admission counts).
+	Epoch int64 `json:"epoch"`
+	// LastError carries the failure that put a member into the dead
+	// state, so operators can see *why* a worker is excluded.
+	LastError string `json:"last_error,omitempty"`
+}
+
+// RingView is the coordinator's entire state: a monotonically increasing
+// epoch and the member list, sorted by URL. Every fleet runner syncing
+// against the same coordinator sees the same view at the same epoch and
+// therefore computes the same placement — the ring itself is never
+// transmitted, only the membership it is a pure function of.
+type RingView struct {
+	Epoch   int64         `json:"epoch"`
+	Members []MemberState `json:"members"`
+}
+
+// Ring transition actions carried by RingTransition.Action.
+const (
+	RingAdd      = "add"       // admit a new (or removed) worker as alive
+	RingMarkDead = "mark_dead" // a worker stopped answering mid-protocol
+	RingReadmit  = "readmit"   // a dead worker answered a liveness probe
+	RingDrain    = "drain"     // begin planned removal: alive -> draining
+	RingRemove   = "remove"    // finish a drain (or retire a dead worker)
+)
+
+// RingTransition is the POST /v1/ring body: one membership state change,
+// compare-and-swapped against the coordinator's current epoch. A
+// transition whose BaseEpoch is stale is refused with CodeEpochConflict
+// and applied by nobody — the proposer re-syncs and retries, so N
+// concurrent fleet runners serialize their membership changes through
+// the coordinator's epoch without the coordinator holding anything
+// beyond the tiny view itself.
+type RingTransition struct {
+	// BaseEpoch is the view epoch this transition was computed against.
+	BaseEpoch int64 `json:"base_epoch"`
+	// Action is one of the Ring* constants.
+	Action string `json:"action"`
+	// URL names the member the transition applies to.
+	URL string `json:"url"`
+	// Error optionally records why (mark_dead carries the probe failure).
+	Error string `json:"error,omitempty"`
+}
+
 // ServingStats counts the request-path work the server shared or avoided:
 // encode-once SSE streaming and If-None-Match result fetches.
 type ServingStats struct {
@@ -141,6 +223,18 @@ type ServingStats struct {
 	// NotModified counts result fetches answered 304 from the ETag
 	// protocol — no store read, no body.
 	NotModified int64 `json:"result_not_modified"`
+	// ResultUploads counts validated result blobs accepted over PUT
+	// /v1/results — drain migrations and scale-up backfills landing.
+	ResultUploads int64 `json:"result_uploads,omitempty"`
+	// KeyPages counts GET /v1/keys pages served.
+	KeyPages int64 `json:"key_pages,omitempty"`
+	// RingEpoch is the coordinator's current membership epoch (0 when
+	// this server is not a coordinator or holds no view yet).
+	RingEpoch int64 `json:"ring_epoch,omitempty"`
+	// RingTransitions counts membership transitions this coordinator
+	// accepted; RingConflicts counts proposals refused for a stale epoch.
+	RingTransitions int64 `json:"ring_transitions,omitempty"`
+	RingConflicts   int64 `json:"ring_conflicts,omitempty"`
 }
 
 // StatsResponse reports the engine's cache counters and the store's

@@ -71,6 +71,11 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		{"clusterd_sse_frames_total", "Shared SSE result frames written to subscribers.", "counter", one(s.sseFrames.Load())},
 		{"clusterd_sse_bytes_total", "Bytes of SSE result frames written to subscribers.", "counter", one(s.sseBytes.Load())},
 		{"clusterd_result_not_modified_total", "Result fetches answered 304 via If-None-Match (no store read, no body).", "counter", one(s.notModified.Load())},
+		{"clusterd_result_uploads_total", "Validated result blobs accepted over PUT /v1/results (drain migrations, backfills).", "counter", one(s.resultUploads.Load())},
+		{"clusterd_key_pages_total", "GET /v1/keys pages served.", "counter", one(s.keyPages.Load())},
+		{"clusterd_ring_epoch", "Coordinator membership epoch (0 when not a coordinator).", "gauge", one(s.ringEpoch())},
+		{"clusterd_ring_transitions_total", "Membership transitions this coordinator accepted.", "counter", one(s.ringTransitions.Load())},
+		{"clusterd_ring_conflicts_total", "Ring proposals refused for a stale base epoch.", "counter", one(s.ringConflicts.Load())},
 		{"clusterd_store_get_collapses_total", "Cold store Gets that joined another caller's in-flight slow-tier fetch.", "counter", one(s.st.Stats().Collapses)},
 	}
 

@@ -10,6 +10,10 @@
 //	GET  /v1/jobs/{id}             submission status + finished results
 //	GET  /v1/jobs/{id}/stream      SSE: one event per completed job
 //	GET  /v1/results?key=K         fetch a stored result by content key
+//	PUT  /v1/results?key=K         upload a validated result blob (v3)
+//	GET  /v1/keys                  page through the store's logical keys (v3)
+//	GET  /v1/ring                  coordinator membership view (v3)
+//	POST /v1/ring                  CAS one membership transition (v3)
 //	GET  /v1/stats                 engine + store counters
 //	GET  /metrics                  the same counters, Prometheus text format
 //	GET  /healthz                  liveness
@@ -32,6 +36,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"clustersim/fleet/controlplane"
 	"clustersim/internal/api"
 	"clustersim/internal/engine"
 	"clustersim/internal/sim"
@@ -74,6 +79,18 @@ type Server struct {
 	// result fetches satisfied by an If-None-Match 304 with no store read
 	// and no body.
 	sseMarshals, sseFrames, sseBytes, notModified atomic.Int64
+
+	// Control-plane counters (v3): resultUploads counts drain/backfill
+	// blobs accepted over PUT /v1/results, keyPages counts /v1/keys pages
+	// served, ringTransitions/ringConflicts count the coordinator's
+	// accepted and epoch-refused proposals.
+	resultUploads, keyPages, ringTransitions, ringConflicts atomic.Int64
+
+	// coord is the coordinator-mode membership register (nil on plain
+	// workers). coordMu also serializes the epoch-check-then-transition
+	// pair in handleRingPost — that atomicity is the whole CAS.
+	coordMu sync.Mutex
+	coord   *controlplane.Membership
 }
 
 // defaultRetain bounds how many completed submissions stay queryable: the
@@ -112,6 +129,14 @@ func New(ctx context.Context, eng *engine.Engine, st store.Store) *Server {
 	}))
 	s.mux.HandleFunc("/v1/results", s.methods(map[string]http.HandlerFunc{
 		http.MethodGet: s.handleResult,
+		http.MethodPut: s.handlePutResult,
+	}))
+	s.mux.HandleFunc("/v1/keys", s.methods(map[string]http.HandlerFunc{
+		http.MethodGet: s.handleKeys,
+	}))
+	s.mux.HandleFunc("/v1/ring", s.methods(map[string]http.HandlerFunc{
+		http.MethodGet:  s.handleRingGet,
+		http.MethodPost: s.handleRingPost,
 	}))
 	s.mux.HandleFunc("/v1/stats", s.methods(map[string]http.HandlerFunc{
 		http.MethodGet: s.handleStats,
@@ -617,10 +642,15 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 // servingStats snapshots the request-path counters.
 func (s *Server) servingStats() api.ServingStats {
 	return api.ServingStats{
-		SSEMarshals: s.sseMarshals.Load(),
-		SSEFrames:   s.sseFrames.Load(),
-		SSEBytes:    s.sseBytes.Load(),
-		NotModified: s.notModified.Load(),
+		SSEMarshals:     s.sseMarshals.Load(),
+		SSEFrames:       s.sseFrames.Load(),
+		SSEBytes:        s.sseBytes.Load(),
+		NotModified:     s.notModified.Load(),
+		ResultUploads:   s.resultUploads.Load(),
+		KeyPages:        s.keyPages.Load(),
+		RingEpoch:       s.ringEpoch(),
+		RingTransitions: s.ringTransitions.Load(),
+		RingConflicts:   s.ringConflicts.Load(),
 	}
 }
 
