@@ -68,6 +68,7 @@ type Client struct {
 	minBackoff time.Duration
 	maxBackoff time.Duration
 	retries    int
+	observer   func(route string, status int, d time.Duration)
 }
 
 // Option configures a Client.
@@ -92,6 +93,42 @@ func WithRetries(n int) Option { return func(c *Client) { c.retries = n } }
 // the credential a clusterd started with -token requires. An empty token
 // sends no header.
 func WithToken(token string) Option { return func(c *Client) { c.token = token } }
+
+// WithCallObserver installs a per-call timing hook: fn is invoked after
+// every HTTP round trip this client makes with the normalized route
+// pattern (never the raw path — IDs and keys are collapsed, so the
+// label set stays bounded), the response status (0 on transport
+// failure), and the call duration. fn may be called concurrently and
+// must be fast; feed an obs.Vec to mirror the server's histograms
+// client-side.
+func WithCallObserver(fn func(route string, status int, d time.Duration)) Option {
+	return func(c *Client) { c.observer = fn }
+}
+
+// observe reports one finished round trip to the call observer.
+func (c *Client) observe(route string, status int, start time.Time) {
+	if c.observer != nil {
+		c.observer(route, status, time.Since(start))
+	}
+}
+
+// routeOf collapses a request path to its route pattern so observer
+// labels stay low-cardinality under arbitrary IDs and keys.
+func routeOf(path string) string {
+	if i := strings.IndexByte(path, '?'); i >= 0 {
+		path = path[:i]
+	}
+	switch {
+	case strings.HasPrefix(path, "/v1/jobs/"):
+		if strings.HasSuffix(path, "/stream") {
+			return "/v1/jobs/{id}/stream"
+		}
+		return "/v1/jobs/{id}"
+	case strings.HasPrefix(path, "/v1/trace/"):
+		return "/v1/trace/{id}"
+	}
+	return path
+}
 
 // New builds a client for the clusterd instance at baseURL
 // ("http://host:8080"). The constructor does not dial the server; the
@@ -157,6 +194,12 @@ func (c *Client) newRequest(ctx context.Context, method, path string, rd io.Read
 // do performs one JSON round trip: marshal body (if any), check the
 // protocol version, surface API errors, decode into out (if non-nil).
 func (c *Client) do(ctx context.Context, method, path string, body, out any) error {
+	return c.doHeaders(ctx, method, path, nil, body, out)
+}
+
+// doHeaders is do with extra request headers (the trace-ID header rides
+// here).
+func (c *Client) doHeaders(ctx context.Context, method, path string, hdr map[string]string, body, out any) error {
 	var rd io.Reader
 	if body != nil {
 		blob, err := json.Marshal(body)
@@ -172,10 +215,16 @@ func (c *Client) do(ctx context.Context, method, path string, body, out any) err
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
+	for k, v := range hdr {
+		req.Header.Set(k, v)
+	}
+	start := time.Now()
 	resp, err := c.hc.Do(req)
 	if err != nil {
+		c.observe(routeOf(path), 0, start)
 		return fmt.Errorf("client: %s %s: %w", method, path, err)
 	}
+	c.observe(routeOf(path), resp.StatusCode, start)
 	defer resp.Body.Close()
 	if err := checkVersion(resp); err != nil {
 		return err
@@ -193,28 +242,49 @@ func (c *Client) do(ctx context.Context, method, path string, body, out any) err
 	return nil
 }
 
+// submitConfig collects per-submission settings: the request body plus
+// out-of-band details like the trace-ID header.
+type submitConfig struct {
+	req       api.SubmitRequest
+	traceBase string
+}
+
 // SubmitOption adjusts one submission.
-type SubmitOption func(*api.SubmitRequest)
+type SubmitOption func(*submitConfig)
 
 // WithMaxParallel caps how many engine workers the batch may occupy on
 // the server at once; the server clamps the hint to its own limit. Use
 // it to keep a huge batch from monopolizing a shared worker.
 func WithMaxParallel(n int) SubmitOption {
-	return func(req *api.SubmitRequest) { req.MaxParallel = n }
+	return func(sc *submitConfig) { sc.req.MaxParallel = n }
+}
+
+// WithTraceBase seeds the batch's trace-ID base (sent in the
+// api.TraceHeader header): the server derives per-job trace IDs as
+// "<base>.<index>", so the caller knows every job's trace ID before the
+// ack arrives. Invalid bases are ignored server-side (it mints one
+// instead); the ack's TraceIDs field is authoritative either way.
+func WithTraceBase(base string) SubmitOption {
+	return func(sc *submitConfig) { sc.traceBase = base }
 }
 
 // Submit sends a batch of job specs and returns the submission ack: the
-// submission id to stream, and each job's result content key.
+// submission id to stream, each job's result content key, and each
+// job's trace ID.
 func (c *Client) Submit(ctx context.Context, specs []engine.JobSpec, opts ...SubmitOption) (*api.SubmitResponse, error) {
 	if len(specs) == 0 {
 		return nil, fmt.Errorf("client: empty submission")
 	}
-	req := api.SubmitRequest{Jobs: specs}
+	sc := submitConfig{req: api.SubmitRequest{Jobs: specs}}
 	for _, o := range opts {
-		o(&req)
+		o(&sc)
+	}
+	var hdr map[string]string
+	if sc.traceBase != "" {
+		hdr = map[string]string{api.TraceHeader: sc.traceBase}
 	}
 	var resp api.SubmitResponse
-	if err := c.do(ctx, http.MethodPost, "/v1/jobs", req, &resp); err != nil {
+	if err := c.doHeaders(ctx, http.MethodPost, "/v1/jobs", hdr, sc.req, &resp); err != nil {
 		return nil, err
 	}
 	return &resp, nil
@@ -248,6 +318,17 @@ func (c *Client) Health(ctx context.Context) error {
 	return c.do(ctx, http.MethodGet, "/healthz", nil, nil)
 }
 
+// Trace fetches a completed job's span tree by trace ID (from a submit
+// ack's TraceIDs). Jobs still running — and traces evicted from the
+// server's bounded ring — answer not_found; poll after completion.
+func (c *Client) Trace(ctx context.Context, id string) (*api.TraceResponse, error) {
+	var resp api.TraceResponse
+	if err := c.do(ctx, http.MethodGet, "/v1/trace/"+url.PathEscape(id), nil, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
 // ResultSummary fetches the JSON rendering of a stored result.
 func (c *Client) ResultSummary(ctx context.Context, key string) (*api.ResultResponse, error) {
 	var resp api.ResultResponse
@@ -268,10 +349,13 @@ func (c *Client) Result(ctx context.Context, key string) (*engine.Result, error)
 	if err != nil {
 		return nil, err
 	}
+	start := time.Now()
 	resp, err := c.hc.Do(req)
 	if err != nil {
+		c.observe("/v1/results", 0, start)
 		return nil, fmt.Errorf("client: fetching result: %w", err)
 	}
+	c.observe("/v1/results", resp.StatusCode, start)
 	defer resp.Body.Close()
 	if err := checkVersion(resp); err != nil {
 		return nil, err
@@ -346,10 +430,16 @@ func (c *Client) streamOnce(ctx context.Context, id string, skip int, fn func(ap
 		return 0, false, err
 	}
 	req.Header.Set("Accept", "text/event-stream")
+	start := time.Now()
 	resp, err := c.hc.Do(req)
 	if err != nil {
+		c.observe("/v1/jobs/{id}/stream", 0, start)
 		return 0, false, fmt.Errorf("client: opening stream: %w", err)
 	}
+	// For the SSE route the observed duration is time-to-connect, not
+	// stream lifetime — the comparable "how fast does the server answer"
+	// number.
+	c.observe("/v1/jobs/{id}/stream", resp.StatusCode, start)
 	defer resp.Body.Close()
 	if err := checkVersion(resp); err != nil {
 		return 0, false, err

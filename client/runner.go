@@ -16,6 +16,7 @@ import (
 
 	"clustersim/internal/api"
 	"clustersim/internal/engine"
+	"clustersim/internal/obs"
 	"clustersim/internal/sim"
 )
 
@@ -29,6 +30,7 @@ type Runner struct {
 	local       engine.Runner
 	progress    func(done, total int, label string)
 	maxParallel int
+	tracer      *obs.Tracer
 
 	submitted, completed atomic.Int64
 
@@ -72,6 +74,15 @@ func WithProgress(fn func(done, total int, label string)) RunnerOption {
 // when several runners share one worker and none should monopolize it.
 func WithBatchParallel(n int) RunnerOption {
 	return func(r *Runner) { r.maxParallel = n }
+}
+
+// WithRunnerTracer records one client-side flight per remote batch
+// (spans: submit, stream, and one fetch per result) into t, under the
+// same trace-ID base the server derives per-job IDs from — so a
+// steerbench -trace-out timeline lines the client's view up against
+// the workers' span trees.
+func WithRunnerTracer(t *obs.Tracer) RunnerOption {
+	return func(r *Runner) { r.tracer = t }
 }
 
 // NewRunner wraps a Client as an engine.Runner.
@@ -174,11 +185,23 @@ func (r *Runner) streamRemote(ctx context.Context, jobs []engine.Job, specs []en
 			}})
 		}
 	}
+	// Propagate the caller's trace ID as the batch's base when the
+	// context carries one, else mint a fresh base, so the server's
+	// per-job IDs ("<base>.<index>") are known here up front.
+	base := obs.TraceIDFrom(ctx)
+	if !obs.ValidTraceID(base) {
+		base = obs.NewTraceID()
+	}
+	fl := r.tracer.StartFlight(obs.WithTraceID(ctx, base), fmt.Sprintf("batch[%d]", len(specs)))
+	defer fl.End()
 	var sopts []SubmitOption
 	if r.maxParallel > 0 {
 		sopts = append(sopts, WithMaxParallel(r.maxParallel))
 	}
+	sopts = append(sopts, WithTraceBase(base))
+	t0 := fl.Begin()
 	sub, err := r.c.Submit(ctx, specs, sopts...)
+	fl.Span("submit", t0)
 	if err != nil {
 		fail(err)
 		return
@@ -193,6 +216,7 @@ func (r *Runner) streamRemote(ctx context.Context, jobs []engine.Job, specs []en
 	var wg sync.WaitGroup
 	sem := make(chan struct{}, 8)
 	arrived := make([]bool, len(specs))
+	t0 = fl.Begin()
 	streamErr := r.c.Stream(ctx, sub.ID, func(ev api.JobEvent) {
 		if ev.Index < 0 || ev.Index >= len(specs) || arrived[ev.Index] {
 			return // defensive: out-of-range or duplicate event
@@ -205,9 +229,13 @@ func (r *Runner) streamRemote(ctx context.Context, jobs []engine.Job, specs []en
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
-			out <- r.finish(engine.JobResult{Index: idx, Job: job, Result: r.fetch(ctx, job, ev)})
+			tf := fl.Begin()
+			res := r.fetch(ctx, job, ev)
+			fl.Span("fetch", tf)
+			out <- r.finish(engine.JobResult{Index: idx, Job: job, Result: res})
 		}()
 	})
+	fl.Span("stream", t0)
 	wg.Wait()
 	if streamErr == nil {
 		streamErr = errors.New("client: stream completed with missing results")

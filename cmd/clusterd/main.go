@@ -12,6 +12,7 @@
 //	curl -s localhost:8080/v1/jobs -d '{"simpoint":"gzip-1","setup":{"kind":"VC","num_vc":2,"clusters":2},"opts":{"num_uops":20000}}'
 //	curl -N localhost:8080/v1/jobs/sub-1/stream
 //	curl -G --data-urlencode "key=<key from submit>" localhost:8080/v1/results
+//	curl -s localhost:8080/v1/trace/<trace id from submit>
 //	curl -s localhost:8080/v1/stats
 //	curl -s localhost:8080/metrics          # Prometheus text format
 //
@@ -28,6 +29,13 @@
 // the register, or run with -parallel 1 as a dedicated control-plane
 // node.
 //
+// Every job gets a trace ID (returned in the submit ack, seedable via
+// the Clustersim-Trace-Id header); GET /v1/trace/{id} returns its
+// per-stage span tree, -tracecap bounds how many completed traces stay
+// queryable. Operational output is structured logging via log/slog
+// (-log-level, -log-format); -debug-addr serves net/http/pprof on a
+// separate listener for live profiling.
+//
 // SIGINT/SIGTERM cancels in-flight simulations and shuts down cleanly.
 package main
 
@@ -35,32 +43,62 @@ import (
 	"context"
 	"errors"
 	"flag"
-	"fmt"
+	"log/slog"
 	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"clustersim/internal/engine"
+	"clustersim/internal/obs"
 	"clustersim/internal/service"
 	"clustersim/internal/store"
 )
 
+// newLogger builds the process logger from the -log-level / -log-format
+// flags. Unknown values fall back to info/text rather than refusing to
+// start — logging must never keep the daemon down.
+func newLogger(level, format string) *slog.Logger {
+	var lvl slog.Level
+	switch strings.ToLower(level) {
+	case "debug":
+		lvl = slog.LevelDebug
+	case "warn":
+		lvl = slog.LevelWarn
+	case "error":
+		lvl = slog.LevelError
+	default:
+		lvl = slog.LevelInfo
+	}
+	opts := &slog.HandlerOptions{Level: lvl}
+	if strings.ToLower(format) == "json" {
+		return slog.New(slog.NewJSONHandler(os.Stderr, opts))
+	}
+	return slog.New(slog.NewTextHandler(os.Stderr, opts))
+}
+
 func main() {
 	var (
-		addr     = flag.String("addr", ":8080", "listen address")
-		cacheDir = flag.String("cachedir", "", "persist results in this directory (empty = memory only)")
-		cacheMax = flag.Int64("cachemax", 0, "bound the disk store to this many bytes (0 = unbounded)")
-		memMax   = flag.Int64("memmax", 256<<20, "bound the in-memory result tier to this many bytes")
-		par      = flag.Int("parallel", 0, "concurrent simulations (0 = all cores)")
-		subTTL   = flag.Duration("subttl", time.Hour, "GC completed submissions after this long (0 = count-based retention only)")
-		token    = flag.String("token", "", "require this bearer token on every request (empty = no auth; /healthz stays open)")
-		compress = flag.Bool("compress", false, "gzip result blobs in the disk store (old uncompressed blobs stay readable)")
-		coord    = flag.Bool("coordinator", false, "serve the fleet membership register on /v1/ring (for fleets sharing one placement view)")
+		addr      = flag.String("addr", ":8080", "listen address")
+		cacheDir  = flag.String("cachedir", "", "persist results in this directory (empty = memory only)")
+		cacheMax  = flag.Int64("cachemax", 0, "bound the disk store to this many bytes (0 = unbounded)")
+		memMax    = flag.Int64("memmax", 256<<20, "bound the in-memory result tier to this many bytes")
+		par       = flag.Int("parallel", 0, "concurrent simulations (0 = all cores)")
+		subTTL    = flag.Duration("subttl", time.Hour, "GC completed submissions after this long (0 = count-based retention only)")
+		token     = flag.String("token", "", "require this bearer token on every request (empty = no auth; /healthz stays open)")
+		compress  = flag.Bool("compress", false, "gzip result blobs in the disk store (old uncompressed blobs stay readable)")
+		coord     = flag.Bool("coordinator", false, "serve the fleet membership register on /v1/ring (for fleets sharing one placement view)")
+		traceCap  = flag.Int("tracecap", 4096, "completed job traces kept queryable on /v1/trace/{id} (0 disables tracing)")
+		logLevel  = flag.String("log-level", "info", "log level: debug, info, warn, error (access log rides at debug)")
+		logFormat = flag.String("log-format", "text", "log format: text or json")
+		debugAddr = flag.String("debug-addr", "", "serve net/http/pprof on this separate listener (empty = disabled)")
 	)
 	flag.Parse()
 
+	log := newLogger(*logLevel, *logFormat)
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
@@ -72,36 +110,52 @@ func main() {
 		}
 		disk, err := store.OpenDisk(*cacheDir, *cacheMax, dopts...)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
+			log.Error("opening disk store", "err", err)
 			os.Exit(1)
 		}
 		st = store.NewTiered(st, disk)
-		fmt.Fprintf(os.Stderr, "clusterd: result store at %s (%d blobs)\n", disk.Dir(), disk.Stats().Entries)
+		log.Info("result store opened", "dir", disk.Dir(), "blobs", disk.Stats().Entries)
 	}
-	eng := engine.New(engine.Options{Parallelism: *par, ResultStore: st})
+	var tracer *obs.Tracer
+	if *traceCap > 0 {
+		tracer = obs.NewTracer(*traceCap)
+	}
+	eng := engine.New(engine.Options{Parallelism: *par, ResultStore: st, Tracer: tracer})
 
 	svc := service.New(ctx, eng, st)
 	svc.SetTTL(*subTTL)
 	svc.SetToken(*token)
+	svc.SetLogger(log)
 	if *coord {
 		svc.EnableCoordinator()
-		fmt.Fprintln(os.Stderr, "clusterd: coordinator mode: serving the fleet ring register")
+		log.Info("coordinator mode: serving the fleet ring register")
+	}
+	if *debugAddr != "" {
+		// pprof registers on http.DefaultServeMux (the blank import); a
+		// separate listener keeps the profiling surface off the API port,
+		// so -token auth and pprof exposure stay independent decisions.
+		go func() {
+			log.Info("pprof debug listener", "addr", *debugAddr)
+			if err := http.ListenAndServe(*debugAddr, nil); err != nil {
+				log.Error("debug listener failed", "err", err)
+			}
+		}()
 	}
 	srv := &http.Server{Addr: *addr, Handler: svc}
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
-	fmt.Fprintf(os.Stderr, "clusterd: serving on %s\n", *addr)
+	log.Info("serving", "addr", *addr, "parallel", eng.Parallelism(), "tracecap", *traceCap)
 
 	select {
 	case err := <-errc:
-		fmt.Fprintln(os.Stderr, err)
+		log.Error("server failed", "err", err)
 		os.Exit(1)
 	case <-ctx.Done():
 	}
-	fmt.Fprintln(os.Stderr, "clusterd: shutting down")
+	log.Info("shutting down")
 	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	if err := srv.Shutdown(shutCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
-		fmt.Fprintln(os.Stderr, err)
+		log.Error("shutdown", "err", err)
 	}
 }

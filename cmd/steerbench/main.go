@@ -17,6 +17,7 @@
 //	steerbench -remote http://host:8080        # execute on one clusterd worker
 //	steerbench -remote http://h1:8080,http://h2:8080   # shard across a fleet
 //	steerbench -cpuprofile cpu.prof -memprofile mem.prof   # profile the run
+//	steerbench -trace-out run.json               # Chrome-trace timeline of the run
 //
 // Experiments: table1 table2 table3 fig5 fig6 fig7 policyspace ablation all
 //
@@ -24,7 +25,10 @@
 // (inspect with `go tool pprof`); profiles flush on clean exits only. The
 // "# engine:" footer records cache effectiveness including the compressed
 // trace cache's peak occupancy and compression ratio, so cache-sizing
-// regressions show up in CI report diffs.
+// regressions show up in CI report diffs. -trace-out records a span
+// timeline of the whole suite — per-stage engine flights for local runs,
+// per-batch submit/stream/fetch flights for remote ones — as Chrome
+// trace-event JSON, loadable in chrome://tracing or Perfetto.
 //
 // Reports written to stdout/-out are deterministic (timing goes to
 // stderr), so two invocations over the same cache directory produce
@@ -63,6 +67,7 @@ import (
 	"clustersim/client"
 	"clustersim/fleet"
 	"clustersim/internal/experiments"
+	"clustersim/internal/obs"
 )
 
 // splitURLs parses the -remote value: a comma-separated URL list, blank
@@ -124,6 +129,7 @@ func main() {
 		readmit  = flag.Duration("readmit", 0, "with a multi-worker -remote: re-probe dead workers at this interval and re-admit the ones that recovered (0 = leave dead workers dead)")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the run to this file (pprof format; profiles are flushed on clean exit)")
 		memProf  = flag.String("memprofile", "", "write a heap profile to this file after the run (pprof format)")
+		traceOut = flag.String("trace-out", "", "write a Chrome trace-event JSON timeline of the whole run to this file (open in chrome://tracing or Perfetto)")
 	)
 	flag.Parse()
 
@@ -183,7 +189,17 @@ func main() {
 		}
 	}
 
-	engOpts := clustersim.EngineOptions{Parallelism: *par}
+	// -trace-out traces the whole run: the local engine records per-stage
+	// flights directly, remote runners record one client-side flight per
+	// batch (submit/stream/fetch spans), and everything lands in one
+	// Chrome-trace timeline. The capacity is sized for a full suite; the
+	// ring evicts the oldest flights beyond it rather than failing.
+	var tracer *obs.Tracer
+	if *traceOut != "" {
+		tracer = obs.NewTracer(16384)
+	}
+
+	engOpts := clustersim.EngineOptions{Parallelism: *par, Tracer: tracer}
 	if *cacheDir != "" {
 		open := clustersim.OpenDiskStore
 		if *compress {
@@ -241,6 +257,9 @@ func main() {
 		if *progress {
 			ropts = append(ropts, client.WithProgress(meter.print))
 		}
+		if tracer != nil {
+			ropts = append(ropts, client.WithRunnerTracer(tracer))
+		}
 		runner = client.NewRunner(c, ropts...)
 	} else if len(urls) > 1 {
 		fopts := []fleet.Option{
@@ -257,6 +276,9 @@ func main() {
 		}
 		if *progress {
 			fopts = append(fopts, fleet.WithProgress(meter.print))
+		}
+		if tracer != nil {
+			fopts = append(fopts, fleet.WithRunnerOptions(client.WithRunnerTracer(tracer)))
 		}
 		if *coordURL != "" {
 			fopts = append(fopts, fleet.WithCoordinator(*coordURL))
@@ -452,6 +474,22 @@ func main() {
 		if *out != "" {
 			fmt.Fprint(sink, footer)
 		}
+	}
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		werr := tracer.WriteChrome(f)
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			fmt.Fprintf(os.Stderr, "writing %s: %v\n", *traceOut, werr)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "# trace: wrote %d flights to %s\n", len(tracer.Records()), *traceOut)
 	}
 	finishProfiles()
 }

@@ -76,6 +76,7 @@ type config struct {
 	steal         int
 	healthTimeout time.Duration
 	clientOpts    []client.Option
+	runnerOpts    []client.RunnerOption
 	coordURL      string
 	readmit       time.Duration
 }
@@ -136,6 +137,13 @@ func WithHealthTimeout(d time.Duration) Option {
 // HTTP client) to every member's underlying client.
 func WithClientOptions(opts ...client.Option) Option {
 	return func(c *config) { c.clientOpts = append(c.clientOpts, opts...) }
+}
+
+// WithRunnerOptions passes extra options (tracer, progress hooks) to every
+// member's per-worker runner — including workers admitted after
+// construction.
+func WithRunnerOptions(opts ...client.RunnerOption) Option {
+	return func(c *config) { c.runnerOpts = append(c.runnerOpts, opts...) }
 }
 
 // WithCoordinator points the runner at a clusterd running in
@@ -233,9 +241,9 @@ func New(urls []string, opts ...Option) (*Runner, error) {
 	if cfg.token != "" {
 		copts = append(copts[:len(copts):len(copts)], client.WithToken(cfg.token))
 	}
-	var ropts []client.RunnerOption
+	ropts := cfg.runnerOpts
 	if cfg.maxParallel > 0 {
-		ropts = append(ropts, client.WithBatchParallel(cfg.maxParallel))
+		ropts = append(ropts[:len(ropts):len(ropts)], client.WithBatchParallel(cfg.maxParallel))
 	}
 
 	// Canonicalize before the duplicate check and ring construction:

@@ -11,6 +11,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sort"
 	"strings"
 	"sync"
 	"time"
@@ -55,6 +56,91 @@ type Stats struct {
 	// Backfilled counts blobs copied onto newly added ones.
 	DrainMigrated int64
 	Backfilled    int64
+	// Routes holds the fleet-merged per-route latency histograms — the
+	// pairwise bucket sum of every assignable worker's /v1/stats routes.
+	// Populated only by StatsWithLatency (FleetStats stays a synchronous,
+	// network-free snapshot).
+	Routes []api.LatencyHistogram
+}
+
+// WorkerLatency is one worker's per-route latency histograms, as
+// fetched by RouteLatencies.
+type WorkerLatency struct {
+	URL    string
+	Routes []api.LatencyHistogram
+	// Err records a fetch failure; Routes is nil then. A down worker
+	// costs its own error entry, never the whole listing.
+	Err error
+}
+
+// RouteLatencies fetches every assignable worker's per-route latency
+// histograms (one /v1/stats round trip each, in parallel) and returns
+// the per-worker snapshots sorted by URL plus the fleet-wide merge —
+// the data behind fleetctl top.
+func (f *Runner) RouteLatencies(ctx context.Context) ([]WorkerLatency, []api.LatencyHistogram) {
+	members := f.placementSnapshot().members
+	per := make([]WorkerLatency, 0, len(members))
+	idx := map[string]int{}
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for _, m := range members {
+		if !f.assignable(m.url) {
+			continue
+		}
+		mu.Lock()
+		idx[m.url] = len(per)
+		per = append(per, WorkerLatency{URL: m.url})
+		mu.Unlock()
+		wg.Add(1)
+		go func(m *member) {
+			defer wg.Done()
+			st, err := m.c.Stats(ctx)
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil {
+				per[idx[m.url]].Err = err
+				return
+			}
+			per[idx[m.url]].Routes = st.Routes
+		}(m)
+	}
+	wg.Wait()
+	sort.Slice(per, func(i, j int) bool { return per[i].URL < per[j].URL })
+	return per, MergeRouteLatencies(per)
+}
+
+// MergeRouteLatencies folds per-worker route histograms into one set:
+// same-route series are bucket-summed, routes are sorted by name.
+func MergeRouteLatencies(per []WorkerLatency) []api.LatencyHistogram {
+	byRoute := map[string]api.LatencyHistogram{}
+	for _, w := range per {
+		for _, h := range w.Routes {
+			if prev, ok := byRoute[h.Route]; ok {
+				byRoute[h.Route] = api.MergeLatency(prev, h)
+			} else {
+				byRoute[h.Route] = h
+			}
+		}
+	}
+	routes := make([]string, 0, len(byRoute))
+	for route := range byRoute {
+		routes = append(routes, route)
+	}
+	sort.Strings(routes)
+	out := make([]api.LatencyHistogram, 0, len(routes))
+	for _, route := range routes {
+		out = append(out, byRoute[route])
+	}
+	return out
+}
+
+// StatsWithLatency is FleetStats plus the fleet-merged per-route
+// latency histograms — the one extra field costs one parallel stats
+// round trip across the assignable workers, so it takes a context.
+func (f *Runner) StatsWithLatency(ctx context.Context) Stats {
+	s := f.FleetStats()
+	_, s.Routes = f.RouteLatencies(ctx)
+	return s
 }
 
 // FleetStats snapshots the control plane: the membership view plus the

@@ -15,6 +15,7 @@ import (
 	"fmt"
 
 	"clustersim/internal/engine"
+	"clustersim/internal/obs"
 	"clustersim/internal/store"
 )
 
@@ -35,9 +36,21 @@ const (
 	// GET/POST /v1/ring (the coordinator's membership register). The
 	// version bump makes a mixed-version fleet fail cleanly at the
 	// client instead of half-supporting migrations.
-	Version = 3
+	//
+	// v4: observability. SubmitResponse gained trace_ids (per-job trace
+	// IDs, seedable via the Clustersim-Trace-Id request header), GET
+	// /v1/trace/{id} returns a job's span tree, and StatsResponse gained
+	// routes/stages latency histograms. A v3 server would silently drop
+	// the trace header and 404 the trace route; the bump makes the
+	// mismatch detectable.
+	Version = 4
 	// VersionHeader is the HTTP response header carrying Version.
 	VersionHeader = "Clustersim-Api-Version"
+	// TraceHeader optionally carries a caller-chosen trace-ID base on
+	// POST /v1/jobs; per-job IDs are derived as "<base>.<index>". The
+	// server mints random IDs when the header is absent or invalid (see
+	// obs.ValidTraceID).
+	TraceHeader = "Clustersim-Trace-Id"
 )
 
 // Stable machine-readable error codes carried by Error.Code. Clients
@@ -92,6 +105,10 @@ type SubmitResponse struct {
 	Keys []string `json:"keys"`
 	// Total is the number of jobs accepted.
 	Total int `json:"total"`
+	// TraceIDs holds each job's trace ID, index-aligned with the batch.
+	// Fetch a completed job's span tree via GET /v1/trace/{id}.
+	// Version-gated: introduced with protocol v4.
+	TraceIDs []string `json:"trace_ids,omitempty"`
 }
 
 // JobEvent is one completed job, as streamed over SSE and as listed in a
@@ -136,6 +153,73 @@ type ResultResponse struct {
 	Copies     int64   `json:"copies"`
 	AllocStall int64   `json:"alloc_stall_cycles"`
 	Imbalance  float64 `json:"workload_imbalance"`
+}
+
+// TraceSpan is one recorded stage of a job's flight: a named interval
+// offset from the flight's start, in microseconds.
+type TraceSpan struct {
+	Name    string `json:"name"`
+	StartUs int64  `json:"start_us"`
+	DurUs   int64  `json:"dur_us"`
+}
+
+// TraceResponse is GET /v1/trace/{id}: one completed job's span tree.
+// Only finished jobs are visible; an in-flight or evicted trace answers
+// not_found. UnaccountedUs is the gap-accounted remainder — total time
+// not covered by any span — so a trace is honest about time spent
+// between recorded stages. Add ?format=chrome for a Chrome trace-event
+// document loadable in Perfetto instead of this shape. Introduced with
+// protocol v4.
+type TraceResponse struct {
+	ID    string `json:"id"`
+	Label string `json:"label"`
+	// Start is the flight's wall-clock start, RFC 3339 with sub-second
+	// precision.
+	Start         string      `json:"start"`
+	TotalUs       int64       `json:"total_us"`
+	UnaccountedUs int64       `json:"unaccounted_us"`
+	Spans         []TraceSpan `json:"spans"`
+}
+
+// LatencyHistogram is the wire form of one fixed-bucket latency series:
+// a route (HTTP request durations, status codes aggregated) or an
+// engine stage (span durations). Counts is cumulative with the final
+// entry counting everything (+Inf bucket), Prometheus-style.
+// Introduced with protocol v4.
+type LatencyHistogram struct {
+	Route  string    `json:"route,omitempty"`
+	Stage  string    `json:"stage,omitempty"`
+	Count  int64     `json:"count"`
+	Sum    float64   `json:"sum_seconds"`
+	Bounds []float64 `json:"bounds"`
+	Counts []int64   `json:"counts"`
+}
+
+// Snapshot converts the wire form back to an obs snapshot for quantile
+// math and merging.
+func (h LatencyHistogram) Snapshot() obs.Snapshot {
+	return obs.Snapshot{Bounds: h.Bounds, Counts: h.Counts, Count: h.Count, Sum: h.Sum}
+}
+
+// Quantile estimates the q-th latency quantile in seconds (see
+// obs.Snapshot.Quantile).
+func (h LatencyHistogram) Quantile(q float64) float64 {
+	if len(h.Counts) == 0 {
+		return 0
+	}
+	return h.Snapshot().Quantile(q)
+}
+
+// MergeLatency folds b into a (same series key, same bucket layout) —
+// how a fleet combines per-worker histograms into one.
+func MergeLatency(a, b LatencyHistogram) LatencyHistogram {
+	m := a.Snapshot().Merge(b.Snapshot())
+	out := a
+	if len(a.Counts) == 0 {
+		out = b
+	}
+	out.Count, out.Sum, out.Bounds, out.Counts = m.Count, m.Sum, m.Bounds, m.Counts
+	return out
 }
 
 // KeysResponse is one page of GET /v1/keys: the logical keys the server's
@@ -245,4 +329,9 @@ type StatsResponse struct {
 	Memory  *store.Stats      `json:"memory,omitempty"`
 	Disk    *store.Stats      `json:"disk,omitempty"`
 	Serving ServingStats      `json:"serving"`
+	// Routes holds per-route HTTP latency histograms (status codes
+	// aggregated) and Stages the engine's per-stage span histograms.
+	// Version-gated: introduced with protocol v4.
+	Routes []LatencyHistogram `json:"routes,omitempty"`
+	Stages []LatencyHistogram `json:"stages,omitempty"`
 }

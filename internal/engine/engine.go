@@ -22,6 +22,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"clustersim/internal/obs"
 	"clustersim/internal/partition"
 	"clustersim/internal/pipeline"
 	"clustersim/internal/prog"
@@ -175,6 +176,12 @@ type Options struct {
 	// engine-lifetime completed and submitted job counts and the finished
 	// job's "simpoint/setup" label. It may be called concurrently.
 	Progress func(done, total int, label string)
+	// Tracer, if set, records a per-stage span trace (queue wait,
+	// annotate, expand, execute, encode, store put/get, cache-hit
+	// short-circuits) for every job into a bounded ring of flight
+	// records, queryable by trace ID. Nil disables tracing at zero cost:
+	// every recording site is a nil-flight no-op.
+	Tracer *obs.Tracer
 }
 
 // Engine is a caching, streaming simulation engine — the local Runner
@@ -281,6 +288,11 @@ func New(opts Options) *Engine {
 // never zero). Services use it to clamp per-request parallelism hints.
 func (e *Engine) Parallelism() int { return e.opts.Parallelism }
 
+// Tracer returns the engine's flight tracer (nil when tracing is
+// disabled). Services use it to serve GET /v1/trace/{id} and the
+// per-stage histogram families.
+func (e *Engine) Tracer() *obs.Tracer { return e.opts.Tracer }
+
 // Stats snapshots the cache counters.
 func (e *Engine) Stats() CacheStats {
 	traceBytes, traceHigh := e.traces.costStats()
@@ -322,7 +334,13 @@ func Execute(ctx context.Context, job Job) *Result {
 func (e *Engine) Run(ctx context.Context, job Job) *Result {
 	job.Opts = job.Opts.withDefaults()
 	e.submitted.Add(1)
-	res := e.run(ctx, job)
+	// One flight per submission, even for cache hits: the flight's span
+	// set is what distinguishes a computed result (execute span) from a
+	// served one (cache_hit / store_get spans). The trace ID rides in on
+	// the context; End publishes the record for /v1/trace/{id}.
+	fl := e.opts.Tracer.StartFlight(ctx, job.Simpoint.Name+"/"+job.Setup.Label)
+	res := e.run(ctx, job, fl)
+	fl.End()
 	done := e.completed.Add(1)
 	if e.opts.Progress != nil {
 		e.opts.Progress(int(done), int(e.submitted.Load()),
@@ -420,10 +438,11 @@ func (e *Engine) ResultKey(job Job) (string, bool) {
 // one is configured and holds a decodable blob for the key. The decoded
 // result carries identity-only simpoint data, so the submitting job's
 // simpoint is attached before the result enters the in-memory cache.
-func (e *Engine) storedResult(key string, job Job) *Result {
+func (e *Engine) storedResult(key string, job Job, fl *obs.Flight) *Result {
 	if e.opts.ResultStore == nil {
 		return nil
 	}
+	t0 := fl.Begin()
 	blob, ok := e.opts.ResultStore.Get(storeKey(key))
 	if !ok {
 		e.storeMisses.Add(1)
@@ -438,6 +457,7 @@ func (e *Engine) storedResult(key string, job Job) *Result {
 		e.storeMisses.Add(1)
 		return nil
 	}
+	fl.Span("store_get", t0)
 	e.storeHits.Add(1)
 	res.Simpoint = job.Simpoint
 	return res
@@ -445,16 +465,20 @@ func (e *Engine) storedResult(key string, job Job) *Result {
 
 // persistResult writes a freshly computed result through to the
 // persistent store, best-effort.
-func (e *Engine) persistResult(key string, res *Result) {
+func (e *Engine) persistResult(key string, res *Result, fl *obs.Flight) {
 	if e.opts.ResultStore == nil {
 		return
 	}
+	t0 := fl.Begin()
 	blob, err := EncodeResult(res)
 	if err != nil {
 		e.storeErrors.Add(1)
 		return
 	}
+	fl.Span("encode", t0)
+	t0 = fl.Begin()
 	e.opts.ResultStore.Put(storeKey(key), blob)
+	fl.Span("store_put", t0)
 }
 
 // isCancelErr reports whether err stems from context cancellation rather
@@ -465,25 +489,33 @@ func isCancelErr(err error) bool {
 		errors.Is(err, pipeline.ErrCanceled)
 }
 
-func (e *Engine) run(ctx context.Context, job Job) *Result {
+func (e *Engine) run(ctx context.Context, job Job, fl *obs.Flight) *Result {
 	if err := ctx.Err(); err != nil {
 		return &Result{Simpoint: job.Simpoint, Setup: job.Setup.Label, Err: err}
 	}
 	key, cacheable := e.resultKey(job)
 	if !cacheable || e.opts.DisableCache {
-		return e.execute(ctx, job)
+		return e.execute(ctx, job, fl)
 	}
 	for {
+		// The compute closure runs on exactly one caller's goroutine, so
+		// the spans it records (store_get / execute / encode / store_put)
+		// land on that caller's flight; joiners record only the cache_hit
+		// wait below.
+		waitStart := fl.Begin()
 		res, hit, aborted := e.results.get(ctx.Done(), key, func() (*Result, bool) {
-			if r := e.storedResult(key, job); r != nil {
+			if r := e.storedResult(key, job, fl); r != nil {
 				return r, true
 			}
-			r := e.execute(ctx, job)
+			r := e.execute(ctx, job, fl)
 			if r.Err == nil {
-				e.persistResult(key, r)
+				e.persistResult(key, r, fl)
 			}
 			return r, r.Err == nil
 		})
+		if hit {
+			fl.Span("cache_hit", waitStart)
+		}
 		if aborted {
 			// Our context died while waiting on another caller's flight.
 			return &Result{Simpoint: job.Simpoint, Setup: job.Setup.Label, Err: ctx.Err()}
@@ -518,13 +550,15 @@ func (e *Engine) run(ctx context.Context, job Job) *Result {
 
 // execute performs one full uncached run: annotate (cached), expand
 // (cached), simulate. The worker semaphore bounds concurrent executions.
-func (e *Engine) execute(ctx context.Context, job Job) *Result {
+func (e *Engine) execute(ctx context.Context, job Job, fl *obs.Flight) *Result {
+	t0 := fl.Begin()
 	select {
 	case e.sem <- struct{}{}:
 	case <-ctx.Done():
 		// Canceled while queued behind busy workers: don't wait for a slot.
 		return &Result{Simpoint: job.Simpoint, Setup: job.Setup.Label, Err: ctx.Err()}
 	}
+	fl.Span("queue", t0)
 	defer func() { <-e.sem }()
 	if err := ctx.Err(); err != nil {
 		return &Result{Simpoint: job.Simpoint, Setup: job.Setup.Label, Err: err}
@@ -536,8 +570,12 @@ func (e *Engine) execute(ctx context.Context, job Job) *Result {
 	if opt.MachineTweak != nil {
 		opt.MachineTweak(&cfg)
 	}
+	t0 = fl.Begin()
 	p, progKey := e.annotated(sp, s, &cfg)
+	fl.Span("annotate", t0)
+	t0 = fl.Begin()
 	tr, releaseTrace := e.expand(p, progKey, sp, opt)
+	fl.Span("expand", t0)
 	defer releaseTrace()
 
 	cfg.Cancel = ctx.Done()
@@ -547,7 +585,9 @@ func (e *Engine) execute(ctx context.Context, job Job) *Result {
 		return &Result{Simpoint: sp, Setup: s.Label, Err: err}
 	}
 	e.simulations.Add(1)
+	t0 = fl.Begin()
 	m, err := core.Run()
+	fl.Span("execute", t0)
 	if err == pipeline.ErrCanceled && ctx.Err() != nil {
 		err = ctx.Err()
 	}

@@ -1,0 +1,259 @@
+// Package obs is the zero-dependency observability substrate of the
+// system: fixed-bucket latency histograms (rendered in Prometheus
+// exposition format by internal/service and merged across a fleet by
+// package fleet) and per-job flight tracing (trace.go). Everything here
+// is coordination-free on the hot path — observations are single atomic
+// increments on pre-registered series — so a clusterd serving tens of
+// thousands of requests per second pays nanoseconds per observation and
+// aggregation happens at the edge, at scrape time.
+package obs
+
+import (
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// DefaultLatencyBuckets are the upper bounds (seconds) shared by every
+// latency histogram in the system: HTTP routes, engine stages, client
+// calls. One shared layout keeps fleet-level merging a pairwise count
+// sum. The range spans a warm 304 (~100µs) to a cold multi-second
+// simulation; anything slower lands in the implicit +Inf bucket.
+var DefaultLatencyBuckets = []float64{
+	0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025,
+	0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// Histogram is a fixed-bucket latency histogram safe for concurrent
+// observation: one atomic add per Observe, no locks, no allocation.
+// Bucket upper bounds are inclusive (an observation exactly on a bound
+// counts in that bucket), matching Prometheus "le" semantics.
+type Histogram struct {
+	bounds []float64 // sorted upper bounds, seconds; +Inf implicit
+	counts []atomic.Int64
+	inf    atomic.Int64
+	sumNs  atomic.Int64
+	total  atomic.Int64
+}
+
+// NewHistogram builds a histogram over the given sorted upper bounds
+// (seconds). Nil or empty bounds fall back to DefaultLatencyBuckets.
+func NewHistogram(bounds []float64) *Histogram {
+	if len(bounds) == 0 {
+		bounds = DefaultLatencyBuckets
+	}
+	h := &Histogram{bounds: bounds}
+	h.counts = make([]atomic.Int64, len(bounds))
+	return h
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	if h == nil {
+		return
+	}
+	s := d.Seconds()
+	// Binary search for the first bound >= s: inclusive upper bounds.
+	lo, hi := 0, len(h.bounds)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if h.bounds[mid] < s {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(h.bounds) {
+		h.counts[lo].Add(1)
+	} else {
+		h.inf.Add(1)
+	}
+	h.sumNs.Add(d.Nanoseconds())
+	h.total.Add(1)
+}
+
+// Snapshot is a point-in-time copy of a histogram, in the cumulative
+// form Prometheus exposes: Counts[i] is the number of observations
+// <= Bounds[i], and the final element of Counts (len(Bounds)+1 entries)
+// is the +Inf bucket, equal to Count.
+type Snapshot struct {
+	Bounds []float64
+	Counts []int64 // cumulative; last entry is +Inf == Count
+	Count  int64
+	Sum    float64 // seconds
+}
+
+// Snapshot copies the current counters. Counters are read individually
+// (not under a lock), so a snapshot taken during concurrent observation
+// may be off by in-flight increments — fine for monitoring.
+func (h *Histogram) Snapshot() Snapshot {
+	s := Snapshot{
+		Bounds: h.bounds,
+		Counts: make([]int64, len(h.bounds)+1),
+		Count:  h.total.Load(),
+		Sum:    float64(h.sumNs.Load()) / 1e9,
+	}
+	var cum int64
+	for i := range h.bounds {
+		cum += h.counts[i].Load()
+		s.Counts[i] = cum
+	}
+	s.Counts[len(h.bounds)] = cum + h.inf.Load()
+	return s
+}
+
+// Quantile estimates the q-th quantile (0 <= q <= 1) in seconds by
+// linear interpolation inside the containing bucket — the same estimate
+// Prometheus's histogram_quantile computes. Observations in the +Inf
+// bucket clamp to the highest finite bound. Returns 0 on an empty
+// snapshot.
+func (s Snapshot) Quantile(q float64) float64 {
+	n := s.Counts[len(s.Counts)-1]
+	if n == 0 || len(s.Bounds) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(n)
+	idx := sort.Search(len(s.Counts), func(i int) bool { return float64(s.Counts[i]) >= rank })
+	if idx >= len(s.Bounds) {
+		return s.Bounds[len(s.Bounds)-1]
+	}
+	lower, lowerCount := 0.0, int64(0)
+	if idx > 0 {
+		lower, lowerCount = s.Bounds[idx-1], s.Counts[idx-1]
+	}
+	inBucket := s.Counts[idx] - lowerCount
+	if inBucket == 0 {
+		return s.Bounds[idx]
+	}
+	frac := (rank - float64(lowerCount)) / float64(inBucket)
+	return lower + (s.Bounds[idx]-lower)*frac
+}
+
+// Merge returns the pairwise sum of two snapshots over the same bucket
+// layout — how a fleet folds N workers' histograms into one. Mismatched
+// layouts cannot be merged meaningfully; the receiver is returned
+// unchanged and the caller should treat the pair as incomparable.
+func (s Snapshot) Merge(o Snapshot) Snapshot {
+	if len(s.Bounds) == 0 {
+		return o
+	}
+	if len(o.Bounds) != len(s.Bounds) || len(o.Counts) != len(s.Counts) {
+		return s
+	}
+	m := Snapshot{
+		Bounds: s.Bounds,
+		Counts: make([]int64, len(s.Counts)),
+		Count:  s.Count + o.Count,
+		Sum:    s.Sum + o.Sum,
+	}
+	for i := range s.Counts {
+		m.Counts[i] = s.Counts[i] + o.Counts[i]
+	}
+	return m
+}
+
+// Sub returns the snapshot of observations made between base and s —
+// the per-phase view of a cumulative histogram (loadgen diffs scrapes
+// around each benchmark phase this way). Layout mismatches return s.
+func (s Snapshot) Sub(base Snapshot) Snapshot {
+	if len(base.Counts) != len(s.Counts) {
+		return s
+	}
+	d := Snapshot{
+		Bounds: s.Bounds,
+		Counts: make([]int64, len(s.Counts)),
+		Count:  s.Count - base.Count,
+		Sum:    s.Sum - base.Sum,
+	}
+	for i := range s.Counts {
+		d.Counts[i] = s.Counts[i] - base.Counts[i]
+	}
+	return d
+}
+
+// Vec is a set of histograms sharing one bucket layout, keyed by an
+// ordered label-value tuple (route and status code, stage name, ...).
+// Series are created on first use and live for the Vec's lifetime;
+// label values are expected to be low-cardinality (routes are patterns,
+// never raw paths).
+type Vec struct {
+	bounds []float64
+	mu     sync.RWMutex
+	series map[string]*vecSeries
+}
+
+type vecSeries struct {
+	labels []string
+	hist   *Histogram
+}
+
+// NewVec builds a histogram vector; nil bounds fall back to
+// DefaultLatencyBuckets.
+func NewVec(bounds []float64) *Vec {
+	if len(bounds) == 0 {
+		bounds = DefaultLatencyBuckets
+	}
+	return &Vec{bounds: bounds, series: map[string]*vecSeries{}}
+}
+
+// vecKey joins label values with a separator no route, code, or stage
+// name contains.
+func vecKey(labels []string) string { return strings.Join(labels, "\x1f") }
+
+// With returns the histogram for the given label values, creating it on
+// first use. The fast path is one RLock'd map hit.
+func (v *Vec) With(labels ...string) *Histogram {
+	if v == nil {
+		return nil
+	}
+	key := vecKey(labels)
+	v.mu.RLock()
+	s := v.series[key]
+	v.mu.RUnlock()
+	if s != nil {
+		return s.hist
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if s = v.series[key]; s == nil {
+		s = &vecSeries{labels: append([]string(nil), labels...), hist: NewHistogram(v.bounds)}
+		v.series[key] = s
+	}
+	return s.hist
+}
+
+// LabeledSnapshot pairs one series' label values with its snapshot.
+type LabeledSnapshot struct {
+	Labels []string
+	Snapshot
+}
+
+// Snapshot copies every series, sorted by label tuple so exposition
+// output is stable across scrapes.
+func (v *Vec) Snapshot() []LabeledSnapshot {
+	if v == nil {
+		return nil
+	}
+	v.mu.RLock()
+	series := make([]*vecSeries, 0, len(v.series))
+	for _, s := range v.series {
+		series = append(series, s)
+	}
+	v.mu.RUnlock()
+	out := make([]LabeledSnapshot, len(series))
+	for i, s := range series {
+		out[i] = LabeledSnapshot{Labels: s.labels, Snapshot: s.hist.Snapshot()}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		return vecKey(out[i].Labels) < vecKey(out[j].Labels)
+	})
+	return out
+}

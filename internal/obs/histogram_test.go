@@ -1,0 +1,162 @@
+package obs
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"time"
+)
+
+// Bucket upper bounds are inclusive ("le" semantics): an observation
+// exactly on a bound must land in that bucket, not the next one, or
+// server-side quantiles drift from Prometheus's own evaluation of the
+// same series.
+func TestHistogramBucketBoundariesInclusive(t *testing.T) {
+	bounds := []float64{0.001, 0.01, 0.1}
+	h := NewHistogram(bounds)
+	h.Observe(1 * time.Millisecond)   // exactly on bounds[0]
+	h.Observe(10 * time.Millisecond)  // exactly on bounds[1]
+	h.Observe(100 * time.Millisecond) // exactly on bounds[2]
+	h.Observe(200 * time.Millisecond) // beyond every bound: +Inf
+	h.Observe(0)                      // below everything: first bucket
+
+	s := h.Snapshot()
+	if s.Count != 5 {
+		t.Fatalf("count %d, want 5", s.Count)
+	}
+	// Cumulative: le=0.001 holds {0, 1ms}, le=0.01 adds 10ms, le=0.1
+	// adds 100ms, +Inf adds the 200ms outlier.
+	want := []int64{2, 3, 4, 5}
+	if len(s.Counts) != len(want) {
+		t.Fatalf("counts len %d, want %d", len(s.Counts), len(want))
+	}
+	for i, w := range want {
+		if s.Counts[i] != w {
+			t.Errorf("cumulative count[%d] = %d, want %d", i, s.Counts[i], w)
+		}
+	}
+	wantSum := (time.Millisecond + 10*time.Millisecond + 100*time.Millisecond + 200*time.Millisecond).Seconds()
+	if math.Abs(s.Sum-wantSum) > 1e-9 {
+		t.Errorf("sum %v, want %v", s.Sum, wantSum)
+	}
+}
+
+func TestHistogramNilSafe(t *testing.T) {
+	var h *Histogram
+	h.Observe(time.Second) // must not panic
+}
+
+// Concurrent observation is the hot path (every HTTP request, every
+// engine stage); this is the -race lane's check that the atomic counters
+// neither race nor drop observations.
+func TestHistogramConcurrentObserve(t *testing.T) {
+	h := NewHistogram(nil)
+	const workers, perWorker = 8, 2000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				h.Observe(time.Duration(w*perWorker+i) * time.Microsecond)
+			}
+		}(w)
+	}
+	wg.Wait()
+	s := h.Snapshot()
+	if s.Count != workers*perWorker {
+		t.Fatalf("count %d, want %d", s.Count, workers*perWorker)
+	}
+	if got := s.Counts[len(s.Counts)-1]; got != workers*perWorker {
+		t.Fatalf("+Inf cumulative %d, want %d", got, workers*perWorker)
+	}
+}
+
+func TestSnapshotQuantile(t *testing.T) {
+	h := NewHistogram([]float64{0.001, 0.01, 0.1})
+	// 90 fast requests, 10 slow ones: p50 interpolates inside the first
+	// bucket, p99 inside the last.
+	for i := 0; i < 90; i++ {
+		h.Observe(500 * time.Microsecond)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(50 * time.Millisecond)
+	}
+	s := h.Snapshot()
+	if p50 := s.Quantile(0.50); p50 <= 0 || p50 > 0.001 {
+		t.Errorf("p50 %v, want within (0, 0.001]", p50)
+	}
+	if p99 := s.Quantile(0.99); p99 <= 0.01 || p99 > 0.1 {
+		t.Errorf("p99 %v, want within (0.01, 0.1]", p99)
+	}
+	if q := (Snapshot{Bounds: []float64{1}, Counts: []int64{0, 0}}).Quantile(0.5); q != 0 {
+		t.Errorf("empty snapshot quantile %v, want 0", q)
+	}
+}
+
+func TestSnapshotMergeAndSub(t *testing.T) {
+	h1 := NewHistogram([]float64{0.001, 0.01})
+	h2 := NewHistogram([]float64{0.001, 0.01})
+	h1.Observe(500 * time.Microsecond)
+	h1.Observe(5 * time.Millisecond)
+	h2.Observe(5 * time.Millisecond)
+
+	m := h1.Snapshot().Merge(h2.Snapshot())
+	if m.Count != 3 {
+		t.Fatalf("merged count %d, want 3", m.Count)
+	}
+	if m.Counts[0] != 1 || m.Counts[1] != 3 || m.Counts[2] != 3 {
+		t.Fatalf("merged counts %v", m.Counts)
+	}
+
+	// Sub recovers the delta between two scrapes of one histogram.
+	before := h1.Snapshot()
+	h1.Observe(20 * time.Millisecond) // +Inf bucket
+	d := h1.Snapshot().Sub(before)
+	if d.Count != 1 || d.Counts[2] != 1 || d.Counts[0] != 0 {
+		t.Fatalf("delta: count %d counts %v", d.Count, d.Counts)
+	}
+
+	// Mismatched layouts are incomparable: Merge keeps the receiver.
+	other := NewHistogram([]float64{1}).Snapshot()
+	if got := m.Merge(other); got.Count != m.Count {
+		t.Errorf("mismatched merge changed the receiver: %+v", got)
+	}
+}
+
+func TestVecSeries(t *testing.T) {
+	v := NewVec([]float64{0.001, 0.01})
+	v.With("/v1/jobs", "202").Observe(500 * time.Microsecond)
+	v.With("/v1/jobs", "202").Observe(2 * time.Millisecond)
+	v.With("/v1/results", "200").Observe(100 * time.Microsecond)
+
+	snaps := v.Snapshot()
+	if len(snaps) != 2 {
+		t.Fatalf("series count %d, want 2", len(snaps))
+	}
+	// Sorted by label tuple.
+	if snaps[0].Labels[0] != "/v1/jobs" || snaps[1].Labels[0] != "/v1/results" {
+		t.Fatalf("series order: %v, %v", snaps[0].Labels, snaps[1].Labels)
+	}
+	if snaps[0].Count != 2 || snaps[1].Count != 1 {
+		t.Fatalf("series counts %d, %d", snaps[0].Count, snaps[1].Count)
+	}
+
+	// Concurrent With on one series must reuse it, not fork it.
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 500; j++ {
+				v.With("/v1/jobs", "202").Observe(time.Millisecond)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, s := range v.Snapshot() {
+		if s.Labels[0] == "/v1/jobs" && s.Count != 2+8*500 {
+			t.Fatalf("concurrent series count %d, want %d", s.Count, 2+8*500)
+		}
+	}
+}

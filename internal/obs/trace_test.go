@@ -1,0 +1,237 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestValidTraceID(t *testing.T) {
+	for id, want := range map[string]bool{
+		"abc123.4":              true,
+		"a-b_c.D":               true,
+		"":                      false,
+		"has space":             false,
+		"has/slash":             false,
+		strings.Repeat("x", 64): true,
+		strings.Repeat("x", 65): false,
+	} {
+		if got := ValidTraceID(id); got != want {
+			t.Errorf("ValidTraceID(%q) = %v, want %v", id, got, want)
+		}
+	}
+	if id := NewTraceID(); !ValidTraceID(id) || len(id) != 16 {
+		t.Errorf("minted ID %q invalid", id)
+	}
+}
+
+func TestTraceIDContext(t *testing.T) {
+	ctx := WithTraceID(context.Background(), "job-7")
+	if got := TraceIDFrom(ctx); got != "job-7" {
+		t.Fatalf("TraceIDFrom = %q", got)
+	}
+	if got := TraceIDFrom(context.Background()); got != "" {
+		t.Fatalf("empty context yielded %q", got)
+	}
+}
+
+// A flight adopts the context's trace ID, records spans, and on End
+// becomes a queryable record whose stage durations feed the tracer's
+// histograms.
+func TestFlightLifecycle(t *testing.T) {
+	tr := NewTracer(8)
+	ctx := WithTraceID(context.Background(), "sub-1.0")
+	fl := tr.StartFlight(ctx, "gzip-1/OP")
+	if fl.ID != "sub-1.0" {
+		t.Fatalf("flight ID %q", fl.ID)
+	}
+
+	t0 := fl.Begin()
+	time.Sleep(2 * time.Millisecond)
+	fl.Span("execute", t0)
+
+	if _, ok := tr.Lookup("sub-1.0"); ok {
+		t.Fatal("in-progress flight visible before End")
+	}
+	fl.End()
+	fl.End() // idempotent
+
+	rec, ok := tr.Lookup("sub-1.0")
+	if !ok {
+		t.Fatal("completed flight not queryable")
+	}
+	if rec.Label != "gzip-1/OP" || len(rec.Spans) != 1 || rec.Spans[0].Name != "execute" {
+		t.Fatalf("record %+v", rec)
+	}
+	if rec.Spans[0].Dur < 2*time.Millisecond || rec.Total < rec.Spans[0].Dur {
+		t.Fatalf("span %v within total %v", rec.Spans[0].Dur, rec.Total)
+	}
+
+	// Spans after End are dropped, not appended to a published record.
+	fl.Span("late", fl.Begin())
+	if rec2, _ := tr.Lookup("sub-1.0"); len(rec2.Spans) != 1 {
+		t.Fatalf("post-End span recorded: %+v", rec2.Spans)
+	}
+
+	stages := tr.StageSnapshots()
+	if len(stages) != 1 || stages[0].Labels[0] != "execute" || stages[0].Count != 1 {
+		t.Fatalf("stage snapshots %+v", stages)
+	}
+}
+
+// An invalid context ID (or none) mints a fresh one instead of failing.
+func TestStartFlightMintsOnInvalidID(t *testing.T) {
+	tr := NewTracer(8)
+	fl := tr.StartFlight(WithTraceID(context.Background(), "bad id!"), "x")
+	if !ValidTraceID(fl.ID) || fl.ID == "bad id!" {
+		t.Fatalf("adopted invalid ID %q", fl.ID)
+	}
+}
+
+// Everything is nil-safe: instrumented code never branches on whether
+// tracing is enabled.
+func TestNilTracerAndFlight(t *testing.T) {
+	var tr *Tracer
+	fl := tr.StartFlight(context.Background(), "x")
+	if fl != nil {
+		t.Fatal("nil tracer produced a flight")
+	}
+	if !fl.Begin().IsZero() {
+		t.Fatal("nil flight Begin returned nonzero time")
+	}
+	fl.Span("x", fl.Begin())
+	fl.Span("x", time.Now())
+	fl.End()
+	if _, ok := tr.Lookup("x"); ok {
+		t.Fatal("nil tracer lookup succeeded")
+	}
+	if tr.Records() != nil || tr.StageSnapshots() != nil {
+		t.Fatal("nil tracer returned records")
+	}
+}
+
+// The ring is bounded: completing more flights than capacity evicts the
+// oldest records, and Records reports survivors oldest-first.
+func TestTracerRingEviction(t *testing.T) {
+	tr := NewTracer(2)
+	for _, id := range []string{"a", "b", "c"} {
+		fl := tr.StartFlight(WithTraceID(context.Background(), id), "job")
+		fl.End()
+	}
+	if _, ok := tr.Lookup("a"); ok {
+		t.Fatal("oldest flight survived past capacity")
+	}
+	recs := tr.Records()
+	if len(recs) != 2 || recs[0].ID != "b" || recs[1].ID != "c" {
+		ids := make([]string, len(recs))
+		for i, r := range recs {
+			ids[i] = r.ID
+		}
+		t.Fatalf("ring order %v, want [b c]", ids)
+	}
+}
+
+// Re-using a trace ID (client retry) replaces the record in place rather
+// than occupying a second ring slot.
+func TestTracerIDReuse(t *testing.T) {
+	tr := NewTracer(4)
+	for i := 0; i < 2; i++ {
+		fl := tr.StartFlight(WithTraceID(context.Background(), "retry"), "job")
+		t0 := fl.Begin()
+		if i == 1 {
+			fl.Span("execute", t0)
+		}
+		fl.End()
+	}
+	rec, ok := tr.Lookup("retry")
+	if !ok || len(rec.Spans) != 1 {
+		t.Fatalf("retry record %+v ok=%v, want the newest (1 span)", rec, ok)
+	}
+	if got := len(tr.Records()); got != 1 {
+		t.Fatalf("%d records for one ID", got)
+	}
+}
+
+// Gap accounting coalesces overlapping spans so a cache_hit span wrapped
+// around a store_get never produces negative unaccounted time.
+func TestUnaccounted(t *testing.T) {
+	rec := FlightRecord{
+		Total: 10 * time.Millisecond,
+		Spans: []Span{
+			{Name: "a", Start: 0, Dur: 4 * time.Millisecond},
+			{Name: "b", Start: 2 * time.Millisecond, Dur: 4 * time.Millisecond}, // overlaps a
+			{Name: "c", Start: 8 * time.Millisecond, Dur: time.Millisecond},
+		},
+	}
+	// Covered: [0,6) ∪ [8,9) = 7ms; gap = 3ms.
+	if got := rec.Unaccounted(); got != 3*time.Millisecond {
+		t.Fatalf("unaccounted %v, want 3ms", got)
+	}
+	empty := FlightRecord{Total: time.Second}
+	if got := empty.Unaccounted(); got != time.Second {
+		t.Fatalf("spanless flight unaccounted %v", got)
+	}
+}
+
+// The Chrome export is valid trace-event JSON: one root event per flight
+// carrying the trace ID, plus one event per span, every flight on its
+// own tid.
+func TestWriteChrome(t *testing.T) {
+	tr := NewTracer(8)
+	for _, id := range []string{"a", "b"} {
+		fl := tr.StartFlight(WithTraceID(context.Background(), id), "job-"+id)
+		fl.Span("execute", fl.Begin())
+		fl.End()
+	}
+	var sb strings.Builder
+	if err := tr.WriteChrome(&sb); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string            `json:"name"`
+			Ph   string            `json:"ph"`
+			Tid  int               `json:"tid"`
+			Args map[string]string `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal([]byte(sb.String()), &doc); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, sb.String())
+	}
+	if len(doc.TraceEvents) != 4 {
+		t.Fatalf("%d events, want 4 (2 roots + 2 spans)", len(doc.TraceEvents))
+	}
+	tids := map[int]bool{}
+	roots := 0
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph != "X" {
+			t.Errorf("event %q phase %q, want X", ev.Name, ev.Ph)
+		}
+		tids[ev.Tid] = true
+		if strings.HasPrefix(ev.Name, "job ") {
+			roots++
+			if ev.Args["trace_id"] == "" {
+				t.Errorf("root %q missing trace_id arg", ev.Name)
+			}
+		}
+	}
+	if roots != 2 || len(tids) != 2 {
+		t.Fatalf("roots %d tids %d, want 2 and 2", roots, len(tids))
+	}
+
+	var one strings.Builder
+	rec, _ := tr.Lookup("a")
+	if err := WriteChromeFlight(&one, rec); err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid([]byte(one.String())) {
+		t.Fatalf("single-flight export invalid: %s", one.String())
+	}
+
+	out := FormatFlight(rec)
+	if !strings.Contains(out, "trace a") || !strings.Contains(out, "execute") || !strings.Contains(out, "(gap)") {
+		t.Fatalf("FormatFlight output:\n%s", out)
+	}
+}

@@ -8,8 +8,10 @@ package service
 import (
 	"fmt"
 	"net/http"
+	"strconv"
 	"strings"
 
+	"clustersim/internal/obs"
 	"clustersim/internal/store"
 )
 
@@ -35,6 +37,45 @@ func (m metric) render(b *strings.Builder) {
 }
 
 func one(v int64) []metricRow { return []metricRow{{value: float64(v)}} }
+
+// histogramFamily renders one Prometheus histogram family from labeled
+// obs snapshots: cumulative _bucket series with an explicit +Inf, then
+// _sum and _count per series. labelNames maps the snapshot's positional
+// label values ("route"/"code", or "stage") onto exposition labels.
+type histogramFamily struct {
+	name       string
+	help       string
+	labelNames []string
+	series     []obs.LabeledSnapshot
+}
+
+func (h histogramFamily) render(b *strings.Builder) {
+	fmt.Fprintf(b, "# HELP %s %s\n# TYPE %s histogram\n", h.name, h.help, h.name)
+	for _, ls := range h.series {
+		var pairs []string
+		for i, n := range h.labelNames {
+			if i < len(ls.Labels) {
+				pairs = append(pairs, fmt.Sprintf("%s=%q", n, ls.Labels[i]))
+			}
+		}
+		base := strings.Join(pairs, ",")
+		sep := ""
+		if base != "" {
+			sep = ","
+		}
+		for i, bound := range ls.Bounds {
+			fmt.Fprintf(b, "%s_bucket{%s%sle=%q} %d\n",
+				h.name, base, sep, strconv.FormatFloat(bound, 'g', -1, 64), ls.Counts[i])
+		}
+		fmt.Fprintf(b, "%s_bucket{%s%sle=\"+Inf\"} %d\n", h.name, base, sep, ls.Counts[len(ls.Counts)-1])
+		suffix := ""
+		if base != "" {
+			suffix = "{" + base + "}"
+		}
+		fmt.Fprintf(b, "%s_sum%s %g\n", h.name, suffix, ls.Sum)
+		fmt.Fprintf(b, "%s_count%s %d\n", h.name, suffix, ls.Count)
+	}
+}
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	eng := s.eng.Stats()
@@ -120,6 +161,20 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	var b strings.Builder
 	for _, m := range metrics {
 		m.render(&b)
+	}
+	histogramFamily{
+		name:       "clusterd_http_request_seconds",
+		help:       "HTTP request latency by route pattern and status code.",
+		labelNames: []string{"route", "code"},
+		series:     s.httpHist.Snapshot(),
+	}.render(&b)
+	if tr := s.eng.Tracer(); tr != nil {
+		histogramFamily{
+			name:       "clusterd_engine_stage_seconds",
+			help:       "Engine per-stage span durations (queue, annotate, expand, execute, encode, store_put, store_get, cache_hit).",
+			labelNames: []string{"stage"},
+			series:     tr.StageSnapshots(),
+		}.render(&b)
 	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	w.WriteHeader(http.StatusOK)

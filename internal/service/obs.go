@@ -1,0 +1,171 @@
+// Request-path observability: per-route latency histograms, the
+// structured access/lifecycle log, and GET /v1/trace/{id}. The
+// histogram vector is label-keyed by (route pattern, status code) —
+// never by raw path, so cardinality is bounded by the route table —
+// and the access log rides at Debug level so the serving hot path pays
+// nothing when operators run at the default Info.
+package service
+
+import (
+	"log/slog"
+	"net/http"
+	"strconv"
+	"time"
+
+	"clustersim/internal/api"
+	"clustersim/internal/obs"
+)
+
+// SetLogger installs the server's structured logger (access log at
+// Debug, lifecycle events at Info). The default logger discards
+// everything. Call before serving traffic.
+func (s *Server) SetLogger(l *slog.Logger) {
+	if l != nil {
+		s.log = l
+	}
+}
+
+// statusWriter records the response status (and body size) written
+// through it. Flush passes through so the SSE path keeps streaming.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
+}
+
+func (sw *statusWriter) WriteHeader(code int) {
+	if sw.status == 0 {
+		sw.status = code
+	}
+	sw.ResponseWriter.WriteHeader(code)
+}
+
+func (sw *statusWriter) Write(p []byte) (int, error) {
+	if sw.status == 0 {
+		sw.status = http.StatusOK
+	}
+	n, err := sw.ResponseWriter.Write(p)
+	sw.bytes += int64(n)
+	return n, err
+}
+
+func (sw *statusWriter) Flush() {
+	if f, ok := sw.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// observed wraps a route's handler with latency observation and the
+// access log. route is the registration pattern ("/v1/jobs/{id}"), so
+// histogram cardinality is routes × status codes, independent of
+// traffic shape. The duration covers the full handler — for SSE
+// streams that is the subscription lifetime, which is the honest
+// number for a streaming route.
+func (s *Server) observed(route string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		sw := &statusWriter{ResponseWriter: w}
+		start := time.Now()
+		h(sw, r)
+		d := time.Since(start)
+		if sw.status == 0 {
+			sw.status = http.StatusOK
+		}
+		s.httpHist.With(route, strconv.Itoa(sw.status)).Observe(d)
+		if s.log.Enabled(r.Context(), slog.LevelDebug) {
+			s.log.Debug("http",
+				"method", r.Method, "route", route, "path", r.URL.Path,
+				"code", sw.status, "bytes", sw.bytes, "dur_us", d.Microseconds())
+		}
+	}
+}
+
+// handleTrace serves GET /v1/trace/{id}: one completed job's span tree,
+// as JSON by default or as a Chrome trace-event document (Perfetto-
+// loadable) with ?format=chrome. In-flight jobs and evicted records
+// answer not_found — poll after the job completes.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	tr := s.eng.Tracer()
+	if tr == nil {
+		httpError(w, http.StatusNotImplemented, api.CodeUnsupported,
+			"tracing disabled on this server (start clusterd with tracing enabled)")
+		return
+	}
+	id := r.PathValue("id")
+	rec, ok := tr.Lookup(id)
+	if !ok {
+		httpError(w, http.StatusNotFound, api.CodeNotFound,
+			"no completed trace %q (still running, evicted, or never submitted here)", id)
+		return
+	}
+	if r.URL.Query().Get("format") == "chrome" {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusOK)
+		obs.WriteChromeFlight(w, rec)
+		return
+	}
+	writeJSON(w, http.StatusOK, traceResponse(rec))
+}
+
+// traceResponse converts a flight record to its wire form.
+func traceResponse(rec obs.FlightRecord) api.TraceResponse {
+	resp := api.TraceResponse{
+		ID:            rec.ID,
+		Label:         rec.Label,
+		Start:         rec.Start.UTC().Format(time.RFC3339Nano),
+		TotalUs:       rec.Total.Microseconds(),
+		UnaccountedUs: rec.Unaccounted().Microseconds(),
+		Spans:         make([]api.TraceSpan, len(rec.Spans)),
+	}
+	for i, sp := range rec.Spans {
+		resp.Spans[i] = api.TraceSpan{
+			Name:    sp.Name,
+			StartUs: sp.Start.Microseconds(),
+			DurUs:   sp.Dur.Microseconds(),
+		}
+	}
+	return resp
+}
+
+// routeHistograms converts the HTTP latency vector to wire form with
+// status codes aggregated per route — the per-route view fleetctl top
+// renders. The full (route, code) split stays on /metrics.
+func (s *Server) routeHistograms() []api.LatencyHistogram {
+	byRoute := map[string]api.LatencyHistogram{}
+	order := []string{}
+	for _, ls := range s.httpHist.Snapshot() {
+		route := ls.Labels[0]
+		h := api.LatencyHistogram{
+			Route: route, Count: ls.Count, Sum: ls.Sum,
+			Bounds: ls.Bounds, Counts: ls.Counts,
+		}
+		if prev, ok := byRoute[route]; ok {
+			byRoute[route] = api.MergeLatency(prev, h)
+		} else {
+			byRoute[route] = h
+			order = append(order, route)
+		}
+	}
+	out := make([]api.LatencyHistogram, 0, len(order))
+	for _, route := range order {
+		out = append(out, byRoute[route])
+	}
+	return out
+}
+
+// stageHistograms converts the engine tracer's per-stage histograms to
+// wire form (nil when tracing is disabled).
+func (s *Server) stageHistograms() []api.LatencyHistogram {
+	tr := s.eng.Tracer()
+	if tr == nil {
+		return nil
+	}
+	snaps := tr.StageSnapshots()
+	out := make([]api.LatencyHistogram, len(snaps))
+	for i, ls := range snaps {
+		out[i] = api.LatencyHistogram{
+			Stage: ls.Labels[0], Count: ls.Count, Sum: ls.Sum,
+			Bounds: ls.Bounds, Counts: ls.Counts,
+		}
+	}
+	return out
+}

@@ -28,6 +28,8 @@ import (
 	"crypto/subtle"
 	"encoding/json"
 	"fmt"
+	"io"
+	"log/slog"
 	"net/http"
 	"net/url"
 	"strconv"
@@ -39,6 +41,7 @@ import (
 	"clustersim/fleet/controlplane"
 	"clustersim/internal/api"
 	"clustersim/internal/engine"
+	"clustersim/internal/obs"
 	"clustersim/internal/sim"
 	"clustersim/internal/store"
 )
@@ -91,6 +94,13 @@ type Server struct {
 	// pair in handleRingPost — that atomicity is the whole CAS.
 	coordMu sync.Mutex
 	coord   *controlplane.Membership
+
+	// httpHist holds per-(route, status code) request-latency
+	// histograms, exposed on /metrics and — aggregated per route — in
+	// /v1/stats. log is the structured operational logger (see
+	// SetLogger); the default discards.
+	httpHist *obs.Vec
+	log      *slog.Logger
 }
 
 // defaultRetain bounds how many completed submissions stay queryable: the
@@ -113,46 +123,57 @@ func New(ctx context.Context, eng *engine.Engine, st store.Store) *Server {
 	s := &Server{
 		ctx: ctx, eng: eng, st: st, mux: http.NewServeMux(), now: time.Now,
 		subs: map[string]*submission{}, retain: defaultRetain, ttl: defaultTTL,
-		ttlCh: make(chan struct{}, 1),
+		ttlCh:    make(chan struct{}, 1),
+		httpHist: obs.NewVec(nil),
+		log:      slog.New(slog.NewTextHandler(io.Discard, nil)),
 	}
 	// Methods are dispatched inside the handlers (not via "GET /path"
 	// patterns) so that wrong-method requests get the same JSON error
 	// shape as every other failure instead of the mux's bare-text 405.
-	s.mux.HandleFunc("/v1/jobs", s.methods(map[string]http.HandlerFunc{
+	// Each route is registered through observed(pattern, ...), which
+	// feeds the per-route latency histograms and the access log; the
+	// pattern — never the raw path — is the histogram's route label.
+	route := func(pattern string, handlers map[string]http.HandlerFunc) {
+		s.mux.HandleFunc(pattern, s.observed(pattern, s.methods(handlers)))
+	}
+	route("/v1/jobs", map[string]http.HandlerFunc{
 		http.MethodPost: s.handleSubmit,
-	}))
-	s.mux.HandleFunc("/v1/jobs/{id}", s.methods(map[string]http.HandlerFunc{
+	})
+	route("/v1/jobs/{id}", map[string]http.HandlerFunc{
 		http.MethodGet: s.handleJobStatus,
-	}))
-	s.mux.HandleFunc("/v1/jobs/{id}/stream", s.methods(map[string]http.HandlerFunc{
+	})
+	route("/v1/jobs/{id}/stream", map[string]http.HandlerFunc{
 		http.MethodGet: s.handleJobStream,
-	}))
-	s.mux.HandleFunc("/v1/results", s.methods(map[string]http.HandlerFunc{
+	})
+	route("/v1/results", map[string]http.HandlerFunc{
 		http.MethodGet: s.handleResult,
 		http.MethodPut: s.handlePutResult,
-	}))
-	s.mux.HandleFunc("/v1/keys", s.methods(map[string]http.HandlerFunc{
+	})
+	route("/v1/keys", map[string]http.HandlerFunc{
 		http.MethodGet: s.handleKeys,
-	}))
-	s.mux.HandleFunc("/v1/ring", s.methods(map[string]http.HandlerFunc{
+	})
+	route("/v1/ring", map[string]http.HandlerFunc{
 		http.MethodGet:  s.handleRingGet,
 		http.MethodPost: s.handleRingPost,
-	}))
-	s.mux.HandleFunc("/v1/stats", s.methods(map[string]http.HandlerFunc{
+	})
+	route("/v1/trace/{id}", map[string]http.HandlerFunc{
+		http.MethodGet: s.handleTrace,
+	})
+	route("/v1/stats", map[string]http.HandlerFunc{
 		http.MethodGet: s.handleStats,
-	}))
-	s.mux.HandleFunc("/metrics", s.methods(map[string]http.HandlerFunc{
+	})
+	route("/metrics", map[string]http.HandlerFunc{
 		http.MethodGet: s.handleMetrics,
-	}))
-	s.mux.HandleFunc("/healthz", s.methods(map[string]http.HandlerFunc{
+	})
+	route("/healthz", map[string]http.HandlerFunc{
 		http.MethodGet: func(w http.ResponseWriter, r *http.Request) {
 			fmt.Fprintln(w, "ok")
 		},
-	}))
-	// Everything else is a JSON 404, not the mux's text one.
-	s.mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
-		httpError(w, http.StatusNotFound, api.CodeNotFound, "no such route %s", r.URL.Path)
 	})
+	// Everything else is a JSON 404, not the mux's text one.
+	s.mux.HandleFunc("/", s.observed("other", func(w http.ResponseWriter, r *http.Request) {
+		httpError(w, http.StatusNotFound, api.CodeNotFound, "no such route %s", r.URL.Path)
+	}))
 	go s.sweepLoop(ctx)
 	return s
 }
@@ -443,6 +464,19 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		keys[i], _ = s.eng.ResultKey(job)
 	}
 
+	// Every job gets a trace ID at submission: the caller may seed the
+	// base via the trace header (so a client's IDs and the server's
+	// agree), otherwise one is minted. Per-job IDs are "<base>.<index>",
+	// so a batch's flights are greppable as a family.
+	base := r.Header.Get(api.TraceHeader)
+	if !obs.ValidTraceID(base) {
+		base = obs.NewTraceID()
+	}
+	tids := make([]string, len(specs))
+	for i := range tids {
+		tids[i] = fmt.Sprintf("%s.%d", base, i)
+	}
+
 	s.mu.Lock()
 	s.nextID++
 	sub := &submission{
@@ -453,9 +487,15 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	s.subs[sub.id] = sub
 	s.mu.Unlock()
+	s.log.Debug("submission accepted", "id", sub.id, "jobs", len(specs), "trace_base", base)
 
 	par := clampParallel(body.MaxParallel, s.eng.Parallelism())
 	go func() {
+		start := time.Now()
+		runOne := func(i int) {
+			res := s.eng.Run(obs.WithTraceID(s.ctx, tids[i]), jobs[i])
+			s.appendResult(sub, engine.JobResult{Index: i, Job: jobs[i], Result: res}, keys[i])
+		}
 		if par > 0 && par < len(jobs) {
 			// The batch asked for fewer workers than it has jobs: par
 			// batch-local workers drain an index queue, so this submission
@@ -469,8 +509,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 				go func() {
 					defer wg.Done()
 					for i := range idx {
-						res := s.eng.Run(s.ctx, jobs[i])
-						s.appendResult(sub, engine.JobResult{Index: i, Job: jobs[i], Result: res}, keys[i])
+						runOne(i)
 					}
 				}()
 			}
@@ -480,15 +519,26 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 			close(idx)
 			wg.Wait()
 		} else {
-			for jr := range s.eng.Stream(s.ctx, jobs) {
-				s.appendResult(sub, jr, keys[jr.Index])
+			var wg sync.WaitGroup
+			for i := range jobs {
+				i := i
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					runOne(i)
+				}()
 			}
+			wg.Wait()
 		}
 		sub.append(JobEvent{}, nil, true)
 		s.retire(sub.id)
+		s.log.Debug("submission done", "id", sub.id, "jobs", len(jobs),
+			"dur_ms", time.Since(start).Milliseconds())
 	}()
 
-	writeJSON(w, http.StatusAccepted, SubmitResponse{ID: sub.id, Keys: keys, Total: len(specs)})
+	writeJSON(w, http.StatusAccepted, SubmitResponse{
+		ID: sub.id, Keys: keys, Total: len(specs), TraceIDs: tids,
+	})
 }
 
 func jobEvent(jr engine.JobResult, key string) JobEvent {
@@ -655,7 +705,10 @@ func (s *Server) servingStats() api.ServingStats {
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
-	resp := StatsResponse{Engine: s.eng.Stats(), Store: s.st.Stats(), Serving: s.servingStats()}
+	resp := StatsResponse{
+		Engine: s.eng.Stats(), Store: s.st.Stats(), Serving: s.servingStats(),
+		Routes: s.routeHistograms(), Stages: s.stageHistograms(),
+	}
 	if tiered, ok := s.st.(*store.Tiered); ok {
 		fast, slow := tiered.Layers()
 		resp.Memory, resp.Disk = &fast, &slow
