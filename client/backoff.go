@@ -1,0 +1,22 @@
+package client
+
+import "time"
+
+// backoffDelay computes the pause before retry attempt number `failures`
+// (1-based): exponential doubling from min, capped at max, with the final
+// delay drawn uniformly from [nominal/2, nominal). The jitter matters
+// operationally — when a clusterd restarts, every runner streaming from
+// it fails at the same instant, and without it they all reconnect in
+// lockstep on every subsequent beat. rnd must return values in [0, 1).
+func backoffDelay(failures int, min, max time.Duration, rnd func() float64) time.Duration {
+	if failures < 1 {
+		failures = 1
+	}
+	nominal := min << (failures - 1)
+	// The shift overflows past ~60 doublings; <= 0 catches the wrap.
+	if nominal > max || nominal <= 0 {
+		nominal = max
+	}
+	half := nominal / 2
+	return half + time.Duration(rnd()*float64(nominal-half))
+}

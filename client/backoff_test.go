@@ -1,0 +1,79 @@
+package client
+
+import (
+	"testing"
+	"time"
+)
+
+// Reconnect backoff contract: exponential growth, a hard cap, and jitter
+// confined to [nominal/2, nominal). A restarted clusterd must not see N
+// runners reconnect in lockstep.
+
+func TestBackoffExponentialGrowth(t *testing.T) {
+	// rnd pinned to the top of the jitter window makes the delay equal
+	// its nominal value, so growth is exact and assertable.
+	top := func() float64 { return 1 - 1e-12 }
+	min, max := 100*time.Millisecond, 100*time.Second
+	prev := backoffDelay(1, min, max, top)
+	if got := prev.Round(time.Millisecond); got != min {
+		t.Fatalf("first delay = %v, want %v", got, min)
+	}
+	for f := 2; f <= 8; f++ {
+		d := backoffDelay(f, min, max, top)
+		if got, want := d.Round(time.Millisecond), 2*prev.Round(time.Millisecond); got != want {
+			t.Fatalf("failures=%d: delay = %v, want double the previous (%v)", f, got, want)
+		}
+		prev = d
+	}
+}
+
+func TestBackoffCap(t *testing.T) {
+	top := func() float64 { return 1 - 1e-12 }
+	min, max := 100*time.Millisecond, 2*time.Second
+	for f := 5; f <= 200; f += 13 { // runs far past shift-overflow territory
+		if d := backoffDelay(f, min, max, top); d > max {
+			t.Fatalf("failures=%d: delay %v exceeds cap %v", f, d, max)
+		}
+	}
+	// At the cap the full jitter window still applies.
+	if d := backoffDelay(100, min, max, func() float64 { return 0 }); d != max/2 {
+		t.Fatalf("capped delay at rnd=0: %v, want %v", d, max/2)
+	}
+}
+
+func TestBackoffJitterBounds(t *testing.T) {
+	min, max := 100*time.Millisecond, 10*time.Second
+	for f := 1; f <= 6; f++ {
+		nominal := min << (f - 1)
+		for _, r := range []float64{0, 0.25, 0.5, 0.999999} {
+			rv := r
+			d := backoffDelay(f, min, max, func() float64 { return rv })
+			if d < nominal/2 || d >= nominal {
+				t.Fatalf("failures=%d rnd=%v: delay %v outside [%v, %v)",
+					f, r, d, nominal/2, nominal)
+			}
+		}
+	}
+}
+
+func TestBackoffSpread(t *testing.T) {
+	// Distinct rnd draws must yield distinct delays — the anti-lockstep
+	// property itself, not just the bounds.
+	min, max := 100*time.Millisecond, 10*time.Second
+	a := backoffDelay(4, min, max, func() float64 { return 0.1 })
+	b := backoffDelay(4, min, max, func() float64 { return 0.9 })
+	if a == b {
+		t.Fatalf("different jitter draws produced identical delays (%v)", a)
+	}
+}
+
+func TestBackoffDegenerateFailures(t *testing.T) {
+	// Out-of-range failure counts clamp instead of shifting negatively.
+	min, max := 100*time.Millisecond, time.Second
+	for _, f := range []int{0, -3} {
+		d := backoffDelay(f, min, max, func() float64 { return 0 })
+		if d != min/2 {
+			t.Fatalf("failures=%d: delay %v, want %v", f, d, min/2)
+		}
+	}
+}

@@ -25,6 +25,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand/v2"
 	"net/http"
 	"net/url"
 	"strconv"
@@ -62,13 +63,15 @@ func newDefaultTransport() *http.Transport {
 
 // Client is a typed clusterd API client. It is safe for concurrent use.
 type Client struct {
-	base       string
-	hc         *http.Client
-	token      string
-	minBackoff time.Duration
-	maxBackoff time.Duration
-	retries    int
-	observer   func(route string, status int, d time.Duration)
+	base          string
+	hc            *http.Client
+	token         string
+	minBackoff    time.Duration
+	maxBackoff    time.Duration
+	retries       int
+	submitRetries int
+	rnd           func() float64 // jitter source; injectable for tests
+	observer      func(route string, status int, d time.Duration)
 }
 
 // Option configures a Client.
@@ -88,6 +91,12 @@ func WithBackoff(min, max time.Duration) Option {
 // WithRetries sets how many consecutive failed connection attempts Stream
 // tolerates before giving up (progress resets the count).
 func WithRetries(n int) Option { return func(c *Client) { c.retries = n } }
+
+// WithSubmitRetries sets the per-batch retry budget Submit spends on 429
+// responses before surfacing the rejection (n < 0 disables retrying).
+// Each retry waits out the server's Retry-After hint or the client's own
+// capped-jittered backoff, whichever is longer.
+func WithSubmitRetries(n int) Option { return func(c *Client) { c.submitRetries = n } }
 
 // WithToken attaches "Authorization: Bearer <token>" to every request —
 // the credential a clusterd started with -token requires. An empty token
@@ -139,11 +148,13 @@ func New(baseURL string, opts ...Option) (*Client, error) {
 		return nil, fmt.Errorf("client: invalid base URL %q", baseURL)
 	}
 	c := &Client{
-		base:       strings.TrimRight(baseURL, "/"),
-		hc:         &http.Client{Transport: DefaultTransport},
-		minBackoff: 100 * time.Millisecond,
-		maxBackoff: 5 * time.Second,
-		retries:    5,
+		base:          strings.TrimRight(baseURL, "/"),
+		hc:            &http.Client{Transport: DefaultTransport},
+		minBackoff:    100 * time.Millisecond,
+		maxBackoff:    5 * time.Second,
+		retries:       5,
+		submitRetries: 4,
+		rnd:           rand.Float64,
 	}
 	for _, o := range opts {
 		o(c)
@@ -167,12 +178,17 @@ func checkVersion(resp *http.Response) error {
 }
 
 // apiError decodes a non-2xx response into an *api.Error, falling back to
-// a generic error when the body isn't the uniform JSON shape.
+// a generic error when the body isn't the uniform JSON shape. A
+// Retry-After header (integer seconds, as clusterd sends on 429) is
+// carried along so callers can honor the server's pacing hint.
 func apiError(resp *http.Response) error {
 	body, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
 	var e api.Error
 	if err := json.Unmarshal(body, &e); err == nil && e.Code != "" {
 		e.Status = resp.StatusCode
+		if secs, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && secs > 0 {
+			e.RetryAfter = time.Duration(secs) * time.Second
+		}
 		return &e
 	}
 	return fmt.Errorf("client: http %d: %s", resp.StatusCode, strings.TrimSpace(string(body)))
@@ -243,10 +259,11 @@ func (c *Client) doHeaders(ctx context.Context, method, path string, hdr map[str
 }
 
 // submitConfig collects per-submission settings: the request body plus
-// out-of-band details like the trace-ID header.
+// out-of-band details like the trace-ID and deadline headers.
 type submitConfig struct {
 	req       api.SubmitRequest
 	traceBase string
+	deadline  time.Duration
 }
 
 // SubmitOption adjusts one submission.
@@ -268,9 +285,28 @@ func WithTraceBase(base string) SubmitOption {
 	return func(sc *submitConfig) { sc.traceBase = base }
 }
 
+// WithPriority assigns the batch to a scheduling lane ("interactive" or
+// "bulk"; empty means interactive). Bulk batches yield worker slots to
+// interactive ones under contention instead of queueing FIFO.
+func WithPriority(lane string) SubmitOption {
+	return func(sc *submitConfig) { sc.req.Priority = lane }
+}
+
+// WithDeadline bounds the batch server-side: jobs not finished within d
+// of admission are canceled or shed with code "deadline_exceeded". Sent
+// as the api.DeadlineHeader header; non-positive d sends nothing.
+func WithDeadline(d time.Duration) SubmitOption {
+	return func(sc *submitConfig) { sc.deadline = d }
+}
+
 // Submit sends a batch of job specs and returns the submission ack: the
 // submission id to stream, each job's result content key, and each
 // job's trace ID.
+//
+// A 429 (rate limit or quota) is retried up to the WithSubmitRetries
+// budget, sleeping the server's Retry-After hint or the client's own
+// capped-jittered backoff — whichever is longer — between attempts.
+// Other errors, including context cancellation, surface immediately.
 func (c *Client) Submit(ctx context.Context, specs []engine.JobSpec, opts ...SubmitOption) (*api.SubmitResponse, error) {
 	if len(specs) == 0 {
 		return nil, fmt.Errorf("client: empty submission")
@@ -279,15 +315,33 @@ func (c *Client) Submit(ctx context.Context, specs []engine.JobSpec, opts ...Sub
 	for _, o := range opts {
 		o(&sc)
 	}
-	var hdr map[string]string
+	hdr := map[string]string{}
 	if sc.traceBase != "" {
-		hdr = map[string]string{api.TraceHeader: sc.traceBase}
+		hdr[api.TraceHeader] = sc.traceBase
 	}
-	var resp api.SubmitResponse
-	if err := c.doHeaders(ctx, http.MethodPost, "/v1/jobs", hdr, sc.req, &resp); err != nil {
-		return nil, err
+	if sc.deadline > 0 {
+		hdr[api.DeadlineHeader] = strconv.FormatInt(sc.deadline.Milliseconds(), 10)
 	}
-	return &resp, nil
+	for attempt := 0; ; attempt++ {
+		var resp api.SubmitResponse
+		err := c.doHeaders(ctx, http.MethodPost, "/v1/jobs", hdr, sc.req, &resp)
+		if err == nil {
+			return &resp, nil
+		}
+		var apiErr *api.Error
+		if !errors.As(err, &apiErr) || apiErr.Status != http.StatusTooManyRequests || attempt >= c.submitRetries {
+			return nil, err
+		}
+		delay := backoffDelay(attempt+1, c.minBackoff, c.maxBackoff, c.rnd)
+		if apiErr.RetryAfter > delay {
+			delay = apiErr.RetryAfter
+		}
+		select {
+		case <-time.After(delay):
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
 }
 
 // SubmitOne submits a single job spec.
@@ -408,12 +462,8 @@ func (c *Client) Stream(ctx context.Context, id string, fn func(api.JobEvent)) e
 			}
 			return fmt.Errorf("client: stream failed after %d attempts: %w", failures, err)
 		}
-		backoff := c.minBackoff << (failures - 1)
-		if backoff > c.maxBackoff || backoff <= 0 {
-			backoff = c.maxBackoff
-		}
 		select {
-		case <-time.After(backoff):
+		case <-time.After(backoffDelay(failures, c.minBackoff, c.maxBackoff, c.rnd)):
 		case <-ctx.Done():
 			return ctx.Err()
 		}

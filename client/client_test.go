@@ -2,6 +2,7 @@ package client_test
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"net/http"
@@ -453,5 +454,89 @@ func TestClientBearerToken(t *testing.T) {
 	}
 	if _, err := c.Result(ctx, sub.Keys[0]); err != nil {
 		t.Fatalf("authenticated raw fetch: %v", err)
+	}
+}
+
+// Submit retries 429s within its budget, honoring the server's
+// Retry-After when given, and surfaces the typed rejection — hint
+// attached — when the budget runs out.
+func TestSubmitRetriesRateLimit(t *testing.T) {
+	ctx := context.Background()
+	specs := []engine.JobSpec{{Simpoint: "gzip-1", Setup: engine.SetupSpec{Kind: "OP", NumClusters: 2}}}
+
+	var attempts atomic.Int64
+	relenting := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set(api.VersionHeader, strconv.Itoa(api.Version))
+		if attempts.Add(1) < 3 {
+			w.WriteHeader(http.StatusTooManyRequests)
+			fmt.Fprintf(w, `{"code":%q,"message":"slow down"}`, api.CodeRateLimited)
+			return
+		}
+		w.WriteHeader(http.StatusAccepted)
+		fmt.Fprint(w, `{"id":"sub-1","keys":["k"],"total":1}`)
+	}))
+	t.Cleanup(relenting.Close)
+	c, err := client.New(relenting.URL, client.WithBackoff(time.Millisecond, 4*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub, err := c.Submit(ctx, specs)
+	if err != nil {
+		t.Fatalf("submit through transient 429s: %v", err)
+	}
+	if sub.ID != "sub-1" || attempts.Load() != 3 {
+		t.Fatalf("id=%q after %d attempts, want sub-1 after 3", sub.ID, attempts.Load())
+	}
+
+	// Budget zero: the rejection surfaces immediately with the parsed
+	// Retry-After hint, and no retry fires.
+	var hard atomic.Int64
+	wall := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hard.Add(1)
+		w.Header().Set(api.VersionHeader, strconv.Itoa(api.Version))
+		w.Header().Set("Retry-After", "7")
+		w.WriteHeader(http.StatusTooManyRequests)
+		fmt.Fprintf(w, `{"code":%q,"message":"quota full"}`, api.CodeQuotaExceeded)
+	}))
+	t.Cleanup(wall.Close)
+	c2, err := client.New(wall.URL, client.WithSubmitRetries(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var apiErr *api.Error
+	if _, err := c2.Submit(ctx, specs); !errors.As(err, &apiErr) ||
+		apiErr.Code != api.CodeQuotaExceeded || apiErr.RetryAfter != 7*time.Second {
+		t.Fatalf("exhausted budget error: %v", err)
+	}
+	if hard.Load() != 1 {
+		t.Fatalf("server saw %d attempts with a zero budget, want 1", hard.Load())
+	}
+}
+
+// Priority and deadline submit options ride the wire: priority in the
+// request body, the deadline as the api.DeadlineHeader header.
+func TestSubmitPriorityAndDeadlineOnWire(t *testing.T) {
+	var gotPriority, gotDeadline string
+	echo := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		var req api.SubmitRequest
+		json.NewDecoder(r.Body).Decode(&req)
+		gotPriority, gotDeadline = req.Priority, r.Header.Get(api.DeadlineHeader)
+		w.Header().Set(api.VersionHeader, strconv.Itoa(api.Version))
+		w.WriteHeader(http.StatusAccepted)
+		fmt.Fprint(w, `{"id":"sub-1","keys":["k"],"total":1}`)
+	}))
+	t.Cleanup(echo.Close)
+	c, err := client.New(echo.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = c.Submit(context.Background(),
+		[]engine.JobSpec{{Simpoint: "gzip-1", Setup: engine.SetupSpec{Kind: "OP", NumClusters: 2}}},
+		client.WithPriority("bulk"), client.WithDeadline(1500*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotPriority != "bulk" || gotDeadline != "1500" {
+		t.Fatalf("wire carried priority=%q deadline=%q, want bulk/1500", gotPriority, gotDeadline)
 	}
 }

@@ -52,7 +52,9 @@ import (
 	"syscall"
 	"time"
 
+	"clustersim/internal/admission"
 	"clustersim/internal/engine"
+	"clustersim/internal/faultinject"
 	"clustersim/internal/obs"
 	"clustersim/internal/service"
 	"clustersim/internal/store"
@@ -88,6 +90,7 @@ func main() {
 		memMax    = flag.Int64("memmax", 256<<20, "bound the in-memory result tier to this many bytes")
 		par       = flag.Int("parallel", 0, "concurrent simulations (0 = all cores)")
 		subTTL    = flag.Duration("subttl", time.Hour, "GC completed submissions after this long (0 = count-based retention only)")
+		retention = flag.Int("retention", 0, "completed submissions kept queryable by id (0 = server default; results stay fetchable by key regardless)")
 		token     = flag.String("token", "", "require this bearer token on every request (empty = no auth; /healthz stays open)")
 		compress  = flag.Bool("compress", false, "gzip result blobs in the disk store (old uncompressed blobs stay readable)")
 		coord     = flag.Bool("coordinator", false, "serve the fleet membership register on /v1/ring (for fleets sharing one placement view)")
@@ -95,6 +98,10 @@ func main() {
 		logLevel  = flag.String("log-level", "info", "log level: debug, info, warn, error (access log rides at debug)")
 		logFormat = flag.String("log-format", "text", "log format: text or json")
 		debugAddr = flag.String("debug-addr", "", "serve net/http/pprof on this separate listener (empty = disabled)")
+		rate      = flag.Float64("rate", 0, "per-tenant admitted jobs per second (0 = unlimited)")
+		burst     = flag.Float64("burst", 0, "per-tenant burst allowance in jobs (0 = max(rate, 1))")
+		quota     = flag.Int("quota", 0, "per-tenant in-flight job quota; larger batches 429 (0 = unlimited)")
+		chaos     = flag.String("chaos", "", "fault-injection schedule for resilience testing, e.g. \"seed=1,latency=5ms,error=0.05\" (/healthz stays exempt)")
 	)
 	flag.Parse()
 
@@ -124,11 +131,28 @@ func main() {
 
 	svc := service.New(ctx, eng, st)
 	svc.SetTTL(*subTTL)
+	if *retention > 0 {
+		svc.SetRetention(*retention)
+	}
 	svc.SetToken(*token)
 	svc.SetLogger(log)
 	if *coord {
 		svc.EnableCoordinator()
 		log.Info("coordinator mode: serving the fleet ring register")
+	}
+	if *rate > 0 || *quota > 0 {
+		svc.SetAdmission(admission.New(admission.Limits{Rate: *rate, Burst: *burst, MaxInFlight: *quota}))
+		log.Info("admission control enabled", "rate", *rate, "burst", *burst, "quota", *quota)
+	}
+	var handler http.Handler = svc
+	if *chaos != "" {
+		cfg, err := faultinject.Parse(*chaos)
+		if err != nil {
+			log.Error("bad -chaos schedule", "err", err)
+			os.Exit(1)
+		}
+		handler = faultinject.New(cfg).Middleware(svc)
+		log.Warn("fault injection enabled — this daemon will misbehave on purpose", "schedule", *chaos)
 	}
 	if *debugAddr != "" {
 		// pprof registers on http.DefaultServeMux (the blank import); a
@@ -141,7 +165,7 @@ func main() {
 			}
 		}()
 	}
-	srv := &http.Server{Addr: *addr, Handler: svc}
+	srv := &http.Server{Addr: *addr, Handler: handler}
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
 	log.Info("serving", "addr", *addr, "parallel", eng.Parallelism(), "tracecap", *traceCap)

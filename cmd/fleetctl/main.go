@@ -92,6 +92,8 @@ func main() {
 		coordURL  = flag.String("coordinator", "", "clusterd -coordinator URL: transitions go through the shared ring register")
 		token     = flag.String("token", "", "bearer token for workers started with -token")
 		timeout   = flag.Duration("timeout", 10*time.Minute, "bound the whole operation (drains move every blob the worker holds)")
+		brkTrip   = flag.Int("breaker-trip", 5, "consecutive failures that open a worker's circuit breaker (0 disables)")
+		brkCool   = flag.Duration("breaker-cooldown", 5*time.Second, "breaker open -> half-open cooldown")
 		logLevel  = flag.String("log-level", "info", "log level: debug, info, warn, error")
 		logFormat = flag.String("log-format", "text", "log format: text or json")
 	)
@@ -147,10 +149,12 @@ func main() {
 	if *coordURL != "" {
 		fopts = append(fopts, fleet.WithCoordinator(*coordURL))
 	}
+	if *brkTrip > 0 {
+		fopts = append(fopts, fleet.WithBreaker(*brkTrip, *brkCool))
+	}
 	f, err := fleet.New(urls, fopts...)
 	if err != nil {
-		log.Error("fleet construction failed", "err", err)
-		os.Exit(1)
+		fail(log, "fleet construction", err)
 	}
 
 	switch cmd {
@@ -161,16 +165,14 @@ func main() {
 			usage()
 		}
 		if err := f.Drain(ctx, arg); err != nil {
-			log.Error("drain failed", "worker", arg, "err", err)
-			os.Exit(1)
+			fail(log, "drain "+arg, err)
 		}
 	case "add":
 		if arg == "" {
 			usage()
 		}
 		if err := f.AddWorker(ctx, arg); err != nil {
-			log.Error("add failed", "worker", arg, "err", err)
-			os.Exit(1)
+			fail(log, "add "+arg, err)
 		}
 	case "readmit":
 		f.Readmit(ctx)
@@ -179,6 +181,37 @@ func main() {
 	}
 
 	printStatus(f.FleetStats())
+}
+
+// Exit statuses scripts can branch on: 1 is a generic failure, 3 means
+// the server refused for load (rate limit or quota — retry later), 4
+// means a deadline expired server-side.
+const (
+	exitFailure     = 1
+	exitRateLimited = 3
+	exitDeadline    = 4
+)
+
+// fail reports a command failure and exits with the status mapped from
+// the server's stable JSON error code. Overload refusals print the
+// parsed Retry-After so scripts (and operators) know when trying again
+// is worthwhile.
+func fail(log *slog.Logger, op string, err error) {
+	var apiErr *api.Error
+	if errors.As(err, &apiErr) {
+		switch apiErr.Code {
+		case api.CodeRateLimited, api.CodeQuotaExceeded:
+			log.Error(op+" refused for load", "code", apiErr.Code, "retry_after", apiErr.RetryAfter)
+			fmt.Printf("error: %s (retry after %s)\n", apiErr.Code, apiErr.RetryAfter)
+			os.Exit(exitRateLimited)
+		case api.CodeDeadlineExceeded:
+			log.Error(op+" exceeded its deadline", "code", apiErr.Code)
+			fmt.Printf("error: %s\n", apiErr.Code)
+			os.Exit(exitDeadline)
+		}
+	}
+	log.Error(op+" failed", "err", err)
+	os.Exit(exitFailure)
 }
 
 func printStatus(fs fleet.Stats) {
@@ -192,6 +225,9 @@ func printStatus(fs fleet.Stats) {
 		fs.Epoch, assignable, len(fs.Members), fs.Readmissions, fs.DrainMigrated, fs.Backfilled)
 	for _, m := range fs.Members {
 		fmt.Printf("  %-8s %s (epoch %d)", m.State, m.URL, m.Epoch)
+		if m.Breaker != "" {
+			fmt.Printf("  breaker %s", m.Breaker)
+		}
 		if m.LastError != "" {
 			fmt.Printf("  last error: %s", m.LastError)
 		}

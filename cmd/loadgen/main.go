@@ -199,6 +199,9 @@ func main() {
 		clients  = flag.Int("clients", 64, "concurrent workers per benchmark")
 		duration = flag.Duration("duration", 3*time.Second, "measured time per benchmark")
 		uops     = flag.Int("uops", 20000, "simulated uops per warm-up job")
+		overldFl = flag.Bool("overload", false, "run the two-tenant overload demo instead of the serving benchmarks (self-asserting; start the server with -quota/-rate)")
+		flood    = flag.Int("flood", 16, "bulk-tenant flood workers in -overload mode")
+		samples  = flag.Int("samples", 30, "interactive latency samples per overload phase")
 	)
 	flag.Parse()
 
@@ -209,6 +212,9 @@ func main() {
 	}
 	if err := cl.Health(ctx); err != nil {
 		fatal(fmt.Errorf("server not reachable: %w", err))
+	}
+	if *overldFl {
+		os.Exit(overload(&http.Client{Transport: client.DefaultTransport}, *base, *token, *uops, *flood, *samples))
 	}
 
 	// Warm up: simulate the batch once; every measured request below is

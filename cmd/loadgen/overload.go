@@ -1,0 +1,388 @@
+package main
+
+// The -overload phase is the admission-control acceptance demo: two
+// tenants share one limited clusterd — an interactive tenant submitting
+// one job at a time, and a bulk tenant flooding far past capacity. The
+// phase self-asserts the overload contract and exits nonzero when any
+// clause fails, so CI pins it:
+//
+//   - the interactive lane's p99 job latency under flood stays within
+//     3x its uncontended baseline (weighted-fair lanes, not FIFO);
+//   - bulk overflow is shed with 429 + Retry-After, visible in
+//     /metrics as clusterd_admission_rejects_total{reason};
+//   - every accepted job completes exactly once, and every result blob
+//     fetched twice is byte-identical.
+//
+// Jobs are cache-busted (a fresh uop count per submission), so every
+// accepted job truly simulates — the phase exercises the engine's lanes
+// and the admission window, not the warm serving path.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"clustersim/internal/api"
+)
+
+// overload drives the two-tenant storm. Returns the process exit code.
+func overload(hc *http.Client, base, token string, uops int, flood int, samples int) int {
+	o := &overloadRunner{hc: hc, base: base, token: token, uopsBase: uops}
+
+	rejectsBefore, rejectsErr := scrapeAdmissionRejects(hc, token, base)
+
+	// Uncontended baseline: the interactive tenant alone.
+	baseline, err := o.measureInteractive(samples)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "loadgen: overload baseline:", err)
+		return 1
+	}
+
+	// The flood: bulk tenant hammers until told to stop, retrying 429s
+	// after a short pause (deliberately not the full Retry-After — the
+	// point is sustained offered load ≥ 2x capacity).
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	var floodErr atomic.Value
+	for i := 0; i < flood; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				code, retryAfter, err := o.submitOne("bulk", "bulk")
+				switch {
+				case err != nil:
+					floodErr.CompareAndSwap(nil, err)
+					return
+				case code == http.StatusTooManyRequests:
+					o.shed.Add(1)
+					if retryAfter == "" {
+						floodErr.CompareAndSwap(nil, fmt.Errorf("429 without Retry-After"))
+						return
+					}
+					select {
+					// Retry well under the server's Retry-After (so offered
+					// load stays far above capacity) but not so hot that the
+					// shed traffic itself becomes the contention being
+					// measured on small CI runners.
+					case <-time.After(25 * time.Millisecond):
+					case <-stop:
+						return
+					}
+				case code != http.StatusAccepted:
+					floodErr.CompareAndSwap(nil, fmt.Errorf("bulk submit: status %d", code))
+					return
+				}
+			}
+		}()
+	}
+	time.Sleep(300 * time.Millisecond) // let the flood saturate the lanes
+
+	contended, err := o.measureInteractive(samples)
+	close(stop)
+	wg.Wait()
+	if err == nil {
+		if fe := floodErr.Load(); fe != nil {
+			err = fe.(error)
+		}
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "loadgen: overload storm:", err)
+		return 1
+	}
+
+	// Settle: every accepted job — bulk and interactive — must complete
+	// exactly once.
+	if err := o.verifyAccepted(); err != nil {
+		fmt.Fprintln(os.Stderr, "loadgen: overload settle:", err)
+		return 1
+	}
+
+	basePD := percentile(baseline, 0.99)
+	contPD := percentile(contended, 0.99)
+	ratio := contPD.Seconds() / basePD.Seconds()
+	fmt.Printf("overload: interactive p99 %s uncontended -> %s under %dx flood (%.2fx), %d bulk jobs shed, %d accepted jobs verified\n",
+		basePD.Round(time.Microsecond), contPD.Round(time.Microsecond), flood, ratio,
+		o.shed.Load(), o.verified.Load())
+
+	failed := false
+	if o.shed.Load() == 0 {
+		fmt.Fprintln(os.Stderr, "loadgen: FAIL: flood never saw a 429 — the server is not limiting (start clusterd with -quota/-rate)")
+		failed = true
+	}
+	if ratio > 3.0 {
+		fmt.Fprintf(os.Stderr, "loadgen: FAIL: interactive p99 degraded %.2fx under flood, bound is 3x\n", ratio)
+		failed = true
+	}
+	if rejectsErr == nil {
+		rejectsAfter, err := scrapeAdmissionRejects(hc, token, base)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "loadgen: FAIL: /metrics scrape after storm:", err)
+			failed = true
+		} else if rejectsAfter <= rejectsBefore {
+			fmt.Fprintln(os.Stderr, "loadgen: FAIL: clusterd_admission_rejects_total did not advance over the storm")
+			failed = true
+		}
+	} else {
+		fmt.Fprintln(os.Stderr, "loadgen: FAIL: /metrics scrape before storm:", rejectsErr)
+		failed = true
+	}
+	if failed {
+		return 1
+	}
+	return 0
+}
+
+// accepted is one admitted submission to settle and verify.
+type accepted struct {
+	id   string
+	keys []string
+}
+
+type overloadRunner struct {
+	hc          *http.Client
+	base, token string
+	uopsBase    int
+	ctr         atomic.Int64 // cache-buster: every job gets fresh uops
+
+	mu       sync.Mutex
+	accepted []accepted
+
+	shed     atomic.Int64
+	verified atomic.Int64
+}
+
+// submitOne posts a single-job batch for tenant on the given lane. The
+// job's uop count is unique per call, so no two submissions share a
+// result key.
+func (o *overloadRunner) submitOne(tenant, lane string) (status int, retryAfter string, err error) {
+	uops := o.uopsBase + int(o.ctr.Add(1))
+	body := fmt.Sprintf(`{"jobs":[{"simpoint":"gzip-1","setup":{"kind":"OP","clusters":2},"opts":{"num_uops":%d}}],"priority":%q}`,
+		uops, lane)
+	req, err := http.NewRequest(http.MethodPost, o.base+"/v1/jobs", strings.NewReader(body))
+	if err != nil {
+		return 0, "", err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(api.TenantHeader, tenant)
+	if o.token != "" {
+		req.Header.Set("Authorization", "Bearer "+o.token)
+	}
+	resp, err := o.hc.Do(req)
+	if err != nil {
+		return 0, "", err
+	}
+	defer resp.Body.Close()
+	blob, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return 0, "", err
+	}
+	if resp.StatusCode == http.StatusAccepted {
+		var sub api.SubmitResponse
+		if err := json.Unmarshal(blob, &sub); err != nil {
+			return 0, "", fmt.Errorf("undecodable submit ack: %w", err)
+		}
+		o.mu.Lock()
+		o.accepted = append(o.accepted, accepted{id: sub.ID, keys: sub.Keys})
+		o.mu.Unlock()
+	}
+	return resp.StatusCode, resp.Header.Get("Retry-After"), nil
+}
+
+// measureInteractive runs n sequential interactive jobs, returning each
+// job's submit-to-done latency sorted ascending. The interactive tenant
+// must never be shed — it submits one job at a time.
+func (o *overloadRunner) measureInteractive(n int) ([]time.Duration, error) {
+	lats := make([]time.Duration, 0, n)
+	for i := 0; i < n; i++ {
+		t0 := time.Now()
+		code, _, err := o.submitOne("interactive", "interactive")
+		if err != nil {
+			return nil, err
+		}
+		if code != http.StatusAccepted {
+			return nil, fmt.Errorf("interactive submit shed with status %d — per-tenant isolation is broken", code)
+		}
+		o.mu.Lock()
+		sub := o.accepted[len(o.accepted)-1]
+		o.mu.Unlock()
+		if err := o.waitDone(sub.id, 60*time.Second); err != nil {
+			return nil, err
+		}
+		lats = append(lats, time.Since(t0))
+	}
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	return lats, nil
+}
+
+// waitDone polls a submission until the server reports it done.
+func (o *overloadRunner) waitDone(id string, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		var status api.StatusResponse
+		if err := o.getJSON("/v1/jobs/"+url.PathEscape(id), &status); err != nil {
+			return err
+		}
+		if status.Done {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("submission %s still running after %s — accepted work was lost", id, timeout)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// verifyAccepted settles every admitted submission and checks the
+// exactly-once and byte-identical clauses: all jobs report exactly one
+// event each with no error, and each result blob fetched twice comes
+// back identical.
+func (o *overloadRunner) verifyAccepted() error {
+	o.mu.Lock()
+	subs := append([]accepted(nil), o.accepted...)
+	o.mu.Unlock()
+	for _, sub := range subs {
+		if err := o.waitDone(sub.id, 120*time.Second); err != nil {
+			return err
+		}
+		var status api.StatusResponse
+		if err := o.getJSON("/v1/jobs/"+url.PathEscape(sub.id), &status); err != nil {
+			return err
+		}
+		if status.Completed != status.Total || len(status.Results) != status.Total {
+			return fmt.Errorf("submission %s: %d/%d events for %d jobs — lost or duplicated work",
+				sub.id, len(status.Results), status.Completed, status.Total)
+		}
+		seen := map[int]bool{}
+		for _, ev := range status.Results {
+			if seen[ev.Index] {
+				return fmt.Errorf("submission %s: job %d reported twice", sub.id, ev.Index)
+			}
+			seen[ev.Index] = true
+			if ev.Error != "" {
+				return fmt.Errorf("submission %s job %d failed: %s (%s)", sub.id, ev.Index, ev.Error, ev.Code)
+			}
+		}
+		for _, key := range sub.keys {
+			first, err := o.fetchRaw(key)
+			if err != nil {
+				return err
+			}
+			second, err := o.fetchRaw(key)
+			if err != nil {
+				return err
+			}
+			if !bytes.Equal(first, second) {
+				return fmt.Errorf("result %s not byte-identical across fetches", key)
+			}
+		}
+		o.verified.Add(int64(status.Total))
+	}
+	return nil
+}
+
+func (o *overloadRunner) fetchRaw(key string) ([]byte, error) {
+	req, err := http.NewRequest(http.MethodGet, o.base+"/v1/results?raw=1&key="+url.QueryEscape(key), nil)
+	if err != nil {
+		return nil, err
+	}
+	if o.token != "" {
+		req.Header.Set("Authorization", "Bearer "+o.token)
+	}
+	resp, err := o.hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	blob, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("result %s: status %d", key, resp.StatusCode)
+	}
+	return blob, nil
+}
+
+func (o *overloadRunner) getJSON(path string, v any) error {
+	req, err := http.NewRequest(http.MethodGet, o.base+path, nil)
+	if err != nil {
+		return err
+	}
+	if o.token != "" {
+		req.Header.Set("Authorization", "Bearer "+o.token)
+	}
+	resp, err := o.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body)
+		return fmt.Errorf("%s: status %d", path, resp.StatusCode)
+	}
+	return json.NewDecoder(resp.Body).Decode(v)
+}
+
+// percentile reads the p-th percentile from an ascending-sorted slice.
+func percentile(sorted []time.Duration, p float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	return sorted[int(p*float64(len(sorted)-1))]
+}
+
+// scrapeAdmissionRejects sums clusterd_admission_rejects_total across
+// its reason labels from /metrics.
+func scrapeAdmissionRejects(hc *http.Client, token, base string) (float64, error) {
+	req, err := http.NewRequest(http.MethodGet, base+"/metrics", nil)
+	if err != nil {
+		return 0, err
+	}
+	if token != "" {
+		req.Header.Set("Authorization", "Bearer "+token)
+	}
+	resp, err := hc.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	blob, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return 0, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return 0, fmt.Errorf("/metrics: status %d", resp.StatusCode)
+	}
+	total, found := 0.0, false
+	for _, line := range strings.Split(string(blob), "\n") {
+		if !strings.HasPrefix(line, "clusterd_admission_rejects_total{") {
+			continue
+		}
+		if i := strings.LastIndex(line, "}"); i >= 0 {
+			var v float64
+			if _, err := fmt.Sscanf(strings.TrimSpace(line[i+1:]), "%g", &v); err == nil {
+				total += v
+				found = true
+			}
+		}
+	}
+	if !found {
+		return 0, fmt.Errorf("clusterd_admission_rejects_total not exposed — admission control is off")
+	}
+	return total, nil
+}

@@ -1,0 +1,174 @@
+package fleet
+
+// Per-worker circuit breakers, layered under the membership table. The
+// dead/alive machinery handles workers that are *gone* (probe fails,
+// re-shard everything); the breaker handles workers that are *sick* —
+// alive enough to answer a health probe, unhealthy enough to fail real
+// work repeatedly. Tripping stops routing new shards at a flapping
+// worker without the heavyweight dead-marking transition, and the
+// half-open probe re-admits it after a cooldown at the cost of one
+// shard, not a membership epoch.
+
+import (
+	"sync"
+	"time"
+)
+
+// Breaker states, reported by FleetStats and fleetctl status.
+const (
+	BreakerClosed   = "closed"
+	BreakerOpen     = "open"
+	BreakerHalfOpen = "half-open"
+)
+
+// breaker is one worker's circuit breaker. The zero value is not usable;
+// build with newBreaker.
+type breaker struct {
+	mu       sync.Mutex
+	trip     int           // consecutive failures that open the circuit
+	cooldown time.Duration // open -> half-open delay
+	now      func() time.Time
+
+	state       string
+	consecutive int
+	since       time.Time // entered current non-closed state
+	probeArmed  bool      // half-open: the single probe slot is spent
+}
+
+func newBreaker(trip int, cooldown time.Duration) *breaker {
+	return &breaker{trip: trip, cooldown: cooldown, now: time.Now, state: BreakerClosed}
+}
+
+// allow reports whether new work may be routed to the worker, consuming
+// the half-open probe slot when it grants one. Open circuits move to
+// half-open after the cooldown; a half-open circuit grants a single
+// probe, then refuses until the probe resolves (success or failure). A
+// probe that was granted but never produced an outcome — the round
+// routed no task to the worker — re-arms after another cooldown, so a
+// breaker cannot wedge half-open forever.
+func (b *breaker) allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		return true
+	case BreakerOpen:
+		if b.now().Sub(b.since) < b.cooldown {
+			return false
+		}
+		b.state = BreakerHalfOpen
+		b.since = b.now()
+		b.probeArmed = true
+		return true
+	default: // half-open
+		if b.probeArmed && b.now().Sub(b.since) < b.cooldown {
+			return false // a probe is already out
+		}
+		b.since = b.now()
+		b.probeArmed = true
+		return true
+	}
+}
+
+// success records a completed request: the circuit closes and the
+// failure streak resets, whatever state it was in.
+func (b *breaker) success() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.state = BreakerClosed
+	b.consecutive = 0
+	b.probeArmed = false
+}
+
+// failure records a transport-level failure. A half-open probe failing
+// re-opens immediately; a closed circuit opens once the consecutive
+// streak reaches the trip threshold.
+func (b *breaker) failure() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.consecutive++
+	switch {
+	case b.state == BreakerHalfOpen:
+		b.state = BreakerOpen
+		b.since = b.now()
+		b.probeArmed = false
+	case b.state == BreakerClosed && b.consecutive >= b.trip:
+		b.state = BreakerOpen
+		b.since = b.now()
+	}
+}
+
+// reset force-closes the circuit — used when the membership layer
+// re-admits a worker, which is a stronger signal than one probe.
+func (b *breaker) reset() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.state = BreakerClosed
+	b.consecutive = 0
+	b.probeArmed = false
+}
+
+// current returns the state name.
+func (b *breaker) current() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}
+
+// breakerFor returns url's breaker, creating it on first use; nil when
+// the policy is disabled.
+func (f *Runner) breakerFor(url string) *breaker {
+	if f.breakerTrip <= 0 {
+		return nil
+	}
+	f.breakerMu.Lock()
+	defer f.breakerMu.Unlock()
+	b := f.breakers[url]
+	if b == nil {
+		b = newBreaker(f.breakerTrip, f.breakerCooldown)
+		f.breakers[url] = b
+	}
+	return b
+}
+
+// breakerAllows consults url's breaker for routing; permissive when the
+// policy is disabled.
+func (f *Runner) breakerAllows(url string) bool {
+	b := f.breakerFor(url)
+	return b == nil || b.allow()
+}
+
+// breakerSuccess / breakerFailure / breakerReset feed request outcomes
+// into url's breaker, as no-ops when the policy is disabled.
+func (f *Runner) breakerSuccess(url string) {
+	if b := f.breakerFor(url); b != nil {
+		b.success()
+	}
+}
+
+func (f *Runner) breakerFailure(url string) {
+	if b := f.breakerFor(url); b != nil {
+		b.failure()
+	}
+}
+
+func (f *Runner) breakerReset(url string) {
+	if b := f.breakerFor(url); b != nil {
+		b.reset()
+	}
+}
+
+// breakerState returns url's current state name, or "" when the policy
+// is disabled.
+func (f *Runner) breakerState(url string) string {
+	if f.breakerTrip <= 0 {
+		return ""
+	}
+	f.breakerMu.Lock()
+	b := f.breakers[url]
+	f.breakerMu.Unlock()
+	if b == nil {
+		return BreakerClosed // never saw traffic
+	}
+	return b.current()
+}

@@ -1,0 +1,118 @@
+package fleet
+
+import (
+	"testing"
+	"time"
+)
+
+// fakeBreakerClock drives a breaker through time deterministically.
+type fakeBreakerClock struct{ t time.Time }
+
+func (c *fakeBreakerClock) now() time.Time          { return c.t }
+func (c *fakeBreakerClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+func testBreaker(trip int, cool time.Duration) (*breaker, *fakeBreakerClock) {
+	clk := &fakeBreakerClock{t: time.Unix(1000, 0)}
+	b := newBreaker(trip, cool)
+	b.now = clk.now
+	return b, clk
+}
+
+func TestBreakerTripsOnConsecutiveFailures(t *testing.T) {
+	b, _ := testBreaker(3, time.Minute)
+	for i := 0; i < 2; i++ {
+		b.failure()
+		if !b.allow() {
+			t.Fatalf("opened after %d failures, trip is 3", i+1)
+		}
+	}
+	b.failure()
+	if b.allow() {
+		t.Fatal("still closed after reaching the trip threshold")
+	}
+	if got := b.current(); got != BreakerOpen {
+		t.Fatalf("state = %q, want open", got)
+	}
+}
+
+func TestBreakerSuccessResetsStreak(t *testing.T) {
+	b, _ := testBreaker(3, time.Minute)
+	// Interleaved successes keep the consecutive count from accumulating.
+	for i := 0; i < 10; i++ {
+		b.failure()
+		b.failure()
+		b.success()
+	}
+	if !b.allow() || b.current() != BreakerClosed {
+		t.Fatalf("non-consecutive failures tripped the breaker (state %q)", b.current())
+	}
+}
+
+func TestBreakerHalfOpenProbe(t *testing.T) {
+	b, clk := testBreaker(1, time.Minute)
+	b.failure()
+	if b.allow() {
+		t.Fatal("open breaker allowed traffic before cooldown")
+	}
+	clk.advance(time.Minute)
+	if !b.allow() {
+		t.Fatal("cooldown elapsed but probe not granted")
+	}
+	if got := b.current(); got != BreakerHalfOpen {
+		t.Fatalf("state = %q, want half-open", got)
+	}
+	if b.allow() {
+		t.Fatal("second probe granted while the first is outstanding")
+	}
+
+	// A failed probe re-opens and re-arms the cooldown.
+	b.failure()
+	if got := b.current(); got != BreakerOpen {
+		t.Fatalf("state after failed probe = %q, want open", got)
+	}
+	if b.allow() {
+		t.Fatal("re-opened breaker allowed traffic immediately")
+	}
+
+	// A successful probe closes for good.
+	clk.advance(time.Minute)
+	if !b.allow() {
+		t.Fatal("second probe not granted after re-cooldown")
+	}
+	b.success()
+	if got := b.current(); got != BreakerClosed {
+		t.Fatalf("state after successful probe = %q, want closed", got)
+	}
+	if !b.allow() || !b.allow() {
+		t.Fatal("closed breaker limited traffic")
+	}
+}
+
+func TestBreakerUnusedProbeRearms(t *testing.T) {
+	// A granted probe that never produced an outcome (no task routed to
+	// the worker that round) must not wedge the breaker half-open.
+	b, clk := testBreaker(1, time.Second)
+	b.failure()
+	clk.advance(time.Second)
+	if !b.allow() {
+		t.Fatal("probe not granted")
+	}
+	if b.allow() {
+		t.Fatal("probe slot granted twice within the cooldown")
+	}
+	clk.advance(time.Second)
+	if !b.allow() {
+		t.Fatal("stale probe slot never re-armed")
+	}
+}
+
+func TestBreakerResetClosesImmediately(t *testing.T) {
+	b, _ := testBreaker(1, time.Hour)
+	b.failure()
+	if b.allow() {
+		t.Fatal("not open")
+	}
+	b.reset()
+	if !b.allow() || b.current() != BreakerClosed {
+		t.Fatalf("reset did not close the breaker (state %q)", b.current())
+	}
+}

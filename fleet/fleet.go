@@ -79,6 +79,8 @@ type config struct {
 	runnerOpts    []client.RunnerOption
 	coordURL      string
 	readmit       time.Duration
+	breakerTrip   int
+	breakerCool   time.Duration
 }
 
 // Option configures a fleet Runner.
@@ -157,6 +159,16 @@ func WithCoordinator(url string) Option {
 	return func(c *config) { c.coordURL = strings.TrimRight(url, "/") }
 }
 
+// WithBreaker installs a per-worker circuit breaker: trip consecutive
+// transport failures stop new shards from routing to the worker (even
+// though it still answers health probes), and after cooldown a single
+// half-open probe shard decides whether it rejoins. Complements the
+// dead/readmit machinery, which only reacts to workers that are gone
+// outright. trip <= 0 disables the policy (the default).
+func WithBreaker(trip int, cooldown time.Duration) Option {
+	return func(c *config) { c.breakerTrip, c.breakerCool = trip, cooldown }
+}
+
 // WithReadmit starts the liveness prober: every interval, workers the
 // fleet marked dead are health-probed, and the ones that answer are
 // re-admitted — their virtual ring points come back, restoring their
@@ -210,6 +222,12 @@ type Runner struct {
 
 	// Control-plane counters surfaced by FleetStats.
 	readmissions, drainMigrated, backfilled atomic.Int64
+
+	// Circuit-breaker policy (breaker.go); breakerTrip <= 0 disables it.
+	breakerTrip     int
+	breakerCooldown time.Duration
+	breakerMu       sync.Mutex
+	breakers        map[string]*breaker
 
 	proberStop context.CancelFunc
 	proberDone chan struct{}
@@ -300,6 +318,13 @@ func New(urls []string, opts ...Option) (*Runner, error) {
 		keyer:      engine.New(engine.Options{Parallelism: 1, DisableCache: true}),
 		copts:      copts,
 		ropts:      ropts,
+	}
+	if cfg.breakerTrip > 0 {
+		f.breakerTrip, f.breakerCooldown = cfg.breakerTrip, cfg.breakerCool
+		if f.breakerCooldown <= 0 {
+			f.breakerCooldown = 5 * time.Second
+		}
+		f.breakers = make(map[string]*breaker, len(members))
 	}
 	f.coordinator = controlplane.NewCoordinator(nil, f.mship)
 
@@ -608,7 +633,15 @@ func (f *Runner) runSharded(ctx context.Context, jobs []engine.Job, tasks []task
 	stealBudget := f.steal // spans rounds: the WithSteal bound is per Stream call
 	for round := 0; len(pending) > 0; round++ {
 		pl := f.placementSnapshot()
-		alive := func(i int) bool { return f.assignable(pl.members[i].url) }
+		// This round's routing view: membership first, then the circuit
+		// breaker. Breaker admission is computed once per member per round,
+		// so a half-open circuit spends its single probe slot on one shard
+		// rather than being consulted per key.
+		routable := make([]bool, len(pl.members))
+		for i, mm := range pl.members {
+			routable[i] = f.assignable(mm.url) && f.breakerAllows(mm.url)
+		}
+		alive := func(i int) bool { return routable[i] }
 		groups := map[int][]task{}
 		var stranded []task
 		for _, t := range pending {
@@ -738,11 +771,15 @@ func (f *Runner) runGroup(ctx context.Context, pl placement, m int, ts []task, j
 			// Dead-marking needs the same liveness probe as streamTasks:
 			// a transient blip on a stolen job must not cost the fleet a
 			// healthy worker.
-			if retryable(err) && f.assignable(mem.url) && !f.probeAlive(mem) {
-				f.markLost(mem, fmt.Errorf("lost while stealing: %w", err))
+			if retryable(err) {
+				f.breakerFailure(mem.url)
+				if f.assignable(mem.url) && !f.probeAlive(mem) {
+					f.markLost(mem, fmt.Errorf("lost while stealing: %w", err))
+				}
 			}
 			continue
 		}
+		f.breakerSuccess(mem.url)
 		deliver(engine.JobResult{Index: t.idx, Job: jobs[t.idx], Result: jr.Result})
 	}
 }
@@ -770,6 +807,7 @@ func (f *Runner) streamTasks(ctx context.Context, pl placement, m int, ts []task
 			rs.resolve(m, t.idx)
 		}
 		if err := jr.Result.Err; err != nil && ctx.Err() == nil && retryable(err) {
+			f.breakerFailure(mem.url)
 			t.attempts++
 			t.err = err
 			if t.attempts > f.maxRetries {
@@ -790,6 +828,9 @@ func (f *Runner) streamTasks(ctx context.Context, pl placement, m int, ts []task
 			rs.requeue(t)
 			continue
 		}
+		// The worker answered — deterministic job failures included — so
+		// its transport is healthy as far as the breaker is concerned.
+		f.breakerSuccess(mem.url)
 		deliver(engine.JobResult{Index: t.idx, Job: jobs[t.idx], Result: jr.Result})
 	}
 	return !f.assignable(mem.url)

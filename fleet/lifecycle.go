@@ -40,6 +40,9 @@ type MemberStatus struct {
 	State     string // alive | dead | draining | removed
 	Epoch     int64
 	LastError string
+	// Breaker is the worker's circuit-breaker state (closed | open |
+	// half-open), empty when the WithBreaker policy is not configured.
+	Breaker string
 }
 
 // Stats is the fleet's control-plane snapshot, distinct from the
@@ -155,7 +158,8 @@ func (f *Runner) FleetStats() Stats {
 		Backfilled:    f.backfilled.Load(),
 	}
 	for i, ms := range v.Members {
-		s.Members[i] = MemberStatus{URL: ms.URL, State: ms.State, Epoch: ms.Epoch, LastError: ms.LastError}
+		s.Members[i] = MemberStatus{URL: ms.URL, State: ms.State, Epoch: ms.Epoch,
+			LastError: ms.LastError, Breaker: f.breakerState(ms.URL)}
 	}
 	return s
 }
@@ -320,6 +324,7 @@ func (f *Runner) startProber(interval time.Duration) {
 			}
 			if f.mship.State(url) == api.MemberAlive {
 				f.readmissions.Add(1)
+				f.breakerReset(url)
 				f.logf("fleet: worker %s recovered; re-admitted at epoch %d", url, f.mship.Epoch())
 			}
 		},
@@ -349,6 +354,7 @@ func (f *Runner) Readmit(ctx context.Context) {
 		}
 		if f.mship.State(ms.URL) == api.MemberAlive {
 			f.readmissions.Add(1)
+			f.breakerReset(ms.URL)
 			f.logf("fleet: worker %s recovered; re-admitted at epoch %d", ms.URL, f.mship.Epoch())
 		}
 	}

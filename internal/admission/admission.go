@@ -1,0 +1,263 @@
+// Package admission is clusterd's overload-protection front door:
+// per-tenant token-bucket rate limits and in-flight job quotas, decided
+// before a submission touches the engine. The model is
+// criticality-aware admission, not blind throttling — a rejected
+// request learns *why* (a stable reason code) and *when to come back*
+// (a Retry-After hint), so well-behaved clients back off instead of
+// hammering, and one flooding tenant cannot starve the rest: every
+// tenant owns its own bucket and quota, and the engine behind the
+// door drains admitted work through priority lanes (see
+// engine.Lane), not FIFO.
+//
+// A tenant is whatever identity the service derives from a request
+// (bearer token, tenant header, "anon"); the controller never
+// interprets it. All methods are safe for concurrent use, and the
+// clock is injectable so refill behavior is testable deterministically.
+package admission
+
+import (
+	"math"
+	"sync"
+	"time"
+)
+
+// Stable rejection reasons, carried to clients as api error codes and
+// to operators as the reason label of
+// clusterd_admission_rejects_total.
+const (
+	// ReasonRateLimited means the tenant's token bucket cannot cover
+	// the batch: sustained submission rate exceeds its refill rate.
+	ReasonRateLimited = "rate_limited"
+	// ReasonQuotaExceeded means admitting the batch would push the
+	// tenant's in-flight jobs over its quota: too much concurrent
+	// work outstanding, independent of arrival rate.
+	ReasonQuotaExceeded = "quota_exceeded"
+)
+
+// Limits configures the per-tenant bounds. The zero value disables
+// everything (every request admitted), so an unconfigured server
+// behaves exactly as before the admission layer existed.
+type Limits struct {
+	// Rate is each tenant's sustained budget in jobs per second;
+	// <= 0 disables rate limiting.
+	Rate float64
+	// Burst is the bucket capacity — the largest batch a fully idle
+	// tenant can land at once. Zero defaults to max(Rate, 1) jobs; a
+	// batch larger than Burst can never be admitted while rate
+	// limiting is on, so size Burst to the largest legitimate batch.
+	Burst float64
+	// MaxInFlight caps each tenant's concurrently running jobs;
+	// <= 0 disables the quota.
+	MaxInFlight int
+}
+
+// withDefaults resolves the documented zero-value behaviors.
+func (l Limits) withDefaults() Limits {
+	if l.Rate > 0 && l.Burst <= 0 {
+		l.Burst = math.Max(l.Rate, 1)
+	}
+	return l
+}
+
+// Decision is the outcome of one Admit call.
+type Decision struct {
+	// OK reports whether the batch was admitted. When true the caller
+	// owes a Release(tenant, n) once the batch's jobs finish.
+	OK bool
+	// Reason is ReasonRateLimited or ReasonQuotaExceeded when !OK.
+	Reason string
+	// RetryAfter is the server's earliest-useful-retry hint when !OK:
+	// for rate limiting, the refill time the batch is short by; for
+	// quota, a nominal pause for in-flight work to drain. Never
+	// negative; zero only when no honest hint exists.
+	RetryAfter time.Duration
+}
+
+// Stats is a snapshot of the controller's counters.
+type Stats struct {
+	// Admitted counts jobs (not batches) admitted.
+	Admitted int64
+	// RejectedRate and RejectedQuota count rejected batches by reason.
+	RejectedRate, RejectedQuota int64
+	// InFlight is the current total of admitted-but-unreleased jobs
+	// across all tenants.
+	InFlight int64
+	// Tenants is the number of tenants currently tracked.
+	Tenants int
+}
+
+// tenant is one identity's bucket and quota state.
+type tenant struct {
+	tokens   float64 // current bucket fill, in jobs
+	refilled time.Time
+	inflight int
+	lastSeen time.Time
+}
+
+// Controller applies Limits per tenant. The zero Limits admits
+// everything; construct with New.
+type Controller struct {
+	mu      sync.Mutex
+	limits  Limits
+	now     func() time.Time
+	tenants map[string]*tenant
+
+	admitted, rejectedRate, rejectedQuota int64
+	inflight                              int64
+}
+
+// maxTenants bounds the tracked-tenant map: beyond it, idle tenants
+// (nothing in flight, full bucket) are pruned oldest-first so a scan
+// of garbage identities cannot grow the controller without bound.
+const maxTenants = 4096
+
+// New builds a controller enforcing limits.
+func New(limits Limits) *Controller {
+	return &Controller{
+		limits:  limits.withDefaults(),
+		now:     time.Now,
+		tenants: make(map[string]*tenant),
+	}
+}
+
+// SetClock injects a deterministic clock (tests).
+func (c *Controller) SetClock(now func() time.Time) {
+	c.mu.Lock()
+	c.now = now
+	c.mu.Unlock()
+}
+
+// Limits returns the configured bounds.
+func (c *Controller) Limits() Limits {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.limits
+}
+
+// lookup returns (creating if needed) the tenant's state with its
+// bucket refilled to now.
+func (c *Controller) lookup(id string, now time.Time) *tenant {
+	t := c.tenants[id]
+	if t == nil {
+		if len(c.tenants) >= maxTenants {
+			c.prune(now)
+		}
+		t = &tenant{tokens: c.limits.Burst, refilled: now}
+		c.tenants[id] = t
+	} else if c.limits.Rate > 0 {
+		elapsed := now.Sub(t.refilled).Seconds()
+		if elapsed > 0 {
+			t.tokens = math.Min(c.limits.Burst, t.tokens+elapsed*c.limits.Rate)
+			t.refilled = now
+		}
+	}
+	t.lastSeen = now
+	return t
+}
+
+// prune drops idle tenants (no in-flight work, bucket full once
+// refilled to now — dropping them resets nothing a retry could
+// exploit), oldest-seen first, until the map is half empty. Callers
+// hold the mutex.
+func (c *Controller) prune(now time.Time) {
+	type idle struct {
+		id   string
+		seen time.Time
+	}
+	var idles []idle
+	for id, t := range c.tenants {
+		fill := t.tokens
+		if c.limits.Rate > 0 {
+			fill = math.Min(c.limits.Burst, fill+now.Sub(t.refilled).Seconds()*c.limits.Rate)
+		}
+		if t.inflight == 0 && fill >= c.limits.Burst-1e-9 {
+			idles = append(idles, idle{id, t.lastSeen})
+		}
+	}
+	for len(c.tenants) > maxTenants/2 && len(idles) > 0 {
+		oldest := 0
+		for i := range idles {
+			if idles[i].seen.Before(idles[oldest].seen) {
+				oldest = i
+			}
+		}
+		delete(c.tenants, idles[oldest].id)
+		idles[oldest] = idles[len(idles)-1]
+		idles = idles[:len(idles)-1]
+	}
+}
+
+// Admit decides whether tenant may land a batch of n jobs right now.
+// Quota is checked before rate so a tenant drowning in its own
+// in-flight work is told to wait for completions, not to slow its
+// arrival rate — retrying sooner would not help it. Admission takes n
+// bucket tokens and n quota slots atomically; a rejected batch takes
+// nothing.
+func (c *Controller) Admit(tenantID string, n int) Decision {
+	if n <= 0 {
+		return Decision{OK: true}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.limits.Rate <= 0 && c.limits.MaxInFlight <= 0 {
+		c.admitted += int64(n)
+		return Decision{OK: true}
+	}
+	now := c.now()
+	t := c.lookup(tenantID, now)
+	if c.limits.MaxInFlight > 0 && t.inflight+n > c.limits.MaxInFlight {
+		c.rejectedQuota++
+		// The honest hint would need completion times the controller
+		// cannot see; a nominal second paces retries without lying.
+		return Decision{Reason: ReasonQuotaExceeded, RetryAfter: time.Second}
+	}
+	if c.limits.Rate > 0 && t.tokens < float64(n) {
+		c.rejectedRate++
+		short := float64(n) - t.tokens
+		return Decision{
+			Reason:     ReasonRateLimited,
+			RetryAfter: time.Duration(short / c.limits.Rate * float64(time.Second)),
+		}
+	}
+	if c.limits.Rate > 0 {
+		t.tokens -= float64(n)
+	}
+	t.inflight += n
+	c.inflight += int64(n)
+	c.admitted += int64(n)
+	return Decision{OK: true}
+}
+
+// Release returns n finished jobs' quota slots to the tenant. Every
+// admitted batch must be released exactly once, when its last job
+// completes.
+func (c *Controller) Release(tenantID string, n int) {
+	if n <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if t := c.tenants[tenantID]; t != nil {
+		t.inflight -= n
+		if t.inflight < 0 {
+			t.inflight = 0
+		}
+	}
+	c.inflight -= int64(n)
+	if c.inflight < 0 {
+		c.inflight = 0
+	}
+}
+
+// Stats snapshots the counters.
+func (c *Controller) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return Stats{
+		Admitted:      c.admitted,
+		RejectedRate:  c.rejectedRate,
+		RejectedQuota: c.rejectedQuota,
+		InFlight:      c.inflight,
+		Tenants:       len(c.tenants),
+	}
+}

@@ -1,0 +1,233 @@
+package admission
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock is a manually advanced clock for deterministic refill.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{t: time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)}
+}
+
+func (c *fakeClock) now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+func newTestController(l Limits) (*Controller, *fakeClock) {
+	c := New(l)
+	clk := newFakeClock()
+	c.SetClock(clk.now)
+	return c, clk
+}
+
+func TestZeroLimitsAdmitEverything(t *testing.T) {
+	c := New(Limits{})
+	for i := 0; i < 1000; i++ {
+		if d := c.Admit("anyone", 100); !d.OK {
+			t.Fatalf("zero-limit controller rejected: %+v", d)
+		}
+	}
+	if got := c.Stats().Admitted; got != 100000 {
+		t.Fatalf("Admitted = %d, want 100000", got)
+	}
+}
+
+func TestRateLimitRefill(t *testing.T) {
+	c, clk := newTestController(Limits{Rate: 10, Burst: 20})
+
+	// A fresh tenant starts with a full bucket: one burst fits.
+	if d := c.Admit("a", 20); !d.OK {
+		t.Fatalf("initial burst rejected: %+v", d)
+	}
+	// The bucket is empty; the next job must be rate_limited with an
+	// honest refill hint (1 job at 10/s = 100ms).
+	d := c.Admit("a", 1)
+	if d.OK || d.Reason != ReasonRateLimited {
+		t.Fatalf("want rate_limited, got %+v", d)
+	}
+	if d.RetryAfter <= 0 || d.RetryAfter > 100*time.Millisecond {
+		t.Fatalf("RetryAfter = %v, want (0, 100ms]", d.RetryAfter)
+	}
+
+	// After the hinted wait the job fits.
+	clk.advance(d.RetryAfter)
+	if d := c.Admit("a", 1); !d.OK {
+		t.Fatalf("post-refill admit rejected: %+v", d)
+	}
+
+	// Refill clamps at Burst: a long idle period doesn't bank more
+	// than one burst.
+	clk.advance(time.Hour)
+	if d := c.Admit("a", 21); d.OK {
+		t.Fatal("admitted 21 jobs with Burst=20 after long idle")
+	}
+	if d := c.Admit("a", 20); !d.OK {
+		t.Fatalf("full burst after idle rejected: %+v", d)
+	}
+}
+
+func TestRateLimitIsPerTenant(t *testing.T) {
+	c, _ := newTestController(Limits{Rate: 1, Burst: 5})
+	if d := c.Admit("flood", 5); !d.OK {
+		t.Fatalf("tenant flood burst rejected: %+v", d)
+	}
+	if d := c.Admit("flood", 1); d.OK {
+		t.Fatal("tenant flood should be out of tokens")
+	}
+	// A different tenant is unaffected by flood's empty bucket.
+	if d := c.Admit("calm", 5); !d.OK {
+		t.Fatalf("tenant calm rejected because of flood: %+v", d)
+	}
+}
+
+func TestQuota(t *testing.T) {
+	c, _ := newTestController(Limits{MaxInFlight: 8})
+
+	if d := c.Admit("a", 8); !d.OK {
+		t.Fatalf("admit up to quota rejected: %+v", d)
+	}
+	d := c.Admit("a", 1)
+	if d.OK || d.Reason != ReasonQuotaExceeded {
+		t.Fatalf("want quota_exceeded, got %+v", d)
+	}
+	if d.RetryAfter <= 0 {
+		t.Fatalf("quota rejection should hint a retry pause, got %v", d.RetryAfter)
+	}
+
+	// Quota is in-flight, not cumulative: releasing frees slots.
+	c.Release("a", 3)
+	if d := c.Admit("a", 3); !d.OK {
+		t.Fatalf("admit after release rejected: %+v", d)
+	}
+	// Other tenants have their own quota.
+	if d := c.Admit("b", 8); !d.OK {
+		t.Fatalf("tenant b hit tenant a's quota: %+v", d)
+	}
+}
+
+func TestQuotaCheckedBeforeRate(t *testing.T) {
+	// Tokens available but quota full: the reason must be quota, since
+	// retrying sooner can't help until work completes.
+	c, _ := newTestController(Limits{Rate: 1000, Burst: 1000, MaxInFlight: 1})
+	if d := c.Admit("a", 1); !d.OK {
+		t.Fatalf("first admit rejected: %+v", d)
+	}
+	if d := c.Admit("a", 1); d.OK || d.Reason != ReasonQuotaExceeded {
+		t.Fatalf("want quota_exceeded, got %+v", d)
+	}
+}
+
+func TestRejectionTakesNothing(t *testing.T) {
+	c, _ := newTestController(Limits{Rate: 10, Burst: 10, MaxInFlight: 100})
+	if d := c.Admit("a", 6); !d.OK {
+		t.Fatalf("admit rejected: %+v", d)
+	}
+	// 4 tokens left: a 6-job batch is rejected and must not burn them.
+	if d := c.Admit("a", 6); d.OK {
+		t.Fatal("admitted past bucket")
+	}
+	if d := c.Admit("a", 4); !d.OK {
+		t.Fatalf("rejected batch consumed tokens: %+v", d)
+	}
+	st := c.Stats()
+	if st.InFlight != 10 {
+		t.Fatalf("InFlight = %d, want 10 (rejected batch must not hold quota)", st.InFlight)
+	}
+}
+
+func TestStats(t *testing.T) {
+	c, _ := newTestController(Limits{Rate: 1, Burst: 2, MaxInFlight: 2})
+	c.Admit("a", 2)   // admitted
+	c.Admit("a", 1)   // quota (checked first; in-flight full)
+	c.Release("a", 2) // drain
+	c.Admit("a", 1)   // rate (bucket empty, quota free)
+	c.Admit("b", 2)   // admitted, second tenant
+	st := c.Stats()
+	want := Stats{Admitted: 4, RejectedRate: 1, RejectedQuota: 1, InFlight: 2, Tenants: 2}
+	if st != want {
+		t.Fatalf("Stats = %+v, want %+v", st, want)
+	}
+}
+
+func TestReleaseUnknownTenantAndUnderflow(t *testing.T) {
+	c, _ := newTestController(Limits{MaxInFlight: 4})
+	c.Release("ghost", 5) // must not panic or wedge the totals
+	if st := c.Stats(); st.InFlight != 0 {
+		t.Fatalf("InFlight = %d after spurious release, want 0", st.InFlight)
+	}
+	if d := c.Admit("ghost", 4); !d.OK {
+		t.Fatalf("admit after spurious release rejected: %+v", d)
+	}
+}
+
+func TestPruneBoundsTenantMap(t *testing.T) {
+	c, clk := newTestController(Limits{Rate: 1000, Burst: 1000})
+	// A scan of one-shot identities: each admits once, completes,
+	// refills to full between arrivals, and is prunable.
+	for i := 0; i < maxTenants+100; i++ {
+		c.Admit(fmt.Sprintf("scan-%d", i), 1)
+		c.Release(fmt.Sprintf("scan-%d", i), 1)
+		clk.advance(time.Second)
+	}
+	if n := c.Stats().Tenants; n > maxTenants {
+		t.Fatalf("tenant map grew to %d, want <= %d", n, maxTenants)
+	}
+}
+
+func TestPruneKeepsBusyTenants(t *testing.T) {
+	c, clk := newTestController(Limits{Rate: 1000, Burst: 1000, MaxInFlight: 10})
+	if d := c.Admit("busy", 5); !d.OK {
+		t.Fatal("busy admit rejected")
+	}
+	for i := 0; i < maxTenants+10; i++ {
+		c.Admit(fmt.Sprintf("scan-%d", i), 1)
+		c.Release(fmt.Sprintf("scan-%d", i), 1)
+		clk.advance(time.Second)
+	}
+	// busy still holds 5 in flight; its quota accounting must survive
+	// the prune.
+	if d := c.Admit("busy", 6); d.OK {
+		t.Fatal("busy tenant's in-flight count was pruned away")
+	}
+	c.Release("busy", 5)
+	if d := c.Admit("busy", 10); !d.OK {
+		t.Fatalf("busy admit after release rejected: %+v", d)
+	}
+}
+
+func TestConcurrentAdmitRelease(t *testing.T) {
+	c, _ := newTestController(Limits{MaxInFlight: 64})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			id := fmt.Sprintf("tenant-%d", g%2)
+			for i := 0; i < 500; i++ {
+				if d := c.Admit(id, 2); d.OK {
+					c.Release(id, 2)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if st := c.Stats(); st.InFlight != 0 {
+		t.Fatalf("InFlight = %d after balanced admit/release, want 0", st.InFlight)
+	}
+}

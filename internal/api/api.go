@@ -13,6 +13,7 @@ package api
 
 import (
 	"fmt"
+	"time"
 
 	"clustersim/internal/engine"
 	"clustersim/internal/obs"
@@ -43,7 +44,17 @@ const (
 	// routes/stages latency histograms. A v3 server would silently drop
 	// the trace header and 404 the trace route; the bump makes the
 	// mismatch detectable.
-	Version = 4
+	//
+	// v5: admission control. SubmitRequest gained priority (scheduling
+	// lane), requests may carry a deadline in the DeadlineHeader header,
+	// overloaded submissions are refused with 429 + Retry-After under
+	// the new rate_limited / quota_exceeded codes, JobEvent gained a
+	// machine-readable code for shed jobs (deadline_exceeded /
+	// canceled), and StatsResponse gained admission counters. A v4
+	// server would reject the priority field as bad_request and
+	// silently ignore the deadline header; the bump makes both
+	// mismatches detectable.
+	Version = 5
 	// VersionHeader is the HTTP response header carrying Version.
 	VersionHeader = "Clustersim-Api-Version"
 	// TraceHeader optionally carries a caller-chosen trace-ID base on
@@ -51,6 +62,19 @@ const (
 	// server mints random IDs when the header is absent or invalid (see
 	// obs.ValidTraceID).
 	TraceHeader = "Clustersim-Trace-Id"
+	// DeadlineHeader optionally carries a submission's deadline on POST
+	// /v1/jobs as a positive integer of milliseconds from receipt. The
+	// server propagates it as a context deadline through every engine
+	// run of the batch: jobs whose deadline expires before they reach a
+	// worker slot are shed (never simulated) and stream a JobEvent with
+	// code deadline_exceeded. Introduced with protocol v5.
+	DeadlineHeader = "Clustersim-Deadline-Ms"
+	// TenantHeader optionally names the tenant identity admission
+	// control accounts the request to, for deployments without bearer
+	// auth (with auth enabled the token itself is the identity and this
+	// header is ignored). Absent both, all requests share one "anon"
+	// tenant. Introduced with protocol v5.
+	TenantHeader = "Clustersim-Tenant"
 )
 
 // Stable machine-readable error codes carried by Error.Code. Clients
@@ -63,6 +87,9 @@ const (
 	CodeInternal         = "internal"           // server-side failure
 	CodeEpochConflict    = "epoch_conflict"     // ring transition based on a stale epoch
 	CodeUnsupported      = "unsupported"        // server cannot serve this (e.g. unlistable store, coordinator disabled)
+	CodeRateLimited      = "rate_limited"       // tenant over its submission rate; retry after the hinted pause
+	CodeQuotaExceeded    = "quota_exceeded"     // tenant at its in-flight job quota; retry as work completes
+	CodeDeadlineExceeded = "deadline_exceeded"  // the request's deadline expired before the work could run
 )
 
 // Error is the JSON body of every non-2xx response. It doubles as a Go
@@ -75,6 +102,10 @@ type Error struct {
 	// Status is the HTTP status the error traveled with (not serialized;
 	// filled in by the client from the response).
 	Status int `json:"-"`
+	// RetryAfter is the server's Retry-After hint on 429 responses (not
+	// serialized — it travels as the standard HTTP header; filled in by
+	// the client). Zero when the server sent none.
+	RetryAfter time.Duration `json:"-"`
 }
 
 // Error implements the error interface.
@@ -95,6 +126,14 @@ type SubmitRequest struct {
 	// Zero means no per-batch cap. Version-gated: introduced with
 	// protocol v2 (see Version).
 	MaxParallel int `json:"max_parallel,omitempty"`
+	// Priority selects the batch's scheduling lane: "interactive" (the
+	// default; latency-sensitive, weighted 4) or "bulk" (sweeps and
+	// background fills, weighted 1). Under contention the engine grants
+	// worker slots weighted-fair across lanes instead of FIFO, so bulk
+	// backlogs cannot queue-jump interactive work. Unknown values are
+	// refused with bad_request. Version-gated: introduced with
+	// protocol v5.
+	Priority string `json:"priority,omitempty"`
 }
 
 // SubmitResponse acknowledges a submission.
@@ -124,6 +163,12 @@ type JobEvent struct {
 	Key string `json:"key,omitempty"`
 	// Error is non-empty for failed or canceled runs.
 	Error string `json:"error,omitempty"`
+	// Code classifies Error machine-readably when the failure has a
+	// stable category: deadline_exceeded for jobs shed past their
+	// deadline, canceled for client-canceled runs. Empty for
+	// deterministic simulation failures (branch on Error's presence,
+	// not Code's). Introduced with protocol v5.
+	Code string `json:"code,omitempty"`
 	// Headline metrics for dashboards; fetch the key for everything.
 	IPC    float64 `json:"ipc,omitempty"`
 	Cycles int64   `json:"cycles,omitempty"`
@@ -304,6 +349,11 @@ type ServingStats struct {
 	// bytes) actually written to SSE subscribers.
 	SSEFrames int64 `json:"sse_frames"`
 	SSEBytes  int64 `json:"sse_bytes"`
+	// SSESlowDisconnects counts subscribers dropped because they could
+	// not drain a frame within the server's write timeout — stalled
+	// readers shed so fan-out stays bounded. Introduced with protocol
+	// v5.
+	SSESlowDisconnects int64 `json:"sse_slow_disconnects,omitempty"`
 	// NotModified counts result fetches answered 304 from the ETag
 	// protocol — no store read, no body.
 	NotModified int64 `json:"result_not_modified"`
@@ -321,6 +371,21 @@ type ServingStats struct {
 	RingConflicts   int64 `json:"ring_conflicts,omitempty"`
 }
 
+// AdmissionStats reports the server's admission-control counters.
+// Version-gated: introduced with protocol v5; absent when the server
+// runs without limits.
+type AdmissionStats struct {
+	// Admitted counts jobs (not batches) admitted.
+	Admitted int64 `json:"admitted"`
+	// RejectedRate/RejectedQuota count batches refused 429 by reason.
+	RejectedRate  int64 `json:"rejected_rate"`
+	RejectedQuota int64 `json:"rejected_quota"`
+	// InFlight is the current total of admitted-but-unfinished jobs.
+	InFlight int64 `json:"in_flight"`
+	// Tenants is the number of identities currently tracked.
+	Tenants int `json:"tenants"`
+}
+
 // StatsResponse reports the engine's cache counters and the store's
 // occupancy, with per-tier detail when the store is tiered.
 type StatsResponse struct {
@@ -334,4 +399,7 @@ type StatsResponse struct {
 	// Version-gated: introduced with protocol v4.
 	Routes []LatencyHistogram `json:"routes,omitempty"`
 	Stages []LatencyHistogram `json:"stages,omitempty"`
+	// Admission holds the admission-control counters when limits are
+	// configured. Version-gated: introduced with protocol v5.
+	Admission *AdmissionStats `json:"admission,omitempty"`
 }

@@ -189,7 +189,10 @@ type Options struct {
 // submitters; all methods are safe for concurrent use.
 type Engine struct {
 	opts Options
-	sem  chan struct{}
+	// sched grants worker slots weighted-fair across priority lanes
+	// (see Lane); under contention interactive jobs overtake a bulk
+	// backlog instead of draining FIFO behind it.
+	sched *scheduler
 
 	progs *flightCache[*prog.Program]
 	// traces holds expanded dynamic traces gzip-compressed (see
@@ -215,6 +218,7 @@ type Engine struct {
 	corePoolHits, corePoolMisses        atomic.Int64
 	traceUnpacks, traceSharedHits       atomic.Int64
 	traceUnpackedLive                   atomic.Int64
+	deadlineShed                        atomic.Int64
 }
 
 // CacheStats is a snapshot of the engine's cache counters.
@@ -250,6 +254,14 @@ type CacheStats struct {
 	// form by running simulations (each returns to compressed-only when
 	// its last user finishes).
 	TraceUnpackedLive int64
+	// InteractiveGrants/BulkGrants count worker-slot acquisitions per
+	// scheduling lane (see Lane); their ratio under sustained contention
+	// approaches the configured lane weights.
+	InteractiveGrants, BulkGrants int64
+	// DeadlineShed counts jobs dropped because their deadline had
+	// already expired when they would have started executing — shed
+	// work, not failed work.
+	DeadlineShed int64
 }
 
 // TraceCompressionRatio returns raw/compressed for the currently cached
@@ -276,7 +288,7 @@ func New(opts Options) *Engine {
 	traces.auxOf = packedTraceRawBytes
 	return &Engine{
 		opts:    opts,
-		sem:     make(chan struct{}, opts.Parallelism),
+		sched:   newScheduler(opts.Parallelism),
 		progs:   newFlightCache[*prog.Program](0, nil),
 		traces:  traces,
 		results: newFlightCache[*Result](0, nil),
@@ -297,7 +309,7 @@ func (e *Engine) Tracer() *obs.Tracer { return e.opts.Tracer }
 func (e *Engine) Stats() CacheStats {
 	traceBytes, traceHigh := e.traces.costStats()
 	traceRaw, traceRawHigh := e.traces.auxStats()
-	return CacheStats{
+	s := CacheStats{
 		Simulations:            e.simulations.Load(),
 		ResultHits:             e.results.hits.Load(),
 		ResultMisses:           e.results.misses.Load(),
@@ -317,7 +329,10 @@ func (e *Engine) Stats() CacheStats {
 		TraceUnpacks:           e.traceUnpacks.Load(),
 		TraceSharedHits:        e.traceSharedHits.Load(),
 		TraceUnpackedLive:      e.traceUnpackedLive.Load(),
+		DeadlineShed:           e.deadlineShed.Load(),
 	}
+	s.InteractiveGrants, s.BulkGrants = e.sched.laneGrants()
+	return s
 }
 
 // Execute runs one job from scratch with no caching and no shared pool —
@@ -489,9 +504,19 @@ func isCancelErr(err error) bool {
 		errors.Is(err, pipeline.ErrCanceled)
 }
 
+// shed counts a job dropped before execution because its deadline had
+// already expired, and returns err unchanged; cancellations and other
+// errors pass through uncounted.
+func (e *Engine) shed(err error) error {
+	if errors.Is(err, context.DeadlineExceeded) {
+		e.deadlineShed.Add(1)
+	}
+	return err
+}
+
 func (e *Engine) run(ctx context.Context, job Job, fl *obs.Flight) *Result {
 	if err := ctx.Err(); err != nil {
-		return &Result{Simpoint: job.Simpoint, Setup: job.Setup.Label, Err: err}
+		return &Result{Simpoint: job.Simpoint, Setup: job.Setup.Label, Err: e.shed(err)}
 	}
 	key, cacheable := e.resultKey(job)
 	if !cacheable || e.opts.DisableCache {
@@ -549,19 +574,22 @@ func (e *Engine) run(ctx context.Context, job Job, fl *obs.Flight) *Result {
 }
 
 // execute performs one full uncached run: annotate (cached), expand
-// (cached), simulate. The worker semaphore bounds concurrent executions.
+// (cached), simulate. The lane scheduler bounds concurrent executions
+// at Parallelism and grants contended slots weighted-fair; the lane
+// rides in on the context and never reaches a cache key.
 func (e *Engine) execute(ctx context.Context, job Job, fl *obs.Flight) *Result {
 	t0 := fl.Begin()
-	select {
-	case e.sem <- struct{}{}:
-	case <-ctx.Done():
-		// Canceled while queued behind busy workers: don't wait for a slot.
-		return &Result{Simpoint: job.Simpoint, Setup: job.Setup.Label, Err: ctx.Err()}
+	if err := e.sched.Acquire(ctx, LaneFrom(ctx)); err != nil {
+		// Canceled or expired while queued behind busy workers: don't
+		// wait for a slot.
+		return &Result{Simpoint: job.Simpoint, Setup: job.Setup.Label, Err: e.shed(err)}
 	}
 	fl.Span("queue", t0)
-	defer func() { <-e.sem }()
+	defer e.sched.Release()
 	if err := ctx.Err(); err != nil {
-		return &Result{Simpoint: job.Simpoint, Setup: job.Setup.Label, Err: err}
+		// The deadline (or a cancel) landed between the grant and the
+		// run: shed before simulating, releasing the slot untouched.
+		return &Result{Simpoint: job.Simpoint, Setup: job.Setup.Label, Err: e.shed(err)}
 	}
 	sp, s, opt := job.Simpoint, job.Setup, job.Opts
 

@@ -84,6 +84,9 @@ func (s CacheStats) Delta(base CacheStats) CacheStats {
 		TraceUnpacks:           s.TraceUnpacks - base.TraceUnpacks,
 		TraceSharedHits:        s.TraceSharedHits - base.TraceSharedHits,
 		TraceUnpackedLive:      s.TraceUnpackedLive,
+		InteractiveGrants:      s.InteractiveGrants - base.InteractiveGrants,
+		BulkGrants:             s.BulkGrants - base.BulkGrants,
+		DeadlineShed:           s.DeadlineShed - base.DeadlineShed,
 	}
 }
 
@@ -111,5 +114,8 @@ func (s CacheStats) Add(other CacheStats) CacheStats {
 		TraceUnpacks:           s.TraceUnpacks + other.TraceUnpacks,
 		TraceSharedHits:        s.TraceSharedHits + other.TraceSharedHits,
 		TraceUnpackedLive:      s.TraceUnpackedLive + other.TraceUnpackedLive,
+		InteractiveGrants:      s.InteractiveGrants + other.InteractiveGrants,
+		BulkGrants:             s.BulkGrants + other.BulkGrants,
+		DeadlineShed:           s.DeadlineShed + other.DeadlineShed,
 	}
 }

@@ -1,0 +1,184 @@
+package engine
+
+import (
+	"context"
+	"sync"
+)
+
+// Lane is a job's scheduling class. Interactive work (a user waiting on
+// a single result) and bulk work (sweeps, warmers) share one worker
+// pool, but contended slots are granted weighted-fair rather than FIFO:
+// a long bulk batch that arrived first can no longer make every
+// interactive job wait out the whole backlog.
+type Lane int
+
+const (
+	// LaneInteractive is the latency-sensitive lane and the default for
+	// jobs that declare nothing.
+	LaneInteractive Lane = iota
+	// LaneBulk is the throughput lane for sweeps and background fills.
+	LaneBulk
+
+	numLanes = iota
+)
+
+// Weighted-fair slot split under contention: of every 5 contended
+// grants, 4 go interactive and 1 goes bulk, so bulk retains forward
+// progress while interactive latency stays bounded by its own lane's
+// depth, not the bulk backlog.
+var laneWeights = [numLanes]int{LaneInteractive: 4, LaneBulk: 1}
+
+func (l Lane) String() string {
+	if l == LaneBulk {
+		return "bulk"
+	}
+	return "interactive"
+}
+
+// ParseLane maps the wire names ("interactive", "bulk", "") to a Lane;
+// empty means interactive. Unknown names report ok=false.
+func ParseLane(s string) (Lane, bool) {
+	switch s {
+	case "", "interactive":
+		return LaneInteractive, true
+	case "bulk":
+		return LaneBulk, true
+	}
+	return LaneInteractive, false
+}
+
+type laneKey struct{}
+
+// WithLane tags ctx with the scheduling lane for jobs run under it.
+func WithLane(ctx context.Context, l Lane) context.Context {
+	return context.WithValue(ctx, laneKey{}, l)
+}
+
+// LaneFrom returns the lane ctx was tagged with, or LaneInteractive.
+func LaneFrom(ctx context.Context) Lane {
+	if l, ok := ctx.Value(laneKey{}).(Lane); ok {
+		return l
+	}
+	return LaneInteractive
+}
+
+// waiter is one blocked Acquire. grant is closed (under the scheduler
+// lock, with granted set) when a slot is transferred to it.
+type waiter struct {
+	grant   chan struct{}
+	granted bool
+}
+
+// scheduler is a two-lane weighted-fair replacement for the engine's
+// former worker semaphore. Slots are anonymous; only the *grant order*
+// under contention is scheduled. The invariant is that waiters exist
+// only while free == 0 — a released slot is handed directly to the
+// chosen waiter rather than returned to the pool, so a grant can never
+// leapfrog the queue.
+type scheduler struct {
+	mu     sync.Mutex
+	free   int
+	queues [numLanes][]*waiter
+	// seq sequences contended grants for the weighted round-robin: when
+	// both lanes are backlogged, grant i goes interactive iff
+	// i mod (wI+wB) < wI. It only advances when the choice was real
+	// (both lanes waiting), so an idle lane never banks credit.
+	seq int
+
+	grants [numLanes]int64 // total slot acquisitions per lane
+}
+
+func newScheduler(slots int) *scheduler {
+	return &scheduler{free: slots}
+}
+
+// Acquire blocks until a worker slot is granted or ctx is done. It
+// returns ctx.Err() without holding a slot in the latter case.
+func (s *scheduler) Acquire(ctx context.Context, lane Lane) error {
+	if lane < 0 || lane >= numLanes {
+		lane = LaneInteractive
+	}
+	s.mu.Lock()
+	if s.free > 0 {
+		s.free--
+		s.grants[lane]++
+		s.mu.Unlock()
+		return nil
+	}
+	w := &waiter{grant: make(chan struct{})}
+	s.queues[lane] = append(s.queues[lane], w)
+	s.mu.Unlock()
+
+	select {
+	case <-w.grant:
+		return nil
+	case <-ctx.Done():
+		s.mu.Lock()
+		if w.granted {
+			// Release raced our cancellation and already handed us the
+			// slot; pass it straight on so it isn't lost.
+			s.releaseLocked()
+			s.mu.Unlock()
+			return ctx.Err()
+		}
+		// Still queued: withdraw.
+		q := s.queues[lane]
+		for i, qw := range q {
+			if qw == w {
+				s.queues[lane] = append(q[:i], q[i+1:]...)
+				break
+			}
+		}
+		s.mu.Unlock()
+		return ctx.Err()
+	}
+}
+
+// Release returns a slot, granting it directly to a waiter when any
+// lane is backlogged.
+func (s *scheduler) Release() {
+	s.mu.Lock()
+	s.releaseLocked()
+	s.mu.Unlock()
+}
+
+func (s *scheduler) releaseLocked() {
+	lane := LaneInteractive
+	switch {
+	case len(s.queues[LaneInteractive]) == 0 && len(s.queues[LaneBulk]) == 0:
+		s.free++
+		return
+	case len(s.queues[LaneInteractive]) == 0:
+		lane = LaneBulk
+	case len(s.queues[LaneBulk]) == 0:
+		// lane = LaneInteractive
+	default:
+		// Both lanes backlogged: the weighted round-robin decides.
+		total := laneWeights[LaneInteractive] + laneWeights[LaneBulk]
+		if s.seq%total >= laneWeights[LaneInteractive] {
+			lane = LaneBulk
+		}
+		s.seq++
+	}
+	q := s.queues[lane]
+	w := q[0]
+	q[0] = nil
+	s.queues[lane] = q[1:]
+	w.granted = true
+	s.grants[lane]++
+	close(w.grant)
+}
+
+// laneGrants snapshots the per-lane acquisition counters.
+func (s *scheduler) laneGrants() (interactive, bulk int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.grants[LaneInteractive], s.grants[LaneBulk]
+}
+
+// queueDepths snapshots the per-lane waiter counts.
+func (s *scheduler) queueDepths() (interactive, bulk int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.queues[LaneInteractive]), len(s.queues[LaneBulk])
+}

@@ -1,0 +1,270 @@
+package engine
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"clustersim/internal/workload"
+)
+
+func mustAcquire(t *testing.T, s *scheduler, lane Lane) {
+	t.Helper()
+	if err := s.Acquire(context.Background(), lane); err != nil {
+		t.Fatalf("Acquire(%v) = %v", lane, err)
+	}
+}
+
+// acquireAsync starts a blocked Acquire and returns a channel that
+// yields its error once it resolves.
+func acquireAsync(ctx context.Context, s *scheduler, lane Lane) <-chan error {
+	ch := make(chan error, 1)
+	go func() { ch <- s.Acquire(ctx, lane) }()
+	return ch
+}
+
+// waitDepths polls until the scheduler sees the wanted queue depths
+// (Acquire enqueues asynchronously from the test's perspective).
+func waitDepths(t *testing.T, s *scheduler, wantI, wantB int) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		i, b := s.queueDepths()
+		if i == wantI && b == wantB {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("queue depths = (%d, %d), want (%d, %d)", i, b, wantI, wantB)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestSchedulerUncontended(t *testing.T) {
+	s := newScheduler(2)
+	mustAcquire(t, s, LaneInteractive)
+	mustAcquire(t, s, LaneBulk)
+	s.Release()
+	s.Release()
+	mustAcquire(t, s, LaneBulk)
+	s.Release()
+	i, b := s.laneGrants()
+	if i != 1 || b != 2 {
+		t.Fatalf("laneGrants = (%d, %d), want (1, 2)", i, b)
+	}
+}
+
+func TestSchedulerParallelismBound(t *testing.T) {
+	const slots = 3
+	s := newScheduler(slots)
+	var mu sync.Mutex
+	running, peak := 0, 0
+	var wg sync.WaitGroup
+	for i := 0; i < 50; i++ {
+		lane := Lane(i % numLanes)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := s.Acquire(context.Background(), lane); err != nil {
+				t.Errorf("Acquire: %v", err)
+				return
+			}
+			mu.Lock()
+			running++
+			if running > peak {
+				peak = running
+			}
+			mu.Unlock()
+			time.Sleep(time.Millisecond)
+			mu.Lock()
+			running--
+			mu.Unlock()
+			s.Release()
+		}()
+	}
+	wg.Wait()
+	if peak > slots {
+		t.Fatalf("peak concurrency %d exceeds %d slots", peak, slots)
+	}
+	i, b := s.laneGrants()
+	if i+b != 50 {
+		t.Fatalf("total grants = %d, want 50", i+b)
+	}
+}
+
+func TestSchedulerWeightedFairUnderContention(t *testing.T) {
+	// One slot, held; then backlog both lanes and replay the slot
+	// through the queues. Grants must split 4:1 interactive:bulk.
+	s := newScheduler(1)
+	mustAcquire(t, s, LaneInteractive)
+
+	const perLane = 20
+	results := make(chan Lane, 2*perLane)
+	var wg sync.WaitGroup
+	for i := 0; i < perLane; i++ {
+		for _, lane := range []Lane{LaneInteractive, LaneBulk} {
+			lane := lane
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				if err := s.Acquire(context.Background(), lane); err != nil {
+					t.Errorf("Acquire: %v", err)
+					return
+				}
+				results <- lane
+				s.Release()
+			}()
+		}
+	}
+	waitDepths(t, s, perLane, perLane)
+	s.Release() // start draining the backlog through the single slot
+	wg.Wait()
+	close(results)
+
+	// While both lanes stay backlogged (the first 2*min cycles of 5),
+	// every window of 5 consecutive grants must hold exactly 4
+	// interactive + 1 bulk.
+	var order []Lane
+	for l := range results {
+		order = append(order, l)
+	}
+	if len(order) != 2*perLane {
+		t.Fatalf("got %d grants, want %d", len(order), 2*perLane)
+	}
+	// Both lanes are certainly backlogged for the first perLane/4*5
+	// grants (interactive drains 4× faster).
+	contended := perLane / 4 * 5
+	for w := 0; w+5 <= contended; w += 5 {
+		bulk := 0
+		for _, l := range order[w : w+5] {
+			if l == LaneBulk {
+				bulk++
+			}
+		}
+		if bulk != 1 {
+			t.Fatalf("window %d: %d bulk grants in 5, want exactly 1 (order %v)", w, bulk, order[:contended])
+		}
+	}
+}
+
+func TestSchedulerBulkNotStarved(t *testing.T) {
+	// Even under a continuous interactive backlog, bulk must progress.
+	s := newScheduler(1)
+	mustAcquire(t, s, LaneInteractive)
+
+	bulkDone := acquireAsync(context.Background(), s, LaneBulk)
+	var wg sync.WaitGroup
+	for i := 0; i < 30; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := s.Acquire(context.Background(), LaneInteractive); err == nil {
+				s.Release()
+			}
+		}()
+	}
+	waitDepths(t, s, 30, 1)
+	s.Release()
+	select {
+	case err := <-bulkDone:
+		if err != nil {
+			t.Fatalf("bulk Acquire: %v", err)
+		}
+		s.Release()
+	case <-time.After(5 * time.Second):
+		t.Fatal("bulk lane starved behind interactive backlog")
+	}
+	wg.Wait()
+}
+
+func TestSchedulerAcquireCancel(t *testing.T) {
+	s := newScheduler(1)
+	mustAcquire(t, s, LaneInteractive)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := acquireAsync(ctx, s, LaneBulk)
+	waitDepths(t, s, 0, 1)
+	cancel()
+	if err := <-done; err != context.Canceled {
+		t.Fatalf("canceled Acquire = %v, want context.Canceled", err)
+	}
+	// The withdrawn waiter must not absorb the next release.
+	s.Release()
+	mustAcquire(t, s, LaneInteractive)
+	s.Release()
+}
+
+func TestSchedulerCancelGrantRaceLosesNoSlot(t *testing.T) {
+	// Hammer the cancel-vs-grant race: regardless of who wins, the slot
+	// must survive. A lost slot deadlocks the final drain.
+	s := newScheduler(1)
+	for i := 0; i < 500; i++ {
+		mustAcquire(t, s, LaneInteractive)
+		ctx, cancel := context.WithCancel(context.Background())
+		done := acquireAsync(ctx, s, LaneBulk)
+		waitDepths(t, s, 0, 1)
+		go cancel()
+		go s.Release()
+		if err := <-done; err == nil {
+			s.Release()
+		}
+		cancel()
+		// Drain: the slot must still exist.
+		ok := make(chan error, 1)
+		go func() { ok <- s.Acquire(context.Background(), LaneInteractive) }()
+		select {
+		case err := <-ok:
+			if err != nil {
+				t.Fatalf("drain Acquire: %v", err)
+			}
+			s.Release()
+		case <-time.After(5 * time.Second):
+			t.Fatalf("iteration %d: slot lost to cancel/grant race", i)
+		}
+	}
+}
+
+func TestLaneContext(t *testing.T) {
+	ctx := context.Background()
+	if l := LaneFrom(ctx); l != LaneInteractive {
+		t.Fatalf("default lane = %v, want interactive", l)
+	}
+	if l := LaneFrom(WithLane(ctx, LaneBulk)); l != LaneBulk {
+		t.Fatalf("lane = %v, want bulk", l)
+	}
+	for _, tc := range []struct {
+		in   string
+		want Lane
+		ok   bool
+	}{
+		{"", LaneInteractive, true},
+		{"interactive", LaneInteractive, true},
+		{"bulk", LaneBulk, true},
+		{"urgent", LaneInteractive, false},
+	} {
+		got, ok := ParseLane(tc.in)
+		if got != tc.want || ok != tc.ok {
+			t.Fatalf("ParseLane(%q) = (%v, %v), want (%v, %v)", tc.in, got, ok, tc.want, tc.ok)
+		}
+	}
+	if LaneInteractive.String() != "interactive" || LaneBulk.String() != "bulk" {
+		t.Fatal("Lane.String mismatch")
+	}
+}
+
+func TestEngineDeadlineShed(t *testing.T) {
+	e := New(Options{Parallelism: 1})
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	// The deadline is already expired, so the job must be shed before
+	// any execution machinery runs — a skeletal job suffices.
+	job := Job{Simpoint: &workload.Simpoint{Name: "shed"}, Setup: Setup{Label: "OP"}}
+	res := e.Run(ctx, job)
+	if res.Err == nil || !isCancelErr(res.Err) {
+		t.Fatalf("expired-deadline run returned %v, want deadline error", res.Err)
+	}
+	if got := e.Stats().DeadlineShed; got != 1 {
+		t.Fatalf("DeadlineShed = %d, want 1", got)
+	}
+}

@@ -111,6 +111,12 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		{"clusterd_sse_marshals_total", "Job events JSON-encoded (once per event, shared by all subscribers).", "counter", one(s.sseMarshals.Load())},
 		{"clusterd_sse_frames_total", "Shared SSE result frames written to subscribers.", "counter", one(s.sseFrames.Load())},
 		{"clusterd_sse_bytes_total", "Bytes of SSE result frames written to subscribers.", "counter", one(s.sseBytes.Load())},
+		{"clusterd_sse_slow_disconnects_total", "SSE subscribers dropped for not draining a frame within the write timeout.", "counter", one(s.sseSlowDisconnects.Load())},
+		{"clusterd_engine_lane_grants_total", "Worker-slot grants by scheduling lane.", "counter", []metricRow{
+			{labels: `{lane="interactive"}`, value: float64(eng.InteractiveGrants)},
+			{labels: `{lane="bulk"}`, value: float64(eng.BulkGrants)},
+		}},
+		{"clusterd_engine_deadline_shed_total", "Jobs shed before execution because their deadline had expired.", "counter", one(eng.DeadlineShed)},
 		{"clusterd_result_not_modified_total", "Result fetches answered 304 via If-None-Match (no store read, no body).", "counter", one(s.notModified.Load())},
 		{"clusterd_result_uploads_total", "Validated result blobs accepted over PUT /v1/results (drain migrations, backfills).", "counter", one(s.resultUploads.Load())},
 		{"clusterd_key_pages_total", "GET /v1/keys pages served.", "counter", one(s.keyPages.Load())},
@@ -118,6 +124,19 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		{"clusterd_ring_transitions_total", "Membership transitions this coordinator accepted.", "counter", one(s.ringTransitions.Load())},
 		{"clusterd_ring_conflicts_total", "Ring proposals refused for a stale base epoch.", "counter", one(s.ringConflicts.Load())},
 		{"clusterd_store_get_collapses_total", "Cold store Gets that joined another caller's in-flight slow-tier fetch.", "counter", one(s.st.Stats().Collapses)},
+	}
+
+	if s.adm != nil {
+		adm := s.adm.Stats()
+		metrics = append(metrics,
+			metric{"clusterd_admission_admitted_total", "Jobs admitted past admission control.", "counter", one(adm.Admitted)},
+			metric{"clusterd_admission_rejects_total", "Submissions refused 429, by reason.", "counter", []metricRow{
+				{labels: `{reason="rate_limited"}`, value: float64(adm.RejectedRate)},
+				{labels: `{reason="quota_exceeded"}`, value: float64(adm.RejectedQuota)},
+			}},
+			metric{"clusterd_admission_in_flight", "Admitted jobs not yet finished, across all tenants.", "gauge", one(adm.InFlight)},
+			metric{"clusterd_admission_tenants", "Tenant identities currently tracked.", "gauge", one(int64(adm.Tenants))},
+		)
 	}
 
 	tiers := []struct {

@@ -55,6 +55,13 @@ func (sw *statusWriter) Flush() {
 	}
 }
 
+// Unwrap exposes the underlying writer so http.ResponseController can
+// reach per-connection controls (the SSE path sets per-frame write
+// deadlines through it).
+func (sw *statusWriter) Unwrap() http.ResponseWriter {
+	return sw.ResponseWriter
+}
+
 // observed wraps a route's handler with latency observation and the
 // access log. route is the registration pattern ("/v1/jobs/{id}"), so
 // histogram cardinality is routes × status codes, independent of

@@ -27,9 +27,11 @@ import (
 	"context"
 	"crypto/subtle"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"log/slog"
+	"math"
 	"net/http"
 	"net/url"
 	"strconv"
@@ -39,6 +41,7 @@ import (
 	"time"
 
 	"clustersim/fleet/controlplane"
+	"clustersim/internal/admission"
 	"clustersim/internal/api"
 	"clustersim/internal/engine"
 	"clustersim/internal/obs"
@@ -101,6 +104,17 @@ type Server struct {
 	// SetLogger); the default discards.
 	httpHist *obs.Vec
 	log      *slog.Logger
+
+	// adm is the admission controller (nil admits everything; see
+	// SetAdmission). Rejected submissions answer 429 with Retry-After.
+	adm *admission.Controller
+
+	// sseWriteTimeout bounds each SSE frame write; a subscriber that
+	// cannot drain a frame within it is disconnected (counted in
+	// sseSlowDisconnects) instead of buffering unboundedly server-side
+	// while other subscribers stream on.
+	sseWriteTimeout    time.Duration
+	sseSlowDisconnects atomic.Int64
 }
 
 // defaultRetain bounds how many completed submissions stay queryable: the
@@ -115,6 +129,12 @@ const defaultRetain = 256
 // lifetime; the TTL drains them under sustained traffic too.
 const defaultTTL = time.Hour
 
+// defaultSSEWriteTimeout is the slow-subscriber bound: generous enough
+// for a congested-but-live link to drain a frame, small enough that a
+// wedged reader can't hold a subscription goroutine (and the kernel
+// buffer feeding it) for the submission's lifetime.
+const defaultSSEWriteTimeout = 15 * time.Second
+
 // New builds a server. ctx bounds every submission's simulations: cancel
 // it to drain the service (the TTL sweeper also exits with it). st is the
 // store results are fetched from; wire the same store into the engine's
@@ -123,9 +143,10 @@ func New(ctx context.Context, eng *engine.Engine, st store.Store) *Server {
 	s := &Server{
 		ctx: ctx, eng: eng, st: st, mux: http.NewServeMux(), now: time.Now,
 		subs: map[string]*submission{}, retain: defaultRetain, ttl: defaultTTL,
-		ttlCh:    make(chan struct{}, 1),
-		httpHist: obs.NewVec(nil),
-		log:      slog.New(slog.NewTextHandler(io.Discard, nil)),
+		ttlCh:           make(chan struct{}, 1),
+		httpHist:        obs.NewVec(nil),
+		log:             slog.New(slog.NewTextHandler(io.Discard, nil)),
+		sseWriteTimeout: defaultSSEWriteTimeout,
 	}
 	// Methods are dispatched inside the handlers (not via "GET /path"
 	// patterns) so that wrong-method requests get the same JSON error
@@ -196,6 +217,37 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 // Bearer <token>". An empty token disables auth. Call before serving
 // traffic.
 func (s *Server) SetToken(token string) { s.token = token }
+
+// SetAdmission installs per-tenant admission control on POST /v1/jobs:
+// batches beyond a tenant's rate or in-flight quota answer 429 with a
+// Retry-After hint instead of entering the engine. Nil (the default)
+// admits everything. Call before serving traffic.
+func (s *Server) SetAdmission(c *admission.Controller) { s.adm = c }
+
+// SetSSEWriteTimeout overrides the per-frame write bound on SSE
+// streams (d <= 0 restores the default). Call before serving traffic.
+func (s *Server) SetSSEWriteTimeout(d time.Duration) {
+	if d <= 0 {
+		d = defaultSSEWriteTimeout
+	}
+	s.sseWriteTimeout = d
+}
+
+// tenantOf derives the admission identity of a request: the explicit
+// tenant header when present (how callers sharing one credential split
+// their budgets — e.g. a proxy multiplexing users), else the bearer
+// token (each credential is a tenant), else one shared anonymous
+// bucket. The identity only keys admission accounting — it is never
+// logged or echoed back.
+func (s *Server) tenantOf(r *http.Request) string {
+	if t := r.Header.Get(api.TenantHeader); t != "" {
+		return t
+	}
+	if auth := r.Header.Get("Authorization"); auth != "" {
+		return auth
+	}
+	return "anon"
+}
 
 // authorized checks the request's bearer token against the configured
 // one in constant time. /healthz stays open: it reveals nothing beyond
@@ -419,6 +471,7 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 type submitBody struct {
 	Jobs        []engine.JobSpec `json:"jobs"`
 	MaxParallel int              `json:"max_parallel,omitempty"`
+	Priority    string           `json:"priority,omitempty"`
 	engine.JobSpec
 }
 
@@ -452,6 +505,18 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		specs = []engine.JobSpec{body.JobSpec}
 	}
 
+	lane, ok := engine.ParseLane(body.Priority)
+	if !ok {
+		httpError(w, http.StatusBadRequest, api.CodeBadRequest,
+			"unknown priority %q (want interactive or bulk)", body.Priority)
+		return
+	}
+	deadline, err := parseDeadline(r)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, api.CodeBadRequest, "%v", err)
+		return
+	}
+
 	jobs := make([]engine.Job, len(specs))
 	keys := make([]string, len(specs))
 	for i, spec := range specs {
@@ -462,6 +527,25 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		}
 		jobs[i] = job
 		keys[i], _ = s.eng.ResultKey(job)
+	}
+
+	// Admission is decided after validation (a malformed batch should
+	// answer bad_request, not burn budget) but before anything enters
+	// the engine: a rejected batch costs the server nothing downstream.
+	tenant := s.tenantOf(r)
+	if s.adm != nil {
+		if d := s.adm.Admit(tenant, len(jobs)); !d.OK {
+			code := api.CodeRateLimited
+			if d.Reason == admission.ReasonQuotaExceeded {
+				code = api.CodeQuotaExceeded
+			}
+			w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds(d.RetryAfter)))
+			s.log.Debug("submission rejected", "reason", d.Reason,
+				"jobs", len(jobs), "retry_after", d.RetryAfter)
+			httpError(w, http.StatusTooManyRequests, code,
+				"%s: retry after %v", d.Reason, d.RetryAfter)
+			return
+		}
 	}
 
 	// Every job gets a trace ID at submission: the caller may seed the
@@ -489,12 +573,28 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	s.mu.Unlock()
 	s.log.Debug("submission accepted", "id", sub.id, "jobs", len(specs), "trace_base", base)
 
+	// The batch context carries the scheduling lane and, when the
+	// request declared a deadline, expires at it: queued jobs past the
+	// deadline are shed by the engine before simulating, and running
+	// ones are canceled through the pipeline's cancel hook.
+	runCtx := engine.WithLane(s.ctx, lane)
+	cancel := context.CancelFunc(func() {})
+	if deadline > 0 {
+		runCtx, cancel = context.WithTimeout(runCtx, deadline)
+	}
+
 	par := clampParallel(body.MaxParallel, s.eng.Parallelism())
 	go func() {
+		defer cancel()
 		start := time.Now()
 		runOne := func(i int) {
-			res := s.eng.Run(obs.WithTraceID(s.ctx, tids[i]), jobs[i])
+			res := s.eng.Run(obs.WithTraceID(runCtx, tids[i]), jobs[i])
 			s.appendResult(sub, engine.JobResult{Index: i, Job: jobs[i], Result: res}, keys[i])
+			if s.adm != nil {
+				// Quota is in-flight work: each job returns its slot as it
+				// finishes, not when the whole batch does.
+				s.adm.Release(tenant, 1)
+			}
 		}
 		if par > 0 && par < len(jobs) {
 			// The batch asked for fewer workers than it has jobs: par
@@ -541,6 +641,44 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// parseDeadline reads the request's optional deadline header: a
+// positive integer of milliseconds from receipt. Zero means none.
+func parseDeadline(r *http.Request) (time.Duration, error) {
+	h := r.Header.Get(api.DeadlineHeader)
+	if h == "" {
+		return 0, nil
+	}
+	ms, err := strconv.ParseInt(h, 10, 64)
+	if err != nil || ms <= 0 {
+		return 0, fmt.Errorf("malformed %s header %q (want a positive integer of milliseconds)",
+			api.DeadlineHeader, h)
+	}
+	return time.Duration(ms) * time.Millisecond, nil
+}
+
+// retryAfterSeconds renders a retry hint as the Retry-After header's
+// integer seconds, rounding up so the client never retries early, and
+// never below 1 — a zero would invite an immediate retry storm.
+func retryAfterSeconds(d time.Duration) int {
+	s := int(math.Ceil(d.Seconds()))
+	if s < 1 {
+		s = 1
+	}
+	return s
+}
+
+// errorCode classifies a run error machine-readably where a stable
+// category exists; deterministic simulation failures return "".
+func errorCode(err error) string {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		return api.CodeDeadlineExceeded
+	case errors.Is(err, context.Canceled):
+		return "canceled"
+	}
+	return ""
+}
+
 func jobEvent(jr engine.JobResult, key string) JobEvent {
 	ev := JobEvent{
 		Index:    jr.Index,
@@ -550,6 +688,7 @@ func jobEvent(jr engine.JobResult, key string) JobEvent {
 	}
 	if jr.Result.Err != nil {
 		ev.Error = jr.Result.Err.Error()
+		ev.Code = errorCode(jr.Result.Err)
 		return ev
 	}
 	m := jr.Result.Metrics
@@ -595,13 +734,30 @@ func (s *Server) handleJobStream(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Cache-Control", "no-cache")
 	w.WriteHeader(http.StatusOK)
 
+	// Every write races the subscriber's ability to drain it: a frame
+	// that cannot be flushed within the write timeout marks the
+	// subscriber stalled and the subscription ends. Without the bound, a
+	// wedged reader would park this goroutine in w.Write forever while
+	// the submission (whose frames it shares with every healthy
+	// subscriber) kept growing.
+	ctrl := http.NewResponseController(w)
+	write := func(frame []byte) bool {
+		ctrl.SetWriteDeadline(time.Now().Add(s.sseWriteTimeout))
+		if _, err := w.Write(frame); err != nil {
+			s.sseSlowDisconnects.Add(1)
+			s.log.Debug("sse subscriber dropped", "id", sub.id, "err", err)
+			return false
+		}
+		return true
+	}
+
 	sent := 0
 	for {
 		frames, done, changed := sub.snapshotFrames(sent)
 		for _, frame := range frames {
 			// Frames were encoded once at append time; every subscriber
 			// writes the same shared bytes.
-			if _, err := w.Write(frame); err != nil {
+			if !write(frame) {
 				return
 			}
 			s.sseFrames.Add(1)
@@ -612,8 +768,9 @@ func (s *Server) handleJobStream(w http.ResponseWriter, r *http.Request) {
 			flusher.Flush()
 		}
 		if done {
-			fmt.Fprintf(w, "event: done\ndata: {\"completed\":%d}\n\n", sent)
-			flusher.Flush()
+			if write(fmt.Appendf(nil, "event: done\ndata: {\"completed\":%d}\n\n", sent)) {
+				flusher.Flush()
+			}
 			return
 		}
 		select {
@@ -692,15 +849,16 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 // servingStats snapshots the request-path counters.
 func (s *Server) servingStats() api.ServingStats {
 	return api.ServingStats{
-		SSEMarshals:     s.sseMarshals.Load(),
-		SSEFrames:       s.sseFrames.Load(),
-		SSEBytes:        s.sseBytes.Load(),
-		NotModified:     s.notModified.Load(),
-		ResultUploads:   s.resultUploads.Load(),
-		KeyPages:        s.keyPages.Load(),
-		RingEpoch:       s.ringEpoch(),
-		RingTransitions: s.ringTransitions.Load(),
-		RingConflicts:   s.ringConflicts.Load(),
+		SSEMarshals:        s.sseMarshals.Load(),
+		SSEFrames:          s.sseFrames.Load(),
+		SSEBytes:           s.sseBytes.Load(),
+		SSESlowDisconnects: s.sseSlowDisconnects.Load(),
+		NotModified:        s.notModified.Load(),
+		ResultUploads:      s.resultUploads.Load(),
+		KeyPages:           s.keyPages.Load(),
+		RingEpoch:          s.ringEpoch(),
+		RingTransitions:    s.ringTransitions.Load(),
+		RingConflicts:      s.ringConflicts.Load(),
 	}
 }
 
@@ -712,6 +870,13 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	if tiered, ok := s.st.(*store.Tiered); ok {
 		fast, slow := tiered.Layers()
 		resp.Memory, resp.Disk = &fast, &slow
+	}
+	if s.adm != nil {
+		a := s.adm.Stats()
+		resp.Admission = &api.AdmissionStats{
+			Admitted: a.Admitted, RejectedRate: a.RejectedRate,
+			RejectedQuota: a.RejectedQuota, InFlight: a.InFlight, Tenants: a.Tenants,
+		}
 	}
 	writeJSON(w, http.StatusOK, resp)
 }

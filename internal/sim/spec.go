@@ -15,13 +15,28 @@ type suiteIdentity struct {
 	fp   uint64
 }
 
-// suiteIndex memoizes the suite's (name → seed, program fingerprint) map:
+// simpointIndex memoizes one canonical suite build (name → simpoint):
 // workload.ByName regenerates all ~40 synthetic programs per call, far
-// too heavy for a remote runner that validates every job it submits.
+// too heavy for anything that resolves specs per request. Serving stable
+// pointers also keeps the engine's pointer-keyed fingerprint memo hot
+// across submissions instead of missing (and growing) on every batch.
+// Nothing mutates these simpoints: workload.QuickSuite reweighs its own
+// fresh build, never this one.
+var simpointIndex = sync.OnceValue(func() map[string]*workload.Simpoint {
+	idx := map[string]*workload.Simpoint{}
+	for _, sp := range workload.Suite() {
+		idx[sp.Name] = sp
+	}
+	return idx
+})
+
+// suiteIndex memoizes the suite's (name → seed, program fingerprint)
+// map for SpecFromJob's identity checks, derived from the same canonical
+// build simpointIndex holds.
 var suiteIndex = sync.OnceValue(func() map[string]suiteIdentity {
 	idx := map[string]suiteIdentity{}
-	for _, sp := range workload.Suite() {
-		idx[sp.Name] = suiteIdentity{seed: sp.Seed, fp: sp.Program.Fingerprint()}
+	for name, sp := range simpointIndex() {
+		idx[name] = suiteIdentity{seed: sp.Seed, fp: fingerprintOf(sp.Program)}
 	}
 	return idx
 })
@@ -161,7 +176,7 @@ func SpecFromJob(job engine.Job) (engine.JobSpec, error) {
 // shipped — they are rebuilt deterministically from the suite tables) and
 // the setup kind is mapped to its constructor.
 func JobFromSpec(spec engine.JobSpec) (engine.Job, error) {
-	sp := workload.ByName(spec.Simpoint)
+	sp := simpointIndex()[spec.Simpoint]
 	if sp == nil {
 		return engine.Job{}, fmt.Errorf("sim: unknown simpoint %q", spec.Simpoint)
 	}
