@@ -42,10 +42,11 @@ func newBreaker(trip int, cooldown time.Duration) *breaker {
 // allow reports whether new work may be routed to the worker, consuming
 // the half-open probe slot when it grants one. Open circuits move to
 // half-open after the cooldown; a half-open circuit grants a single
-// probe, then refuses until the probe resolves (success or failure). A
-// probe that was granted but never produced an outcome — the round
-// routed no task to the worker — re-arms after another cooldown, so a
-// breaker cannot wedge half-open forever.
+// probe, then refuses until the probe resolves — success, failure, or
+// an explicit probeUnused when the routing round placed no task on the
+// worker. Elapsed time alone never re-arms the slot, so a probe
+// legitimately slower than the cooldown is never joined by a second
+// concurrent probe.
 func (b *breaker) allow() bool {
 	b.mu.Lock()
 	defer b.mu.Unlock()
@@ -61,13 +62,47 @@ func (b *breaker) allow() bool {
 		b.probeArmed = true
 		return true
 	default: // half-open
-		if b.probeArmed && b.now().Sub(b.since) < b.cooldown {
+		if b.probeArmed {
 			return false // a probe is already out
 		}
 		b.since = b.now()
 		b.probeArmed = true
 		return true
 	}
+}
+
+// probeUnused returns a granted half-open probe slot that routed no
+// task (the ring placed no key on the worker that round): with no
+// request in flight there is no success/failure outcome coming, so the
+// router hands the slot back explicitly — a breaker cannot wedge
+// half-open forever, and an in-flight probe is never mistaken for a
+// stale one.
+func (b *breaker) probeUnused() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == BreakerHalfOpen {
+		b.probeArmed = false
+	}
+}
+
+// retryAfter reports how long until allow could plausibly grant again:
+// the remaining cooldown when open, the full cooldown as a poll bound
+// while a half-open probe is in flight (its outcome, not a timer,
+// re-arms the slot), and zero when work would be admitted now.
+func (b *breaker) retryAfter() time.Duration {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerOpen:
+		if d := b.cooldown - b.now().Sub(b.since); d > 0 {
+			return d
+		}
+	case BreakerHalfOpen:
+		if b.probeArmed {
+			return b.cooldown
+		}
+	}
+	return 0
 }
 
 // success records a completed request: the circuit closes and the
@@ -156,6 +191,33 @@ func (f *Runner) breakerReset(url string) {
 	if b := f.breakerFor(url); b != nil {
 		b.reset()
 	}
+}
+
+// breakerProbeUnused returns url's granted-but-unrouted half-open probe
+// slot; a no-op when the policy is disabled.
+func (f *Runner) breakerProbeUnused(url string) {
+	if b := f.breakerFor(url); b != nil {
+		b.probeUnused()
+	}
+}
+
+// breakerRetryDelay reports how long a routing round in which every
+// assignable member was breaker-refused should wait before retrying:
+// the smallest retryAfter across all breakers, clamped to at least a
+// millisecond so a race with an expiring cooldown cannot busy-spin.
+func (f *Runner) breakerRetryDelay() time.Duration {
+	f.breakerMu.Lock()
+	defer f.breakerMu.Unlock()
+	d := f.breakerCooldown
+	for _, b := range f.breakers {
+		if r := b.retryAfter(); r < d {
+			d = r
+		}
+	}
+	if d < time.Millisecond {
+		d = time.Millisecond
+	}
+	return d
 }
 
 // breakerState returns url's current state name, or "" when the policy

@@ -89,7 +89,8 @@ func TestBreakerHalfOpenProbe(t *testing.T) {
 
 func TestBreakerUnusedProbeRearms(t *testing.T) {
 	// A granted probe that never produced an outcome (no task routed to
-	// the worker that round) must not wedge the breaker half-open.
+	// the worker that round) must not wedge the breaker half-open: the
+	// router returns the slot explicitly via probeUnused.
 	b, clk := testBreaker(1, time.Second)
 	b.failure()
 	clk.advance(time.Second)
@@ -97,11 +98,58 @@ func TestBreakerUnusedProbeRearms(t *testing.T) {
 		t.Fatal("probe not granted")
 	}
 	if b.allow() {
-		t.Fatal("probe slot granted twice within the cooldown")
+		t.Fatal("probe slot granted twice")
 	}
+	b.probeUnused()
+	if !b.allow() {
+		t.Fatal("returned probe slot never re-armed")
+	}
+}
+
+func TestBreakerSlowProbeStaysExclusive(t *testing.T) {
+	// An in-flight probe legitimately slower than the cooldown must not
+	// be joined by a second probe: elapsed time alone never re-arms the
+	// slot, only the probe's own outcome (or an explicit probeUnused).
+	b, clk := testBreaker(1, time.Second)
+	b.failure()
 	clk.advance(time.Second)
 	if !b.allow() {
-		t.Fatal("stale probe slot never re-armed")
+		t.Fatal("probe not granted")
+	}
+	clk.advance(10 * time.Second)
+	if b.allow() {
+		t.Fatal("second probe granted while the first is still in flight")
+	}
+	b.success()
+	if !b.allow() || b.current() != BreakerClosed {
+		t.Fatalf("slow probe's success did not close the breaker (state %q)", b.current())
+	}
+}
+
+func TestBreakerRetryAfter(t *testing.T) {
+	b, clk := testBreaker(1, time.Second)
+	if d := b.retryAfter(); d != 0 {
+		t.Fatalf("closed retryAfter = %v, want 0", d)
+	}
+	b.failure()
+	if d := b.retryAfter(); d != time.Second {
+		t.Fatalf("freshly opened retryAfter = %v, want 1s", d)
+	}
+	clk.advance(600 * time.Millisecond)
+	if d := b.retryAfter(); d != 400*time.Millisecond {
+		t.Fatalf("mid-cooldown retryAfter = %v, want 400ms", d)
+	}
+	clk.advance(400 * time.Millisecond)
+	if d := b.retryAfter(); d != 0 {
+		t.Fatalf("cooled-down retryAfter = %v, want 0", d)
+	}
+	if !b.allow() {
+		t.Fatal("probe not granted after cooldown")
+	}
+	// While the probe is in flight there is no timer to wait out, only a
+	// poll bound.
+	if d := b.retryAfter(); d != time.Second {
+		t.Fatalf("in-flight-probe retryAfter = %v, want the cooldown", d)
 	}
 }
 

@@ -602,11 +602,16 @@ func (rs *roundState) stealFor(thief int) []task {
 // re-shard tasks stranded on lost workers onto the survivors.
 // Termination: every re-queue burns one of its task's bounded retry
 // attempts (tasks that exhaust them deliver their error), so the round
-// loop cannot spin — at most maxRetries+1 rounds, and in the common
-// worker-loss case each round also shrinks the alive set. Each round
-// takes a fresh placement snapshot, so workers re-admitted by the
-// prober (or added by another runner through the coordinator) rejoin
-// the sharding between rounds.
+// loop cannot spin — at most maxRetries+1 routed rounds, and in the
+// common worker-loss case each round also shrinks the alive set. A
+// round in which every surviving member was refused by its circuit
+// breaker routes nothing and burns nothing: it waits out the shortest
+// breaker cooldown and retries, so a correlated blip is ridden out
+// rather than failing the batch, while a genuinely sick fleet still
+// fails tasks (and burns their retries) once probes are re-admitted.
+// Each round takes a fresh placement snapshot, so workers re-admitted
+// by the prober (or added by another runner through the coordinator)
+// rejoin the sharding between rounds.
 func (f *Runner) runSharded(ctx context.Context, jobs []engine.Job, tasks []task, out chan<- engine.JobResult) {
 	var mu sync.Mutex
 	delivered := make(map[int]bool, len(tasks))
@@ -638,8 +643,14 @@ func (f *Runner) runSharded(ctx context.Context, jobs []engine.Job, tasks []task
 		// so a half-open circuit spends its single probe slot on one shard
 		// rather than being consulted per key.
 		routable := make([]bool, len(pl.members))
+		breakerHeld := false // some member is alive but breaker-refused
 		for i, mm := range pl.members {
-			routable[i] = f.assignable(mm.url) && f.breakerAllows(mm.url)
+			ok := f.assignable(mm.url)
+			if ok && !f.breakerAllows(mm.url) {
+				breakerHeld = true
+				ok = false
+			}
+			routable[i] = ok
 		}
 		alive := func(i int) bool { return routable[i] }
 		groups := map[int][]task{}
@@ -651,20 +662,59 @@ func (f *Runner) runSharded(ctx context.Context, jobs []engine.Job, tasks []task
 				stranded = append(stranded, t)
 			}
 		}
+		// A half-open member granted a probe this round but handed no
+		// task has no request whose outcome could resolve the probe —
+		// return the slot so the breaker cannot wedge half-open.
+		for i, mm := range pl.members {
+			if routable[i] && len(groups[i]) == 0 {
+				f.breakerProbeUnused(mm.url)
+			}
+		}
+		var held []task
 		if len(stranded) > 0 {
-			for _, t := range stranded {
-				err := t.err
-				if err == nil {
-					err = errors.New("fleet: no workers alive")
+			if breakerHeld {
+				// No member took the keys, but only because every
+				// survivor's breaker refused this round — a correlated
+				// blip (network hiccup, rolling restart), not a lost
+				// fleet. Hold the tasks: cooldown re-admits a probe,
+				// and genuinely sick workers still fail tasks until
+				// their bounded retries deliver the error.
+				held = stranded
+			} else {
+				for _, t := range stranded {
+					err := t.err
+					if err == nil {
+						err = errors.New("fleet: no workers alive")
+					}
+					deliver(engine.JobResult{Index: t.idx, Job: jobs[t.idx], Result: &engine.Result{
+						Simpoint: jobs[t.idx].Simpoint, Setup: jobs[t.idx].Setup.Label,
+						Err: fmt.Errorf("fleet: every worker lost (last failure: %w)", err),
+					}})
 				}
-				deliver(engine.JobResult{Index: t.idx, Job: jobs[t.idx], Result: &engine.Result{
-					Simpoint: jobs[t.idx].Simpoint, Setup: jobs[t.idx].Setup.Label,
-					Err: fmt.Errorf("fleet: every worker lost (last failure: %w)", err),
-				}})
 			}
 		}
 		if len(groups) == 0 {
-			return
+			if len(held) == 0 {
+				return
+			}
+			f.logf("fleet: every breaker open; holding %d task(s) until a probe is re-admitted", len(held))
+			select {
+			case <-ctx.Done():
+				for _, t := range held {
+					err := t.err
+					if err == nil {
+						err = ctx.Err()
+					}
+					deliver(engine.JobResult{Index: t.idx, Job: jobs[t.idx], Result: &engine.Result{
+						Simpoint: jobs[t.idx].Simpoint, Setup: jobs[t.idx].Setup.Label,
+						Err: fmt.Errorf("fleet: canceled while waiting out breaker cooldown (last failure: %w)", err),
+					}})
+				}
+				return
+			case <-time.After(f.breakerRetryDelay()):
+			}
+			pending = held
+			continue
 		}
 		if round > 0 {
 			f.logf("fleet: retry round %d: re-sharding %d job(s) across %d surviving worker(s)",

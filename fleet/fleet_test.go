@@ -30,6 +30,7 @@ type worker struct {
 	svc http.Handler
 
 	dead        atomic.Bool  // every request aborts at the transport level
+	sick        atomic.Bool  // like dead, but liveness probes still answer
 	killOnIndex atomic.Int64 // arm: die right after the Nth submit (1-based)
 	submits     atomic.Int64
 	streamDelay time.Duration // slows SSE delivery: a straggler worker
@@ -38,6 +39,11 @@ type worker struct {
 func (w *worker) ServeHTTP(rw http.ResponseWriter, r *http.Request) {
 	if w.dead.Load() {
 		panic(http.ErrAbortHandler) // the transport dies, no HTTP answer
+	}
+	if w.sick.Load() && r.URL.Path != "/healthz" {
+		// Sick, not gone: the breaker's target case — health probes pass
+		// while every real request dies at the transport.
+		panic(http.ErrAbortHandler)
 	}
 	if w.streamDelay > 0 && strings.HasSuffix(r.URL.Path, "/stream") {
 		time.Sleep(w.streamDelay)
@@ -234,6 +240,58 @@ func TestFleetKillWorkerMidStream(t *testing.T) {
 		if jr.Result.Err != nil {
 			t.Errorf("post-loss job %d failed: %v", idx, jr.Result.Err)
 		}
+	}
+}
+
+// A round in which every worker is alive but breaker-refused (breakers
+// tripped by an earlier batch, e.g. a correlated blip) must hold the
+// work through the cooldown and probe, not fail it as "every worker
+// lost".
+func TestFleetAllBreakersOpenHoldsNotFails(t *testing.T) {
+	w1, w2 := startWorker(t), startWorker(t)
+
+	var logMu sync.Mutex
+	var logs []string
+	f, err := fleet.New([]string{w1.ts.URL, w2.ts.URL}, fastClient(),
+		fleet.WithBreaker(1, 2*time.Second),
+		fleet.WithLog(func(format string, args ...any) {
+			logMu.Lock()
+			logs = append(logs, fmt.Sprintf(format, args...))
+			logMu.Unlock()
+		}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	w1.sick.Store(true)
+	w2.sick.Store(true)
+
+	// The first batch fails outright — both workers answer health probes
+	// but abort every job request — exhausting each task's retries and
+	// leaving both breakers open while the workers stay assignable. The
+	// full suite matrix shards across both workers, tripping both.
+	_, _, jobs := suiteJobs(t, 8)
+	for idx, jr := range collect(t, f.Stream(context.Background(), jobs), len(jobs)) {
+		if jr.Result.Err == nil {
+			t.Fatalf("job %d succeeded on a sick worker", idx)
+		}
+	}
+	if alive := f.Alive(); alive != 2 {
+		t.Fatalf("sick-but-alive workers marked lost: %d alive, want 2", alive)
+	}
+
+	// Heal the workers and immediately resubmit: round 0 finds every
+	// member alive yet breaker-refused.
+	w1.sick.Store(false)
+	w2.sick.Store(false)
+	for idx, jr := range collect(t, f.Stream(context.Background(), jobs), len(jobs)) {
+		if jr.Result.Err != nil {
+			t.Errorf("job %d failed despite healed workers: %v", idx, jr.Result.Err)
+		}
+	}
+	logMu.Lock()
+	defer logMu.Unlock()
+	if joined := strings.Join(logs, "\n"); !strings.Contains(joined, "every breaker open") {
+		t.Errorf("breaker hold not logged; logs:\n%s", joined)
 	}
 }
 

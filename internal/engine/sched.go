@@ -116,7 +116,11 @@ func (s *scheduler) Acquire(ctx context.Context, lane Lane) error {
 		s.mu.Lock()
 		if w.granted {
 			// Release raced our cancellation and already handed us the
-			// slot; pass it straight on so it isn't lost.
+			// slot. The grant was counted when it was handed over, but no
+			// work will ever run under it — uncount it, then pass the
+			// slot straight on so it isn't lost (re-granting counts the
+			// real recipient).
+			s.grants[lane]--
 			s.releaseLocked()
 			s.mu.Unlock()
 			return ctx.Err()

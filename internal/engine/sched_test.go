@@ -225,6 +225,37 @@ func TestSchedulerCancelGrantRaceLosesNoSlot(t *testing.T) {
 	}
 }
 
+func TestSchedulerAbandonedGrantNotCounted(t *testing.T) {
+	// Drive the Release-vs-cancel race deterministically into the
+	// granted-but-canceled branch: cancel the waiter while holding the
+	// scheduler lock (it wakes on ctx.Done and blocks on the lock), then
+	// grant it under the lock. The grant never runs work, so it must not
+	// count — only the re-grant to a real recipient may.
+	s := newScheduler(0)
+	ctx, cancel := context.WithCancel(context.Background())
+	done := acquireAsync(ctx, s, LaneBulk)
+	waitDepths(t, s, 0, 1)
+
+	s.mu.Lock()
+	cancel()
+	time.Sleep(50 * time.Millisecond) // waiter enters its ctx.Done branch, blocks on mu
+	s.releaseLocked()                 // hands the canceled waiter the slot, counting it
+	s.mu.Unlock()
+
+	if err := <-done; err != context.Canceled {
+		t.Fatalf("canceled Acquire = %v, want context.Canceled", err)
+	}
+	if i, b := s.laneGrants(); i != 0 || b != 0 {
+		t.Fatalf("laneGrants = (%d, %d) after an abandoned grant, want (0, 0)", i, b)
+	}
+	// The passed-on slot survives and its real use is counted.
+	mustAcquire(t, s, LaneInteractive)
+	s.Release()
+	if i, b := s.laneGrants(); i != 1 || b != 0 {
+		t.Fatalf("laneGrants = (%d, %d) after reuse, want (1, 0)", i, b)
+	}
+}
+
 func TestLaneContext(t *testing.T) {
 	ctx := context.Background()
 	if l := LaneFrom(ctx); l != LaneInteractive {

@@ -164,6 +164,32 @@ func TestAdmissionPerTenantIsolation(t *testing.T) {
 	}
 }
 
+func TestAdmissionTenantHeaderIgnoredUnderAuth(t *testing.T) {
+	// With auth enabled the credential is the admission identity: a
+	// client minting a fresh Clustersim-Tenant value per request must
+	// not escape its token's bucket (that would defeat the limits
+	// entirely).
+	st := store.NewMemory(64 << 20)
+	eng := engine.New(engine.Options{Parallelism: 2, ResultStore: st})
+	srv := service.New(context.Background(), eng, st)
+	srv.SetToken("sekrit")
+	srv.SetAdmission(admission.New(admission.Limits{Rate: 0.001, Burst: 1}))
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+
+	hdr := map[string]string{
+		"Authorization":  "Bearer sekrit",
+		api.TenantHeader: "mint-1",
+	}
+	if resp, raw := postJobs(t, ts.URL, batchBody(1, 2000, ""), hdr); resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("first submit: %d %s", resp.StatusCode, raw)
+	}
+	hdr[api.TenantHeader] = "mint-2"
+	if resp, _ := postJobs(t, ts.URL, batchBody(1, 3000, ""), hdr); resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("header-minted tenant escaped the credential's bucket: %d, want 429", resp.StatusCode)
+	}
+}
+
 func TestSubmitPriorityValidation(t *testing.T) {
 	ts, _, _ := startServer(t)
 

@@ -233,13 +233,21 @@ func (s *Server) SetSSEWriteTimeout(d time.Duration) {
 	s.sseWriteTimeout = d
 }
 
-// tenantOf derives the admission identity of a request: the explicit
-// tenant header when present (how callers sharing one credential split
-// their budgets — e.g. a proxy multiplexing users), else the bearer
-// token (each credential is a tenant), else one shared anonymous
+// tenantOf derives the admission identity of a request. With auth
+// enabled the bearer token IS the identity and the client-supplied
+// tenant header is ignored — honoring it would let any caller mint a
+// fresh budget per request and bypass admission entirely. Without
+// auth, the header splits budgets between callers (e.g. a proxy
+// multiplexing users), a voluntary Authorization header still counts
+// as an identity, and absent both, all requests share one anonymous
 // bucket. The identity only keys admission accounting — it is never
 // logged or echoed back.
 func (s *Server) tenantOf(r *http.Request) string {
+	if s.token != "" {
+		// authorized() already verified this header, so it is the
+		// configured credential, not attacker-chosen.
+		return r.Header.Get("Authorization")
+	}
 	if t := r.Header.Get(api.TenantHeader); t != "" {
 		return t
 	}
